@@ -1,0 +1,38 @@
+"""Extension benchmark: attack success before/after protection (§VI-D claim).
+
+Not a numbered figure in the paper, but the claim it quantifies is central
+to the discussion: a fully protected release zeroes every triangle-family
+predictor, while longer-range predictors (Katz) may retain signal.  The
+benchmark records per-predictor AUC and exposure in ``extra_info``.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.attack_defense import run_attack_defense
+from repro.experiments.config import ExperimentConfig
+
+
+def test_ext_attack_defense(benchmark, arenas_graph):
+    config = ExperimentConfig(
+        dataset="arenas-email",
+        motifs=("triangle",),
+        num_targets=8,
+        repetitions=1,
+        methods=("SGB-Greedy",),
+        seed=0,
+    )
+
+    def run():
+        return run_attack_defense(
+            config, motif="triangle", negative_samples=150, graph=arenas_graph
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    benchmark.extra_info["auc_before"] = dict(result.auc_before)
+    benchmark.extra_info["auc_after"] = dict(result.auc_after)
+    benchmark.extra_info["exposed_after"] = dict(result.exposed_after)
+
+    for name in ("common_neighbors", "jaccard", "adamic_adar", "resource_allocation"):
+        assert result.exposed_after[name] == 0.0
+        assert result.auc_after[name] <= result.auc_before[name] + 1e-9

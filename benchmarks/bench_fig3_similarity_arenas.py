@@ -1,0 +1,55 @@
+"""Figure 3: evolution of existing target subgraphs vs budget (Arenas-email).
+
+Each benchmark runs the full seven-method sweep for one motif on the
+Arenas-like graph and records, in ``extra_info``, the series the paper plots
+(final similarity per method at the largest budget plus the critical budget
+of the SGB greedy).  The qualitative shape asserted here is the paper's:
+SGB <= CT <= WT <= RDT <= RD at equal budget, and the greedy reaches zero.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.similarity_evolution import run_similarity_evolution
+
+ARENAS_TARGETS = 10  # |T| at benchmark scale (paper: 20)
+
+METHODS = (
+    "SGB-Greedy",
+    "CT-Greedy:DBD",
+    "WT-Greedy:DBD",
+    "CT-Greedy:TBD",
+    "WT-Greedy:TBD",
+    "RD",
+    "RDT",
+)
+
+
+@pytest.mark.parametrize("motif", ["triangle", "rectangle", "rectri"])
+def test_fig3_similarity_evolution(benchmark, arenas_graph, motif):
+    config = ExperimentConfig(
+        dataset="arenas-email",
+        motifs=(motif,),
+        num_targets=ARENAS_TARGETS,
+        repetitions=2,
+        methods=METHODS,
+        seed=0,
+    )
+
+    def run():
+        return run_similarity_evolution(config, motif, graph=arenas_graph)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    final = {method: values[-1] for method, values in result.curves.items()}
+    benchmark.extra_info["initial_similarity"] = result.initial_similarity
+    benchmark.extra_info["k_star_sgb"] = result.critical_budget.get("SGB-Greedy")
+    benchmark.extra_info["final_similarity"] = final
+
+    # paper-shape assertions
+    assert final["SGB-Greedy"] == 0.0
+    assert final["SGB-Greedy"] <= final["CT-Greedy:TBD"] + 1e-9
+    assert final["CT-Greedy:TBD"] <= final["RD"] + 1e-9
+    assert final["RDT"] <= final["RD"] + 1e-9

@@ -1,0 +1,54 @@
+"""Table III: utility loss ratio at full protection, Arenas-email, |T| = 20.
+
+The benchmark runs the full table (every greedy method × every motif, full
+protection budget) on the benchmark-scale Arenas-like graph and records the
+per-cell percentages in ``extra_info``.  The paper-shape assertions: every
+loss stays in the low single-digit percent range, and the Rectangle motif
+(which needs the most deletions) costs at least as much as the Triangle.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.utility_loss import run_utility_loss
+
+METHODS = (
+    "SGB-Greedy",
+    "CT-Greedy:DBD",
+    "CT-Greedy:TBD",
+    "WT-Greedy:DBD",
+    "WT-Greedy:TBD",
+)
+
+
+def test_table3_utility_loss_full_protection(benchmark, arenas_graph):
+    config = ExperimentConfig(
+        dataset="arenas-email",
+        motifs=("triangle", "rectangle", "rectri"),
+        num_targets=10,
+        repetitions=1,
+        methods=METHODS,
+        seed=0,
+    )
+
+    def run():
+        return run_utility_loss(
+            config, budget=None, graph=arenas_graph, path_length_sample=60
+        )
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    benchmark.extra_info["values_percent"] = {
+        motif: dict(row) for motif, row in table.values.items()
+    }
+    benchmark.extra_info["budgets_used"] = {
+        motif: dict(row) for motif, row in table.budgets_used.items()
+    }
+
+    for motif, row in table.values.items():
+        for method, loss in row.items():
+            assert 0.0 <= loss <= 15.0, f"{method} on {motif}: loss {loss}%"
+    assert (
+        table.values["rectangle"]["SGB-Greedy"]
+        >= table.values["triangle"]["SGB-Greedy"] - 1e-9
+    )

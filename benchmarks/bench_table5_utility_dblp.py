@@ -1,0 +1,48 @@
+"""Table V: utility loss on the DBLP-scale graph with a fixed budget.
+
+The paper evaluates |T| = 52 with k = 25 and reports only the scalable
+utility metrics (clustering coefficient and core number); the loss is an
+order of magnitude smaller than on Arenas-email because the graph is much
+larger.  The benchmark mirrors that setup at its reduced scale and asserts
+the "tiny loss on a large graph" shape.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.utility_loss import run_utility_loss
+
+METHODS = (
+    "SGB-Greedy",
+    "CT-Greedy:DBD",
+    "CT-Greedy:TBD",
+    "WT-Greedy:DBD",
+    "WT-Greedy:TBD",
+)
+BUDGET = 10
+
+
+def test_table5_utility_loss_dblp(benchmark, dblp_graph):
+    config = ExperimentConfig(
+        dataset="dblp",
+        motifs=("triangle", "rectangle", "rectri"),
+        num_targets=12,
+        repetitions=1,
+        methods=METHODS,
+        seed=0,
+    )
+
+    def run():
+        return run_utility_loss(
+            config, budget=BUDGET, graph=dblp_graph, metrics=("clust", "cn")
+        )
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    benchmark.extra_info["values_percent"] = {
+        motif: dict(row) for motif, row in table.values.items()
+    }
+
+    for motif, row in table.values.items():
+        for method, loss in row.items():
+            assert 0.0 <= loss <= 2.0, f"{method} on {motif}: loss {loss}%"

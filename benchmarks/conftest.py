@@ -1,0 +1,51 @@
+"""Shared fixtures for the benchmark suite.
+
+Every benchmark regenerates one of the paper's figures or tables (or an
+ablation) at "quick" scale: shrunken synthetic stand-ins of the paper's
+datasets so that the whole suite finishes in minutes while preserving the
+qualitative shape of the results.  The graphs and target samples are built
+once per session and shared.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.model import TPPProblem
+from repro.datasets.registry import load_dataset
+from repro.datasets.targets import sample_random_targets
+
+# Benchmark-scale parameters (quick profile).
+ARENAS_NODES = 350
+DBLP_NODES = 2000
+ARENAS_TARGETS = 10
+DBLP_TARGETS = 12
+
+
+@pytest.fixture(scope="session")
+def arenas_graph():
+    """Arenas-email-like benchmark graph (synthetic stand-in, ~350 nodes)."""
+    return load_dataset("arenas-email", nodes=ARENAS_NODES, seed=1)
+
+
+@pytest.fixture(scope="session")
+def dblp_graph():
+    """DBLP-like benchmark graph (synthetic stand-in, ~2000 nodes)."""
+    return load_dataset("dblp", nodes=DBLP_NODES, seed=7)
+
+
+@pytest.fixture(scope="session")
+def arenas_targets(arenas_graph):
+    """Target sample on the Arenas-like graph (|T| = 10)."""
+    return sample_random_targets(arenas_graph, ARENAS_TARGETS, seed=0)
+
+
+@pytest.fixture(scope="session")
+def dblp_targets(dblp_graph):
+    """Target sample on the DBLP-like graph (|T| = 12)."""
+    return sample_random_targets(dblp_graph, DBLP_TARGETS, seed=0)
+
+
+def make_problem(graph, targets, motif: str) -> TPPProblem:
+    """Build a TPP problem for a benchmark (index built lazily by the runs)."""
+    return TPPProblem(graph, targets, motif=motif)

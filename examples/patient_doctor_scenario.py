@@ -1,0 +1,71 @@
+"""The paper's motivating scenario: hide a patient's links to their doctors.
+
+One user ("the patient") wants a few of their own relationships — say the
+links to an oncologist and to a support group — to stay hidden even after
+the social graph is released.  Deleting those links is not enough: an
+attacker who knows how social graphs form can re-infer them from triangles
+and rectangles.  This example:
+
+1. picks an ego node and treats several of its incident links as targets,
+2. shows how exposed those links are to common-neighbor prediction before
+   any protection,
+3. runs the budgeted TPP protection, and
+4. shows the attacker's view after the release.
+
+Run with::
+
+    python examples/patient_doctor_scenario.py
+"""
+
+from __future__ import annotations
+
+from repro import AttackSimulator, TPPProblem, sgb_greedy
+from repro.datasets import arenas_email_like, sample_ego_targets
+from repro.experiments import format_table
+
+
+def describe_attack(report, title: str) -> None:
+    print(f"\n{title}")
+    print(f"  attack AUC (1.0 = targets always outrank non-edges): {report.auc:.3f}")
+    print(f"  exposed targets (score > 0): {len(report.exposed_targets)}")
+    for target, score in sorted(report.target_scores.items(), key=str):
+        print(f"    {target}: prediction score {score:.2f}")
+
+
+def main() -> None:
+    graph = arenas_email_like(nodes=600, seed=2)
+
+    # the "patient": a moderately connected user hiding 5 of their links
+    targets = sample_ego_targets(graph, count=5, seed=1)
+    ego = targets[0][0] if all(t[0] == targets[0][0] for t in targets) else targets[0][1]
+    print(f"ego node {ego!r} hides {len(targets)} of its {graph.degree(ego)} links")
+
+    problem = TPPProblem(graph, targets, motif="triangle")
+    print(f"surviving target subgraphs after merely deleting the links: "
+          f"{problem.initial_similarity()}")
+
+    attacker = AttackSimulator("common_neighbors", negative_samples=300, seed=0)
+    before = attacker.run(problem.phase1_graph, targets)
+    describe_attack(before, "attacker's view after naive deletion (phase 1 only)")
+
+    # budgeted protection
+    result = sgb_greedy(problem, budget=problem.initial_similarity() + 1)
+    released = result.released_graph(problem)
+    after = attacker.run(released, targets)
+    describe_attack(after, f"attacker's view after TPP ({result.budget_used} protector deletions)")
+
+    # the protection also defends every other triangle-based index
+    rows = []
+    for predictor in ("jaccard", "adamic_adar", "resource_allocation", "salton"):
+        report = AttackSimulator(predictor, negative_samples=300, seed=0).run(
+            released, targets
+        )
+        rows.append((predictor, f"{report.auc:.3f}", len(report.exposed_targets)))
+    print()
+    print(format_table(["predictor", "AUC on release", "exposed targets"], rows))
+    print("\nevery triangle-based index scores 0 for every hidden link: the "
+          "patient's sensitive relationships are no longer inferable.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+"""Regenerate any figure or table of the paper's evaluation section.
+
+Thin wrapper around :mod:`repro.experiments.runner` that prints the same
+rows/series the paper plots.  ``quick`` scale finishes in minutes on a
+laptop; ``paper`` scale uses the paper's parameters (larger graphs, more
+repetitions) and can take hours for the runtime figures.
+
+Run with::
+
+    python examples/reproduce_figures.py fig3 --scale quick
+    python examples/reproduce_figures.py table3 --scale quick
+    python examples/reproduce_figures.py all --scale quick
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.experiments import (
+    EXPERIMENT_RUNNERS,
+    format_runtime_comparison,
+    format_similarity_evolution,
+    format_utility_loss_table,
+    save_json,
+)
+from repro.experiments.runtime import RuntimeComparison
+from repro.experiments.similarity_evolution import SimilarityEvolution
+from repro.experiments.utility_loss import UtilityLossTable
+
+
+def render(result) -> str:
+    if isinstance(result, SimilarityEvolution):
+        return format_similarity_evolution(result)
+    if isinstance(result, RuntimeComparison):
+        return format_runtime_comparison(result)
+    if isinstance(result, UtilityLossTable):
+        return format_utility_loss_table(result)
+    return str(result)
+
+
+def run_one(name: str, scale: str, json_dir: str = "") -> None:
+    print(f"===== {name} ({scale} scale) =====")
+    results = EXPERIMENT_RUNNERS[name](scale=scale)
+    if not isinstance(results, list):
+        results = [results]
+    for result in results:
+        print(render(result))
+        print()
+    if json_dir:
+        path = save_json(results if len(results) > 1 else results[0], f"{json_dir}/{name}.json")
+        print(f"saved {path}")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENT_RUNNERS) + ["all"],
+        help="which figure/table to regenerate",
+    )
+    parser.add_argument("--scale", default="quick", choices=("quick", "paper"))
+    parser.add_argument("--json-dir", default="", help="also save JSON results here")
+    args = parser.parse_args()
+
+    names = sorted(EXPERIMENT_RUNNERS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        run_one(name, args.scale, args.json_dir)
+
+
+if __name__ == "__main__":
+    main()

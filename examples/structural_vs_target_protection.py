@@ -1,0 +1,63 @@
+"""Target-level protection vs structural anonymization.
+
+Related work protects links by perturbing the *whole* graph (random
+perturbation, degree-preserving switching, randomized response).  The paper
+argues that for a small set of truly sensitive links this is both too weak
+(the targets stay inferable) and too expensive (graph utility suffers).
+This example makes the comparison concrete on one graph: every mechanism
+gets a comparable edit budget and we record what is left of the targets'
+inferability and of the graph's utility.
+
+Run with::
+
+    python examples/structural_vs_target_protection.py
+"""
+
+from __future__ import annotations
+
+from repro.anonymization import compare_protection_mechanisms
+from repro.datasets import arenas_email_like, sample_random_targets
+from repro.experiments import format_table
+
+
+def main() -> None:
+    graph = arenas_email_like(nodes=600, seed=3)
+    targets = sample_random_targets(graph, count=10, seed=1)
+    print(
+        f"graph: {graph.number_of_nodes()} nodes / {graph.number_of_edges()} edges; "
+        f"{len(targets)} sensitive links"
+    )
+
+    outcomes = compare_protection_mechanisms(
+        graph,
+        targets,
+        motif="triangle",
+        metrics=("clust", "cn", "r"),
+        seed=0,
+    )
+
+    rows = [
+        (
+            outcome.mechanism,
+            outcome.edits,
+            outcome.residual_similarity,
+            f"{outcome.utility_loss_percent:.2f}%",
+        )
+        for outcome in outcomes
+    ]
+    print()
+    print(
+        format_table(
+            ["mechanism", "edge edits", "surviving target subgraphs", "utility loss"],
+            rows,
+        )
+    )
+    print(
+        "\nAt a comparable number of edge edits, only the targeted greedy "
+        "deletion drives the surviving target subgraphs to zero; the "
+        "structural mechanisms leave most of the adversary's evidence intact."
+    )
+
+
+if __name__ == "__main__":
+    main()

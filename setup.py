@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+Package metadata lives in ``pyproject.toml``; this file exists so that
+``pip install -e .`` works with older setuptools/pip combinations that lack
+PEP 660 editable-install support (legacy ``setup.py develop`` fallback).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,65 @@
+"""repro — Target Privacy Preserving (TPP) for social networks.
+
+A from-scratch reproduction of *"Target Privacy Preserving for Social
+Networks"* (Jiang et al., ICDE 2020): protect a small set of sensitive
+*target* links against subgraph-pattern link prediction by deleting a
+budget-limited set of *protector* links, while keeping the released graph's
+utility high.
+
+Typical usage::
+
+    from repro import Graph, TPPProblem, sgb_greedy
+    from repro.datasets import arenas_email_like, sample_random_targets
+
+    graph = arenas_email_like()
+    targets = sample_random_targets(graph, 20, seed=0)
+    problem = TPPProblem(graph, targets, motif="triangle")
+    result = sgb_greedy(problem, budget=40)
+    released = result.released_graph(problem)
+
+The top-level package re-exports the most frequently used names; the
+subpackages (:mod:`repro.graphs`, :mod:`repro.motifs`, :mod:`repro.core`,
+:mod:`repro.prediction`, :mod:`repro.utility`, :mod:`repro.datasets`,
+:mod:`repro.experiments`) contain the full API.
+"""
+
+from repro.core import (
+    ProtectionResult,
+    TPPProblem,
+    critical_budget,
+    ct_greedy,
+    is_fully_protected,
+    random_deletion,
+    random_target_subgraph_deletion,
+    sgb_greedy,
+    verify_result,
+    wt_greedy,
+)
+from repro.exceptions import ReproError
+from repro.graphs import Graph, canonical_edge
+from repro.motifs import available_motifs, get_motif
+from repro.prediction import AttackSimulator
+from repro.utility import compare_graphs
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "Graph",
+    "canonical_edge",
+    "TPPProblem",
+    "ProtectionResult",
+    "sgb_greedy",
+    "ct_greedy",
+    "wt_greedy",
+    "random_deletion",
+    "random_target_subgraph_deletion",
+    "is_fully_protected",
+    "verify_result",
+    "critical_budget",
+    "get_motif",
+    "available_motifs",
+    "AttackSimulator",
+    "compare_graphs",
+    "ReproError",
+]

@@ -1,0 +1,24 @@
+"""Structural anonymization baselines and the TPP-vs-structural comparison."""
+
+from repro.anonymization.comparison import MechanismOutcome, compare_protection_mechanisms
+from repro.anonymization.generation import (
+    configuration_model_release,
+    degree_preserving_rewire_release,
+)
+from repro.anonymization.perturbation import (
+    AnonymizationResult,
+    random_perturbation,
+    random_switching,
+    randomized_response,
+)
+
+__all__ = [
+    "AnonymizationResult",
+    "random_perturbation",
+    "random_switching",
+    "randomized_response",
+    "configuration_model_release",
+    "degree_preserving_rewire_release",
+    "MechanismOutcome",
+    "compare_protection_mechanisms",
+]

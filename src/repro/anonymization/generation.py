@@ -1,0 +1,103 @@
+"""Pseudo-graph generation baselines (related-work family 2).
+
+Besides perturbation, the related work protects structure by *releasing a
+different graph altogether*: a synthetic graph sampled to match a few
+statistics of the original (degree sequence, degree correlations).  Two
+classic members of that family are implemented so the comparison experiments
+can include them:
+
+* :func:`configuration_model_release` — preserves the exact degree sequence
+  (dK-1 style) by random stub matching,
+* :func:`degree_preserving_rewire_release` — starts from the original and
+  applies many degree-preserving switches, converging to a random graph with
+  the same joint degree structure as the number of switches grows.
+
+Target links never appear verbatim in these releases (the edge identities are
+re-randomised), but the adversary of the TPP threat model does not need
+them: it only needs the released structure to predict, which is exactly why
+the paper argues structural release alone is not sufficient for key targets.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Union
+
+from repro.anonymization.perturbation import AnonymizationResult, random_switching
+from repro.graphs.graph import Edge, Graph, canonical_edge
+
+__all__ = ["configuration_model_release", "degree_preserving_rewire_release"]
+
+RandomLike = Union[int, random.Random, None]
+
+
+def _rng(seed: RandomLike) -> random.Random:
+    if isinstance(seed, random.Random):
+        return seed
+    return random.Random(seed)
+
+
+def configuration_model_release(
+    graph: Graph, seed: RandomLike = None, max_retries: int = 50
+) -> AnonymizationResult:
+    """Return a random simple graph with (approximately) the same degree sequence.
+
+    Standard stub-matching configuration model with rejection of self-loops
+    and multi-edges; stubs that cannot be placed after ``max_retries``
+    shuffles are dropped, so very skewed degree sequences may lose a few
+    edges (reported via the ``deleted``/``added`` bookkeeping).
+    """
+    rng = _rng(seed)
+    degrees = graph.degrees()
+    stubs: List = []
+    for node, degree in sorted(degrees.items(), key=lambda item: str(item[0])):
+        stubs.extend([node] * degree)
+
+    released = Graph(nodes=graph.nodes())
+    for _ in range(max_retries):
+        rng.shuffle(stubs)
+        leftovers: List = []
+        for i in range(0, len(stubs) - 1, 2):
+            u, v = stubs[i], stubs[i + 1]
+            if u == v or released.has_edge(u, v):
+                leftovers.extend((u, v))
+            else:
+                released.add_edge(u, v)
+        if len(stubs) % 2:
+            leftovers.append(stubs[-1])
+        stubs = leftovers
+        if len(stubs) < 2:
+            break
+
+    original_edges = graph.edge_set()
+    released_edges = released.edge_set()
+    return AnonymizationResult(
+        graph=released,
+        deleted=tuple(sorted(original_edges - released_edges, key=str)),
+        added=tuple(sorted(released_edges - original_edges, key=str)),
+        mechanism="configuration-model",
+    )
+
+
+def degree_preserving_rewire_release(
+    graph: Graph, switches_per_edge: float = 2.0, seed: RandomLike = None
+) -> AnonymizationResult:
+    """Return a release obtained by many degree-preserving edge switches.
+
+    ``switches_per_edge`` controls how far the release drifts from the
+    original: the related work typically uses 1-10 switches per edge, at
+    which point local structure (triangles around any particular pair) is
+    largely randomised while every node keeps its degree.
+    """
+    if switches_per_edge < 0:
+        raise ValueError(
+            f"switches_per_edge must be >= 0, got {switches_per_edge}"
+        )
+    switches = int(switches_per_edge * graph.number_of_edges())
+    result = random_switching(graph, switches=switches, seed=seed)
+    return AnonymizationResult(
+        graph=result.graph,
+        deleted=result.deleted,
+        added=result.added,
+        mechanism="degree-preserving-rewire",
+    )

@@ -1,0 +1,183 @@
+"""Structural-level anonymization baselines from the related work.
+
+The paper's introduction contrasts TPP (target-level protection) with the
+traditional structural-level mechanisms — random perturbation, link
+switching and randomized-response style edge flipping — that treat every
+link as sensitive.  These are implemented here so the repository can run the
+comparison the paper argues qualitatively: structural mechanisms must
+perturb far more of the graph (and lose far more utility) to push target
+similarity down to the level the targeted greedy algorithms reach with a
+handful of deletions.
+
+Every mechanism takes and returns plain graphs, so the resulting releases can
+be fed to the same attack simulator and utility-loss analysis as the TPP
+releases.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Tuple, Union
+
+from repro.graphs.graph import Edge, Graph, canonical_edge
+
+__all__ = [
+    "AnonymizationResult",
+    "random_perturbation",
+    "random_switching",
+    "randomized_response",
+]
+
+RandomLike = Union[int, random.Random, None]
+
+
+def _rng(seed: RandomLike) -> random.Random:
+    if isinstance(seed, random.Random):
+        return seed
+    return random.Random(seed)
+
+
+@dataclass(frozen=True)
+class AnonymizationResult:
+    """A structurally anonymized release.
+
+    Attributes
+    ----------
+    graph:
+        The perturbed graph.
+    deleted / added:
+        The edge modifications applied (canonical form, in application order).
+    mechanism:
+        Human-readable mechanism label.
+    """
+
+    graph: Graph
+    deleted: Tuple[Edge, ...]
+    added: Tuple[Edge, ...]
+    mechanism: str
+
+    @property
+    def edits(self) -> int:
+        """Total number of edge modifications."""
+        return len(self.deleted) + len(self.added)
+
+
+def _sample_non_edges(graph: Graph, count: int, rng: random.Random) -> List[Edge]:
+    nodes = sorted(graph.nodes(), key=str)
+    chosen: List[Edge] = []
+    seen = set()
+    attempts = 0
+    limit = 200 * max(count, 1)
+    while len(chosen) < count and attempts < limit and len(nodes) >= 2:
+        attempts += 1
+        u, v = rng.sample(nodes, 2)
+        edge = canonical_edge(u, v)
+        if edge in seen or graph.has_edge(u, v):
+            continue
+        seen.add(edge)
+        chosen.append(edge)
+    return chosen
+
+
+def random_perturbation(
+    graph: Graph,
+    deletions: int,
+    additions: int,
+    seed: RandomLike = None,
+) -> AnonymizationResult:
+    """Delete and add the requested numbers of random links (Ying & Wu style).
+
+    Deletions are sampled uniformly from the existing edges, additions from
+    the non-edges of the already-reduced graph.
+    """
+    rng = _rng(seed)
+    edges = sorted(graph.edges(), key=lambda e: (str(e[0]), str(e[1])))
+    rng.shuffle(edges)
+    to_delete = edges[: min(deletions, len(edges))]
+    perturbed = graph.without_edges(to_delete)
+    to_add = _sample_non_edges(perturbed, additions, rng)
+    for edge in to_add:
+        perturbed.add_edge(*edge)
+    return AnonymizationResult(
+        graph=perturbed,
+        deleted=tuple(to_delete),
+        added=tuple(to_add),
+        mechanism="random-perturbation",
+    )
+
+
+def random_switching(graph: Graph, switches: int, seed: RandomLike = None) -> AnonymizationResult:
+    """Degree-preserving random edge switching.
+
+    Each switch picks two disjoint edges ``(a, b)`` and ``(c, d)`` and rewires
+    them to ``(a, d)`` and ``(c, b)`` when neither new edge exists; this keeps
+    every node's degree unchanged, which is the classic utility-preserving
+    perturbation of the related work.
+    """
+    rng = _rng(seed)
+    perturbed = graph.copy()
+    deleted: List[Edge] = []
+    added: List[Edge] = []
+    performed = 0
+    attempts = 0
+    limit = 100 * max(switches, 1)
+    while performed < switches and attempts < limit:
+        attempts += 1
+        edges = sorted(perturbed.edges(), key=lambda e: (str(e[0]), str(e[1])))
+        if len(edges) < 2:
+            break
+        (a, b), (c, d) = rng.sample(edges, 2)
+        if len({a, b, c, d}) < 4:
+            continue
+        if perturbed.has_edge(a, d) or perturbed.has_edge(c, b):
+            continue
+        perturbed.remove_edge(a, b)
+        perturbed.remove_edge(c, d)
+        perturbed.add_edge(a, d)
+        perturbed.add_edge(c, b)
+        deleted.extend((canonical_edge(a, b), canonical_edge(c, d)))
+        added.extend((canonical_edge(a, d), canonical_edge(c, b)))
+        performed += 1
+    return AnonymizationResult(
+        graph=perturbed,
+        deleted=tuple(deleted),
+        added=tuple(added),
+        mechanism="random-switching",
+    )
+
+
+def randomized_response(
+    graph: Graph,
+    flip_probability: float,
+    seed: RandomLike = None,
+    max_added: int = None,
+) -> AnonymizationResult:
+    """Randomized-response edge flipping (a local-differential-privacy style baseline).
+
+    Every existing edge is deleted with probability ``flip_probability``;
+    roughly the same number of *original* non-edges are added (capped by
+    ``max_added``), mimicking the symmetric flip without materialising the
+    full O(n^2) non-edge set.
+    """
+    if not 0.0 <= flip_probability <= 1.0:
+        raise ValueError(
+            f"flip_probability must be in [0, 1], got {flip_probability}"
+        )
+    rng = _rng(seed)
+    deleted = [
+        edge
+        for edge in sorted(graph.edges(), key=lambda e: (str(e[0]), str(e[1])))
+        if rng.random() < flip_probability
+    ]
+    perturbed = graph.without_edges(deleted)
+    additions = len(deleted) if max_added is None else min(len(deleted), max_added)
+    added = _sample_non_edges(graph, additions, rng)  # non-edges of the ORIGINAL graph
+    for edge in added:
+        perturbed.add_edge(*edge)
+    return AnonymizationResult(
+        graph=perturbed,
+        deleted=tuple(deleted),
+        added=tuple(added),
+        mechanism="randomized-response",
+    )

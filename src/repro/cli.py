@@ -1,0 +1,153 @@
+"""Command-line interface.
+
+Two sub-commands cover the common workflows:
+
+* ``repro-tpp protect`` — run one protection method on an edge-list file (or
+  a named dataset) and write the released graph, and
+* ``repro-tpp experiment`` — regenerate one of the paper's figures/tables and
+  print its rows/series.
+
+Examples
+--------
+Protect 10 random targets of a synthetic Arenas-like graph::
+
+    repro-tpp protect --dataset arenas-email --targets 10 --budget 30 \
+        --motif triangle --method SGB-Greedy --output released.edges
+
+Regenerate Fig. 3 at quick scale::
+
+    repro-tpp experiment fig3 --scale quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.model import TPPProblem
+from repro.datasets.loaders import load_edge_list_dataset
+from repro.datasets.registry import available_datasets, load_dataset
+from repro.datasets.targets import sample_random_targets
+from repro.experiments.methods import ALL_METHODS, run_method
+from repro.experiments.reporting import (
+    format_runtime_comparison,
+    format_similarity_evolution,
+    format_utility_loss_table,
+    save_json,
+)
+from repro.experiments.runner import EXPERIMENT_RUNNERS
+from repro.experiments.runtime import RuntimeComparison
+from repro.experiments.similarity_evolution import SimilarityEvolution
+from repro.experiments.utility_loss import UtilityLossTable
+from repro.graphs.io import write_edge_list
+from repro.motifs.base import available_motifs
+from repro.utility.loss import compare_graphs
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-tpp",
+        description="Target Privacy Preserving for social networks (ICDE 2020 reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    protect = subparsers.add_parser(
+        "protect", help="select protectors and write the released graph"
+    )
+    protect.add_argument(
+        "--dataset",
+        default="arenas-email",
+        help=f"named dataset ({', '.join(available_datasets())}) or ignored if --edge-list given",
+    )
+    protect.add_argument("--edge-list", help="path to an edge-list file to protect")
+    protect.add_argument("--targets", type=int, default=10, help="number of random targets")
+    protect.add_argument("--budget", type=int, default=20, help="protector deletion budget k")
+    protect.add_argument(
+        "--motif", default="triangle", choices=sorted(available_motifs())
+    )
+    protect.add_argument("--method", default="SGB-Greedy", choices=sorted(ALL_METHODS))
+    protect.add_argument(
+        "--engine", default="coverage", choices=("coverage", "recount")
+    )
+    protect.add_argument("--seed", type=int, default=0)
+    protect.add_argument("--output", help="write the released graph to this edge list")
+    protect.add_argument(
+        "--utility", action="store_true", help="also report the utility loss"
+    )
+
+    experiment = subparsers.add_parser(
+        "experiment", help="regenerate one of the paper's figures or tables"
+    )
+    experiment.add_argument("name", choices=sorted(EXPERIMENT_RUNNERS))
+    experiment.add_argument("--scale", default="quick", choices=("quick", "paper"))
+    experiment.add_argument("--json", help="also save the result as JSON to this path")
+
+    return parser
+
+
+def _format_result(result) -> str:
+    if isinstance(result, SimilarityEvolution):
+        return format_similarity_evolution(result)
+    if isinstance(result, RuntimeComparison):
+        return format_runtime_comparison(result)
+    if isinstance(result, UtilityLossTable):
+        return format_utility_loss_table(result)
+    return str(result)
+
+
+def _command_protect(args: argparse.Namespace) -> int:
+    if args.edge_list:
+        graph = load_edge_list_dataset(args.edge_list)
+    else:
+        graph = load_dataset(args.dataset)
+    targets = sample_random_targets(graph, args.targets, seed=args.seed)
+    problem = TPPProblem(graph, targets, motif=args.motif)
+    result = run_method(
+        args.method, problem, args.budget, engine=args.engine, seed=args.seed
+    )
+    print(result.summary())
+    print(f"fully protected: {result.fully_protected}")
+    released = result.released_graph(problem)
+    if args.utility:
+        report = compare_graphs(graph, released, path_length_sample=100)
+        print(report.summary())
+        for metric, original, new, loss in report.as_rows():
+            print(f"  {metric:>6}: {original:.4f} -> {new:.4f} (loss {100 * loss:.2f}%)")
+    if args.output:
+        write_edge_list(released, args.output, header=f"released by {result.algorithm}")
+        print(f"released graph written to {args.output}")
+    return 0
+
+
+def _command_experiment(args: argparse.Namespace) -> int:
+    runner = EXPERIMENT_RUNNERS[args.name]
+    results = runner(scale=args.scale)
+    if not isinstance(results, list):
+        results = [results]
+    for result in results:
+        print(_format_result(result))
+        print()
+    if args.json:
+        save_json(results if len(results) > 1 else results[0], args.json)
+        print(f"results saved to {args.json}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "protect":
+        return _command_protect(args)
+    if args.command == "experiment":
+        return _command_experiment(args)
+    parser.error(f"unknown command {args.command!r}")
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,67 @@
+"""TPP core: problem model, greedy algorithms, budgets, baselines, verification."""
+
+from repro.core.baselines import random_deletion, random_target_subgraph_deletion
+from repro.core.budget import (
+    BudgetDivision,
+    degree_product_budget_division,
+    make_budget_division,
+    target_subgraph_budget_division,
+    uniform_budget_division,
+    validate_budget_division,
+)
+from repro.core.ct import ct_greedy
+from repro.core.dissimilarity import (
+    LocalIndexDissimilarity,
+    SubgraphDissimilarity,
+    apply_link_addition,
+    apply_link_switching,
+)
+from repro.core.engines import CoverageEngine, MarginalGainEngine, RecountEngine, make_engine
+from repro.core.model import ProtectionResult, TPPProblem
+from repro.core.node_protection import (
+    NodeProtectionResult,
+    node_targets,
+    protect_target_nodes,
+)
+from repro.core.optimal import greedy_optimality_gap, optimal_protectors
+from repro.core.sgb import sgb_greedy
+from repro.core.verification import (
+    critical_budget,
+    is_fully_protected,
+    protection_ratio,
+    verify_result,
+)
+from repro.core.wt import wt_greedy
+
+__all__ = [
+    "TPPProblem",
+    "ProtectionResult",
+    "sgb_greedy",
+    "ct_greedy",
+    "wt_greedy",
+    "random_deletion",
+    "random_target_subgraph_deletion",
+    "BudgetDivision",
+    "target_subgraph_budget_division",
+    "degree_product_budget_division",
+    "uniform_budget_division",
+    "make_budget_division",
+    "validate_budget_division",
+    "MarginalGainEngine",
+    "CoverageEngine",
+    "RecountEngine",
+    "make_engine",
+    "SubgraphDissimilarity",
+    "LocalIndexDissimilarity",
+    "apply_link_addition",
+    "apply_link_switching",
+    "is_fully_protected",
+    "verify_result",
+    "protection_ratio",
+    "critical_budget",
+    "NodeProtectionResult",
+    "node_targets",
+    "protect_target_nodes",
+    "optimal_protectors",
+    "greedy_optimality_gap",
+]

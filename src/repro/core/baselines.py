@@ -1,0 +1,92 @@
+"""Baseline protector selections from the paper's evaluation.
+
+The paper compares its greedy algorithms against two randomized baselines:
+
+* **RD** — delete ``k`` links chosen uniformly at random from the whole edge
+  set of the phase-1 graph, and
+* **RDT** — delete ``k`` links chosen uniformly at random from the links
+  participating in target subgraphs (the same candidate set the ``-R``
+  algorithms restrict themselves to).
+
+Both are implemented on top of the coverage index so their similarity traces
+are produced exactly like the greedy algorithms'.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Union
+
+from repro.core.model import ProtectionResult, TPPProblem
+from repro.core.selection import Stopwatch, edge_sort_key
+from repro.exceptions import BudgetError
+from repro.graphs.graph import Edge
+
+__all__ = ["random_deletion", "random_target_subgraph_deletion"]
+
+RandomLike = Union[int, random.Random, None]
+
+
+def _rng(seed: RandomLike) -> random.Random:
+    if isinstance(seed, random.Random):
+        return seed
+    return random.Random(seed)
+
+
+def _run_random_baseline(
+    problem: TPPProblem,
+    budget: int,
+    candidates: List[Edge],
+    algorithm: str,
+    seed: RandomLike,
+) -> ProtectionResult:
+    if budget < 0:
+        raise BudgetError(f"budget must be >= 0, got {budget}")
+    stopwatch = Stopwatch()
+    rng = _rng(seed)
+    state = problem.build_index().new_state()
+
+    pool = sorted(candidates, key=edge_sort_key)
+    rng.shuffle(pool)
+    chosen = pool[: min(budget, len(pool))]
+
+    trace = [state.total_similarity()]
+    for edge in chosen:
+        state.delete_edge(edge)
+        trace.append(state.total_similarity())
+
+    return ProtectionResult(
+        algorithm=algorithm,
+        motif=problem.motif.name,
+        budget=budget,
+        protectors=tuple(chosen),
+        similarity_trace=tuple(trace),
+        initial_similarity=problem.initial_similarity(),
+        runtime_seconds=stopwatch.elapsed(),
+        extra={"seed": seed if not isinstance(seed, random.Random) else None},
+    )
+
+
+def random_deletion(
+    problem: TPPProblem, budget: int, seed: RandomLike = None
+) -> ProtectionResult:
+    """RD baseline: delete ``budget`` edges sampled uniformly from the graph.
+
+    Target links are already absent (phase 1), so the sample is drawn from
+    the phase-1 edge set.
+    """
+    candidates = list(problem.phase1_graph.edges())
+    return _run_random_baseline(problem, budget, candidates, "RD", seed)
+
+
+def random_target_subgraph_deletion(
+    problem: TPPProblem, budget: int, seed: RandomLike = None
+) -> ProtectionResult:
+    """RDT baseline: delete ``budget`` edges sampled from target subgraphs.
+
+    The candidate pool is the union of all edges participating in at least
+    one target subgraph; if the pool is smaller than the budget every pool
+    edge is deleted.
+    """
+    candidates = list(problem.build_index().candidate_edges())
+    return _run_random_baseline(problem, budget, candidates, "RDT", seed)

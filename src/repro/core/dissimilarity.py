@@ -1,0 +1,161 @@
+"""Dissimilarity functions.
+
+The paper's objective is the subgraph-pattern dissimilarity
+``f(P, T) = C - Σ_t s(P, t)`` which is monotone and submodular
+(Lemmas 1–4) and therefore admits greedy guarantees.  Section VI-D shows
+that swapping the subgraph count for the classic local similarity indices
+(Jaccard, Salton, ...) breaks monotonicity, and that link *addition* and
+link *switching* perturbations break it as well.
+
+This module provides both families so the counter-examples from the paper
+can be reproduced and tested:
+
+* :class:`SubgraphDissimilarity` — the paper's objective (delegates to the
+  motif machinery), and
+* :class:`LocalIndexDissimilarity` — ``f(P, T) = C - Σ_t index(u, v)`` for
+  any :mod:`repro.prediction` local index; *not* monotone in general.
+
+Plus the two alternative perturbation mechanisms discussed (and rejected) by
+the paper: :func:`apply_link_addition` and :func:`apply_link_switching`.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Iterable, List, Sequence, Tuple, Union
+
+from repro.graphs.graph import Edge, Graph, canonical_edge
+from repro.motifs.base import MotifPattern, coerce_motif
+from repro.motifs.similarity import total_similarity
+
+__all__ = [
+    "SubgraphDissimilarity",
+    "LocalIndexDissimilarity",
+    "apply_link_addition",
+    "apply_link_switching",
+]
+
+#: A local similarity index: callable (graph, u, v) -> float.
+LocalIndex = Callable[[Graph, object, object], float]
+
+
+class SubgraphDissimilarity:
+    """The paper's dissimilarity ``f(P, T) = C - Σ_t s(P, t)``.
+
+    Instances are evaluated on *graphs* (the phase-1 graph minus whatever
+    protectors the caller removed), which keeps the class independent of how
+    the protector set was chosen.
+    """
+
+    def __init__(
+        self,
+        targets: Sequence[Edge],
+        motif: Union[str, MotifPattern],
+        constant: int,
+    ) -> None:
+        self._targets = tuple(canonical_edge(*target) for target in targets)
+        self._motif = coerce_motif(motif)
+        self._constant = constant
+
+    @property
+    def constant(self) -> int:
+        """The constant ``C``."""
+        return self._constant
+
+    def similarity(self, graph: Graph) -> int:
+        """Return ``s(P, T)`` evaluated on ``graph``."""
+        return total_similarity(graph, self._targets, self._motif)
+
+    def __call__(self, graph: Graph) -> float:
+        """Return ``f(P, T) = C - s(P, T)`` evaluated on ``graph``."""
+        return self._constant - self.similarity(graph)
+
+    def marginal_gain(self, graph: Graph, edge: Edge) -> float:
+        """Return ``f`` after deleting ``edge`` minus ``f`` on ``graph``."""
+        perturbed = graph.without_edges([edge])
+        return self(perturbed) - self(graph)
+
+
+class LocalIndexDissimilarity:
+    """Dissimilarity built from a classic local similarity index.
+
+    ``f(P, T) = C - Σ_{(u,v) in T} index(G', u, v)`` where ``G'`` is the
+    released graph.  The paper proves (by counter-example, §VI-D) that this
+    family is not monotone under link deletion for the Jaccard, Salton,
+    Sørensen, Hub-Promoted, Hub-Depressed, LHN, Adamic-Adar and Resource
+    Allocation indices, hence the greedy guarantees do not transfer.  The
+    class exists so those counter-examples are executable.
+    """
+
+    def __init__(
+        self,
+        targets: Sequence[Edge],
+        index: LocalIndex,
+        constant: float = 0.0,
+    ) -> None:
+        self._targets = tuple(canonical_edge(*target) for target in targets)
+        self._index = index
+        self._constant = constant
+
+    def similarity(self, graph: Graph) -> float:
+        """Return the summed index value over all targets."""
+        return sum(self._index(graph, u, v) for u, v in self._targets)
+
+    def __call__(self, graph: Graph) -> float:
+        """Return ``C - Σ_t index(t)`` evaluated on ``graph``."""
+        return self._constant - self.similarity(graph)
+
+    def marginal_gain(self, graph: Graph, edge: Edge) -> float:
+        """Return the dissimilarity change caused by deleting ``edge``."""
+        perturbed = graph.without_edges([edge])
+        return self(perturbed) - self(graph)
+
+
+def apply_link_addition(
+    graph: Graph,
+    count: int,
+    seed: Union[int, random.Random, None] = None,
+) -> Tuple[Graph, List[Edge]]:
+    """Add ``count`` random links between currently unconnected node pairs.
+
+    Returns the perturbed copy and the list of added edges.  The paper shows
+    link addition can never break existing target subgraphs, so the subgraph
+    dissimilarity is non-increasing under it — this helper exists to make
+    that argument testable, and as a building block of link switching.
+    """
+    rng = seed if isinstance(seed, random.Random) else random.Random(seed)
+    nodes = sorted(graph.nodes(), key=str)
+    perturbed = graph.copy()
+    added: List[Edge] = []
+    attempts = 0
+    limit = 100 * max(count, 1)
+    while len(added) < count and attempts < limit and len(nodes) >= 2:
+        attempts += 1
+        u, v = rng.sample(nodes, 2)
+        if not perturbed.has_edge(u, v):
+            perturbed.add_edge(u, v)
+            added.append(canonical_edge(u, v))
+    return perturbed, added
+
+
+def apply_link_switching(
+    graph: Graph,
+    count: int,
+    seed: Union[int, random.Random, None] = None,
+    protected_edges: Iterable[Edge] = (),
+) -> Tuple[Graph, List[Edge], List[Edge]]:
+    """Randomly delete ``count`` links and add ``count`` new ones (switching).
+
+    This is the structural perturbation mechanism of the related work the
+    paper discusses in §VI-D: it gives no monotonicity guarantee for the
+    dissimilarity.  ``protected_edges`` (e.g. already-selected protectors)
+    are never deleted.  Returns ``(perturbed_graph, deleted, added)``.
+    """
+    rng = seed if isinstance(seed, random.Random) else random.Random(seed)
+    protected = {canonical_edge(*edge) for edge in protected_edges}
+    deletable = [edge for edge in graph.edges() if edge not in protected]
+    rng.shuffle(deletable)
+    to_delete = deletable[: min(count, len(deletable))]
+    perturbed = graph.without_edges(to_delete)
+    perturbed, added = apply_link_addition(perturbed, len(to_delete), seed=rng)
+    return perturbed, list(to_delete), added

@@ -1,0 +1,237 @@
+"""Problem and result models for Target Privacy Preserving.
+
+:class:`TPPProblem` captures the inputs of Definition 1 / 2 of the paper —
+the original social graph, the set of sensitive target links and the motif
+the adversary exploits — and provides the phase-1 graph (targets removed)
+every algorithm works on.
+
+:class:`ProtectionResult` records the output of a protector-selection
+algorithm: which protectors were deleted in which order, how the total
+similarity evolved, how the budget was split across targets (for the
+multi-local-budget variants) and how long the selection took.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.exceptions import InvalidTargetError
+from repro.graphs.graph import Edge, Graph, canonical_edge
+from repro.motifs.base import MotifPattern, coerce_motif
+from repro.motifs.enumeration import TargetSubgraphIndex
+from repro.motifs.similarity import total_similarity
+
+__all__ = ["TPPProblem", "ProtectionResult"]
+
+
+class TPPProblem:
+    """A Target Privacy Preserving instance.
+
+    Parameters
+    ----------
+    graph:
+        The original social graph ``G = (V, E)`` (targets still present).
+    targets:
+        The sensitive links ``T ⊆ E`` that must stay hidden.
+    motif:
+        The subgraph pattern the adversary's link prediction exploits
+        (``"triangle"``, ``"rectangle"``, ``"rectri"`` or a custom
+        :class:`~repro.motifs.MotifPattern`).
+    constant:
+        The constant ``C`` of the dissimilarity ``f(P, T) = C - s(P, T)``.
+        Defaults to the initial similarity ``s(∅, T)`` so ``f(∅, T) = 0``.
+
+    Raises
+    ------
+    InvalidTargetError
+        If any target is not an edge of ``graph`` or targets are duplicated.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        targets: Sequence[Edge],
+        motif: Union[str, MotifPattern] = "triangle",
+        constant: Optional[int] = None,
+    ) -> None:
+        self._graph = graph
+        self._motif = coerce_motif(motif)
+
+        canonical_targets = []
+        seen = set()
+        for target in targets:
+            edge = canonical_edge(*target)
+            if not graph.has_edge(*edge):
+                raise InvalidTargetError(
+                    f"target {edge!r} is not an edge of the original graph"
+                )
+            if edge in seen:
+                raise InvalidTargetError(f"duplicate target {edge!r}")
+            seen.add(edge)
+            canonical_targets.append(edge)
+        if not canonical_targets:
+            raise InvalidTargetError("the target set T must not be empty")
+        self._targets: Tuple[Edge, ...] = tuple(canonical_targets)
+
+        self._phase1_graph = graph.without_edges(self._targets)
+        self._index: Optional[TargetSubgraphIndex] = None
+
+        initial = self.initial_similarity()
+        if constant is None:
+            constant = initial
+        elif constant < initial:
+            raise InvalidTargetError(
+                f"constant C={constant} must be >= the initial similarity {initial}"
+            )
+        self._constant = constant
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+    @property
+    def graph(self) -> Graph:
+        """The original graph (targets included)."""
+        return self._graph
+
+    @property
+    def targets(self) -> Tuple[Edge, ...]:
+        """The canonical target links, in input order."""
+        return self._targets
+
+    @property
+    def motif(self) -> MotifPattern:
+        """The motif pattern of the threat model."""
+        return self._motif
+
+    @property
+    def constant(self) -> int:
+        """The dissimilarity constant ``C``."""
+        return self._constant
+
+    @property
+    def phase1_graph(self) -> Graph:
+        """The graph after phase 1 (all targets deleted).  Do not mutate."""
+        return self._phase1_graph
+
+    def target_set(self) -> frozenset:
+        """Return the targets as a frozen set of canonical edges."""
+        return frozenset(self._targets)
+
+    def build_index(self) -> TargetSubgraphIndex:
+        """Return (and cache) the target-subgraph index on the phase-1 graph."""
+        if self._index is None:
+            self._index = TargetSubgraphIndex(
+                self._phase1_graph, self._targets, self._motif
+            )
+        return self._index
+
+    def initial_similarity(self) -> int:
+        """Return ``s(∅, T)`` on the phase-1 graph."""
+        if self._index is not None:
+            return self._index.initial_total_similarity()
+        return total_similarity(self._phase1_graph, self._targets, self._motif)
+
+    def initial_similarity_by_target(self) -> Dict[Edge, int]:
+        """Return ``s(∅, t)`` for every target."""
+        index = self.build_index()
+        return {target: index.initial_similarity(target) for target in self._targets}
+
+    def dissimilarity_of(self, protectors: Sequence[Edge]) -> int:
+        """Return ``f(P, T)`` for an explicit protector set (recounted)."""
+        released = self._phase1_graph.without_edges(protectors)
+        return self._constant - total_similarity(released, self._targets, self._motif)
+
+    def released_graph(self, protectors: Sequence[Edge]) -> Graph:
+        """Return the released graph: phase-1 graph minus the protector set."""
+        return self._phase1_graph.without_edges(protectors)
+
+    def __repr__(self) -> str:
+        return (
+            f"TPPProblem(n={self._graph.number_of_nodes()}, "
+            f"m={self._graph.number_of_edges()}, targets={len(self._targets)}, "
+            f"motif={self._motif.name!r})"
+        )
+
+
+@dataclass(frozen=True)
+class ProtectionResult:
+    """The outcome of one protector-selection run.
+
+    Attributes
+    ----------
+    algorithm:
+        Human-readable algorithm label, e.g. ``"SGB-Greedy-R"``.
+    motif:
+        Motif name the run protected against.
+    budget:
+        The deletion budget ``k`` the run was given.
+    protectors:
+        Protector edges in deletion order (``|P| <= k``).
+    similarity_trace:
+        ``s(P, T)`` after 0, 1, 2, ... deletions; index ``i`` is the total
+        similarity once the first ``i`` protectors are deleted.
+    initial_similarity:
+        ``s(∅, T)``.
+    budget_division:
+        Per-target sub budgets ``k_t`` (multi-local-budget runs only).
+    allocation:
+        Per-target protector sets ``P_t`` (multi-local-budget runs only).
+    runtime_seconds:
+        Wall-clock selection time.
+    """
+
+    algorithm: str
+    motif: str
+    budget: int
+    protectors: Tuple[Edge, ...]
+    similarity_trace: Tuple[int, ...]
+    initial_similarity: int
+    budget_division: Optional[Mapping[Edge, int]] = None
+    allocation: Optional[Mapping[Edge, Tuple[Edge, ...]]] = None
+    runtime_seconds: float = 0.0
+    extra: Mapping[str, object] = field(default_factory=dict)
+
+    @property
+    def final_similarity(self) -> int:
+        """Return ``s(P, T)`` after all selected deletions."""
+        return self.similarity_trace[-1] if self.similarity_trace else self.initial_similarity
+
+    @property
+    def dissimilarity_gain(self) -> int:
+        """Return the total dissimilarity increase ``s(∅, T) - s(P, T)``."""
+        return self.initial_similarity - self.final_similarity
+
+    @property
+    def fully_protected(self) -> bool:
+        """Return whether every target subgraph was broken (``s(P, T) = 0``)."""
+        return self.final_similarity == 0
+
+    @property
+    def budget_used(self) -> int:
+        """Return how many protectors were actually deleted."""
+        return len(self.protectors)
+
+    def released_graph(self, problem: TPPProblem) -> Graph:
+        """Return the released graph produced by applying this result."""
+        return problem.released_graph(self.protectors)
+
+    def similarity_at(self, deletions: int) -> int:
+        """Return ``s(P, T)`` after the first ``deletions`` protector removals.
+
+        Values beyond the recorded trace clamp to the final similarity, which
+        makes plotting different methods over a common budget axis easy.
+        """
+        if deletions < 0:
+            raise ValueError("deletions must be >= 0")
+        if deletions < len(self.similarity_trace):
+            return self.similarity_trace[deletions]
+        return self.final_similarity
+
+    def summary(self) -> str:
+        """Return a short one-line human-readable summary."""
+        return (
+            f"{self.algorithm}[{self.motif}] k={self.budget} "
+            f"used={self.budget_used} s: {self.initial_similarity} -> "
+            f"{self.final_similarity} ({self.runtime_seconds:.3f}s)"
+        )

@@ -1,0 +1,46 @@
+"""Shared helpers for the greedy protector-selection algorithms."""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Iterable, Optional, Tuple
+
+from repro.graphs.graph import Edge
+
+__all__ = ["argmax_edge", "edge_sort_key", "Stopwatch"]
+
+
+def edge_sort_key(edge: Edge) -> Tuple[str, str]:
+    """Deterministic ordering key for edges (used to break score ties)."""
+    return (str(edge[0]), str(edge[1]))
+
+
+def argmax_edge(
+    candidates: Iterable[Edge], score: Callable[[Edge], float]
+) -> Optional[Tuple[Edge, float]]:
+    """Return the ``(edge, score)`` pair with maximal score.
+
+    Ties are broken by :func:`edge_sort_key` so runs are reproducible across
+    Python hash seeds.  Returns ``None`` when ``candidates`` is empty.
+    """
+    best_edge: Optional[Edge] = None
+    best_score = float("-inf")
+    for edge in sorted(candidates, key=edge_sort_key):
+        value = score(edge)
+        if value > best_score:
+            best_score = value
+            best_edge = edge
+    if best_edge is None:
+        return None
+    return best_edge, best_score
+
+
+class Stopwatch:
+    """Tiny wall-clock stopwatch used to fill ``ProtectionResult.runtime_seconds``."""
+
+    def __init__(self) -> None:
+        self._start = time.perf_counter()
+
+    def elapsed(self) -> float:
+        """Return the seconds elapsed since construction."""
+        return time.perf_counter() - self._start

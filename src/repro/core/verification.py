@@ -1,0 +1,95 @@
+"""Verification helpers: full protection and the critical budget ``k*``.
+
+The paper calls a release *fully protected* when deleting the protector set
+drives the total similarity to zero — no target subgraph survives, so the
+motif-based adversary assigns probability zero to every target.  The
+*critical budget* ``k*`` is the smallest budget at which a given algorithm
+reaches full protection; the paper sweeps budgets up to ``k*`` in Figs. 3–4.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence, Union
+
+from repro.core.model import ProtectionResult, TPPProblem
+from repro.exceptions import TPPError
+from repro.graphs.graph import Edge, Graph
+from repro.motifs.base import MotifPattern
+from repro.motifs.similarity import total_similarity
+
+__all__ = [
+    "is_fully_protected",
+    "verify_result",
+    "critical_budget",
+    "protection_ratio",
+]
+
+#: An algorithm callable taking (problem, budget) and returning a result.
+Algorithm = Callable[[TPPProblem, int], ProtectionResult]
+
+
+def is_fully_protected(
+    graph: Graph, targets: Iterable[Edge], motif: Union[str, MotifPattern]
+) -> bool:
+    """Return whether no target subgraph survives in ``graph``.
+
+    ``graph`` is the candidate released graph (targets and protectors already
+    removed).
+    """
+    return total_similarity(graph, list(targets), motif) == 0
+
+
+def verify_result(problem: TPPProblem, result: ProtectionResult) -> bool:
+    """Independently recount the released graph and check the result's claim.
+
+    Returns ``True`` when the recomputed total similarity matches the final
+    value of the result's similarity trace.  This guards against engine bugs:
+    the trace is produced incrementally, the verification recounts from
+    scratch.
+    """
+    released = result.released_graph(problem)
+    recounted = total_similarity(released, problem.targets, problem.motif)
+    return recounted == result.final_similarity
+
+
+def protection_ratio(result: ProtectionResult) -> float:
+    """Return the fraction of initial target subgraphs broken (0.0 - 1.0)."""
+    if result.initial_similarity == 0:
+        return 1.0
+    return result.dissimilarity_gain / result.initial_similarity
+
+
+def critical_budget(
+    problem: TPPProblem,
+    algorithm: Algorithm,
+    max_budget: int = 10_000,
+) -> int:
+    """Return ``k*``: the smallest budget at which ``algorithm`` fully protects.
+
+    The algorithm is run once with ``max_budget``; because every selection in
+    this library stops as soon as no candidate has positive gain, the number
+    of protectors actually used at that point *is* the critical budget for
+    that algorithm.
+
+    Raises
+    ------
+    TPPError
+        If even ``max_budget`` deletions do not reach full protection
+        (which indicates the candidate pool cannot cover every instance —
+        impossible for the greedy algorithms, but possible for baselines).
+    """
+    result = algorithm(problem, max_budget)
+    if not result.fully_protected:
+        raise TPPError(
+            f"{result.algorithm} did not reach full protection within "
+            f"{max_budget} deletions (residual similarity {result.final_similarity})"
+        )
+    return result.budget_used
+
+
+def minimum_protectors_upper_bound(problem: TPPProblem) -> int:
+    """Return a trivial upper bound on ``k*``: one deletion per target subgraph.
+
+    Useful as a sanity cap when sweeping budgets.
+    """
+    return problem.initial_similarity()

@@ -1,0 +1,37 @@
+"""Datasets: real-data loaders, synthetic stand-ins and target samplers."""
+
+from repro.datasets.loaders import (
+    load_edge_list_dataset,
+    load_konect_arenas_email,
+    load_snap_dblp,
+)
+from repro.datasets.registry import available_datasets, dataset_description, load_dataset
+from repro.datasets.synthetic import (
+    Figure2Example,
+    arenas_email_like,
+    dblp_like,
+    figure2_example,
+    small_social_graph,
+)
+from repro.datasets.targets import (
+    sample_degree_weighted_targets,
+    sample_ego_targets,
+    sample_random_targets,
+)
+
+__all__ = [
+    "arenas_email_like",
+    "dblp_like",
+    "small_social_graph",
+    "figure2_example",
+    "Figure2Example",
+    "load_edge_list_dataset",
+    "load_konect_arenas_email",
+    "load_snap_dblp",
+    "load_dataset",
+    "available_datasets",
+    "dataset_description",
+    "sample_random_targets",
+    "sample_degree_weighted_targets",
+    "sample_ego_targets",
+]

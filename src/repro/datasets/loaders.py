@@ -1,0 +1,114 @@
+"""Loaders for the real datasets used in the paper.
+
+Both datasets are public:
+
+* **Arenas-email** (KONECT): http://konect.cc/networks/arenas-email/ —
+  the file of interest is ``out.arenas-email``.
+* **com-DBLP** (SNAP): https://snap.stanford.edu/data/com-DBLP.html —
+  the file of interest is ``com-dblp.ungraph.txt`` (or the ``.gz``).
+
+Neither can be downloaded in an offline environment, so the loaders accept a
+local path and raise :class:`~repro.exceptions.DatasetError` with download
+instructions when the file is missing.  The synthetic stand-ins in
+:mod:`repro.datasets.synthetic` are used whenever the real files are absent.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.exceptions import DatasetError
+from repro.graphs.graph import Graph
+from repro.graphs.io import read_edge_list
+
+__all__ = [
+    "load_edge_list_dataset",
+    "load_konect_arenas_email",
+    "load_snap_dblp",
+    "find_dataset_file",
+]
+
+PathLike = Union[str, Path]
+
+#: Filenames probed (in order) when only a directory is given.
+_ARENAS_CANDIDATES = ("out.arenas-email", "arenas-email.txt", "arenas_email.txt")
+_DBLP_CANDIDATES = (
+    "com-dblp.ungraph.txt",
+    "com-dblp.ungraph.txt.gz",
+    "dblp.txt",
+    "dblp.txt.gz",
+)
+
+
+def find_dataset_file(directory: PathLike, candidates) -> Optional[Path]:
+    """Return the first existing candidate file inside ``directory`` (or None)."""
+    base = Path(directory)
+    for name in candidates:
+        path = base / name
+        if path.exists():
+            return path
+    return None
+
+
+def load_edge_list_dataset(path: PathLike) -> Graph:
+    """Load any whitespace edge-list dataset into a :class:`Graph`."""
+    path = Path(path)
+    if not path.exists():
+        raise DatasetError(f"dataset file not found: {path}")
+    return read_edge_list(path)
+
+
+def load_konect_arenas_email(path: PathLike) -> Graph:
+    """Load the KONECT Arenas-email network from a file or directory.
+
+    Raises
+    ------
+    DatasetError
+        If the file cannot be found, with a pointer to the download page.
+    """
+    path = Path(path)
+    if path.is_dir():
+        found = find_dataset_file(path, _ARENAS_CANDIDATES)
+        if found is None:
+            raise DatasetError(
+                f"no Arenas-email edge list found under {path}; download "
+                "'out.arenas-email' from http://konect.cc/networks/arenas-email/ "
+                "or use repro.datasets.arenas_email_like() as a synthetic stand-in"
+            )
+        path = found
+    if not path.exists():
+        raise DatasetError(
+            f"Arenas-email file not found: {path}; download it from "
+            "http://konect.cc/networks/arenas-email/ or use "
+            "repro.datasets.arenas_email_like()"
+        )
+    return read_edge_list(path)
+
+
+def load_snap_dblp(path: PathLike) -> Graph:
+    """Load the SNAP com-DBLP network from a file or directory.
+
+    Raises
+    ------
+    DatasetError
+        If the file cannot be found, with a pointer to the download page.
+    """
+    path = Path(path)
+    if path.is_dir():
+        found = find_dataset_file(path, _DBLP_CANDIDATES)
+        if found is None:
+            raise DatasetError(
+                f"no com-DBLP edge list found under {path}; download "
+                "'com-dblp.ungraph.txt.gz' from "
+                "https://snap.stanford.edu/data/com-DBLP.html or use "
+                "repro.datasets.dblp_like() as a synthetic stand-in"
+            )
+        path = found
+    if not path.exists():
+        raise DatasetError(
+            f"com-DBLP file not found: {path}; download it from "
+            "https://snap.stanford.edu/data/com-DBLP.html or use "
+            "repro.datasets.dblp_like()"
+        )
+    return read_edge_list(path)

@@ -1,0 +1,97 @@
+"""Named dataset registry.
+
+Experiments, benchmarks and the CLI refer to datasets by name
+(``"arenas-email"``, ``"dblp"``, ...).  The registry resolves a name to a
+graph, preferring a real edge-list file when a data directory is supplied
+and falling back to the synthetic stand-in otherwise (the substitution is
+documented in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Callable, Dict, Optional, Tuple, Union
+
+from repro.datasets.loaders import (
+    _ARENAS_CANDIDATES,
+    _DBLP_CANDIDATES,
+    find_dataset_file,
+    load_konect_arenas_email,
+    load_snap_dblp,
+)
+from repro.datasets.synthetic import arenas_email_like, dblp_like, small_social_graph
+from repro.exceptions import DatasetError
+from repro.graphs.graph import Graph
+
+__all__ = ["available_datasets", "load_dataset", "dataset_description"]
+
+PathLike = Union[str, Path]
+
+_DESCRIPTIONS: Dict[str, str] = {
+    "arenas-email": (
+        "University Rovira i Virgili email network (1133 nodes, 5451 edges); "
+        "synthetic stand-in generated when the KONECT file is not available"
+    ),
+    "dblp": (
+        "DBLP co-authorship network (317k nodes, 1.05M edges in the original); "
+        "synthetic scaled-down stand-in generated when the SNAP file is not available"
+    ),
+    "small-social": "A ~60-node synthetic social graph for examples and quick tests",
+}
+
+_SYNTHETIC_BUILDERS: Dict[str, Callable[..., Graph]] = {
+    "arenas-email": arenas_email_like,
+    "dblp": dblp_like,
+    "small-social": small_social_graph,
+}
+
+
+def available_datasets() -> Tuple[str, ...]:
+    """Return the sorted names of all registered datasets."""
+    return tuple(sorted(_SYNTHETIC_BUILDERS))
+
+
+def dataset_description(name: str) -> str:
+    """Return the human-readable description of a registered dataset."""
+    key = name.lower()
+    if key not in _DESCRIPTIONS:
+        raise DatasetError(f"unknown dataset {name!r}; known: {available_datasets()}")
+    return _DESCRIPTIONS[key]
+
+
+def load_dataset(
+    name: str,
+    data_dir: Optional[PathLike] = None,
+    **synthetic_kwargs,
+) -> Graph:
+    """Load a dataset by name.
+
+    Parameters
+    ----------
+    name:
+        One of :func:`available_datasets`.
+    data_dir:
+        Optional directory containing the real KONECT/SNAP files; when the
+        expected file exists there the real graph is loaded, otherwise the
+        synthetic stand-in is generated.
+    synthetic_kwargs:
+        Forwarded to the synthetic generator (e.g. ``nodes=5000`` to shrink
+        the DBLP stand-in, ``seed=3`` for a different instance).
+
+    Raises
+    ------
+    DatasetError
+        If the dataset name is unknown.
+    """
+    key = name.lower()
+    if key not in _SYNTHETIC_BUILDERS:
+        raise DatasetError(f"unknown dataset {name!r}; known: {available_datasets()}")
+
+    if data_dir is not None:
+        directory = Path(data_dir)
+        if key == "arenas-email" and find_dataset_file(directory, _ARENAS_CANDIDATES):
+            return load_konect_arenas_email(directory)
+        if key == "dblp" and find_dataset_file(directory, _DBLP_CANDIDATES):
+            return load_snap_dblp(directory)
+
+    return _SYNTHETIC_BUILDERS[key](**synthetic_kwargs)

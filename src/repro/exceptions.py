@@ -1,0 +1,79 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised on purpose by the library derives from
+:class:`ReproError`, so callers can catch library failures without also
+swallowing programming errors such as ``TypeError``.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class GraphError(ReproError):
+    """Base class for graph-substrate errors."""
+
+
+class NodeNotFoundError(GraphError, KeyError):
+    """A node referenced by the caller is not present in the graph."""
+
+    def __init__(self, node):
+        super().__init__(f"node {node!r} is not in the graph")
+        self.node = node
+
+
+class EdgeNotFoundError(GraphError, KeyError):
+    """An edge referenced by the caller is not present in the graph."""
+
+    def __init__(self, edge):
+        super().__init__(f"edge {edge!r} is not in the graph")
+        self.edge = edge
+
+
+class GraphFormatError(GraphError, ValueError):
+    """An edge-list file or serialized graph could not be parsed."""
+
+
+class MotifError(ReproError):
+    """Base class for motif / target-subgraph errors."""
+
+
+class UnknownMotifError(MotifError, KeyError):
+    """A motif name was requested that is not in the registry."""
+
+    def __init__(self, name, known):
+        super().__init__(
+            f"unknown motif {name!r}; known motifs: {sorted(known)}"
+        )
+        self.name = name
+        self.known = tuple(sorted(known))
+
+
+class TPPError(ReproError):
+    """Base class for errors in the TPP core (problem setup / solving)."""
+
+
+class InvalidTargetError(TPPError, ValueError):
+    """A target link is invalid (e.g. not an edge of the original graph)."""
+
+
+class BudgetError(TPPError, ValueError):
+    """A budget or budget division is invalid (negative, inconsistent...)."""
+
+
+class PredictionError(ReproError):
+    """Base class for link-prediction / attack-simulation errors."""
+
+
+class UtilityError(ReproError):
+    """Base class for graph-utility computation errors."""
+
+
+class DatasetError(ReproError):
+    """Base class for dataset loading / generation errors."""
+
+
+class ExperimentError(ReproError):
+    """Base class for experiment-harness errors."""

@@ -1,0 +1,108 @@
+"""Experiment configuration objects.
+
+Every figure/table reproduction is parameterised by the same handful of
+knobs (dataset, motif, number of targets, budgets, repetitions, engine).
+Collecting them in a frozen dataclass keeps the experiment runners, the
+benchmarks and the CLI in sync, and makes the "quick" (CI-sized) and "paper"
+(full-sized) profiles explicit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional, Sequence, Tuple
+
+from repro.exceptions import ExperimentError
+from repro.experiments.methods import ALL_METHODS
+
+__all__ = ["ExperimentConfig", "quick_profile", "paper_profile"]
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Parameters shared by every experiment runner.
+
+    Attributes
+    ----------
+    dataset:
+        Registered dataset name (see :func:`repro.datasets.available_datasets`).
+    motifs:
+        Motif names to evaluate (each produces one sub-figure / table row).
+    num_targets:
+        ``|T|`` — how many target links are sampled.
+    budgets:
+        The budget values ``k`` to sweep.  ``None`` means "up to the critical
+        budget k*" where the runner supports it.
+    repetitions:
+        Number of independent target samplings averaged (the paper uses >= 10).
+    engine:
+        Marginal-gain engine: ``"coverage"`` (scalable) or ``"recount"``.
+    methods:
+        Method names (see :data:`repro.experiments.methods.ALL_METHODS`).
+    seed:
+        Base random seed; repetition ``i`` uses ``seed + i``.
+    dataset_kwargs:
+        Extra keyword arguments forwarded to the dataset loader (e.g.
+        ``{"nodes": 2000}`` to shrink the DBLP stand-in).
+    """
+
+    dataset: str = "arenas-email"
+    motifs: Tuple[str, ...] = ("triangle", "rectangle", "rectri")
+    num_targets: int = 20
+    budgets: Optional[Tuple[int, ...]] = None
+    repetitions: int = 3
+    engine: str = "coverage"
+    methods: Tuple[str, ...] = ALL_METHODS
+    seed: int = 0
+    dataset_kwargs: Tuple[Tuple[str, object], ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if self.num_targets < 1:
+            raise ExperimentError("num_targets must be >= 1")
+        if self.repetitions < 1:
+            raise ExperimentError("repetitions must be >= 1")
+        if self.engine not in ("coverage", "recount"):
+            raise ExperimentError(
+                f"engine must be 'coverage' or 'recount', got {self.engine!r}"
+            )
+        unknown = [name for name in self.methods if name not in ALL_METHODS]
+        if unknown:
+            raise ExperimentError(f"unknown methods in config: {unknown}")
+
+    def dataset_options(self) -> dict:
+        """Return ``dataset_kwargs`` as a regular dictionary."""
+        return dict(self.dataset_kwargs)
+
+    def with_overrides(self, **changes) -> "ExperimentConfig":
+        """Return a copy of the config with the given fields replaced."""
+        return replace(self, **changes)
+
+
+def quick_profile(**overrides) -> ExperimentConfig:
+    """Return a configuration sized for CI / benchmark runs (minutes, not hours).
+
+    Uses a shrunken synthetic graph, a handful of targets and few
+    repetitions; the *shape* of the paper's results already shows at this
+    scale.
+    """
+    config = ExperimentConfig(
+        dataset="arenas-email",
+        motifs=("triangle", "rectangle", "rectri"),
+        num_targets=10,
+        repetitions=2,
+        engine="coverage",
+        dataset_kwargs=(("nodes", 400), ("seed", 1)),
+    )
+    return config.with_overrides(**overrides) if overrides else config
+
+
+def paper_profile(**overrides) -> ExperimentConfig:
+    """Return the configuration matching the paper's experimental setup."""
+    config = ExperimentConfig(
+        dataset="arenas-email",
+        motifs=("triangle", "rectangle", "rectri"),
+        num_targets=20,
+        repetitions=10,
+        engine="coverage",
+    )
+    return config.with_overrides(**overrides) if overrides else config

@@ -1,0 +1,127 @@
+"""Registry of the protection methods compared in the paper's evaluation.
+
+Figures 3-6 and Tables III-V compare seven curves:
+
+* ``SGB-Greedy(-R)`` — single global budget greedy,
+* ``CT-Greedy(-R):TBD`` / ``CT-Greedy(-R):DBD`` — cross-target greedy under
+  the two budget divisions,
+* ``WT-Greedy(-R):TBD`` / ``WT-Greedy(-R):DBD`` — within-target greedy under
+  the two budget divisions,
+* ``RD`` and ``RDT`` — the random baselines.
+
+:func:`run_method` dispatches a method name to the corresponding algorithm
+with a chosen marginal-gain engine, so every experiment and benchmark speaks
+the same vocabulary as the paper's legends.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+from repro.core.baselines import random_deletion, random_target_subgraph_deletion
+from repro.core.ct import ct_greedy
+from repro.core.model import ProtectionResult, TPPProblem
+from repro.core.sgb import sgb_greedy
+from repro.core.wt import wt_greedy
+from repro.exceptions import ExperimentError
+
+__all__ = [
+    "GREEDY_METHODS",
+    "BASELINE_METHODS",
+    "ALL_METHODS",
+    "run_method",
+    "is_greedy_method",
+]
+
+MethodRunner = Callable[[TPPProblem, int, str, int], ProtectionResult]
+
+
+def _run_sgb(problem: TPPProblem, budget: int, engine: str, seed: int) -> ProtectionResult:
+    return sgb_greedy(problem, budget, engine=engine)
+
+
+def _run_ct_tbd(problem: TPPProblem, budget: int, engine: str, seed: int) -> ProtectionResult:
+    return ct_greedy(problem, budget, budget_division="tbd", engine=engine)
+
+
+def _run_ct_dbd(problem: TPPProblem, budget: int, engine: str, seed: int) -> ProtectionResult:
+    return ct_greedy(problem, budget, budget_division="dbd", engine=engine)
+
+
+def _run_wt_tbd(problem: TPPProblem, budget: int, engine: str, seed: int) -> ProtectionResult:
+    return wt_greedy(problem, budget, budget_division="tbd", engine=engine)
+
+
+def _run_wt_dbd(problem: TPPProblem, budget: int, engine: str, seed: int) -> ProtectionResult:
+    return wt_greedy(problem, budget, budget_division="dbd", engine=engine)
+
+
+def _run_rd(problem: TPPProblem, budget: int, engine: str, seed: int) -> ProtectionResult:
+    return random_deletion(problem, budget, seed=seed)
+
+
+def _run_rdt(problem: TPPProblem, budget: int, engine: str, seed: int) -> ProtectionResult:
+    return random_target_subgraph_deletion(problem, budget, seed=seed)
+
+
+#: Greedy methods (legend labels of Figs. 3-6, without the engine suffix).
+GREEDY_METHODS: Dict[str, MethodRunner] = {
+    "SGB-Greedy": _run_sgb,
+    "CT-Greedy:TBD": _run_ct_tbd,
+    "CT-Greedy:DBD": _run_ct_dbd,
+    "WT-Greedy:TBD": _run_wt_tbd,
+    "WT-Greedy:DBD": _run_wt_dbd,
+}
+
+#: Random baselines.
+BASELINE_METHODS: Dict[str, MethodRunner] = {
+    "RD": _run_rd,
+    "RDT": _run_rdt,
+}
+
+#: Every method in the order the paper's legends use.
+ALL_METHODS: Tuple[str, ...] = (
+    "SGB-Greedy",
+    "CT-Greedy:DBD",
+    "WT-Greedy:DBD",
+    "CT-Greedy:TBD",
+    "WT-Greedy:TBD",
+    "RD",
+    "RDT",
+)
+
+
+def is_greedy_method(name: str) -> bool:
+    """Return whether ``name`` refers to one of the greedy methods."""
+    return name in GREEDY_METHODS
+
+
+def run_method(
+    name: str,
+    problem: TPPProblem,
+    budget: int,
+    engine: str = "coverage",
+    seed: int = 0,
+) -> ProtectionResult:
+    """Run the method registered under ``name``.
+
+    Parameters
+    ----------
+    name:
+        A key of :data:`GREEDY_METHODS` or :data:`BASELINE_METHODS`.
+    problem:
+        The TPP instance.
+    budget:
+        Deletion budget ``k``.
+    engine:
+        ``"coverage"`` (the scalable ``-R`` implementations) or ``"recount"``
+        (the naive implementations); ignored by the random baselines.
+    seed:
+        Random seed for the baselines (ignored by the greedy methods).
+    """
+    runner = GREEDY_METHODS.get(name) or BASELINE_METHODS.get(name)
+    if runner is None:
+        raise ExperimentError(
+            f"unknown method {name!r}; known methods: {sorted(ALL_METHODS)}"
+        )
+    return runner(problem, budget, engine, seed)

@@ -1,0 +1,129 @@
+"""Textual reporting helpers for experiment results.
+
+Experiments return plain dataclasses; these helpers render them as aligned
+text tables (the same rows/series the paper's figures and tables show) and
+serialise them to JSON so benchmark output can be archived and compared
+across runs without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, List, Sequence, Union
+
+from repro.experiments.runtime import RuntimeComparison
+from repro.experiments.similarity_evolution import SimilarityEvolution
+from repro.experiments.utility_loss import UtilityLossTable
+
+__all__ = [
+    "format_table",
+    "format_similarity_evolution",
+    "format_runtime_comparison",
+    "format_utility_loss_table",
+    "results_to_json",
+    "save_json",
+]
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]], float_format: str = "{:.2f}"
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned plain-text table."""
+    rendered_rows: List[List[str]] = []
+    for row in rows:
+        rendered = []
+        for value in row:
+            if isinstance(value, float):
+                rendered.append(float_format.format(value))
+            else:
+                rendered.append(str(value))
+        rendered_rows.append(rendered)
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = [
+        "  ".join(header.ljust(widths[i]) for i, header in enumerate(headers)),
+        "  ".join("-" * widths[i] for i in range(len(headers))),
+    ]
+    for row in rendered_rows:
+        lines.append("  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_similarity_evolution(result: SimilarityEvolution) -> str:
+    """Render a Fig. 3 / Fig. 4 style series as a text table."""
+    headers = ["k", *result.method_names()]
+    title = (
+        f"Existing target subgraphs vs budget — {result.dataset}, "
+        f"{result.motif} motif (s(∅,T) = {result.initial_similarity:.1f})"
+    )
+    return f"{title}\n{format_table(headers, result.as_rows())}"
+
+
+def format_runtime_comparison(result: RuntimeComparison) -> str:
+    """Render a Fig. 5 / Fig. 6 style running-time series as a text table."""
+    headers = ["k", *result.curves.keys()]
+    rows = []
+    for index, budget in enumerate(result.budgets):
+        rows.append((budget, *(result.curves[label][index] for label in result.curves)))
+    title = f"Running time (seconds) vs budget — {result.dataset}, {result.motif} motif"
+    return f"{title}\n{format_table(headers, rows, float_format='{:.4f}')}"
+
+
+def format_utility_loss_table(result: UtilityLossTable) -> str:
+    """Render a Tables III-V style utility-loss table (values in percent)."""
+    headers = ["motif", *result.methods()]
+    title = (
+        f"Average utility loss ratio (%) — {result.dataset}, |T| = "
+        f"{result.num_targets}, metrics = {', '.join(result.metrics)}"
+    )
+    return f"{title}\n{format_table(headers, result.as_rows(), float_format='{:.3f}')}"
+
+
+def results_to_json(
+    result: Union[SimilarityEvolution, RuntimeComparison, UtilityLossTable],
+) -> dict:
+    """Return a JSON-serialisable dictionary for any experiment result."""
+    if isinstance(result, SimilarityEvolution):
+        return {
+            "kind": "similarity_evolution",
+            "dataset": result.dataset,
+            "motif": result.motif,
+            "budgets": list(result.budgets),
+            "initial_similarity": result.initial_similarity,
+            "curves": {name: list(values) for name, values in result.curves.items()},
+            "critical_budget": dict(result.critical_budget),
+        }
+    if isinstance(result, RuntimeComparison):
+        return {
+            "kind": "runtime_comparison",
+            "dataset": result.dataset,
+            "motif": result.motif,
+            "budgets": list(result.budgets),
+            "curves": {name: list(values) for name, values in result.curves.items()},
+        }
+    if isinstance(result, UtilityLossTable):
+        return {
+            "kind": "utility_loss",
+            "dataset": result.dataset,
+            "num_targets": result.num_targets,
+            "metrics": list(result.metrics),
+            "values": {m: dict(v) for m, v in result.values.items()},
+            "phase1_only": dict(result.phase1_only),
+            "budgets_used": {m: dict(v) for m, v in result.budgets_used.items()},
+        }
+    raise TypeError(f"unsupported result type: {type(result)!r}")
+
+
+def save_json(result, path: Union[str, Path]) -> Path:
+    """Serialise an experiment result (or list of results) to a JSON file."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    if isinstance(result, (list, tuple)):
+        payload = [results_to_json(item) for item in result]
+    else:
+        payload = results_to_json(result)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True), encoding="utf-8")
+    return path

@@ -1,0 +1,153 @@
+"""Utility-loss experiments (Tables III, IV and V).
+
+For every motif and every greedy method, the protector set is selected, the
+released graph is built (targets plus protectors removed) and the utility
+loss ratio against the original graph is averaged over the evaluated metrics
+(Table II).  On Arenas-scale graphs the budget is pushed to full protection
+(``k = k*``), mirroring Tables III/IV; on DBLP-scale graphs a fixed budget is
+used and only the scalable metrics are evaluated, mirroring Table V.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.model import TPPProblem
+from repro.datasets.registry import load_dataset
+from repro.datasets.targets import sample_random_targets
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.methods import GREEDY_METHODS, run_method
+from repro.graphs.graph import Graph
+from repro.utility.loss import compare_graphs
+
+__all__ = ["UtilityLossTable", "run_utility_loss"]
+
+
+@dataclass(frozen=True)
+class UtilityLossTable:
+    """Average utility loss (in percent) per motif and method.
+
+    ``values[motif][method]`` is the mean utility loss ratio (× 100) over the
+    repetitions; ``phase1_only[motif]`` is the loss of the graph that only
+    removed the targets (the paper's ``G \\ T`` column, labelled
+    "SGD-Greedy(-R)" baseline column in Tables III-V is the loss *including*
+    protector deletions — the target-only column is provided separately here
+    for completeness).
+    """
+
+    dataset: str
+    num_targets: int
+    metrics: Tuple[str, ...]
+    values: Mapping[str, Mapping[str, float]]
+    phase1_only: Mapping[str, float]
+    budgets_used: Mapping[str, Mapping[str, float]]
+
+    def methods(self) -> Tuple[str, ...]:
+        """Return the method (column) names."""
+        first = next(iter(self.values.values()), {})
+        return tuple(first)
+
+    def as_rows(self) -> List[Tuple]:
+        """Return one row per motif: ``(motif, loss per method...)``."""
+        methods = self.methods()
+        return [
+            (motif, *(self.values[motif][m] for m in methods)) for motif in self.values
+        ]
+
+
+def run_utility_loss(
+    config: ExperimentConfig,
+    budget: Optional[int] = None,
+    metrics: Optional[Sequence[str]] = None,
+    methods: Optional[Sequence[str]] = None,
+    graph: Optional[Graph] = None,
+    path_length_sample: Optional[int] = None,
+) -> UtilityLossTable:
+    """Run the Tables III-V experiment.
+
+    Parameters
+    ----------
+    config:
+        Shared experiment parameters.
+    budget:
+        Fixed deletion budget; ``None`` means "protect fully" (budget large
+        enough for the greedy to stop on its own), which is how Tables III
+        and IV are produced.
+    metrics:
+        Utility metrics to evaluate; defaults to an automatic choice based on
+        graph size (all metrics for small graphs, clustering + core number
+        for DBLP-scale graphs as in Table V).
+    methods:
+        Greedy methods to include; defaults to all of them.
+    graph:
+        Optional pre-loaded graph.
+    path_length_sample:
+        Optional BFS-source sample size for the average path length metric.
+    """
+    if graph is None:
+        graph = load_dataset(config.dataset, **config.dataset_options())
+    if methods is None:
+        methods = [m for m in config.methods if m in GREEDY_METHODS]
+
+    loss_sums: Dict[str, Dict[str, float]] = {}
+    budget_sums: Dict[str, Dict[str, float]] = {}
+    phase1_sums: Dict[str, float] = {}
+    metric_names: Tuple[str, ...] = ()
+
+    for motif in config.motifs:
+        loss_sums[motif] = {method: 0.0 for method in methods}
+        budget_sums[motif] = {method: 0.0 for method in methods}
+        phase1_sums[motif] = 0.0
+
+    for repetition in range(config.repetitions):
+        seed = config.seed + repetition
+        targets = sample_random_targets(graph, config.num_targets, seed=seed)
+        for motif in config.motifs:
+            problem = TPPProblem(graph, targets, motif=motif)
+            effective_budget = (
+                budget if budget is not None else problem.initial_similarity() + 1
+            )
+
+            phase1_report = compare_graphs(
+                graph,
+                problem.phase1_graph,
+                metrics=metrics,
+                path_length_sample=path_length_sample,
+            )
+            metric_names = tuple(phase1_report.loss_ratios)
+            phase1_sums[motif] += phase1_report.average_loss_percent
+
+            for method in methods:
+                result = run_method(
+                    method, problem, effective_budget, engine=config.engine, seed=seed
+                )
+                released = result.released_graph(problem)
+                report = compare_graphs(
+                    graph,
+                    released,
+                    metrics=metrics,
+                    path_length_sample=path_length_sample,
+                )
+                loss_sums[motif][method] += report.average_loss_percent
+                budget_sums[motif][method] += result.budget_used
+
+    repetitions = config.repetitions
+    values = {
+        motif: {m: loss_sums[motif][m] / repetitions for m in methods}
+        for motif in config.motifs
+    }
+    budgets_used = {
+        motif: {m: budget_sums[motif][m] / repetitions for m in methods}
+        for motif in config.motifs
+    }
+    phase1_only = {motif: phase1_sums[motif] / repetitions for motif in config.motifs}
+
+    return UtilityLossTable(
+        dataset=config.dataset,
+        num_targets=config.num_targets,
+        metrics=metric_names,
+        values=values,
+        phase1_only=phase1_only,
+        budgets_used=budgets_used,
+    )

@@ -1,0 +1,99 @@
+"""Graph substrate: data structure, algorithms, generators, IO and interop."""
+
+from repro.graphs.algorithms import (
+    average_clustering,
+    average_shortest_path_length,
+    bfs_distances,
+    connected_components,
+    core_numbers,
+    is_connected,
+    largest_connected_component,
+    local_clustering,
+    paths_of_length_three,
+    paths_of_length_two,
+    shortest_path_length,
+    triangle_count,
+    triangles_per_node,
+)
+from repro.graphs.community import (
+    greedy_modularity_communities,
+    label_propagation_communities,
+    modularity,
+)
+from repro.graphs.convert import (
+    from_adjacency,
+    from_edge_list,
+    from_networkx,
+    to_adjacency,
+    to_edge_list,
+    to_networkx,
+)
+from repro.graphs.generators import (
+    barabasi_albert_graph,
+    complete_graph,
+    cycle_graph,
+    erdos_renyi_graph,
+    path_graph,
+    planted_partition_graph,
+    powerlaw_cluster_graph,
+    star_graph,
+    watts_strogatz_graph,
+)
+from repro.graphs.graph import Edge, Graph, Node, canonical_edge
+from repro.graphs.io import read_edge_list, write_edge_list
+from repro.graphs.spectral import (
+    algebraic_connectivity,
+    laplacian_eigenvalues,
+    laplacian_matrix,
+    second_largest_laplacian_eigenvalue,
+)
+
+__all__ = [
+    "Graph",
+    "Node",
+    "Edge",
+    "canonical_edge",
+    # algorithms
+    "bfs_distances",
+    "shortest_path_length",
+    "average_shortest_path_length",
+    "connected_components",
+    "largest_connected_component",
+    "is_connected",
+    "core_numbers",
+    "triangles_per_node",
+    "triangle_count",
+    "local_clustering",
+    "average_clustering",
+    "paths_of_length_two",
+    "paths_of_length_three",
+    # community
+    "modularity",
+    "label_propagation_communities",
+    "greedy_modularity_communities",
+    # convert
+    "from_edge_list",
+    "to_edge_list",
+    "from_adjacency",
+    "to_adjacency",
+    "from_networkx",
+    "to_networkx",
+    # generators
+    "erdos_renyi_graph",
+    "barabasi_albert_graph",
+    "watts_strogatz_graph",
+    "powerlaw_cluster_graph",
+    "planted_partition_graph",
+    "complete_graph",
+    "cycle_graph",
+    "path_graph",
+    "star_graph",
+    # io
+    "read_edge_list",
+    "write_edge_list",
+    # spectral
+    "laplacian_matrix",
+    "laplacian_eigenvalues",
+    "second_largest_laplacian_eigenvalue",
+    "algebraic_connectivity",
+]

@@ -1,0 +1,230 @@
+"""Classic graph algorithms used throughout the library.
+
+These are the building blocks the utility metrics (:mod:`repro.utility`),
+motif counting (:mod:`repro.motifs`) and experiment harness rely on:
+breadth-first search, shortest path lengths, connected components, k-core
+decomposition, triangle counting and local clustering coefficients.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.exceptions import NodeNotFoundError
+from repro.graphs.graph import Graph, Node
+
+__all__ = [
+    "bfs_distances",
+    "shortest_path_length",
+    "average_shortest_path_length",
+    "connected_components",
+    "largest_connected_component",
+    "is_connected",
+    "core_numbers",
+    "triangles_per_node",
+    "triangle_count",
+    "local_clustering",
+    "average_clustering",
+    "paths_of_length_two",
+    "paths_of_length_three",
+]
+
+
+def bfs_distances(graph: Graph, source: Node) -> Dict[Node, int]:
+    """Return BFS hop distances from ``source`` to every reachable node."""
+    if not graph.has_node(source):
+        raise NodeNotFoundError(source)
+    distances = {source: 0}
+    queue = deque([source])
+    while queue:
+        node = queue.popleft()
+        next_distance = distances[node] + 1
+        for neighbor in graph.neighbors(node):
+            if neighbor not in distances:
+                distances[neighbor] = next_distance
+                queue.append(neighbor)
+    return distances
+
+
+def shortest_path_length(graph: Graph, source: Node, target: Node) -> Optional[int]:
+    """Return the hop distance from ``source`` to ``target`` or ``None``.
+
+    ``None`` means the two nodes are in different connected components.
+    """
+    if not graph.has_node(target):
+        raise NodeNotFoundError(target)
+    if source == target:
+        return 0
+    distances = {source: 0}
+    queue = deque([source])
+    while queue:
+        node = queue.popleft()
+        next_distance = distances[node] + 1
+        for neighbor in graph.neighbors(node):
+            if neighbor == target:
+                return next_distance
+            if neighbor not in distances:
+                distances[neighbor] = next_distance
+                queue.append(neighbor)
+    return None
+
+
+def average_shortest_path_length(
+    graph: Graph, sample_sources: Optional[Iterable[Node]] = None
+) -> float:
+    """Return the mean shortest path length over reachable node pairs.
+
+    Pairs in different components are ignored (the paper computes the metric
+    on the, essentially connected, giant component of its social graphs).
+    ``sample_sources`` restricts the BFS sources, which gives an unbiased
+    estimate for large graphs where the exact all-pairs value is too costly.
+    """
+    sources = list(sample_sources) if sample_sources is not None else list(graph.nodes())
+    total = 0
+    count = 0
+    for source in sources:
+        distances = bfs_distances(graph, source)
+        for node, distance in distances.items():
+            if node != source:
+                total += distance
+                count += 1
+    if count == 0:
+        return 0.0
+    return total / count
+
+
+def connected_components(graph: Graph) -> List[Set[Node]]:
+    """Return the connected components as a list of node sets."""
+    seen: Set[Node] = set()
+    components: List[Set[Node]] = []
+    for node in graph.nodes():
+        if node in seen:
+            continue
+        component = set(bfs_distances(graph, node))
+        seen |= component
+        components.append(component)
+    return components
+
+
+def largest_connected_component(graph: Graph) -> Set[Node]:
+    """Return the node set of the largest connected component."""
+    components = connected_components(graph)
+    if not components:
+        return set()
+    return max(components, key=len)
+
+
+def is_connected(graph: Graph) -> bool:
+    """Return whether the graph is connected (empty graphs count as connected)."""
+    n = graph.number_of_nodes()
+    if n == 0:
+        return True
+    first = next(iter(graph.nodes()))
+    return len(bfs_distances(graph, first)) == n
+
+
+def core_numbers(graph: Graph) -> Dict[Node, int]:
+    """Return the k-core (k-shell) number of every node.
+
+    Uses the standard peeling algorithm: repeatedly remove the node of
+    minimum remaining degree; the core number of a node is the largest k such
+    that the node belongs to a subgraph where every node has degree >= k.
+    """
+    degrees = graph.degrees()
+    nodes_by_degree: Dict[int, Set[Node]] = {}
+    for node, degree in degrees.items():
+        nodes_by_degree.setdefault(degree, set()).add(node)
+
+    core: Dict[Node, int] = {}
+    remaining = dict(degrees)
+    current_k = 0
+    processed: Set[Node] = set()
+    total = len(degrees)
+
+    while len(processed) < total:
+        degree = min(d for d, bucket in nodes_by_degree.items() if bucket)
+        current_k = max(current_k, degree)
+        node = nodes_by_degree[degree].pop()
+        core[node] = current_k
+        processed.add(node)
+        for neighbor in graph.neighbors(node):
+            if neighbor in processed:
+                continue
+            old = remaining[neighbor]
+            nodes_by_degree[old].discard(neighbor)
+            new = old - 1
+            remaining[neighbor] = new
+            nodes_by_degree.setdefault(new, set()).add(neighbor)
+    return core
+
+
+def triangles_per_node(graph: Graph) -> Dict[Node, int]:
+    """Return, for every node, the number of triangles it participates in.
+
+    A triangle ``{u, v, w}`` is attributed to node ``w`` exactly once: when the
+    edge ``(u, v)`` opposite to ``w`` is scanned and ``w`` shows up as a common
+    neighbor of its endpoints.
+    """
+    counts: Dict[Node, int] = {node: 0 for node in graph.nodes()}
+    for u, v in graph.edges():
+        for w in graph.common_neighbors(u, v):
+            counts[w] += 1
+    return counts
+
+
+def triangle_count(graph: Graph) -> int:
+    """Return the total number of triangles in the graph."""
+    return sum(triangles_per_node(graph).values()) // 3
+
+
+def local_clustering(graph: Graph, node: Node) -> float:
+    """Return the local clustering coefficient of ``node``.
+
+    Defined as the number of links among the node's neighbors divided by the
+    maximum possible ``d (d - 1) / 2``; 0.0 for degree < 2.
+    """
+    neighbors = list(graph.neighbors(node))
+    degree = len(neighbors)
+    if degree < 2:
+        return 0.0
+    links = 0
+    neighbor_set = graph.neighbors(node)
+    for i, u in enumerate(neighbors):
+        adjacency = graph.neighbors(u)
+        for v in neighbors[i + 1:]:
+            if v in adjacency and v in neighbor_set:
+                links += 1
+    return 2.0 * links / (degree * (degree - 1))
+
+
+def average_clustering(graph: Graph) -> float:
+    """Return the average local clustering coefficient over all nodes."""
+    n = graph.number_of_nodes()
+    if n == 0:
+        return 0.0
+    return sum(local_clustering(graph, node) for node in graph.nodes()) / n
+
+
+def paths_of_length_two(graph: Graph, u: Node, v: Node) -> Iterator[Tuple[Node]]:
+    """Yield the intermediate node of every path ``u - w - v`` (u, v excluded)."""
+    for w in graph.common_neighbors(u, v):
+        if w != u and w != v:
+            yield (w,)
+
+
+def paths_of_length_three(graph: Graph, u: Node, v: Node) -> Iterator[Tuple[Node, Node]]:
+    """Yield intermediate node pairs ``(a, b)`` of every path ``u - a - b - v``.
+
+    The path must be simple: ``a`` and ``b`` are distinct and differ from both
+    endpoints, and the direct edge ``(u, v)`` is not required to exist.
+    """
+    neighbors_v = graph.neighbors(v)
+    for a in graph.neighbors(u):
+        if a == v:
+            continue
+        for b in graph.neighbors(a):
+            if b == u or b == v or b == a:
+                continue
+            if b in neighbors_v:
+                yield (a, b)

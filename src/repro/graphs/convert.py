@@ -1,0 +1,75 @@
+"""Interop with external graph representations.
+
+The library is self-contained, but users frequently hold their data as
+networkx graphs, adjacency dictionaries or plain edge lists.  These helpers
+convert between those representations and :class:`repro.graphs.Graph` without
+making networkx a hard dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Set
+
+from repro.graphs.graph import Edge, Graph, Node
+
+__all__ = [
+    "from_edge_list",
+    "to_edge_list",
+    "from_adjacency",
+    "to_adjacency",
+    "from_networkx",
+    "to_networkx",
+]
+
+
+def from_edge_list(edges: Iterable[Edge], nodes: Iterable[Node] = ()) -> Graph:
+    """Build a :class:`Graph` from an iterable of ``(u, v)`` pairs."""
+    return Graph(edges=edges, nodes=nodes)
+
+
+def to_edge_list(graph: Graph) -> List[Edge]:
+    """Return the canonical edge list of ``graph`` (sorted for determinism)."""
+    return sorted(graph.edges(), key=lambda edge: (str(edge[0]), str(edge[1])))
+
+
+def from_adjacency(adjacency: Dict[Node, Iterable[Node]]) -> Graph:
+    """Build a :class:`Graph` from a node -> neighbors mapping."""
+    graph = Graph(nodes=adjacency.keys())
+    for node, neighbors in adjacency.items():
+        for neighbor in neighbors:
+            if neighbor != node:
+                graph.add_edge(node, neighbor)
+    return graph
+
+
+def to_adjacency(graph: Graph) -> Dict[Node, Set[Node]]:
+    """Return a node -> neighbor-set mapping (a deep copy)."""
+    return {node: set(graph.neighbors(node)) for node in graph.nodes()}
+
+
+def from_networkx(nx_graph) -> Graph:
+    """Build a :class:`Graph` from a ``networkx.Graph``.
+
+    Directed graphs are accepted and symmetrized; self-loops are dropped.
+    """
+    graph = Graph(nodes=nx_graph.nodes())
+    for u, v in nx_graph.edges():
+        if u != v:
+            graph.add_edge(u, v)
+    return graph
+
+
+def to_networkx(graph: Graph):
+    """Return a ``networkx.Graph`` with the same nodes and edges.
+
+    Raises
+    ------
+    ImportError
+        If networkx is not installed.
+    """
+    import networkx as nx
+
+    nx_graph = nx.Graph()
+    nx_graph.add_nodes_from(graph.nodes())
+    nx_graph.add_edges_from(graph.edges())
+    return nx_graph

@@ -1,0 +1,263 @@
+"""A lightweight undirected simple graph.
+
+The whole library is built on this adjacency-set graph rather than on an
+external dependency so that the substrate the paper relies on (an undirected,
+unweighted, simple social graph) is implemented from scratch and fully under
+test.  The API intentionally mirrors a small, familiar subset of networkx so
+interop (see :mod:`repro.graphs.convert`) is trivial.
+
+Edges are undirected and stored canonically; :func:`canonical_edge` defines
+the canonical form used everywhere in the library (in particular for target
+links and protector links in :mod:`repro.core`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Iterator, Set, Tuple
+
+from repro.exceptions import EdgeNotFoundError, NodeNotFoundError
+
+Node = Hashable
+Edge = Tuple[Node, Node]
+
+__all__ = ["Graph", "Node", "Edge", "canonical_edge"]
+
+
+def canonical_edge(u: Node, v: Node) -> Edge:
+    """Return the canonical (order-independent) representation of an edge.
+
+    Nodes of mixed, non-comparable types fall back to ordering by ``repr``,
+    which keeps canonicalisation total and deterministic.
+    """
+    try:
+        return (u, v) if u <= v else (v, u)
+    except TypeError:
+        return (u, v) if repr(u) <= repr(v) else (v, u)
+
+
+class Graph:
+    """An undirected simple graph backed by adjacency sets.
+
+    Parameters
+    ----------
+    edges:
+        Optional iterable of ``(u, v)`` pairs inserted at construction time.
+    nodes:
+        Optional iterable of nodes inserted (possibly isolated) at
+        construction time.
+
+    Notes
+    -----
+    * Self-loops are rejected: the TPP model and every motif in the paper are
+      defined on simple graphs.
+    * Parallel edges collapse silently (set semantics), matching the
+      unweighted social graphs used in the paper.
+    """
+
+    __slots__ = ("_adj",)
+
+    def __init__(
+        self,
+        edges: Iterable[Edge] = (),
+        nodes: Iterable[Node] = (),
+    ) -> None:
+        self._adj: Dict[Node, Set[Node]] = {}
+        for node in nodes:
+            self.add_node(node)
+        for u, v in edges:
+            self.add_edge(u, v)
+
+    # ------------------------------------------------------------------
+    # construction / mutation
+    # ------------------------------------------------------------------
+    def add_node(self, node: Node) -> None:
+        """Insert ``node`` if absent; no-op otherwise."""
+        if node not in self._adj:
+            self._adj[node] = set()
+
+    def add_nodes_from(self, nodes: Iterable[Node]) -> None:
+        """Insert every node from ``nodes``."""
+        for node in nodes:
+            self.add_node(node)
+
+    def add_edge(self, u: Node, v: Node) -> None:
+        """Insert the undirected edge ``(u, v)``, creating endpoints if needed.
+
+        Raises
+        ------
+        ValueError
+            If ``u == v`` (self-loops are not allowed).
+        """
+        if u == v:
+            raise ValueError(f"self-loops are not allowed: ({u!r}, {v!r})")
+        self.add_node(u)
+        self.add_node(v)
+        self._adj[u].add(v)
+        self._adj[v].add(u)
+
+    def add_edges_from(self, edges: Iterable[Edge]) -> None:
+        """Insert every edge from ``edges``."""
+        for u, v in edges:
+            self.add_edge(u, v)
+
+    def remove_edge(self, u: Node, v: Node) -> None:
+        """Remove the undirected edge ``(u, v)``.
+
+        Raises
+        ------
+        EdgeNotFoundError
+            If the edge is not present.
+        """
+        if not self.has_edge(u, v):
+            raise EdgeNotFoundError((u, v))
+        self._adj[u].discard(v)
+        self._adj[v].discard(u)
+
+    def remove_edges_from(self, edges: Iterable[Edge]) -> None:
+        """Remove every edge from ``edges``; missing edges are ignored."""
+        for u, v in edges:
+            if self.has_edge(u, v):
+                self.remove_edge(u, v)
+
+    def remove_node(self, node: Node) -> None:
+        """Remove ``node`` and all incident edges.
+
+        Raises
+        ------
+        NodeNotFoundError
+            If the node is not present.
+        """
+        if node not in self._adj:
+            raise NodeNotFoundError(node)
+        for neighbor in list(self._adj[node]):
+            self._adj[neighbor].discard(node)
+        del self._adj[node]
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def has_node(self, node: Node) -> bool:
+        """Return whether ``node`` is in the graph."""
+        return node in self._adj
+
+    def has_edge(self, u: Node, v: Node) -> bool:
+        """Return whether the undirected edge ``(u, v)`` is in the graph."""
+        neighbors = self._adj.get(u)
+        return neighbors is not None and v in neighbors
+
+    def neighbors(self, node: Node) -> Set[Node]:
+        """Return the neighbor set of ``node`` (a *copy-free live view*).
+
+        The returned set is the internal adjacency set; callers must not
+        mutate it.  Use ``set(graph.neighbors(n))`` for a private copy.
+
+        Raises
+        ------
+        NodeNotFoundError
+            If the node is not present.
+        """
+        try:
+            return self._adj[node]
+        except KeyError:
+            raise NodeNotFoundError(node) from None
+
+    def degree(self, node: Node) -> int:
+        """Return the degree of ``node``."""
+        return len(self.neighbors(node))
+
+    def degrees(self) -> Dict[Node, int]:
+        """Return a dict mapping every node to its degree."""
+        return {node: len(adj) for node, adj in self._adj.items()}
+
+    def common_neighbors(self, u: Node, v: Node) -> Set[Node]:
+        """Return the set of nodes adjacent to both ``u`` and ``v``."""
+        nu, nv = self.neighbors(u), self.neighbors(v)
+        if len(nu) > len(nv):
+            nu, nv = nv, nu
+        return {w for w in nu if w in nv}
+
+    # ------------------------------------------------------------------
+    # iteration / sizes
+    # ------------------------------------------------------------------
+    def nodes(self) -> Iterator[Node]:
+        """Iterate over nodes in insertion order."""
+        return iter(self._adj)
+
+    def edges(self) -> Iterator[Edge]:
+        """Iterate over edges, each yielded once in canonical form."""
+        seen = set()
+        for u, adj in self._adj.items():
+            for v in adj:
+                edge = canonical_edge(u, v)
+                if edge not in seen:
+                    seen.add(edge)
+                    yield edge
+
+    def edge_set(self) -> Set[Edge]:
+        """Return the set of canonical edges."""
+        return set(self.edges())
+
+    def number_of_nodes(self) -> int:
+        """Return ``|V|``."""
+        return len(self._adj)
+
+    def number_of_edges(self) -> int:
+        """Return ``|E|``."""
+        return sum(len(adj) for adj in self._adj.values()) // 2
+
+    def density(self) -> float:
+        """Return the edge density ``2m / (n (n - 1))`` (0.0 for n < 2)."""
+        n = self.number_of_nodes()
+        if n < 2:
+            return 0.0
+        return 2.0 * self.number_of_edges() / (n * (n - 1))
+
+    # ------------------------------------------------------------------
+    # copies / views
+    # ------------------------------------------------------------------
+    def copy(self) -> "Graph":
+        """Return a deep copy of the graph structure."""
+        clone = Graph()
+        clone._adj = {node: set(adj) for node, adj in self._adj.items()}
+        return clone
+
+    def subgraph(self, nodes: Iterable[Node]) -> "Graph":
+        """Return the subgraph induced by ``nodes`` (unknown nodes ignored)."""
+        keep = {node for node in nodes if node in self._adj}
+        sub = Graph(nodes=keep)
+        for u in keep:
+            for v in self._adj[u]:
+                if v in keep:
+                    sub.add_edge(u, v)
+        return sub
+
+    def without_edges(self, edges: Iterable[Edge]) -> "Graph":
+        """Return a copy of the graph with ``edges`` removed (missing ignored)."""
+        clone = self.copy()
+        clone.remove_edges_from(edges)
+        return clone
+
+    # ------------------------------------------------------------------
+    # dunder protocol
+    # ------------------------------------------------------------------
+    def __contains__(self, node: Node) -> bool:
+        return node in self._adj
+
+    def __iter__(self) -> Iterator[Node]:
+        return iter(self._adj)
+
+    def __len__(self) -> int:
+        return len(self._adj)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Graph):
+            return NotImplemented
+        if set(self._adj) != set(other._adj):
+            return False
+        return all(self._adj[node] == other._adj[node] for node in self._adj)
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(n={self.number_of_nodes()}, "
+            f"m={self.number_of_edges()})"
+        )

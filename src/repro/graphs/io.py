@@ -1,0 +1,119 @@
+"""Edge-list input/output.
+
+Supports the plain whitespace-separated edge lists used by SNAP
+(``com-DBLP.ungraph.txt``) and KONECT (``out.arenas-email``), including their
+comment conventions (``#`` and ``%`` prefixed lines), plus a simple writer so
+released (privacy-preserved) graphs can be exported.
+"""
+
+from __future__ import annotations
+
+import gzip
+from pathlib import Path
+from typing import Iterable, Iterator, Tuple, Union
+
+from repro.exceptions import GraphFormatError
+from repro.graphs.graph import Edge, Graph
+
+__all__ = [
+    "read_edge_list",
+    "write_edge_list",
+    "parse_edge_lines",
+    "iter_edge_lines",
+]
+
+PathLike = Union[str, Path]
+_COMMENT_PREFIXES = ("#", "%", "//")
+
+
+def _open_text(path: Path):
+    """Open ``path`` for reading text, transparently handling ``.gz`` files."""
+    if path.suffix == ".gz":
+        return gzip.open(path, "rt", encoding="utf-8")
+    return path.open("r", encoding="utf-8")
+
+
+def iter_edge_lines(lines: Iterable[str]) -> Iterator[Tuple[str, str]]:
+    """Yield ``(u, v)`` string pairs from raw edge-list lines.
+
+    Comment lines and blank lines are skipped.  Lines with extra columns
+    (e.g. KONECT weight/timestamp columns) keep only the first two fields.
+
+    Raises
+    ------
+    GraphFormatError
+        If a non-comment line has fewer than two fields.
+    """
+    for line_number, raw in enumerate(lines, start=1):
+        line = raw.strip()
+        if not line or line.startswith(_COMMENT_PREFIXES):
+            continue
+        fields = line.split()
+        if len(fields) < 2:
+            raise GraphFormatError(
+                f"line {line_number}: expected at least two fields, got {line!r}"
+            )
+        yield fields[0], fields[1]
+
+
+def parse_edge_lines(lines: Iterable[str], as_int: bool = True) -> Graph:
+    """Build a :class:`Graph` from raw edge-list lines.
+
+    Parameters
+    ----------
+    lines:
+        Iterable of text lines (e.g. an open file).
+    as_int:
+        Convert node labels to ``int`` when every label parses as an integer
+        (the SNAP / KONECT convention); otherwise keep them as strings.
+    """
+    pairs = list(iter_edge_lines(lines))
+    if as_int:
+        try:
+            typed = [(int(u), int(v)) for u, v in pairs]
+        except ValueError:
+            typed = pairs
+    else:
+        typed = pairs
+    graph = Graph()
+    for u, v in typed:
+        if u == v:
+            continue  # drop self-loops; the TPP model assumes simple graphs
+        graph.add_edge(u, v)
+    return graph
+
+
+def read_edge_list(path: PathLike, as_int: bool = True) -> Graph:
+    """Read an edge-list file (optionally gzipped) into a :class:`Graph`."""
+    path = Path(path)
+    if not path.exists():
+        raise GraphFormatError(f"edge list file does not exist: {path}")
+    with _open_text(path) as handle:
+        return parse_edge_lines(handle, as_int=as_int)
+
+
+def write_edge_list(graph: Graph, path: PathLike, header: str = "") -> None:
+    """Write ``graph`` as a whitespace-separated edge list.
+
+    Parameters
+    ----------
+    graph:
+        Graph to serialize.
+    path:
+        Destination file.
+    header:
+        Optional comment written as a ``#``-prefixed first line.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as handle:
+        if header:
+            handle.write(f"# {header}\n")
+        for u, v in sorted(graph.edges(), key=lambda edge: (str(edge[0]), str(edge[1]))):
+            handle.write(f"{u} {v}\n")
+
+
+def edges_to_lines(edges: Iterable[Edge]) -> Iterator[str]:
+    """Yield edge-list text lines for an iterable of edges (no trailing newline)."""
+    for u, v in edges:
+        yield f"{u} {v}"

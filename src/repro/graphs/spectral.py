@@ -1,0 +1,128 @@
+"""Spectral graph quantities.
+
+The paper's utility analysis (Table II) tracks the second largest eigenvalue
+of the graph Laplacian ``L = D - A``.  This module builds the Laplacian and
+computes its spectrum, preferring numpy when it is installed and otherwise
+falling back to a pure-Python Jacobi eigenvalue iteration that is adequate
+for the graph sizes used in tests.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence
+
+from repro.exceptions import UtilityError
+from repro.graphs.graph import Graph, Node
+
+__all__ = [
+    "laplacian_matrix",
+    "laplacian_eigenvalues",
+    "second_largest_laplacian_eigenvalue",
+    "algebraic_connectivity",
+]
+
+
+def laplacian_matrix(graph: Graph) -> List[List[float]]:
+    """Return the dense Laplacian ``L = D - A`` as a list of rows.
+
+    The row/column order follows ``sorted(graph.nodes(), key=str)`` so the
+    matrix is deterministic for a given graph.
+    """
+    nodes = sorted(graph.nodes(), key=str)
+    index: Dict[Node, int] = {node: i for i, node in enumerate(nodes)}
+    n = len(nodes)
+    matrix = [[0.0] * n for _ in range(n)]
+    for node in nodes:
+        i = index[node]
+        matrix[i][i] = float(graph.degree(node))
+        for neighbor in graph.neighbors(node):
+            matrix[i][index[neighbor]] = -1.0
+    return matrix
+
+
+def laplacian_eigenvalues(graph: Graph, max_nodes: int = 3000) -> List[float]:
+    """Return all Laplacian eigenvalues sorted in ascending order.
+
+    Parameters
+    ----------
+    graph:
+        Graph whose Laplacian spectrum is computed.
+    max_nodes:
+        Safety limit; dense eigendecomposition is refused beyond this size
+        (mirroring the paper, which skips spectral utility metrics on DBLP).
+
+    Raises
+    ------
+    UtilityError
+        If the graph exceeds ``max_nodes``.
+    """
+    n = graph.number_of_nodes()
+    if n == 0:
+        return []
+    if n > max_nodes:
+        raise UtilityError(
+            f"refusing dense eigendecomposition for {n} nodes (limit {max_nodes})"
+        )
+    matrix = laplacian_matrix(graph)
+    try:
+        import numpy as np
+
+        eigenvalues = np.linalg.eigvalsh(np.array(matrix))
+        return [float(value) for value in sorted(eigenvalues)]
+    except ImportError:
+        return sorted(_jacobi_eigenvalues(matrix))
+
+
+def second_largest_laplacian_eigenvalue(graph: Graph, max_nodes: int = 3000) -> float:
+    """Return the second largest eigenvalue of the Laplacian (0.0 if n < 2)."""
+    eigenvalues = laplacian_eigenvalues(graph, max_nodes=max_nodes)
+    if len(eigenvalues) < 2:
+        return 0.0
+    return eigenvalues[-2]
+
+
+def algebraic_connectivity(graph: Graph, max_nodes: int = 3000) -> float:
+    """Return the second smallest Laplacian eigenvalue (Fiedler value)."""
+    eigenvalues = laplacian_eigenvalues(graph, max_nodes=max_nodes)
+    if len(eigenvalues) < 2:
+        return 0.0
+    return eigenvalues[1]
+
+
+def _jacobi_eigenvalues(
+    matrix: Sequence[Sequence[float]],
+    tolerance: float = 1e-10,
+    max_sweeps: int = 100,
+) -> List[float]:
+    """Compute eigenvalues of a symmetric matrix by cyclic Jacobi rotations.
+
+    Pure-Python fallback used only when numpy is unavailable; O(n^3) per
+    sweep, so it is intended for the small graphs exercised in tests.
+    """
+    a = [list(row) for row in matrix]
+    n = len(a)
+    for _ in range(max_sweeps):
+        off_diagonal = math.sqrt(
+            sum(a[i][j] ** 2 for i in range(n) for j in range(n) if i != j)
+        )
+        if off_diagonal < tolerance:
+            break
+        for p in range(n - 1):
+            for q in range(p + 1, n):
+                if abs(a[p][q]) < tolerance:
+                    continue
+                theta = (a[q][q] - a[p][p]) / (2.0 * a[p][q])
+                sign = 1.0 if theta >= 0 else -1.0
+                t = sign / (abs(theta) + math.sqrt(theta * theta + 1.0))
+                c = 1.0 / math.sqrt(t * t + 1.0)
+                s = t * c
+                for k in range(n):
+                    akp, akq = a[k][p], a[k][q]
+                    a[k][p] = c * akp - s * akq
+                    a[k][q] = s * akp + c * akq
+                for k in range(n):
+                    apk, aqk = a[p][k], a[q][k]
+                    a[p][k] = c * apk - s * aqk
+                    a[q][k] = s * apk + c * aqk
+    return [a[i][i] for i in range(n)]

@@ -1,0 +1,126 @@
+"""Motif (subgraph pattern) abstraction and registry.
+
+The TPP threat model assumes an adversary that predicts a hidden target link
+``t = (u, v)`` from the number of *target subgraphs*: occurrences of a motif
+(Triangle, Rectangle, RecTri, ...) that would be completed by re-inserting
+``t``.  A :class:`MotifPattern` knows how to enumerate those occurrences in a
+graph from which the targets have already been removed (phase 1 of TPP).
+
+Each enumerated instance is returned as the frozen set of *protector edges*
+that realise it — the edges whose deletion breaks the instance.  The target
+link itself is never part of an instance (it is already absent from the
+phase-1 graph).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, FrozenSet, Iterator, List, Tuple, Type, Union
+
+from repro.exceptions import UnknownMotifError
+from repro.graphs.graph import Edge, Graph, canonical_edge
+
+__all__ = [
+    "MotifPattern",
+    "MotifInstance",
+    "register_motif",
+    "get_motif",
+    "available_motifs",
+    "coerce_motif",
+]
+
+#: A motif instance: the frozen set of (canonical) protector edges realising it.
+MotifInstance = FrozenSet[Edge]
+
+
+class MotifPattern(ABC):
+    """A subgraph pattern used by the adversary's link prediction.
+
+    Subclasses implement :meth:`enumerate_instances`; everything else
+    (counting, candidate edges) derives from it.
+    """
+
+    #: Registry key; subclasses must override.
+    name: str = "abstract"
+
+    @abstractmethod
+    def enumerate_instances(self, graph: Graph, target: Edge) -> Iterator[MotifInstance]:
+        """Yield every instance of the motif around ``target`` in ``graph``.
+
+        Parameters
+        ----------
+        graph:
+            The phase-1 graph (all target links already removed).
+        target:
+            The hidden link ``(u, v)``; it must not be an edge of ``graph``.
+
+        Yields
+        ------
+        frozenset of edges
+            The protector edges of one motif occurrence, each in canonical
+            form (see :func:`repro.graphs.canonical_edge`).
+        """
+
+    # ------------------------------------------------------------------
+    # derived helpers
+    # ------------------------------------------------------------------
+    def count(self, graph: Graph, target: Edge) -> int:
+        """Return the similarity ``s(t)``: number of instances around ``target``."""
+        return sum(1 for _ in self.enumerate_instances(graph, target))
+
+    def instances(self, graph: Graph, target: Edge) -> List[MotifInstance]:
+        """Return all instances around ``target`` as a list."""
+        return list(self.enumerate_instances(graph, target))
+
+    def protector_edges(self, graph: Graph, target: Edge) -> FrozenSet[Edge]:
+        """Return the union of edges participating in any instance of ``target``."""
+        edges = set()
+        for instance in self.enumerate_instances(graph, target):
+            edges |= instance
+        return frozenset(edges)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"
+
+    @staticmethod
+    def _canonical(u, v) -> Edge:
+        """Shortcut to the canonical edge representation."""
+        return canonical_edge(u, v)
+
+
+_REGISTRY: Dict[str, Type[MotifPattern]] = {}
+
+
+def register_motif(cls: Type[MotifPattern]) -> Type[MotifPattern]:
+    """Class decorator adding a :class:`MotifPattern` subclass to the registry."""
+    if not issubclass(cls, MotifPattern):
+        raise TypeError(f"{cls!r} is not a MotifPattern subclass")
+    _REGISTRY[cls.name.lower()] = cls
+    return cls
+
+
+def available_motifs() -> Tuple[str, ...]:
+    """Return the sorted names of all registered motifs."""
+    return tuple(sorted(_REGISTRY))
+
+
+def get_motif(name: str) -> MotifPattern:
+    """Return a fresh instance of the motif registered under ``name``.
+
+    Raises
+    ------
+    UnknownMotifError
+        If no motif with that name is registered.
+    """
+    try:
+        cls = _REGISTRY[name.lower()]
+    except KeyError:
+        raise UnknownMotifError(name, _REGISTRY.keys()) from None
+    return cls()
+
+
+def coerce_motif(motif: Union[str, MotifPattern]) -> MotifPattern:
+    """Return ``motif`` itself if it is a pattern, else look up its name."""
+    if isinstance(motif, MotifPattern):
+        return motif
+    return get_motif(motif)

@@ -1,0 +1,273 @@
+"""Target-subgraph enumeration and the incremental coverage index.
+
+The scalable implementations of the paper (SGB/CT/WT-Greedy-R, Lemma 5) rest
+on two observations about the phase-1 graph (targets already deleted):
+
+1. deleting protectors can only *destroy* motif instances, never create new
+   ones, so the set ``W`` of target subgraphs can be enumerated once, and
+2. only edges that participate in some target subgraph can ever have a
+   positive marginal gain.
+
+:class:`TargetSubgraphIndex` materialises ``W`` with an inverted
+``edge -> instances`` index; :class:`CoverageState` layers a mutable "which
+instances are still alive" view on top of it so greedy algorithms can query
+marginal gains and commit deletions in time proportional to the instances
+touched.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple, Union
+
+from repro.exceptions import MotifError
+from repro.graphs.graph import Edge, Graph, canonical_edge
+from repro.motifs.base import MotifInstance, MotifPattern, coerce_motif
+
+__all__ = ["TargetSubgraphIndex", "CoverageState", "InstanceId"]
+
+#: Opaque identifier of one enumerated target subgraph.
+InstanceId = int
+
+
+class TargetSubgraphIndex:
+    """Immutable enumeration of all target subgraphs ``W`` for a target set.
+
+    Parameters
+    ----------
+    graph:
+        The phase-1 graph (all targets already removed).
+    targets:
+        The hidden target links.
+    motif:
+        The subgraph pattern (name or :class:`MotifPattern`).
+
+    Notes
+    -----
+    Every instance is assigned an integer id.  Because phase 1 removed all
+    targets, each instance belongs to exactly one target (the paper's
+    ``W_t ∩ W_t' = ∅`` property for the *target* attribution; a protector
+    edge, on the other hand, may participate in instances of many targets).
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        targets: Sequence[Edge],
+        motif: Union[str, MotifPattern],
+    ) -> None:
+        self._motif = coerce_motif(motif)
+        self._targets: Tuple[Edge, ...] = tuple(
+            canonical_edge(*target) for target in targets
+        )
+        for target in self._targets:
+            if graph.has_edge(*target):
+                raise MotifError(
+                    f"target {target!r} is still an edge of the graph; "
+                    "remove all targets (phase 1) before building the index"
+                )
+
+        instance_edges: List[MotifInstance] = []
+        instance_target: List[Edge] = []
+        instances_by_target: Dict[Edge, List[InstanceId]] = {
+            target: [] for target in self._targets
+        }
+        edge_to_instances: Dict[Edge, Set[InstanceId]] = {}
+
+        for target in self._targets:
+            for edges in self._motif.enumerate_instances(graph, target):
+                instance_id = len(instance_edges)
+                instance_edges.append(edges)
+                instance_target.append(target)
+                instances_by_target[target].append(instance_id)
+                for edge in edges:
+                    edge_to_instances.setdefault(edge, set()).add(instance_id)
+
+        self._instance_edges: Tuple[MotifInstance, ...] = tuple(instance_edges)
+        self._instance_target: Tuple[Edge, ...] = tuple(instance_target)
+        self._instances_by_target = {
+            target: tuple(ids) for target, ids in instances_by_target.items()
+        }
+        self._edge_to_instances = {
+            edge: frozenset(ids) for edge, ids in edge_to_instances.items()
+        }
+
+    # ------------------------------------------------------------------
+    # read-only accessors
+    # ------------------------------------------------------------------
+    @property
+    def motif(self) -> MotifPattern:
+        """The motif pattern the index was built for."""
+        return self._motif
+
+    @property
+    def targets(self) -> Tuple[Edge, ...]:
+        """The canonical target links, in input order."""
+        return self._targets
+
+    def number_of_instances(self) -> int:
+        """Return ``|W|``, the total number of target subgraphs."""
+        return len(self._instance_edges)
+
+    def instances_of(self, target: Edge) -> Tuple[InstanceId, ...]:
+        """Return the instance ids belonging to ``target`` (``W_t``)."""
+        return self._instances_by_target[canonical_edge(*target)]
+
+    def initial_similarity(self, target: Edge) -> int:
+        """Return ``s(∅, t) = |W_t|`` for ``target``."""
+        return len(self.instances_of(target))
+
+    def initial_total_similarity(self) -> int:
+        """Return ``s(∅, T) = |W|``."""
+        return len(self._instance_edges)
+
+    def edges_of_instance(self, instance_id: InstanceId) -> MotifInstance:
+        """Return the protector edges of one instance."""
+        return self._instance_edges[instance_id]
+
+    def target_of_instance(self, instance_id: InstanceId) -> Edge:
+        """Return the target an instance belongs to."""
+        return self._instance_target[instance_id]
+
+    def instances_containing(self, edge: Edge) -> FrozenSet[InstanceId]:
+        """Return all instance ids that contain ``edge`` (empty if none)."""
+        return self._edge_to_instances.get(canonical_edge(*edge), frozenset())
+
+    def candidate_edges(self) -> Set[Edge]:
+        """Return every edge participating in at least one target subgraph.
+
+        By Lemma 5 of the paper these are the only edges worth considering as
+        protectors; the scalable ``-R`` algorithms restrict their search to
+        this set.
+        """
+        return set(self._edge_to_instances)
+
+    def candidate_edges_of(self, target: Edge) -> Set[Edge]:
+        """Return the edges participating in some instance of ``target``."""
+        edges: Set[Edge] = set()
+        for instance_id in self.instances_of(target):
+            edges |= self._instance_edges[instance_id]
+        return edges
+
+    def new_state(self) -> "CoverageState":
+        """Return a fresh mutable :class:`CoverageState` over this index."""
+        return CoverageState(self)
+
+
+class CoverageState:
+    """Mutable view tracking which target subgraphs are still alive.
+
+    Deleting an edge kills every alive instance containing it.  The state
+    answers marginal-gain queries (total and per target) in time proportional
+    to the number of instances the edge touches, which is what makes the
+    greedy algorithms scale.
+    """
+
+    def __init__(self, index: TargetSubgraphIndex) -> None:
+        self._index = index
+        self._alive: Set[InstanceId] = set(range(index.number_of_instances()))
+        self._alive_by_target: Dict[Edge, int] = {
+            target: index.initial_similarity(target) for target in index.targets
+        }
+        self._deleted_edges: List[Edge] = []
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def index(self) -> TargetSubgraphIndex:
+        """The immutable index this state is layered on."""
+        return self._index
+
+    @property
+    def deleted_edges(self) -> Tuple[Edge, ...]:
+        """Edges deleted so far, in deletion order."""
+        return tuple(self._deleted_edges)
+
+    def total_similarity(self) -> int:
+        """Return the current ``s(P, T)`` (alive instances)."""
+        return len(self._alive)
+
+    def similarity_of(self, target: Edge) -> int:
+        """Return the current ``s(P, t)`` for ``target``."""
+        return self._alive_by_target[canonical_edge(*target)]
+
+    def similarity_by_target(self) -> Dict[Edge, int]:
+        """Return the current per-target similarities."""
+        return dict(self._alive_by_target)
+
+    def is_fully_protected(self) -> bool:
+        """Return whether every target subgraph has been broken."""
+        return not self._alive
+
+    def gain(self, edge: Edge) -> int:
+        """Return how many alive instances deleting ``edge`` would break."""
+        instances = self._index.instances_containing(edge)
+        if not instances:
+            return 0
+        return sum(1 for instance_id in instances if instance_id in self._alive)
+
+    def gain_by_target(self, edge: Edge) -> Dict[Edge, int]:
+        """Return per-target counts of alive instances ``edge`` would break."""
+        gains: Dict[Edge, int] = {}
+        for instance_id in self._index.instances_containing(edge):
+            if instance_id in self._alive:
+                target = self._index.target_of_instance(instance_id)
+                gains[target] = gains.get(target, 0) + 1
+        return gains
+
+    def gain_for_target(self, edge: Edge, target: Edge) -> int:
+        """Return alive instances of ``target`` that deleting ``edge`` breaks."""
+        target = canonical_edge(*target)
+        count = 0
+        for instance_id in self._index.instances_containing(edge):
+            if instance_id in self._alive and self._index.target_of_instance(
+                instance_id
+            ) == target:
+                count += 1
+        return count
+
+    def candidate_edges(self) -> Set[Edge]:
+        """Return undeleted edges that still break at least one alive instance."""
+        candidates: Set[Edge] = set()
+        deleted = set(self._deleted_edges)
+        for edge in self._index.candidate_edges():
+            if edge not in deleted and self.gain(edge) > 0:
+                candidates.add(edge)
+        return candidates
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def delete_edge(self, edge: Edge) -> Dict[Edge, int]:
+        """Delete ``edge`` and return the per-target counts of broken instances.
+
+        Deleting an edge that touches no alive instance is allowed and
+        returns an empty mapping (the greedy algorithms stop before doing
+        this, but baselines such as RD routinely delete useless edges).
+        """
+        edge = canonical_edge(*edge)
+        broken: Dict[Edge, int] = {}
+        for instance_id in self._index.instances_containing(edge):
+            if instance_id in self._alive:
+                self._alive.discard(instance_id)
+                target = self._index.target_of_instance(instance_id)
+                broken[target] = broken.get(target, 0) + 1
+                self._alive_by_target[target] -= 1
+        self._deleted_edges.append(edge)
+        return broken
+
+    def delete_edges(self, edges: Iterable[Edge]) -> Dict[Edge, int]:
+        """Delete several edges; return aggregated per-target broken counts."""
+        total: Dict[Edge, int] = {}
+        for edge in edges:
+            for target, count in self.delete_edge(edge).items():
+                total[target] = total.get(target, 0) + count
+        return total
+
+    def copy(self) -> "CoverageState":
+        """Return an independent copy of this state (same underlying index)."""
+        clone = CoverageState(self._index)
+        clone._alive = set(self._alive)
+        clone._alive_by_target = dict(self._alive_by_target)
+        clone._deleted_edges = list(self._deleted_edges)
+        return clone

@@ -1,0 +1,45 @@
+"""Rectangle motif (Fig. 1b of the paper).
+
+A hidden target ``t = (u, v)`` participates in one Rectangle instance per
+simple 3-length path ``u - a - b - v``: re-inserting ``t`` would close a
+4-cycle.  The instance's protector edges are ``(u, a)``, ``(a, b)`` and
+``(b, v)``.  The similarity is the number of such paths, capturing the
+"friends of the two users are strongly connected" inference from the paper's
+introduction.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.graphs.graph import Edge, Graph
+from repro.motifs.base import MotifInstance, MotifPattern, register_motif
+
+__all__ = ["RectangleMotif"]
+
+
+@register_motif
+class RectangleMotif(MotifPattern):
+    """Three-length simple paths ``u - a - b - v`` completing a 4-cycle."""
+
+    name = "rectangle"
+
+    def enumerate_instances(self, graph: Graph, target: Edge) -> Iterator[MotifInstance]:
+        u, v = target
+        if not (graph.has_node(u) and graph.has_node(v)):
+            return
+        neighbors_v = graph.neighbors(v)
+        for a in graph.neighbors(u):
+            if a == v or a == u:
+                continue
+            for b in graph.neighbors(a):
+                if b == u or b == v or b == a:
+                    continue
+                if b in neighbors_v:
+                    yield frozenset(
+                        (
+                            self._canonical(u, a),
+                            self._canonical(a, b),
+                            self._canonical(b, v),
+                        )
+                    )

@@ -1,0 +1,56 @@
+"""RecTri motif (Fig. 1c of the paper).
+
+The RecTri pattern combines a 2-length path and a 3-length path between the
+endpoints of the hidden target ``t = (u, v)``, where the 3-length path shares
+its first intermediate node with the 2-length path.  Concretely an instance
+is a pair ``(w, b)`` such that
+
+* ``w`` is a common neighbor of ``u`` and ``v`` (the 2-path ``u - w - v``),
+* ``b`` extends it into a 3-path through ``w`` to the *other* endpoint.
+
+Because the target link is undirected, both orientations count: the 3-path
+may run ``u - w - b - v`` (``b`` adjacent to ``w`` and ``v``) or
+``v - w - b - u`` (``b`` adjacent to ``w`` and ``u``).  The protector edges of
+an instance are the union of the two paths' edges (four edges).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.graphs.graph import Edge, Graph
+from repro.motifs.base import MotifInstance, MotifPattern, register_motif
+
+__all__ = ["RecTriMotif"]
+
+
+@register_motif
+class RecTriMotif(MotifPattern):
+    """A triangle-closing 2-path plus a 3-path sharing its intermediate node."""
+
+    name = "rectri"
+
+    def enumerate_instances(self, graph: Graph, target: Edge) -> Iterator[MotifInstance]:
+        u, v = target
+        if not (graph.has_node(u) and graph.has_node(v)):
+            return
+        neighbors_u = graph.neighbors(u)
+        neighbors_v = graph.neighbors(v)
+        for w in graph.common_neighbors(u, v):
+            if w == u or w == v:
+                continue
+            edge_uw = self._canonical(u, w)
+            edge_wv = self._canonical(w, v)
+            for b in graph.neighbors(w):
+                if b == u or b == v or b == w:
+                    continue
+                # orientation u - w - b - v (b adjacent to v)
+                if b in neighbors_v:
+                    yield frozenset(
+                        (edge_uw, edge_wv, self._canonical(w, b), self._canonical(b, v))
+                    )
+                # orientation v - w - b - u (b adjacent to u)
+                if b in neighbors_u:
+                    yield frozenset(
+                        (edge_uw, edge_wv, self._canonical(w, b), self._canonical(b, u))
+                    )

@@ -1,0 +1,80 @@
+"""Similarity and dissimilarity scores computed directly from a graph.
+
+These functions recount motif instances from scratch on every call.  They are
+the reference ("recount") implementation used by the paper's non-scalable
+greedy algorithms and by the test suite to cross-check the incremental
+coverage engine in :mod:`repro.motifs.enumeration`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Sequence, Union
+
+from repro.graphs.graph import Edge, Graph, canonical_edge
+from repro.motifs.base import MotifPattern, coerce_motif
+
+__all__ = [
+    "similarity",
+    "total_similarity",
+    "similarity_by_target",
+    "dissimilarity",
+    "default_constant",
+]
+
+
+def similarity(graph: Graph, target: Edge, motif: Union[str, MotifPattern]) -> int:
+    """Return ``s(t)``: the number of target subgraphs of ``target`` in ``graph``."""
+    pattern = coerce_motif(motif)
+    return pattern.count(graph, target)
+
+
+def similarity_by_target(
+    graph: Graph, targets: Iterable[Edge], motif: Union[str, MotifPattern]
+) -> Dict[Edge, int]:
+    """Return a mapping target -> ``s(t)`` for every target."""
+    pattern = coerce_motif(motif)
+    return {
+        canonical_edge(*target): pattern.count(graph, target) for target in targets
+    }
+
+
+def total_similarity(
+    graph: Graph, targets: Iterable[Edge], motif: Union[str, MotifPattern]
+) -> int:
+    """Return ``s(P, T) = sum_t s(P, t)`` on the given (already perturbed) graph."""
+    pattern = coerce_motif(motif)
+    return sum(pattern.count(graph, target) for target in targets)
+
+
+def default_constant(graph: Graph, targets: Sequence[Edge], motif: Union[str, MotifPattern]) -> int:
+    """Return the paper's constant ``C``: the initial total similarity ``s(∅, T)``.
+
+    Any ``C >= s(∅, T)`` keeps the dissimilarity non-negative; using exactly
+    the initial similarity makes ``f(∅, T) = 0`` and turns the dissimilarity
+    into "number of target subgraphs broken so far", which is the quantity
+    the paper's figures track (inverted).
+    """
+    return total_similarity(graph, targets, motif)
+
+
+def dissimilarity(
+    graph: Graph,
+    targets: Sequence[Edge],
+    motif: Union[str, MotifPattern],
+    constant: int,
+) -> int:
+    """Return ``f(P, T) = C - s(P, T)`` evaluated on ``graph``.
+
+    Raises
+    ------
+    ValueError
+        If ``constant`` is smaller than the current total similarity, which
+        would make the dissimilarity negative (the paper requires
+        ``C >= s(∅, T)``).
+    """
+    current = total_similarity(graph, targets, motif)
+    if constant < current:
+        raise ValueError(
+            f"constant C={constant} is smaller than the total similarity {current}"
+        )
+    return constant - current

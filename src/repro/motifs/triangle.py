@@ -1,0 +1,33 @@
+"""Triangle motif (Fig. 1a of the paper).
+
+A hidden target ``t = (u, v)`` participates in one Triangle instance per
+common neighbor ``w`` of its endpoints: re-inserting ``t`` would close the
+triangle ``u - w - v``.  The instance's protector edges are ``(u, w)`` and
+``(w, v)``; the similarity ``s(t)`` is the common-neighbor count, which is
+the basis of every common-neighbor style link prediction.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.graphs.graph import Edge, Graph
+from repro.motifs.base import MotifInstance, MotifPattern, register_motif
+
+__all__ = ["TriangleMotif"]
+
+
+@register_motif
+class TriangleMotif(MotifPattern):
+    """Two-length paths ``u - w - v`` completing the target into a triangle."""
+
+    name = "triangle"
+
+    def enumerate_instances(self, graph: Graph, target: Edge) -> Iterator[MotifInstance]:
+        u, v = target
+        if not (graph.has_node(u) and graph.has_node(v)):
+            return
+        for w in graph.common_neighbors(u, v):
+            if w == u or w == v:
+                continue
+            yield frozenset((self._canonical(u, w), self._canonical(w, v)))

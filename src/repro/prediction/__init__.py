@@ -1,0 +1,83 @@
+"""Adversarial link prediction: local indices, path indices, motif predictors, attacks."""
+
+from repro.prediction.attack import AttackReport, AttackSimulator, sample_non_edges
+from repro.prediction.base import (
+    LinkPredictor,
+    available_predictors,
+    get_predictor,
+    register_predictor,
+)
+from repro.prediction.local import (
+    AdamicAdarPredictor,
+    CommonNeighborsPredictor,
+    HubDepressedPredictor,
+    HubPromotedPredictor,
+    JaccardPredictor,
+    LeichtHolmeNewmanPredictor,
+    ResourceAllocationPredictor,
+    SaltonPredictor,
+    SorensenPredictor,
+    adamic_adar_index,
+    common_neighbors_index,
+    hub_depressed_index,
+    hub_promoted_index,
+    jaccard_index,
+    leicht_holme_newman_index,
+    resource_allocation_index,
+    salton_index,
+    sorensen_index,
+)
+from repro.prediction.motif_based import (
+    MotifPredictor,
+    RecTriPredictor,
+    RectanglePredictor,
+    TrianglePredictor,
+)
+from repro.prediction.paths import (
+    KatzPredictor,
+    LocalPathPredictor,
+    katz_index,
+    local_path_index,
+    path_counts,
+)
+
+__all__ = [
+    "LinkPredictor",
+    "register_predictor",
+    "get_predictor",
+    "available_predictors",
+    "AttackSimulator",
+    "AttackReport",
+    "sample_non_edges",
+    # local indices (functions)
+    "common_neighbors_index",
+    "jaccard_index",
+    "salton_index",
+    "sorensen_index",
+    "hub_promoted_index",
+    "hub_depressed_index",
+    "leicht_holme_newman_index",
+    "adamic_adar_index",
+    "resource_allocation_index",
+    # local indices (predictors)
+    "CommonNeighborsPredictor",
+    "JaccardPredictor",
+    "SaltonPredictor",
+    "SorensenPredictor",
+    "HubPromotedPredictor",
+    "HubDepressedPredictor",
+    "LeichtHolmeNewmanPredictor",
+    "AdamicAdarPredictor",
+    "ResourceAllocationPredictor",
+    # path indices
+    "path_counts",
+    "katz_index",
+    "local_path_index",
+    "KatzPredictor",
+    "LocalPathPredictor",
+    # motif predictors
+    "MotifPredictor",
+    "TrianglePredictor",
+    "RectanglePredictor",
+    "RecTriPredictor",
+]

@@ -1,0 +1,77 @@
+"""Link predictor abstraction and registry.
+
+The TPP threat model (paper §III-B) assumes an adversary with full knowledge
+of the released graph who scores candidate node pairs with a link prediction
+index and infers that high-scoring missing pairs are hidden links.  A
+:class:`LinkPredictor` encapsulates one such index; the attack simulator in
+:mod:`repro.prediction.attack` drives it.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, Iterable, List, Tuple, Type
+
+from repro.exceptions import PredictionError
+from repro.graphs.graph import Edge, Graph, Node
+
+__all__ = [
+    "LinkPredictor",
+    "register_predictor",
+    "get_predictor",
+    "available_predictors",
+]
+
+
+class LinkPredictor(ABC):
+    """Scores node pairs: the higher the score, the more likely the link."""
+
+    #: Registry key; subclasses must override.
+    name: str = "abstract"
+
+    @abstractmethod
+    def score(self, graph: Graph, u: Node, v: Node) -> float:
+        """Return the prediction score of the (missing) pair ``(u, v)``."""
+
+    def score_many(self, graph: Graph, pairs: Iterable[Edge]) -> Dict[Edge, float]:
+        """Return scores for every pair in ``pairs``."""
+        return {pair: self.score(graph, pair[0], pair[1]) for pair in pairs}
+
+    def rank(self, graph: Graph, pairs: Iterable[Edge]) -> List[Tuple[Edge, float]]:
+        """Return ``pairs`` sorted by descending score (ties broken by repr)."""
+        scored = self.score_many(graph, pairs)
+        return sorted(scored.items(), key=lambda item: (-item[1], str(item[0])))
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+_REGISTRY: Dict[str, Type[LinkPredictor]] = {}
+
+
+def register_predictor(cls: Type[LinkPredictor]) -> Type[LinkPredictor]:
+    """Class decorator adding a :class:`LinkPredictor` subclass to the registry."""
+    if not issubclass(cls, LinkPredictor):
+        raise TypeError(f"{cls!r} is not a LinkPredictor subclass")
+    _REGISTRY[cls.name.lower()] = cls
+    return cls
+
+
+def available_predictors() -> Tuple[str, ...]:
+    """Return the sorted names of all registered link predictors."""
+    return tuple(sorted(_REGISTRY))
+
+
+def get_predictor(name: str, **kwargs) -> LinkPredictor:
+    """Return a fresh predictor registered under ``name``.
+
+    Keyword arguments are forwarded to the predictor's constructor (e.g.
+    ``get_predictor("katz", beta=0.01)``).
+    """
+    try:
+        cls = _REGISTRY[name.lower()]
+    except KeyError:
+        raise PredictionError(
+            f"unknown predictor {name!r}; known: {sorted(_REGISTRY)}"
+        ) from None
+    return cls(**kwargs)

@@ -1,0 +1,215 @@
+"""Classic local (common-neighbor based) similarity indices.
+
+These are the triangle-related link prediction indices the paper lists in
+§VI-D: Common Neighbors, Jaccard, Salton, Sørensen, Hub Promoted, Hub
+Depressed, Leicht–Holme–Newman, Adamic–Adar and Resource Allocation.  A fully
+protected graph (no surviving triangle target-subgraph) drives every one of
+them to zero for every target, which is the "defends a whole family of
+predictions" claim of the paper.
+
+Each index is exposed twice:
+
+* a plain function ``index(graph, u, v) -> float`` (convenient for the
+  non-monotonicity counter-examples and for building
+  :class:`~repro.core.LocalIndexDissimilarity` objectives), and
+* a registered :class:`~repro.prediction.base.LinkPredictor` class usable by
+  the attack simulator.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.graphs.graph import Graph, Node
+from repro.prediction.base import LinkPredictor, register_predictor
+
+__all__ = [
+    "common_neighbors_index",
+    "jaccard_index",
+    "salton_index",
+    "sorensen_index",
+    "hub_promoted_index",
+    "hub_depressed_index",
+    "leicht_holme_newman_index",
+    "adamic_adar_index",
+    "resource_allocation_index",
+    "CommonNeighborsPredictor",
+    "JaccardPredictor",
+    "SaltonPredictor",
+    "SorensenPredictor",
+    "HubPromotedPredictor",
+    "HubDepressedPredictor",
+    "LeichtHolmeNewmanPredictor",
+    "AdamicAdarPredictor",
+    "ResourceAllocationPredictor",
+]
+
+
+def _common(graph: Graph, u: Node, v: Node):
+    if not (graph.has_node(u) and graph.has_node(v)):
+        return set()
+    return graph.common_neighbors(u, v)
+
+
+def common_neighbors_index(graph: Graph, u: Node, v: Node) -> float:
+    """Return ``|Γ(u) ∩ Γ(v)|``."""
+    return float(len(_common(graph, u, v)))
+
+
+def jaccard_index(graph: Graph, u: Node, v: Node) -> float:
+    """Return ``|Γ(u) ∩ Γ(v)| / |Γ(u) ∪ Γ(v)|`` (0.0 when the union is empty)."""
+    common = _common(graph, u, v)
+    if not graph.has_node(u) or not graph.has_node(v):
+        return 0.0
+    union = len(graph.neighbors(u) | graph.neighbors(v))
+    return len(common) / union if union else 0.0
+
+
+def salton_index(graph: Graph, u: Node, v: Node) -> float:
+    """Return ``|Γ(u) ∩ Γ(v)| / sqrt(d_u d_v)`` (cosine similarity)."""
+    common = _common(graph, u, v)
+    if not common:
+        return 0.0
+    product = graph.degree(u) * graph.degree(v)
+    return len(common) / math.sqrt(product) if product else 0.0
+
+
+def sorensen_index(graph: Graph, u: Node, v: Node) -> float:
+    """Return ``2 |Γ(u) ∩ Γ(v)| / (d_u + d_v)``."""
+    common = _common(graph, u, v)
+    if not common:
+        return 0.0
+    total = graph.degree(u) + graph.degree(v)
+    return 2.0 * len(common) / total if total else 0.0
+
+
+def hub_promoted_index(graph: Graph, u: Node, v: Node) -> float:
+    """Return ``|Γ(u) ∩ Γ(v)| / min(d_u, d_v)``."""
+    common = _common(graph, u, v)
+    if not common:
+        return 0.0
+    smallest = min(graph.degree(u), graph.degree(v))
+    return len(common) / smallest if smallest else 0.0
+
+
+def hub_depressed_index(graph: Graph, u: Node, v: Node) -> float:
+    """Return ``|Γ(u) ∩ Γ(v)| / max(d_u, d_v)``."""
+    common = _common(graph, u, v)
+    if not common:
+        return 0.0
+    largest = max(graph.degree(u), graph.degree(v))
+    return len(common) / largest if largest else 0.0
+
+
+def leicht_holme_newman_index(graph: Graph, u: Node, v: Node) -> float:
+    """Return ``|Γ(u) ∩ Γ(v)| / (d_u d_v)``."""
+    common = _common(graph, u, v)
+    if not common:
+        return 0.0
+    product = graph.degree(u) * graph.degree(v)
+    return len(common) / product if product else 0.0
+
+
+def adamic_adar_index(graph: Graph, u: Node, v: Node) -> float:
+    """Return ``Σ_{w in Γ(u) ∩ Γ(v)} 1 / log(d_w)``.
+
+    Common neighbors of degree 1 (log 1 = 0) and degree 0 cannot contribute a
+    finite term and are skipped, following the usual convention.
+    """
+    score = 0.0
+    for w in _common(graph, u, v):
+        degree = graph.degree(w)
+        if degree > 1:
+            score += 1.0 / math.log(degree)
+    return score
+
+
+def resource_allocation_index(graph: Graph, u: Node, v: Node) -> float:
+    """Return ``Σ_{w in Γ(u) ∩ Γ(v)} 1 / d_w``."""
+    score = 0.0
+    for w in _common(graph, u, v):
+        degree = graph.degree(w)
+        if degree > 0:
+            score += 1.0 / degree
+    return score
+
+
+class _FunctionPredictor(LinkPredictor):
+    """Adapter turning a plain index function into a LinkPredictor."""
+
+    _function = staticmethod(common_neighbors_index)
+
+    def score(self, graph: Graph, u: Node, v: Node) -> float:
+        return type(self)._function(graph, u, v)
+
+
+@register_predictor
+class CommonNeighborsPredictor(_FunctionPredictor):
+    """Common Neighbors: the raw triangle count (basis of the Triangle motif)."""
+
+    name = "common_neighbors"
+    _function = staticmethod(common_neighbors_index)
+
+
+@register_predictor
+class JaccardPredictor(_FunctionPredictor):
+    """Jaccard similarity coefficient."""
+
+    name = "jaccard"
+    _function = staticmethod(jaccard_index)
+
+
+@register_predictor
+class SaltonPredictor(_FunctionPredictor):
+    """Salton (cosine) index."""
+
+    name = "salton"
+    _function = staticmethod(salton_index)
+
+
+@register_predictor
+class SorensenPredictor(_FunctionPredictor):
+    """Sørensen index."""
+
+    name = "sorensen"
+    _function = staticmethod(sorensen_index)
+
+
+@register_predictor
+class HubPromotedPredictor(_FunctionPredictor):
+    """Hub Promoted index."""
+
+    name = "hub_promoted"
+    _function = staticmethod(hub_promoted_index)
+
+
+@register_predictor
+class HubDepressedPredictor(_FunctionPredictor):
+    """Hub Depressed index."""
+
+    name = "hub_depressed"
+    _function = staticmethod(hub_depressed_index)
+
+
+@register_predictor
+class LeichtHolmeNewmanPredictor(_FunctionPredictor):
+    """Leicht–Holme–Newman index."""
+
+    name = "lhn"
+    _function = staticmethod(leicht_holme_newman_index)
+
+
+@register_predictor
+class AdamicAdarPredictor(_FunctionPredictor):
+    """Adamic–Adar index."""
+
+    name = "adamic_adar"
+    _function = staticmethod(adamic_adar_index)
+
+
+@register_predictor
+class ResourceAllocationPredictor(_FunctionPredictor):
+    """Resource Allocation index."""
+
+    name = "resource_allocation"
+    _function = staticmethod(resource_allocation_index)

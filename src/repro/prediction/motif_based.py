@@ -1,0 +1,67 @@
+"""Motif-based link prediction: the paper's threat model.
+
+The adversary of §III-B scores a missing pair ``(u, v)`` by the number of
+subgraph-pattern instances the pair would complete — exactly the similarity
+``s(t)`` the TPP objective minimises.  A release is *fully protected* against
+this predictor when every target scores zero.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.graphs.graph import Graph, Node
+from repro.motifs.base import MotifPattern, coerce_motif
+from repro.prediction.base import LinkPredictor, register_predictor
+
+__all__ = ["MotifPredictor", "TrianglePredictor", "RectanglePredictor", "RecTriPredictor"]
+
+
+class MotifPredictor(LinkPredictor):
+    """Scores a pair by its motif-instance count (the similarity ``s``)."""
+
+    name = "motif"
+
+    def __init__(self, motif: Union[str, MotifPattern] = "triangle") -> None:
+        self.motif = coerce_motif(motif)
+
+    def score(self, graph: Graph, u: Node, v: Node) -> float:
+        if graph.has_edge(u, v):
+            # predicting an existing edge: count instances on the graph with
+            # the edge removed, the same way the TPP model does in phase 1
+            working = graph.without_edges([(u, v)])
+            return float(self.motif.count(working, (u, v)))
+        return float(self.motif.count(graph, (u, v)))
+
+    def __repr__(self) -> str:
+        return f"MotifPredictor(motif={self.motif.name!r})"
+
+
+@register_predictor
+class TrianglePredictor(MotifPredictor):
+    """Motif predictor specialised to the Triangle pattern."""
+
+    name = "triangle_motif"
+
+    def __init__(self) -> None:
+        super().__init__("triangle")
+
+
+@register_predictor
+class RectanglePredictor(MotifPredictor):
+    """Motif predictor specialised to the Rectangle pattern."""
+
+    name = "rectangle_motif"
+
+    def __init__(self) -> None:
+        super().__init__("rectangle")
+
+
+@register_predictor
+class RecTriPredictor(MotifPredictor):
+    """Motif predictor specialised to the RecTri pattern."""
+
+    name = "rectri_motif"
+
+    def __init__(self) -> None:
+        super().__init__("rectri")

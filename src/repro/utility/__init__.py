@@ -1,0 +1,31 @@
+"""Graph utility metrics and utility loss analysis (Table II and Tables III-V)."""
+
+from repro.utility.loss import UtilityLossReport, compare_graphs, utility_loss_ratio
+from repro.utility.metrics import (
+    ALL_METRICS,
+    SCALABLE_METRICS,
+    assortativity_metric,
+    average_path_length_metric,
+    clustering_metric,
+    compute_metrics,
+    core_number_metric,
+    default_metrics_for,
+    eigenvalue_metric,
+    modularity_metric,
+)
+
+__all__ = [
+    "ALL_METRICS",
+    "SCALABLE_METRICS",
+    "compute_metrics",
+    "default_metrics_for",
+    "average_path_length_metric",
+    "clustering_metric",
+    "assortativity_metric",
+    "core_number_metric",
+    "eigenvalue_metric",
+    "modularity_metric",
+    "utility_loss_ratio",
+    "UtilityLossReport",
+    "compare_graphs",
+]

@@ -1,0 +1,58 @@
+"""Tests for the TPP vs structural-anonymization comparison."""
+
+import pytest
+
+from repro.anonymization.comparison import compare_protection_mechanisms
+from repro.datasets.synthetic import small_social_graph
+from repro.datasets.targets import sample_random_targets
+
+
+@pytest.fixture(scope="module")
+def outcomes():
+    graph = small_social_graph(seed=3)
+    targets = sample_random_targets(graph, 5, seed=1)
+    return compare_protection_mechanisms(
+        graph, targets, motif="triangle", metrics=("clust", "cn"), seed=0
+    )
+
+
+class TestComparison:
+    def test_all_mechanisms_present(self, outcomes):
+        names = [outcome.mechanism for outcome in outcomes]
+        assert names[0] == "targets-deleted-only"
+        assert any(name.startswith("TPP") for name in names)
+        assert "random-perturbation" in names
+        assert "random-switching" in names
+        assert "randomized-response" in names
+
+    def test_tpp_reaches_zero_residual(self, outcomes):
+        tpp = next(o for o in outcomes if o.mechanism.startswith("TPP"))
+        assert tpp.residual_similarity == 0
+
+    def test_tpp_protects_better_than_structural_at_similar_edits(self, outcomes):
+        tpp = next(o for o in outcomes if o.mechanism.startswith("TPP"))
+        for name in ("random-perturbation", "random-switching"):
+            structural = next(o for o in outcomes if o.mechanism == name)
+            assert tpp.residual_similarity <= structural.residual_similarity
+
+    def test_rows_are_well_formed(self, outcomes):
+        for outcome in outcomes:
+            mechanism, edits, residual, loss = outcome.as_row()
+            assert isinstance(mechanism, str)
+            assert edits >= 0
+            assert residual >= 0
+            assert 0.0 <= loss <= 100.0
+
+    def test_explicit_budgets(self):
+        graph = small_social_graph(seed=9)
+        targets = sample_random_targets(graph, 3, seed=2)
+        outcomes = compare_protection_mechanisms(
+            graph,
+            targets,
+            tpp_budget=2,
+            structural_edits=2,
+            metrics=("clust",),
+            seed=1,
+        )
+        tpp = next(o for o in outcomes if o.mechanism.startswith("TPP"))
+        assert tpp.edits <= len(targets) + 2

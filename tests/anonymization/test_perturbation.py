@@ -1,0 +1,84 @@
+"""Tests for the structural anonymization baselines."""
+
+import pytest
+
+from repro.anonymization.perturbation import (
+    random_perturbation,
+    random_switching,
+    randomized_response,
+)
+from repro.datasets.synthetic import small_social_graph
+
+
+@pytest.fixture
+def graph():
+    return small_social_graph(seed=4)
+
+
+class TestRandomPerturbation:
+    def test_edit_counts(self, graph):
+        result = random_perturbation(graph, deletions=5, additions=3, seed=0)
+        assert len(result.deleted) == 5
+        assert len(result.added) == 3
+        assert result.edits == 8
+        assert (
+            result.graph.number_of_edges()
+            == graph.number_of_edges() - 5 + 3
+        )
+
+    def test_deleted_were_edges_added_were_not(self, graph):
+        result = random_perturbation(graph, deletions=4, additions=4, seed=1)
+        assert all(graph.has_edge(*edge) for edge in result.deleted)
+        assert all(not graph.has_edge(*edge) for edge in result.added)
+
+    def test_reproducible(self, graph):
+        a = random_perturbation(graph, 3, 3, seed=7)
+        b = random_perturbation(graph, 3, 3, seed=7)
+        assert a.deleted == b.deleted and a.added == b.added
+
+    def test_original_untouched(self, graph):
+        edges_before = graph.number_of_edges()
+        random_perturbation(graph, 5, 5, seed=2)
+        assert graph.number_of_edges() == edges_before
+
+
+class TestRandomSwitching:
+    def test_degrees_preserved(self, graph):
+        result = random_switching(graph, switches=10, seed=0)
+        assert result.graph.degrees() == graph.degrees()
+        assert result.mechanism == "random-switching"
+
+    def test_edge_count_preserved(self, graph):
+        result = random_switching(graph, switches=15, seed=1)
+        assert result.graph.number_of_edges() == graph.number_of_edges()
+
+    def test_edits_are_paired(self, graph):
+        result = random_switching(graph, switches=5, seed=2)
+        assert len(result.deleted) == len(result.added)
+        assert len(result.deleted) % 2 == 0
+
+    def test_zero_switches(self, graph):
+        result = random_switching(graph, switches=0, seed=0)
+        assert result.graph == graph
+        assert result.edits == 0
+
+
+class TestRandomizedResponse:
+    def test_flip_probability_validation(self, graph):
+        with pytest.raises(ValueError):
+            randomized_response(graph, flip_probability=1.5)
+
+    def test_zero_probability_is_identity_on_edges(self, graph):
+        result = randomized_response(graph, flip_probability=0.0, seed=0)
+        assert result.graph.edge_set() == graph.edge_set()
+
+    def test_full_probability_removes_all_original_edges(self, graph):
+        result = randomized_response(graph, flip_probability=1.0, seed=0, max_added=10)
+        assert all(not result.graph.has_edge(*edge) for edge in graph.edges())
+        assert len(result.added) <= 10
+
+    def test_roughly_balanced_flips(self, graph):
+        result = randomized_response(graph, flip_probability=0.3, seed=3)
+        assert len(result.added) <= len(result.deleted)
+        fraction = len(result.deleted) / graph.number_of_edges()
+        assert 0.1 <= fraction <= 0.5

@@ -1,0 +1,60 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.model import TPPProblem
+from repro.datasets.synthetic import figure2_example, small_social_graph
+from repro.datasets.targets import sample_random_targets
+from repro.graphs.generators import powerlaw_cluster_graph
+from repro.graphs.graph import Graph
+
+
+@pytest.fixture
+def triangle_graph() -> Graph:
+    """A single triangle 0-1-2."""
+    return Graph(edges=[(0, 1), (1, 2), (0, 2)])
+
+
+@pytest.fixture
+def square_graph() -> Graph:
+    """A 4-cycle 0-1-2-3."""
+    return Graph(edges=[(0, 1), (1, 2), (2, 3), (3, 0)])
+
+
+@pytest.fixture
+def karate_like_graph() -> Graph:
+    """A ~60-node clustered social-like graph (deterministic)."""
+    return small_social_graph(seed=3)
+
+
+@pytest.fixture
+def medium_graph() -> Graph:
+    """A ~200-node clustered graph used by slower integration tests."""
+    return powerlaw_cluster_graph(200, 4, 0.5, seed=11)
+
+
+@pytest.fixture
+def fig2():
+    """The paper's Fig. 2 worked example."""
+    return figure2_example()
+
+
+@pytest.fixture
+def fig2_problem(fig2) -> TPPProblem:
+    """The Fig. 2 example wrapped as a Triangle-motif TPP problem."""
+    return TPPProblem(fig2.graph, fig2.target_list, motif="triangle")
+
+
+@pytest.fixture
+def small_problem(karate_like_graph) -> TPPProblem:
+    """A small Triangle-motif problem with 5 random targets."""
+    targets = sample_random_targets(karate_like_graph, 5, seed=1)
+    return TPPProblem(karate_like_graph, targets, motif="triangle")
+
+
+@pytest.fixture(params=["triangle", "rectangle", "rectri"])
+def motif_name(request) -> str:
+    """Parametrised fixture iterating over the three paper motifs."""
+    return request.param

@@ -1,0 +1,91 @@
+"""Tests for the RD and RDT random baselines."""
+
+import pytest
+
+from repro.core.baselines import random_deletion, random_target_subgraph_deletion
+from repro.core.model import TPPProblem
+from repro.core.sgb import sgb_greedy
+from repro.core.verification import verify_result
+from repro.exceptions import BudgetError
+from repro.graphs.graph import Graph
+
+
+@pytest.fixture
+def problem(karate_like_graph):
+    from repro.datasets.targets import sample_random_targets
+
+    targets = sample_random_targets(karate_like_graph, 5, seed=2)
+    return TPPProblem(karate_like_graph, targets, motif="triangle")
+
+
+class TestRandomDeletion:
+    def test_budget_respected_exactly(self, problem):
+        result = random_deletion(problem, budget=7, seed=0)
+        assert result.budget_used == 7
+
+    def test_protectors_come_from_phase1_edges(self, problem):
+        result = random_deletion(problem, budget=10, seed=1)
+        phase1_edges = problem.phase1_graph.edge_set()
+        assert all(edge in phase1_edges for edge in result.protectors)
+        assert all(edge not in problem.target_set() for edge in result.protectors)
+
+    def test_reproducible_with_seed(self, problem):
+        a = random_deletion(problem, budget=5, seed=42)
+        b = random_deletion(problem, budget=5, seed=42)
+        assert a.protectors == b.protectors
+
+    def test_different_seeds_usually_differ(self, problem):
+        a = random_deletion(problem, budget=5, seed=1)
+        b = random_deletion(problem, budget=5, seed=2)
+        assert a.protectors != b.protectors
+
+    def test_trace_consistent_with_released_graph(self, problem):
+        result = random_deletion(problem, budget=8, seed=3)
+        assert verify_result(problem, result)
+
+    def test_negative_budget_rejected(self, problem):
+        with pytest.raises(BudgetError):
+            random_deletion(problem, budget=-1)
+
+    def test_budget_larger_than_edge_count(self):
+        graph = Graph(edges=[(0, 1), (0, 2), (1, 2)])
+        problem = TPPProblem(graph, [(0, 1)], motif="triangle")
+        result = random_deletion(problem, budget=100, seed=0)
+        assert result.budget_used == problem.phase1_graph.number_of_edges()
+
+
+class TestRandomTargetSubgraphDeletion:
+    def test_protectors_restricted_to_target_subgraph_edges(self, problem):
+        result = random_target_subgraph_deletion(problem, budget=5, seed=0)
+        candidates = problem.build_index().candidate_edges()
+        assert all(edge in candidates for edge in result.protectors)
+
+    def test_usually_better_than_rd_at_same_budget(self, problem):
+        budget = 6
+        rd_scores = [
+            random_deletion(problem, budget, seed=s).final_similarity for s in range(8)
+        ]
+        rdt_scores = [
+            random_target_subgraph_deletion(problem, budget, seed=s).final_similarity
+            for s in range(8)
+        ]
+        assert sum(rdt_scores) <= sum(rd_scores)
+
+    def test_never_better_than_greedy(self, problem):
+        for budget in (2, 4, 6):
+            greedy = sgb_greedy(problem, budget)
+            for seed in range(5):
+                rdt = random_target_subgraph_deletion(problem, budget, seed=seed)
+                assert rdt.final_similarity >= greedy.final_similarity
+
+    def test_exhausts_pool_gracefully(self):
+        graph = Graph(edges=[(0, 1), (0, 2), (1, 2), (5, 6)])
+        problem = TPPProblem(graph, [(0, 1)], motif="triangle")
+        result = random_target_subgraph_deletion(problem, budget=50, seed=0)
+        # only the two triangle edges are candidates
+        assert result.budget_used == 2
+        assert result.fully_protected
+
+    def test_verifies_against_recount(self, problem):
+        result = random_target_subgraph_deletion(problem, budget=10, seed=5)
+        assert verify_result(problem, result)

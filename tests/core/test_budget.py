@@ -1,0 +1,115 @@
+"""Tests for the budget division strategies (TBD, DBD, uniform)."""
+
+import pytest
+
+from repro.core.budget import (
+    degree_product_budget_division,
+    make_budget_division,
+    target_subgraph_budget_division,
+    uniform_budget_division,
+    validate_budget_division,
+)
+from repro.core.model import TPPProblem
+from repro.exceptions import BudgetError
+from repro.graphs.graph import Graph
+
+
+@pytest.fixture
+def problem():
+    # target (0,1) has 3 triangles, target (2,3) has 1, target (0,9) has 0
+    graph = Graph(
+        edges=[
+            (0, 1),
+            (2, 3),
+            (0, 9),
+            (0, 4),
+            (1, 4),
+            (0, 5),
+            (1, 5),
+            (0, 6),
+            (1, 6),
+            (2, 7),
+            (3, 7),
+        ]
+    )
+    return TPPProblem(graph, [(0, 1), (2, 3), (0, 9)], motif="triangle")
+
+
+class TestTBD:
+    def test_proportional_to_subgraph_counts(self, problem):
+        division = target_subgraph_budget_division(problem, budget=4)
+        assert division[(0, 1)] == 3
+        assert division[(2, 3)] == 1
+        assert division[(0, 9)] == 0
+
+    def test_caps_at_subgraph_count(self, problem):
+        division = target_subgraph_budget_division(problem, budget=100)
+        assert division[(0, 1)] == 3
+        assert division[(2, 3)] == 1
+        assert division[(0, 9)] == 0
+
+    def test_budget_never_exceeded(self, problem):
+        for budget in range(0, 10):
+            division = target_subgraph_budget_division(problem, budget)
+            assert sum(division.values()) <= budget
+
+    def test_negative_budget_rejected(self, problem):
+        with pytest.raises(BudgetError):
+            target_subgraph_budget_division(problem, -1)
+
+
+class TestDBD:
+    def test_respects_caps_and_budget(self, problem):
+        division = degree_product_budget_division(problem, budget=4)
+        initial = problem.initial_similarity_by_target()
+        assert sum(division.values()) <= 4
+        for target, value in division.items():
+            assert 0 <= value <= initial[target]
+
+    def test_prefers_high_degree_product_targets(self, problem):
+        # target (0,1): endpoints of high degree; (2,3) lower
+        division = degree_product_budget_division(problem, budget=3)
+        assert division[(0, 1)] >= division[(2, 3)]
+
+    def test_negative_budget_rejected(self, problem):
+        with pytest.raises(BudgetError):
+            degree_product_budget_division(problem, -5)
+
+
+class TestUniform:
+    def test_even_split_with_caps(self, problem):
+        division = uniform_budget_division(problem, budget=3)
+        assert sum(division.values()) <= 3
+        assert division[(0, 9)] == 0  # capped at |W_t| = 0
+
+
+class TestMakeAndValidate:
+    def test_make_by_name(self, problem):
+        for name in ("tbd", "dbd", "uniform"):
+            division = make_budget_division(problem, 4, name)
+            assert sum(division.values()) <= 4
+
+    def test_make_with_explicit_mapping(self, problem):
+        explicit = {(0, 1): 2, (2, 3): 1}
+        division = make_budget_division(problem, 3, explicit)
+        assert division == explicit
+
+    def test_unknown_strategy(self, problem):
+        with pytest.raises(BudgetError):
+            make_budget_division(problem, 3, "magic")
+
+    def test_validate_unknown_target(self, problem):
+        with pytest.raises(BudgetError):
+            validate_budget_division(problem, 3, {(8, 9): 1})
+
+    def test_validate_negative_sub_budget(self, problem):
+        with pytest.raises(BudgetError):
+            validate_budget_division(problem, 3, {(0, 1): -1})
+
+    def test_validate_sum_exceeding_budget(self, problem):
+        with pytest.raises(BudgetError):
+            validate_budget_division(problem, 2, {(0, 1): 2, (2, 3): 1})
+
+    def test_zero_budget_gives_all_zero(self, problem):
+        division = make_budget_division(problem, 0, "tbd")
+        assert all(value == 0 for value in division.values())

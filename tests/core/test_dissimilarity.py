@@ -1,0 +1,104 @@
+"""Tests for dissimilarity functions and the alternative perturbations of §VI-D."""
+
+import pytest
+
+from repro.core.dissimilarity import (
+    LocalIndexDissimilarity,
+    SubgraphDissimilarity,
+    apply_link_addition,
+    apply_link_switching,
+)
+from repro.graphs.graph import Graph
+from repro.prediction.local import jaccard_index, resource_allocation_index
+
+
+@pytest.fixture
+def phase1_graph():
+    # target (0, 1) removed; triangles via 2 and 3
+    return Graph(edges=[(0, 2), (1, 2), (0, 3), (1, 3), (4, 5)])
+
+
+class TestSubgraphDissimilarity:
+    def test_initial_value_zero_with_tight_constant(self, phase1_graph):
+        f = SubgraphDissimilarity([(0, 1)], "triangle", constant=2)
+        assert f(phase1_graph) == 0
+        assert f.similarity(phase1_graph) == 2
+
+    def test_monotone_under_deletions(self, phase1_graph):
+        f = SubgraphDissimilarity([(0, 1)], "triangle", constant=2)
+        one_deleted = phase1_graph.without_edges([(0, 2)])
+        two_deleted = one_deleted.without_edges([(0, 3)])
+        assert f(phase1_graph) <= f(one_deleted) <= f(two_deleted)
+
+    def test_marginal_gain_nonnegative(self, phase1_graph):
+        f = SubgraphDissimilarity([(0, 1)], "triangle", constant=2)
+        for edge in phase1_graph.edges():
+            assert f.marginal_gain(phase1_graph, edge) >= 0
+
+
+class TestLocalIndexDissimilarity:
+    def test_evaluates_index_over_targets(self, phase1_graph):
+        f = LocalIndexDissimilarity([(0, 1)], resource_allocation_index, constant=10)
+        expected = 10 - resource_allocation_index(phase1_graph, 0, 1)
+        assert f(phase1_graph) == pytest.approx(expected)
+
+    def test_jaccard_dissimilarity_not_monotone(self):
+        """The paper's Fig. 7 counter-example: deleting an edge can DECREASE
+        the Jaccard dissimilarity, so greedy guarantees do not hold."""
+        # target (u, v); u's neighbors: 1, 2, 3; v's neighbors: 2, 3, 4
+        graph = Graph(
+            edges=[("u", 1), ("u", 2), ("u", 3), ("v", 2), ("v", 3), ("v", 4)]
+        )
+        f = LocalIndexDissimilarity([("u", "v")], jaccard_index, constant=1.0)
+        base = f(graph)
+        gains = [f.marginal_gain(graph, edge) for edge in graph.edges()]
+        assert any(gain < 0 for gain in gains), (
+            "expected at least one deletion to decrease the Jaccard dissimilarity"
+        )
+        assert base == pytest.approx(1.0 - 2.0 / 4.0)
+
+
+class TestLinkAddition:
+    def test_adds_requested_number_of_new_edges(self, phase1_graph):
+        perturbed, added = apply_link_addition(phase1_graph, 3, seed=0)
+        assert len(added) == 3
+        assert perturbed.number_of_edges() == phase1_graph.number_of_edges() + 3
+        for edge in added:
+            assert not phase1_graph.has_edge(*edge)
+
+    def test_addition_never_increases_subgraph_dissimilarity(self, phase1_graph):
+        f = SubgraphDissimilarity([(0, 1)], "triangle", constant=100)
+        for seed in range(5):
+            perturbed, _ = apply_link_addition(phase1_graph, 2, seed=seed)
+            assert f(perturbed) <= f(phase1_graph)
+
+    def test_saturated_graph_stops_early(self):
+        graph = Graph(edges=[(0, 1), (1, 2), (0, 2)])
+        perturbed, added = apply_link_addition(graph, 10, seed=1)
+        assert len(added) == 0
+        assert perturbed.number_of_edges() == 3
+
+
+class TestLinkSwitching:
+    def test_preserves_edge_count(self, phase1_graph):
+        perturbed, deleted, added = apply_link_switching(phase1_graph, 2, seed=0)
+        assert len(deleted) == len(added) == 2
+        assert perturbed.number_of_edges() == phase1_graph.number_of_edges()
+
+    def test_respects_protected_edges(self, phase1_graph):
+        protected = [(0, 2), (0, 3)]
+        _, deleted, _ = apply_link_switching(
+            phase1_graph, 3, seed=1, protected_edges=protected
+        )
+        assert all(edge not in protected for edge in deleted)
+
+    def test_switching_can_decrease_dissimilarity(self, phase1_graph):
+        """Switching gives no monotonicity guarantee: across seeds the
+        dissimilarity sometimes drops (new triangles appear)."""
+        f = SubgraphDissimilarity([(0, 1)], "triangle", constant=100)
+        base = f(phase1_graph)
+        values = []
+        for seed in range(20):
+            perturbed, _, _ = apply_link_switching(phase1_graph, 2, seed=seed)
+            values.append(f(perturbed))
+        assert min(values) <= base  # not guaranteed to increase every time

@@ -1,0 +1,114 @@
+"""Tests for the coverage and recount marginal-gain engines."""
+
+import pytest
+
+from repro.core.engines import CoverageEngine, RecountEngine, make_engine
+from repro.core.model import TPPProblem
+from repro.graphs.graph import Graph
+
+
+@pytest.fixture
+def problem():
+    graph = Graph(
+        edges=[
+            (0, 1),
+            (2, 3),
+            (0, 4),
+            (1, 4),
+            (0, 5),
+            (1, 5),
+            (2, 6),
+            (3, 6),
+            (7, 8),  # edge in no target subgraph
+        ]
+    )
+    return TPPProblem(graph, [(0, 1), (2, 3)], motif="triangle")
+
+
+class TestMakeEngine:
+    def test_factory(self, problem):
+        assert isinstance(make_engine(problem, "coverage"), CoverageEngine)
+        assert isinstance(make_engine(problem, "recount"), RecountEngine)
+
+    def test_unknown_engine(self, problem):
+        with pytest.raises(ValueError):
+            make_engine(problem, "magic")
+
+
+@pytest.mark.parametrize("engine_name", ["coverage", "recount"])
+class TestEngineBehaviour:
+    def test_initial_similarity(self, problem, engine_name):
+        engine = make_engine(problem, engine_name)
+        assert engine.total_similarity() == 3
+        assert engine.similarity_of((0, 1)) == 2
+        assert engine.similarity_of((2, 3)) == 1
+
+    def test_total_gain(self, problem, engine_name):
+        engine = make_engine(problem, engine_name)
+        assert engine.total_gain((0, 4)) == 1
+        assert engine.total_gain((7, 8)) == 0
+
+    def test_gain_by_target(self, problem, engine_name):
+        engine = make_engine(problem, engine_name)
+        assert engine.gain_by_target((2, 6)) == {(2, 3): 1}
+        assert engine.gain_for_target((2, 6), (2, 3)) == 1
+        assert engine.gain_for_target((2, 6), (0, 1)) == 0
+
+    def test_commit_updates_state(self, problem, engine_name):
+        engine = make_engine(problem, engine_name)
+        broken = engine.commit((0, 4))
+        assert broken == {(0, 1): 1}
+        assert engine.total_similarity() == 2
+        assert engine.total_gain((1, 4)) == 0  # its instance is already gone
+
+    def test_full_protection(self, problem, engine_name):
+        engine = make_engine(problem, engine_name)
+        for edge in [(0, 4), (0, 5), (2, 6)]:
+            engine.commit(edge)
+        assert engine.is_fully_protected()
+
+
+class TestCandidateSets:
+    def test_coverage_restricts_candidates(self, problem):
+        engine = CoverageEngine(problem, restrict_candidates=True)
+        candidates = engine.candidate_edges()
+        assert (7, 8) not in candidates
+        assert (0, 4) in candidates
+
+    def test_coverage_unrestricted_offers_all_edges(self, problem):
+        engine = CoverageEngine(problem, restrict_candidates=False)
+        candidates = engine.candidate_edges()
+        assert (7, 8) in candidates
+        engine.commit((7, 8))
+        assert (7, 8) not in engine.candidate_edges()
+
+    def test_recount_offers_all_remaining_edges(self, problem):
+        engine = RecountEngine(problem)
+        assert (7, 8) in engine.candidate_edges()
+        engine.commit((7, 8))
+        assert (7, 8) not in engine.candidate_edges()
+
+    def test_targets_never_candidates(self, problem):
+        for engine_name in ("coverage", "recount"):
+            engine = make_engine(problem, engine_name)
+            assert (0, 1) not in engine.candidate_edges()
+            assert (2, 3) not in engine.candidate_edges()
+
+
+class TestEnginesAgree:
+    def test_gains_agree_on_every_edge(self, problem):
+        coverage = make_engine(problem, "coverage")
+        recount = make_engine(problem, "recount")
+        for edge in problem.phase1_graph.edges():
+            assert coverage.total_gain(edge) == recount.total_gain(edge)
+            assert coverage.gain_by_target(edge) == recount.gain_by_target(edge)
+
+    def test_gains_agree_after_commits(self, problem):
+        coverage = make_engine(problem, "coverage")
+        recount = make_engine(problem, "recount")
+        for committed in [(0, 4), (2, 6)]:
+            coverage.commit(committed)
+            recount.commit(committed)
+        for edge in [(0, 5), (1, 4), (1, 5), (3, 6), (7, 8)]:
+            assert coverage.total_gain(edge) == recount.total_gain(edge)
+        assert coverage.total_similarity() == recount.total_similarity()

@@ -1,0 +1,90 @@
+"""The worked example of Fig. 2: SGB vs CT vs WT on the paper's own graph."""
+
+import pytest
+
+from repro.core.ct import ct_greedy
+from repro.core.model import TPPProblem
+from repro.core.sgb import sgb_greedy
+from repro.core.wt import wt_greedy
+
+
+@pytest.fixture
+def problem(fig2):
+    return TPPProblem(fig2.graph, fig2.target_list, motif="triangle")
+
+
+class TestFigure2Structure:
+    def test_protector_participation_counts(self, fig2, problem):
+        """p1 is in 2 target triangles, p2 in 3, p3 in 2, p4 in 1 (paper text)."""
+        state = problem.build_index().new_state()
+        assert state.gain(fig2.protectors["p1"]) == 2
+        assert state.gain(fig2.protectors["p2"]) == 3
+        assert state.gain(fig2.protectors["p3"]) == 2
+        assert state.gain(fig2.protectors["p4"]) == 1
+
+    def test_total_target_subgraphs(self, problem):
+        assert problem.initial_similarity() == 7
+
+    def test_p1_serves_t1_and_t2(self, fig2, problem):
+        state = problem.build_index().new_state()
+        gains = state.gain_by_target(fig2.protectors["p1"])
+        assert gains == {fig2.targets["t1"]: 1, fig2.targets["t2"]: 1}
+
+    def test_p2_serves_t2_t3_t4(self, fig2, problem):
+        state = problem.build_index().new_state()
+        gains = state.gain_by_target(fig2.protectors["p2"])
+        assert gains == {
+            fig2.targets["t2"]: 1,
+            fig2.targets["t3"]: 1,
+            fig2.targets["t4"]: 1,
+        }
+
+
+class TestFigure2Walkthrough:
+    """The dissimilarity gains quoted in the paper: SGB = 5, CT = 4, WT = 3."""
+
+    def test_sgb_gains_five(self, fig2, problem):
+        result = sgb_greedy(problem, budget=2)
+        assert result.dissimilarity_gain == 5
+        assert set(result.protectors) == {
+            fig2.protectors["p2"],
+            fig2.protectors["p3"],
+        }
+
+    def test_sgb_first_step_gains_three(self, problem):
+        result = sgb_greedy(problem, budget=1)
+        assert result.dissimilarity_gain == 3
+
+    def test_ct_gains_four(self, fig2, problem):
+        result = ct_greedy(problem, budget=2, budget_division=fig2.ct_budget_division)
+        assert result.dissimilarity_gain == 4
+        assert result.protectors[0] == fig2.protectors["p2"]
+        assert fig2.protectors["p1"] in result.protectors
+
+    def test_wt_gains_three(self, fig2, problem):
+        result = wt_greedy(problem, budget=2, budget_division=fig2.ct_budget_division)
+        assert result.dissimilarity_gain == 3
+        assert result.protectors[0] == fig2.protectors["p1"]
+
+    def test_ordering_matches_paper(self, fig2, problem):
+        sgb = sgb_greedy(problem, budget=2)
+        ct = ct_greedy(problem, budget=2, budget_division=fig2.ct_budget_division)
+        wt = wt_greedy(problem, budget=2, budget_division=fig2.ct_budget_division)
+        assert (sgb.dissimilarity_gain, ct.dissimilarity_gain, wt.dissimilarity_gain) == (
+            5,
+            4,
+            3,
+        )
+
+    @pytest.mark.parametrize("engine", ["coverage", "recount"])
+    def test_both_engines_reproduce_the_walkthrough(self, fig2, problem, engine):
+        sgb = sgb_greedy(problem, budget=2, engine=engine)
+        ct = ct_greedy(
+            problem, budget=2, budget_division=fig2.ct_budget_division, engine=engine
+        )
+        wt = wt_greedy(
+            problem, budget=2, budget_division=fig2.ct_budget_division, engine=engine
+        )
+        assert sgb.dissimilarity_gain == 5
+        assert ct.dissimilarity_gain == 4
+        assert wt.dissimilarity_gain == 3

@@ -1,0 +1,73 @@
+"""Tests for the node-level TPP extension."""
+
+import pytest
+
+from repro.core.node_protection import node_targets, protect_target_nodes
+from repro.datasets.synthetic import small_social_graph
+from repro.exceptions import InvalidTargetError
+from repro.graphs.graph import Graph
+
+
+@pytest.fixture
+def graph():
+    return small_social_graph(seed=8)
+
+
+class TestNodeTargets:
+    def test_incident_links_collected(self, graph):
+        node = next(iter(graph.nodes()))
+        targets = node_targets(graph, [node])
+        assert len(targets) == graph.degree(node)
+        assert all(node in edge for edge in targets)
+
+    def test_shared_link_not_duplicated(self):
+        graph = Graph(edges=[(0, 1), (1, 2), (0, 2)])
+        targets = node_targets(graph, [0, 1])
+        assert len(targets) == len(set(targets)) == 3
+
+    def test_missing_node_rejected(self, graph):
+        with pytest.raises(InvalidTargetError):
+            node_targets(graph, ["ghost"])
+
+    def test_isolated_node_rejected(self):
+        graph = Graph(edges=[(0, 1)], nodes=[5])
+        with pytest.raises(InvalidTargetError):
+            node_targets(graph, [5])
+
+
+class TestProtectTargetNodes:
+    def test_full_protection_of_one_node(self, graph):
+        node = min(graph.nodes(), key=lambda n: (graph.degree(n), str(n)))
+        result = protect_target_nodes(graph, [node], budget=200, algorithm="sgb")
+        assert result.fully_protected
+        assert result.exposure_by_node() == {node: 0}
+        released = result.released_graph()
+        # every incident link and every protector is gone
+        assert released.degree(node) == 0 or all(
+            not released.has_edge(node, x) for x in graph.neighbors(node)
+        )
+
+    def test_limited_budget_reports_exposure(self, graph):
+        node = max(graph.nodes(), key=lambda n: (graph.degree(n), str(n)))
+        result = protect_target_nodes(graph, [node], budget=1, algorithm="sgb")
+        exposure = result.exposure_by_node()
+        assert node in exposure
+        assert exposure[node] >= 0
+        assert "node-TPP" in result.summary()
+
+    @pytest.mark.parametrize("algorithm", ["sgb", "ct", "wt"])
+    def test_all_algorithms_supported(self, graph, algorithm):
+        node = min(graph.nodes(), key=lambda n: (graph.degree(n), str(n)))
+        result = protect_target_nodes(graph, [node], budget=50, algorithm=algorithm)
+        assert result.link_result.budget_used <= 50
+
+    def test_unknown_algorithm(self, graph):
+        node = next(iter(graph.nodes()))
+        with pytest.raises(InvalidTargetError):
+            protect_target_nodes(graph, [node], budget=3, algorithm="oracle")
+
+    def test_multiple_nodes(self, graph):
+        nodes = sorted(graph.nodes(), key=lambda n: (graph.degree(n), str(n)))[:2]
+        result = protect_target_nodes(graph, nodes, budget=300, algorithm="sgb")
+        assert set(result.exposure_by_node()) == set(nodes)
+        assert result.fully_protected

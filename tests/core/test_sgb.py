@@ -1,0 +1,105 @@
+"""Tests for the SGB-Greedy algorithm (Algorithm 1)."""
+
+import pytest
+
+from repro.core.model import TPPProblem
+from repro.core.sgb import sgb_greedy
+from repro.core.verification import verify_result
+from repro.exceptions import BudgetError
+from repro.graphs.graph import Graph
+
+
+@pytest.fixture
+def shared_protector_problem():
+    """One edge (4, 5) sits in target subgraphs of both targets (Rectangle-free).
+
+    Targets: (0, 1) and (2, 3).  Triangles: (0,1) via 4 and via 6; (2,3) via 4
+    requires edges (2,4) and (3,4).  Edge (1,4) is only in (0,1)'s triangle.
+    """
+    graph = Graph(
+        edges=[
+            (0, 1),
+            (2, 3),
+            (0, 4),
+            (1, 4),
+            (0, 6),
+            (1, 6),
+            (2, 4),
+            (3, 4),
+        ]
+    )
+    return TPPProblem(graph, [(0, 1), (2, 3)], motif="triangle")
+
+
+class TestSGBGreedy:
+    @pytest.mark.parametrize("engine", ["coverage", "recount"])
+    def test_budget_respected(self, shared_protector_problem, engine):
+        result = sgb_greedy(shared_protector_problem, budget=1, engine=engine)
+        assert result.budget_used <= 1
+
+    @pytest.mark.parametrize("engine", ["coverage", "recount"])
+    def test_full_protection_with_enough_budget(self, shared_protector_problem, engine):
+        result = sgb_greedy(shared_protector_problem, budget=10, engine=engine)
+        assert result.fully_protected
+        assert verify_result(shared_protector_problem, result)
+
+    def test_stops_early_when_no_gain(self, shared_protector_problem):
+        result = sgb_greedy(shared_protector_problem, budget=100)
+        # 3 target subgraphs in total, at most 3 deletions are ever useful
+        assert result.budget_used <= 3
+
+    def test_zero_budget(self, shared_protector_problem):
+        result = sgb_greedy(shared_protector_problem, budget=0)
+        assert result.protectors == ()
+        assert result.final_similarity == result.initial_similarity
+
+    def test_negative_budget_rejected(self, shared_protector_problem):
+        with pytest.raises(BudgetError):
+            sgb_greedy(shared_protector_problem, budget=-1)
+
+    def test_trace_is_monotone_decreasing(self, shared_protector_problem):
+        result = sgb_greedy(shared_protector_problem, budget=10)
+        trace = result.similarity_trace
+        assert all(a >= b for a, b in zip(trace, trace[1:]))
+        assert trace[0] == result.initial_similarity
+
+    def test_greedy_picks_highest_gain_first(self, shared_protector_problem):
+        # the first deletion must break as many subgraphs as the best single
+        # edge possibly could
+        result = sgb_greedy(shared_protector_problem, budget=1)
+        first_gain = result.initial_similarity - result.similarity_trace[1]
+        state = shared_protector_problem.build_index().new_state()
+        best_possible = max(
+            state.gain(edge) for edge in shared_protector_problem.phase1_graph.edges()
+        )
+        assert first_gain == best_possible
+
+    def test_algorithm_label_reflects_engine(self, shared_protector_problem):
+        assert "SGB-Greedy-R" in sgb_greedy(shared_protector_problem, 1).algorithm
+        assert (
+            sgb_greedy(shared_protector_problem, 1, engine="recount").algorithm
+            == "SGB-Greedy"
+        )
+
+    def test_engines_reach_same_final_similarity(self, shared_protector_problem):
+        for budget in range(0, 5):
+            coverage = sgb_greedy(shared_protector_problem, budget, engine="coverage")
+            recount = sgb_greedy(shared_protector_problem, budget, engine="recount")
+            assert coverage.final_similarity == recount.final_similarity
+
+
+class TestLazySGB:
+    def test_lazy_matches_plain_quality(self, shared_protector_problem):
+        plain = sgb_greedy(shared_protector_problem, budget=10)
+        lazy = sgb_greedy(shared_protector_problem, budget=10, lazy=True)
+        assert lazy.final_similarity == plain.final_similarity
+        assert lazy.budget_used == plain.budget_used
+
+    def test_lazy_requires_coverage_engine(self, shared_protector_problem):
+        with pytest.raises(ValueError):
+            sgb_greedy(shared_protector_problem, budget=2, engine="recount", lazy=True)
+
+    def test_lazy_on_larger_graph(self, small_problem):
+        plain = sgb_greedy(small_problem, budget=15)
+        lazy = sgb_greedy(small_problem, budget=15, lazy=True)
+        assert lazy.final_similarity == plain.final_similarity

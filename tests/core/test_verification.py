@@ -1,0 +1,84 @@
+"""Tests for full-protection verification and the critical budget k*."""
+
+import pytest
+
+from repro.core.baselines import random_deletion
+from repro.core.model import TPPProblem
+from repro.core.sgb import sgb_greedy
+from repro.core.verification import (
+    critical_budget,
+    is_fully_protected,
+    minimum_protectors_upper_bound,
+    protection_ratio,
+    verify_result,
+)
+from repro.exceptions import TPPError
+from repro.graphs.graph import Graph
+
+
+@pytest.fixture
+def problem():
+    graph = Graph(
+        edges=[(0, 1), (0, 4), (1, 4), (0, 5), (1, 5), (2, 3), (2, 6), (3, 6)]
+    )
+    return TPPProblem(graph, [(0, 1), (2, 3)], motif="triangle")
+
+
+class TestIsFullyProtected:
+    def test_detects_remaining_subgraphs(self, problem):
+        assert not is_fully_protected(problem.phase1_graph, problem.targets, "triangle")
+
+    def test_detects_full_protection(self, problem):
+        released = problem.phase1_graph.without_edges([(0, 4), (0, 5), (2, 6)])
+        assert is_fully_protected(released, problem.targets, "triangle")
+
+
+class TestVerifyResult:
+    def test_accepts_consistent_result(self, problem):
+        result = sgb_greedy(problem, budget=5)
+        assert verify_result(problem, result)
+
+    def test_rejects_tampered_result(self, problem):
+        result = sgb_greedy(problem, budget=5)
+        tampered = result.__class__(
+            algorithm=result.algorithm,
+            motif=result.motif,
+            budget=result.budget,
+            protectors=result.protectors[:-1],  # drop one deletion
+            similarity_trace=result.similarity_trace,
+            initial_similarity=result.initial_similarity,
+        )
+        assert not verify_result(problem, tampered)
+
+
+class TestProtectionRatio:
+    def test_full_and_partial(self, problem):
+        full = sgb_greedy(problem, budget=10)
+        assert protection_ratio(full) == pytest.approx(1.0)
+        partial = sgb_greedy(problem, budget=1)
+        assert 0.0 < protection_ratio(partial) < 1.0
+
+    def test_zero_initial_similarity(self):
+        graph = Graph(edges=[(0, 1), (5, 6)])
+        problem = TPPProblem(graph, [(0, 1)], motif="triangle")
+        result = sgb_greedy(problem, budget=3)
+        assert protection_ratio(result) == 1.0
+
+
+class TestCriticalBudget:
+    def test_greedy_critical_budget(self, problem):
+        k_star = critical_budget(problem, lambda p, k: sgb_greedy(p, k))
+        # 3 target subgraphs; edges (0,4)/(0,5)/(2,6) (or symmetric picks)
+        # suffice, and no single edge breaks two, so k* is exactly 3
+        assert k_star == 3
+
+    def test_upper_bound(self, problem):
+        assert minimum_protectors_upper_bound(problem) == 3
+        k_star = critical_budget(problem, lambda p, k: sgb_greedy(p, k))
+        assert k_star <= minimum_protectors_upper_bound(problem)
+
+    def test_failure_raises(self, problem):
+        with pytest.raises(TPPError):
+            critical_budget(
+                problem, lambda p, k: random_deletion(p, 0, seed=0), max_budget=0
+            )

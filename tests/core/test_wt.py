@@ -1,0 +1,111 @@
+"""Tests for the WT-Greedy algorithm (Algorithm 3)."""
+
+import pytest
+
+from repro.core.ct import ct_greedy
+from repro.core.model import TPPProblem
+from repro.core.sgb import sgb_greedy
+from repro.core.verification import verify_result
+from repro.core.wt import wt_greedy
+from repro.exceptions import BudgetError
+from repro.graphs.graph import Graph
+
+
+@pytest.fixture
+def problem():
+    graph = Graph(
+        edges=[
+            (0, 1),
+            (2, 3),
+            (0, 4),
+            (1, 4),
+            (0, 5),
+            (1, 5),
+            (2, 6),
+            (3, 6),
+            (2, 7),
+            (3, 7),
+        ]
+    )
+    return TPPProblem(graph, [(0, 1), (2, 3)], motif="triangle")
+
+
+class TestWTGreedy:
+    @pytest.mark.parametrize("division", ["tbd", "dbd", "uniform"])
+    def test_respects_sub_budgets(self, problem, division):
+        result = wt_greedy(problem, budget=3, budget_division=division)
+        for target, protectors in result.allocation.items():
+            assert len(protectors) <= result.budget_division[target]
+
+    def test_full_protection_with_enough_budget(self, problem):
+        result = wt_greedy(problem, budget=10, budget_division="tbd")
+        assert result.fully_protected
+        assert verify_result(problem, result)
+
+    def test_zero_budget(self, problem):
+        result = wt_greedy(problem, budget=0)
+        assert result.protectors == ()
+
+    def test_negative_budget_rejected(self, problem):
+        with pytest.raises(BudgetError):
+            wt_greedy(problem, budget=-1)
+
+    def test_targets_processed_in_order(self, problem):
+        result = wt_greedy(
+            problem, budget=4, budget_division={(0, 1): 2, (2, 3): 2}
+        )
+        protectors = list(result.protectors)
+        first_for_01 = result.allocation[(0, 1)]
+        # all protectors charged to the first target come before the others
+        if first_for_01 and result.allocation[(2, 3)]:
+            last_first = max(protectors.index(edge) for edge in first_for_01)
+            first_second = min(protectors.index(edge) for edge in result.allocation[(2, 3)])
+            assert last_first < first_second
+
+    def test_custom_target_order(self, problem):
+        result = wt_greedy(
+            problem,
+            budget=2,
+            budget_division={(0, 1): 1, (2, 3): 1},
+            target_order=[(2, 3), (0, 1)],
+        )
+        protectors = list(result.protectors)
+        assert protectors[0] in {(2, 6), (3, 6), (2, 7), (3, 7)}
+
+    def test_invalid_target_order_rejected(self, problem):
+        with pytest.raises(BudgetError):
+            wt_greedy(problem, budget=2, target_order=[(0, 1)])
+
+    def test_never_better_than_sgb(self, problem):
+        for budget in range(1, 5):
+            sgb = sgb_greedy(problem, budget)
+            wt = wt_greedy(problem, budget, budget_division="tbd")
+            assert wt.final_similarity >= sgb.final_similarity
+
+    def test_fig2_ordering_wt_weakest(self, fig2):
+        # SGB >= CT >= WT on the paper's own example with its budget division
+        problem = TPPProblem(fig2.graph, fig2.target_list, motif="triangle")
+        sgb = sgb_greedy(problem, 2)
+        ct = ct_greedy(problem, 2, budget_division=fig2.ct_budget_division)
+        wt = wt_greedy(problem, 2, budget_division=fig2.ct_budget_division)
+        assert sgb.dissimilarity_gain >= ct.dissimilarity_gain >= wt.dissimilarity_gain
+
+    def test_algorithm_label(self, problem):
+        assert (
+            wt_greedy(problem, 2, budget_division="tbd").algorithm == "WT-Greedy-R:TBD"
+        )
+        assert (
+            wt_greedy(problem, 2, budget_division="dbd", engine="recount").algorithm
+            == "WT-Greedy:DBD"
+        )
+
+    def test_engines_agree(self, problem):
+        for budget in range(0, 5):
+            cov = wt_greedy(problem, budget, budget_division="tbd", engine="coverage")
+            rec = wt_greedy(problem, budget, budget_division="tbd", engine="recount")
+            assert cov.final_similarity == rec.final_similarity
+
+    def test_trace_monotone(self, problem):
+        result = wt_greedy(problem, budget=6, budget_division="tbd")
+        trace = result.similarity_trace
+        assert all(a >= b for a, b in zip(trace, trace[1:]))

@@ -1,0 +1,80 @@
+"""Tests for dataset loaders and the named registry."""
+
+import gzip
+
+import pytest
+
+from repro.datasets.loaders import (
+    load_edge_list_dataset,
+    load_konect_arenas_email,
+    load_snap_dblp,
+)
+from repro.datasets.registry import available_datasets, dataset_description, load_dataset
+from repro.exceptions import DatasetError
+
+
+class TestLoaders:
+    def test_load_edge_list(self, tmp_path):
+        path = tmp_path / "toy.txt"
+        path.write_text("# toy\n1 2\n2 3\n")
+        graph = load_edge_list_dataset(path)
+        assert graph.number_of_edges() == 2
+
+    def test_load_edge_list_missing(self, tmp_path):
+        with pytest.raises(DatasetError):
+            load_edge_list_dataset(tmp_path / "missing.txt")
+
+    def test_load_arenas_from_directory(self, tmp_path):
+        (tmp_path / "out.arenas-email").write_text("% konect\n1 2\n2 3\n3 1\n")
+        graph = load_konect_arenas_email(tmp_path)
+        assert graph.number_of_edges() == 3
+
+    def test_load_arenas_missing_mentions_download(self, tmp_path):
+        with pytest.raises(DatasetError) as exc:
+            load_konect_arenas_email(tmp_path)
+        assert "konect" in str(exc.value).lower()
+
+    def test_load_dblp_gzip(self, tmp_path):
+        path = tmp_path / "com-dblp.ungraph.txt.gz"
+        with gzip.open(path, "wt") as handle:
+            handle.write("# snap\n10 20\n20 30\n")
+        graph = load_snap_dblp(tmp_path)
+        assert graph.number_of_edges() == 2
+
+    def test_load_dblp_missing_mentions_download(self, tmp_path):
+        with pytest.raises(DatasetError) as exc:
+            load_snap_dblp(tmp_path / "nope.txt")
+        assert "snap" in str(exc.value).lower()
+
+
+class TestRegistry:
+    def test_available_datasets(self):
+        names = available_datasets()
+        assert "arenas-email" in names
+        assert "dblp" in names
+
+    def test_descriptions(self):
+        assert "email" in dataset_description("arenas-email").lower()
+        with pytest.raises(DatasetError):
+            dataset_description("imaginary")
+
+    def test_load_synthetic_by_name(self):
+        graph = load_dataset("small-social")
+        assert graph.number_of_nodes() == 60
+
+    def test_load_with_kwargs(self):
+        graph = load_dataset("arenas-email", nodes=150, seed=4)
+        assert graph.number_of_nodes() == 150
+
+    def test_unknown_dataset(self):
+        with pytest.raises(DatasetError):
+            load_dataset("facebook")
+
+    def test_real_file_preferred_when_present(self, tmp_path):
+        (tmp_path / "out.arenas-email").write_text("% konect\n1 2\n")
+        graph = load_dataset("arenas-email", data_dir=tmp_path)
+        assert graph.number_of_edges() == 1
+
+    def test_falls_back_to_synthetic_when_dir_empty(self, tmp_path):
+        graph = load_dataset("arenas-email", data_dir=tmp_path, nodes=120, seed=1)
+        assert graph.number_of_nodes() == 120

@@ -1,0 +1,89 @@
+"""Tests for synthetic datasets and the Fig. 2 construction."""
+
+import pytest
+
+from repro.datasets.synthetic import (
+    arenas_email_like,
+    dblp_like,
+    figure2_example,
+    small_social_graph,
+)
+from repro.graphs.algorithms import average_clustering, is_connected
+
+
+class TestArenasEmailLike:
+    def test_default_scale_matches_real_dataset(self):
+        graph = arenas_email_like()
+        assert graph.number_of_nodes() == 1133
+        # real network has 5451 edges; the stand-in should be within ~15%
+        assert 4600 <= graph.number_of_edges() <= 6300
+
+    def test_clustered_and_connected(self):
+        graph = arenas_email_like(nodes=400, seed=2)
+        assert average_clustering(graph) > 0.1
+        assert is_connected(graph)
+
+    def test_seed_reproducibility(self):
+        assert arenas_email_like(nodes=300, seed=5) == arenas_email_like(nodes=300, seed=5)
+
+    def test_custom_size(self):
+        assert arenas_email_like(nodes=200).number_of_nodes() == 200
+
+
+class TestDblpLike:
+    def test_scaled_down_default(self):
+        graph = dblp_like(nodes=1500)
+        assert graph.number_of_nodes() == 1500
+        # average degree around 6-7 like the real DBLP graph
+        avg_degree = 2 * graph.number_of_edges() / graph.number_of_nodes()
+        assert 4.0 <= avg_degree <= 8.0
+
+    def test_high_clustering(self):
+        graph = dblp_like(nodes=1000, seed=3)
+        assert average_clustering(graph) > 0.2
+
+
+class TestSmallSocialGraph:
+    def test_size(self):
+        graph = small_social_graph()
+        assert graph.number_of_nodes() == 60
+        assert graph.number_of_edges() > 60
+
+
+class TestFigure2Example:
+    def test_structure_sizes(self):
+        example = figure2_example()
+        assert len(example.targets) == 5
+        assert len(example.protectors) == 4
+        assert len(example.other_links) == 6
+        assert example.graph.number_of_edges() == 15
+
+    def test_all_labelled_links_are_edges(self):
+        example = figure2_example()
+        for edge in (
+            *example.targets.values(),
+            *example.protectors.values(),
+            *example.other_links.values(),
+        ):
+            assert example.graph.has_edge(*edge)
+
+    def test_labels_are_distinct_edges(self):
+        example = figure2_example()
+        all_edges = [
+            *example.targets.values(),
+            *example.protectors.values(),
+            *example.other_links.values(),
+        ]
+        assert len(set(all_edges)) == len(all_edges)
+
+    def test_ct_budget_division(self):
+        example = figure2_example()
+        division = example.ct_budget_division
+        assert sum(division.values()) == 2
+        assert division[example.targets["t1"]] == 1
+        assert division[example.targets["t2"]] == 1
+
+    def test_target_list_in_label_order(self):
+        example = figure2_example()
+        assert example.target_list[0] == example.targets["t1"]
+        assert example.target_list[-1] == example.targets["t5"]

@@ -1,0 +1,97 @@
+"""Tests for target sampling strategies."""
+
+import pytest
+
+from repro.datasets.synthetic import small_social_graph
+from repro.datasets.targets import (
+    sample_degree_weighted_targets,
+    sample_ego_targets,
+    sample_random_targets,
+)
+from repro.exceptions import DatasetError
+from repro.graphs.graph import Graph, canonical_edge
+
+
+@pytest.fixture
+def graph():
+    return small_social_graph(seed=0)
+
+
+class TestRandomTargets:
+    def test_samples_existing_edges(self, graph):
+        targets = sample_random_targets(graph, 10, seed=1)
+        assert len(targets) == 10
+        assert len(set(targets)) == 10
+        assert all(graph.has_edge(*t) for t in targets)
+
+    def test_reproducible(self, graph):
+        assert sample_random_targets(graph, 5, seed=7) == sample_random_targets(
+            graph, 5, seed=7
+        )
+
+    def test_too_many_requested(self):
+        tiny = Graph(edges=[(0, 1)])
+        with pytest.raises(DatasetError):
+            sample_random_targets(tiny, 5, seed=0)
+
+
+class TestDegreeWeightedTargets:
+    def test_samples_existing_edges_without_duplicates(self, graph):
+        targets = sample_degree_weighted_targets(graph, 8, seed=2)
+        assert len(targets) == 8
+        assert len(set(targets)) == 8
+        assert all(graph.has_edge(*t) for t in targets)
+
+    def test_biased_towards_hub_links(self, graph):
+        degrees = graph.degrees()
+        weighted = sample_degree_weighted_targets(graph, 10, seed=3)
+        uniform = sample_random_targets(graph, 10, seed=3)
+
+        def mean_product(edges):
+            return sum(degrees[u] * degrees[v] for u, v in edges) / len(edges)
+
+        # averaged over several seeds the bias must show
+        weighted_mean = sum(
+            mean_product(sample_degree_weighted_targets(graph, 10, seed=s))
+            for s in range(5)
+        )
+        uniform_mean = sum(
+            mean_product(sample_random_targets(graph, 10, seed=s)) for s in range(5)
+        )
+        assert weighted_mean > uniform_mean
+
+    def test_too_many_requested(self):
+        tiny = Graph(edges=[(0, 1), (1, 2)])
+        with pytest.raises(DatasetError):
+            sample_degree_weighted_targets(tiny, 5, seed=0)
+
+
+class TestEgoTargets:
+    def test_targets_incident_to_ego(self, graph):
+        ego = max(graph.nodes(), key=graph.degree)
+        targets = sample_ego_targets(graph, ego=ego, count=4, seed=0)
+        assert len(targets) == 4
+        assert all(ego in edge for edge in targets)
+
+    def test_auto_ego_selection(self, graph):
+        targets = sample_ego_targets(graph, count=3, seed=0)
+        hub = max(graph.nodes(), key=lambda n: (graph.degree(n), str(n)))
+        assert all(hub in edge for edge in targets)
+
+    def test_ego_with_too_few_links(self):
+        graph = Graph(edges=[(0, 1), (0, 2)])
+        with pytest.raises(DatasetError):
+            sample_ego_targets(graph, ego=1, count=3)
+
+    def test_unknown_ego(self, graph):
+        with pytest.raises(DatasetError):
+            sample_ego_targets(graph, ego="ghost", count=1)
+
+    def test_no_suitable_ego(self):
+        graph = Graph(edges=[(0, 1)])
+        with pytest.raises(DatasetError):
+            sample_ego_targets(graph, count=5)
+
+    def test_edges_are_canonical(self, graph):
+        targets = sample_ego_targets(graph, count=3, seed=1)
+        assert all(edge == canonical_edge(*edge) for edge in targets)

@@ -1,0 +1,62 @@
+"""Tests for the attack-defense extension experiment."""
+
+import pytest
+
+from repro.experiments.attack_defense import (
+    DEFAULT_PREDICTORS,
+    run_attack_defense,
+)
+from repro.experiments.config import ExperimentConfig
+
+
+@pytest.fixture(scope="module")
+def result():
+    config = ExperimentConfig(
+        dataset="small-social",
+        motifs=("triangle",),
+        num_targets=4,
+        repetitions=2,
+        methods=("SGB-Greedy",),
+        seed=0,
+    )
+    return run_attack_defense(config, motif="triangle", negative_samples=60)
+
+
+class TestAttackDefense:
+    def test_all_default_predictors_evaluated(self, result):
+        assert set(result.predictors()) == set(DEFAULT_PREDICTORS)
+
+    def test_triangle_family_fully_defended(self, result):
+        for name in ("common_neighbors", "jaccard", "adamic_adar", "resource_allocation"):
+            assert result.exposed_after[name] == 0.0
+
+    def test_protection_never_increases_exposure(self, result):
+        for name in result.predictors():
+            assert result.exposed_after[name] <= result.exposed_before[name]
+
+    def test_auc_values_in_range(self, result):
+        for mapping in (result.auc_before, result.auc_after):
+            for value in mapping.values():
+                assert 0.0 <= value <= 1.0
+
+    def test_rows_shape(self, result):
+        rows = result.as_rows()
+        assert len(rows) == len(DEFAULT_PREDICTORS)
+        assert all(len(row) == 5 for row in rows)
+
+    def test_budget_used_positive(self, result):
+        assert result.budget_used >= 0.0
+
+    def test_custom_predictor_subset(self):
+        config = ExperimentConfig(
+            dataset="small-social",
+            motifs=("triangle",),
+            num_targets=3,
+            repetitions=1,
+            methods=("SGB-Greedy",),
+            seed=1,
+        )
+        outcome = run_attack_defense(
+            config, motif="triangle", predictors=("jaccard",), negative_samples=30
+        )
+        assert outcome.predictors() == ("jaccard",)

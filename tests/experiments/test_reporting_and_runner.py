@@ -1,0 +1,112 @@
+"""Tests for reporting helpers and the per-figure runners."""
+
+import json
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.reporting import (
+    format_runtime_comparison,
+    format_similarity_evolution,
+    format_table,
+    format_utility_loss_table,
+    results_to_json,
+    save_json,
+)
+from repro.experiments.runner import run_figure3, run_table5
+from repro.experiments.runtime import run_runtime_comparison
+from repro.experiments.similarity_evolution import run_similarity_evolution
+from repro.experiments.utility_loss import run_utility_loss
+
+
+@pytest.fixture(scope="module")
+def tiny_config():
+    return ExperimentConfig(
+        dataset="small-social",
+        motifs=("triangle",),
+        num_targets=4,
+        repetitions=1,
+        methods=("SGB-Greedy", "RD"),
+        budgets=(1, 2, 3),
+        seed=0,
+    )
+
+
+@pytest.fixture(scope="module")
+def evolution(tiny_config):
+    return run_similarity_evolution(tiny_config, "triangle")
+
+
+@pytest.fixture(scope="module")
+def runtime(tiny_config):
+    return run_runtime_comparison(
+        tiny_config, "triangle", budgets=[1, 2], engines=("coverage",)
+    )
+
+
+@pytest.fixture(scope="module")
+def utility(tiny_config):
+    return run_utility_loss(tiny_config, metrics=("clust", "cn"))
+
+
+class TestFormatting:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [(1, 2.5), (10, 3.25)])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "a" in lines[0] and "bb" in lines[0]
+
+    def test_format_similarity_evolution(self, evolution):
+        text = format_similarity_evolution(evolution)
+        assert "SGB-Greedy" in text
+        assert "triangle" in text
+
+    def test_format_runtime(self, runtime):
+        text = format_runtime_comparison(runtime)
+        assert "Running time" in text
+        assert "SGB-Greedy-R" in text
+
+    def test_format_utility_loss(self, utility):
+        text = format_utility_loss_table(utility)
+        assert "utility loss" in text
+        assert "triangle" in text
+
+
+class TestJsonSerialisation:
+    def test_round_trip_each_kind(self, evolution, runtime, utility, tmp_path):
+        for result in (evolution, runtime, utility):
+            payload = results_to_json(result)
+            assert json.dumps(payload)  # serialisable
+        path = save_json([evolution, runtime], tmp_path / "out.json")
+        loaded = json.loads(path.read_text())
+        assert isinstance(loaded, list) and len(loaded) == 2
+
+    def test_single_result_saved_as_object(self, utility, tmp_path):
+        path = save_json(utility, tmp_path / "single.json")
+        loaded = json.loads(path.read_text())
+        assert loaded["kind"] == "utility_loss"
+
+    def test_unsupported_type(self):
+        with pytest.raises(TypeError):
+            results_to_json("not a result")
+
+
+class TestRunners:
+    def test_run_figure3_quick_single_motif(self):
+        results = run_figure3(scale="quick", motifs=("triangle",))
+        assert len(results) == 1
+        evolution = results[0]
+        assert evolution.motif == "triangle"
+        # SGB must reach full protection at the end of the sweep
+        assert evolution.curves["SGB-Greedy"][-1] == 0.0
+
+    def test_run_table5_quick(self):
+        table = run_table5(scale="quick")
+        assert set(table.metrics) == {"clust", "cn"}
+        assert table.values  # one row per motif
+
+    def test_invalid_scale(self):
+        from repro.exceptions import ExperimentError
+
+        with pytest.raises(ExperimentError):
+            run_figure3(scale="huge")

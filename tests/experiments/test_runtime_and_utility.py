@@ -1,0 +1,135 @@
+"""Tests for the runtime (Figs. 5-6) and utility-loss (Tables III-V) experiments."""
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runtime import run_runtime_comparison
+from repro.experiments.utility_loss import run_utility_loss
+
+
+@pytest.fixture
+def tiny_config():
+    return ExperimentConfig(
+        dataset="small-social",
+        motifs=("triangle",),
+        num_targets=4,
+        repetitions=1,
+        methods=("SGB-Greedy", "RD"),
+        seed=0,
+    )
+
+
+class TestRuntimeComparison:
+    def test_curves_for_both_engines(self, tiny_config):
+        result = run_runtime_comparison(
+            tiny_config, "triangle", budgets=[1, 2], engines=("coverage", "recount")
+        )
+        assert "SGB-Greedy-R" in result.curves
+        assert "SGB-Greedy" in result.curves
+        assert "RD" in result.curves
+        assert len(result.curves["SGB-Greedy-R"]) == 2
+
+    def test_times_are_nonnegative(self, tiny_config):
+        result = run_runtime_comparison(
+            tiny_config, "triangle", budgets=[1, 3], engines=("coverage",)
+        )
+        for values in result.curves.values():
+            assert all(value >= 0.0 for value in values)
+
+    def test_speedup_helper(self, tiny_config):
+        result = run_runtime_comparison(
+            tiny_config, "triangle", budgets=[2], engines=("coverage", "recount")
+        )
+        speedups = result.speedup("SGB-Greedy", "SGB-Greedy-R")
+        assert len(speedups) == 1
+        assert speedups[0] > 0
+
+    def test_baselines_only_timed_once(self, tiny_config):
+        result = run_runtime_comparison(
+            tiny_config, "triangle", budgets=[1], engines=("coverage", "recount")
+        )
+        # RD appears once (no -R variant)
+        assert "RD" in result.curves
+        assert "RD-R" not in result.curves
+
+    def test_division_labels(self):
+        config = ExperimentConfig(
+            dataset="small-social",
+            motifs=("triangle",),
+            num_targets=4,
+            repetitions=1,
+            methods=("CT-Greedy:TBD",),
+            seed=0,
+        )
+        result = run_runtime_comparison(
+            config, "triangle", budgets=[1], engines=("coverage",)
+        )
+        assert "CT-Greedy-R:TBD" in result.curves
+
+
+class TestUtilityLoss:
+    def test_table_shape(self):
+        config = ExperimentConfig(
+            dataset="small-social",
+            motifs=("triangle", "rectri"),
+            num_targets=4,
+            repetitions=1,
+            methods=("SGB-Greedy", "CT-Greedy:TBD"),
+            seed=0,
+        )
+        table = run_utility_loss(config, metrics=("clust", "cn"))
+        assert set(table.values) == {"triangle", "rectri"}
+        assert set(table.methods()) == {"SGB-Greedy", "CT-Greedy:TBD"}
+        rows = table.as_rows()
+        assert len(rows) == 2
+
+    def test_losses_are_percentages(self):
+        config = ExperimentConfig(
+            dataset="small-social",
+            motifs=("triangle",),
+            num_targets=3,
+            repetitions=1,
+            methods=("SGB-Greedy",),
+            seed=1,
+        )
+        table = run_utility_loss(config, metrics=("clust", "cn"))
+        for per_method in table.values.values():
+            for value in per_method.values():
+                assert 0.0 <= value <= 100.0
+
+    def test_full_protection_budget_recorded(self):
+        config = ExperimentConfig(
+            dataset="small-social",
+            motifs=("triangle",),
+            num_targets=3,
+            repetitions=1,
+            methods=("SGB-Greedy",),
+            seed=1,
+        )
+        table = run_utility_loss(config, budget=None, metrics=("clust",))
+        assert table.budgets_used["triangle"]["SGB-Greedy"] > 0
+
+    def test_fixed_budget_mode(self):
+        config = ExperimentConfig(
+            dataset="small-social",
+            motifs=("triangle",),
+            num_targets=3,
+            repetitions=1,
+            methods=("SGB-Greedy",),
+            seed=1,
+        )
+        table = run_utility_loss(config, budget=2, metrics=("clust",))
+        assert table.budgets_used["triangle"]["SGB-Greedy"] <= 2
+
+    def test_phase1_only_loss_not_larger_than_protected(self):
+        config = ExperimentConfig(
+            dataset="small-social",
+            motifs=("triangle",),
+            num_targets=4,
+            repetitions=1,
+            methods=("SGB-Greedy",),
+            seed=2,
+        )
+        table = run_utility_loss(config, metrics=("clust", "cn"))
+        # protecting deletes strictly more edges than only removing targets
+        assert table.phase1_only["triangle"] <= table.values["triangle"]["SGB-Greedy"] + 1e-9

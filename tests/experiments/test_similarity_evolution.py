@@ -1,0 +1,96 @@
+"""Tests for the Fig. 3 / Fig. 4 similarity-evolution experiment."""
+
+import pytest
+
+from repro.core.model import TPPProblem
+from repro.datasets.synthetic import small_social_graph
+from repro.datasets.targets import sample_random_targets
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.similarity_evolution import (
+    evolution_for_problem,
+    run_similarity_evolution,
+)
+
+METHODS = ("SGB-Greedy", "CT-Greedy:TBD", "WT-Greedy:TBD", "RD", "RDT")
+
+
+@pytest.fixture
+def config():
+    return ExperimentConfig(
+        dataset="small-social",
+        motifs=("triangle",),
+        num_targets=5,
+        repetitions=2,
+        methods=METHODS,
+        budgets=(1, 3, 5, 8),
+        seed=0,
+    )
+
+
+class TestEvolutionForProblem:
+    def test_curves_cover_all_methods_and_budgets(self):
+        graph = small_social_graph(seed=2)
+        targets = sample_random_targets(graph, 5, seed=1)
+        problem = TPPProblem(graph, targets, motif="triangle")
+        budgets = [1, 2, 4]
+        curves = evolution_for_problem(problem, budgets, METHODS, seed=1)
+        assert set(curves) == set(METHODS)
+        assert all(len(values) == len(budgets) for values in curves.values())
+
+    def test_curves_nonincreasing_in_budget(self):
+        graph = small_social_graph(seed=2)
+        targets = sample_random_targets(graph, 5, seed=1)
+        problem = TPPProblem(graph, targets, motif="triangle")
+        curves = evolution_for_problem(problem, [1, 2, 4, 8], METHODS, seed=1)
+        for method in ("SGB-Greedy", "RD", "RDT"):
+            values = curves[method]
+            assert all(a >= b for a, b in zip(values, values[1:]))
+
+    def test_sgb_dominates_baselines(self):
+        graph = small_social_graph(seed=2)
+        targets = sample_random_targets(graph, 5, seed=1)
+        problem = TPPProblem(graph, targets, motif="triangle")
+        curves = evolution_for_problem(problem, [2, 5], METHODS, seed=1)
+        for index in range(2):
+            assert curves["SGB-Greedy"][index] <= curves["RD"][index]
+
+
+class TestRunSimilarityEvolution:
+    def test_result_shape(self, config):
+        result = run_similarity_evolution(config, "triangle")
+        assert result.motif == "triangle"
+        assert result.budgets == (1, 3, 5, 8)
+        assert set(result.curves) == set(METHODS)
+        assert result.initial_similarity > 0
+
+    def test_rows_align_with_budgets(self, config):
+        result = run_similarity_evolution(config, "triangle")
+        rows = result.as_rows()
+        assert len(rows) == len(result.budgets)
+        assert rows[0][0] == 1
+
+    def test_automatic_budget_axis_reaches_zero(self):
+        config = ExperimentConfig(
+            dataset="small-social",
+            motifs=("triangle",),
+            num_targets=4,
+            repetitions=1,
+            methods=("SGB-Greedy", "RDT"),
+            budgets=None,
+            seed=3,
+        )
+        result = run_similarity_evolution(config, "triangle")
+        assert result.curves["SGB-Greedy"][-1] == 0.0
+        assert "SGB-Greedy" in result.critical_budget
+
+    def test_explicit_graph_reused(self, config):
+        graph = small_social_graph(seed=9)
+        result = run_similarity_evolution(config, "triangle", graph=graph)
+        assert set(result.curves) == set(METHODS)
+
+    def test_paper_ordering_shape(self, config):
+        """SGB <= CT <= WT <= RD at the largest budget (averaged)."""
+        result = run_similarity_evolution(config, "triangle")
+        final = {method: values[-1] for method, values in result.curves.items()}
+        assert final["SGB-Greedy"] <= final["CT-Greedy:TBD"] + 1e-9
+        assert final["CT-Greedy:TBD"] <= final["RD"] + 1e-9

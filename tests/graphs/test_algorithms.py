@@ -1,0 +1,139 @@
+"""Tests for classic graph algorithms."""
+
+import pytest
+
+from repro.exceptions import NodeNotFoundError
+from repro.graphs.algorithms import (
+    average_clustering,
+    average_shortest_path_length,
+    bfs_distances,
+    connected_components,
+    core_numbers,
+    is_connected,
+    largest_connected_component,
+    local_clustering,
+    paths_of_length_three,
+    paths_of_length_two,
+    shortest_path_length,
+    triangle_count,
+    triangles_per_node,
+)
+from repro.graphs.generators import complete_graph, cycle_graph, path_graph, star_graph
+from repro.graphs.graph import Graph
+
+
+class TestBFS:
+    def test_distances_on_path(self):
+        graph = path_graph(5)
+        assert bfs_distances(graph, 0) == {0: 0, 1: 1, 2: 2, 3: 3, 4: 4}
+
+    def test_distances_ignore_other_component(self):
+        graph = Graph(edges=[(0, 1), (2, 3)])
+        assert bfs_distances(graph, 0) == {0: 0, 1: 1}
+
+    def test_missing_source_raises(self):
+        with pytest.raises(NodeNotFoundError):
+            bfs_distances(Graph(), 0)
+
+    def test_shortest_path_length(self):
+        graph = cycle_graph(6)
+        assert shortest_path_length(graph, 0, 3) == 3
+        assert shortest_path_length(graph, 0, 0) == 0
+
+    def test_shortest_path_disconnected_is_none(self):
+        graph = Graph(edges=[(0, 1), (2, 3)])
+        assert shortest_path_length(graph, 0, 3) is None
+
+    def test_average_shortest_path_on_path_graph(self):
+        # path 0-1-2: pairs (0,1)=1, (0,2)=2, (1,2)=1 -> mean 4/3
+        graph = path_graph(3)
+        assert average_shortest_path_length(graph) == pytest.approx(4 / 3)
+
+    def test_average_shortest_path_with_sampled_sources(self):
+        graph = complete_graph(6)
+        assert average_shortest_path_length(graph, sample_sources=[0, 1]) == 1.0
+
+    def test_average_shortest_path_empty_graph(self):
+        assert average_shortest_path_length(Graph()) == 0.0
+
+
+class TestComponents:
+    def test_connected_components(self):
+        graph = Graph(edges=[(0, 1), (1, 2), (3, 4)], nodes=[9])
+        components = connected_components(graph)
+        as_sets = sorted(components, key=len, reverse=True)
+        assert as_sets[0] == {0, 1, 2}
+        assert {3, 4} in components
+        assert {9} in components
+
+    def test_largest_connected_component(self):
+        graph = Graph(edges=[(0, 1), (1, 2), (3, 4)])
+        assert largest_connected_component(graph) == {0, 1, 2}
+
+    def test_largest_component_empty_graph(self):
+        assert largest_connected_component(Graph()) == set()
+
+    def test_is_connected(self):
+        assert is_connected(complete_graph(4))
+        assert not is_connected(Graph(edges=[(0, 1), (2, 3)]))
+        assert is_connected(Graph())
+
+
+class TestCoreNumbers:
+    def test_complete_graph_core(self):
+        graph = complete_graph(5)
+        assert set(core_numbers(graph).values()) == {4}
+
+    def test_star_graph_core(self):
+        graph = star_graph(5)
+        cores = core_numbers(graph)
+        assert cores[0] == 1
+        assert all(cores[leaf] == 1 for leaf in range(1, 6))
+
+    def test_clique_with_pendant(self):
+        graph = complete_graph(4)
+        graph.add_edge(0, 99)
+        cores = core_numbers(graph)
+        assert cores[99] == 1
+        assert cores[1] == 3
+
+
+class TestTrianglesAndClustering:
+    def test_triangle_counts(self):
+        graph = complete_graph(4)  # K4 has 4 triangles, each node in 3
+        per_node = triangles_per_node(graph)
+        assert set(per_node.values()) == {3}
+        assert triangle_count(graph) == 4
+
+    def test_no_triangles_in_cycle4(self):
+        assert triangle_count(cycle_graph(4)) == 0
+
+    def test_local_clustering(self):
+        graph = Graph(edges=[(0, 1), (0, 2), (1, 2), (0, 3)])
+        assert local_clustering(graph, 0) == pytest.approx(1 / 3)
+        assert local_clustering(graph, 3) == 0.0
+
+    def test_average_clustering_complete(self):
+        assert average_clustering(complete_graph(4)) == pytest.approx(1.0)
+
+    def test_average_clustering_empty(self):
+        assert average_clustering(Graph()) == 0.0
+
+
+class TestPathEnumeration:
+    def test_paths_of_length_two(self):
+        graph = Graph(edges=[(0, 2), (1, 2), (0, 3), (1, 3)])
+        intermediates = {w for (w,) in paths_of_length_two(graph, 0, 1)}
+        assert intermediates == {2, 3}
+
+    def test_paths_of_length_three_simple(self):
+        # 0 - 2 - 3 - 1 is the only 3-path between 0 and 1
+        graph = Graph(edges=[(0, 2), (2, 3), (3, 1)])
+        assert list(paths_of_length_three(graph, 0, 1)) == [(2, 3)]
+
+    def test_paths_of_length_three_excludes_endpoints(self):
+        # path through the other endpoint (0-1-x-1) must not be produced
+        graph = Graph(edges=[(0, 1), (1, 2), (2, 3), (3, 0)])
+        paths = set(paths_of_length_three(graph, 0, 3))
+        assert (1, 2) in paths
+        assert all(0 not in pair and 3 not in pair for pair in paths)

@@ -1,0 +1,101 @@
+"""Tests for community detection and modularity."""
+
+import pytest
+
+from repro.graphs.community import (
+    best_partition_modularity,
+    greedy_modularity_communities,
+    label_propagation_communities,
+    modularity,
+    partition_from_communities,
+)
+from repro.graphs.generators import complete_graph, planted_partition_graph
+from repro.graphs.graph import Graph
+
+
+def two_cliques_graph():
+    """Two 5-cliques joined by a single bridge edge."""
+    graph = Graph()
+    for offset in (0, 5):
+        for u in range(offset, offset + 5):
+            for v in range(u + 1, offset + 5):
+                graph.add_edge(u, v)
+    graph.add_edge(0, 5)
+    return graph
+
+
+class TestModularity:
+    def test_partition_from_communities(self):
+        partition = partition_from_communities([[1, 2], [3]])
+        assert partition == {1: 0, 2: 0, 3: 1}
+
+    def test_two_clique_partition_has_high_modularity(self):
+        graph = two_cliques_graph()
+        good = modularity(graph, [set(range(5)), set(range(5, 10))])
+        bad = modularity(graph, [set(range(10))])
+        assert good > 0.3
+        assert good > bad
+
+    def test_single_community_modularity_zero(self):
+        graph = complete_graph(5)
+        assert modularity(graph, [set(range(5))]) == pytest.approx(0.0)
+
+    def test_empty_graph(self):
+        assert modularity(Graph(), []) == 0.0
+
+    def test_matches_networkx(self):
+        networkx = pytest.importorskip("networkx")
+        nx_graph = networkx.karate_club_graph()
+        from repro.graphs.convert import from_networkx
+
+        graph = from_networkx(nx_graph)
+        communities = [set(range(0, 17)), set(range(17, 34))]
+        expected = networkx.algorithms.community.modularity(
+            nx_graph, communities, weight=None
+        )
+        assert modularity(graph, communities) == pytest.approx(expected)
+
+
+class TestLabelPropagation:
+    def test_recovers_two_cliques(self):
+        graph = two_cliques_graph()
+        communities = label_propagation_communities(graph, seed=0)
+        assert len(communities) >= 1
+        # every community must be a subset of one of the two cliques or their union
+        for community in communities:
+            assert community <= set(range(10))
+
+    def test_is_a_partition(self):
+        graph = planted_partition_graph([15, 15], 0.6, 0.02, seed=1)
+        communities = label_propagation_communities(graph, seed=1)
+        all_nodes = [node for community in communities for node in community]
+        assert len(all_nodes) == graph.number_of_nodes()
+        assert len(set(all_nodes)) == graph.number_of_nodes()
+
+
+class TestGreedyModularity:
+    def test_recovers_two_cliques_exactly(self):
+        graph = two_cliques_graph()
+        communities = greedy_modularity_communities(graph)
+        as_sets = {frozenset(c) for c in communities}
+        assert frozenset(range(5)) in as_sets
+        assert frozenset(range(5, 10)) in as_sets
+
+    def test_positive_modularity_on_planted_partition(self):
+        graph = planted_partition_graph([12, 12, 12], 0.7, 0.02, seed=3)
+        communities = greedy_modularity_communities(graph)
+        assert modularity(graph, communities) > 0.4
+
+    def test_empty_graph(self):
+        assert greedy_modularity_communities(Graph(nodes=[1, 2])) == [{1}, {2}]
+
+
+class TestBestPartition:
+    def test_small_graph_uses_greedy(self):
+        graph = two_cliques_graph()
+        assert best_partition_modularity(graph) > 0.3
+
+    def test_large_graph_threshold_switches_to_label_propagation(self):
+        graph = planted_partition_graph([15, 15], 0.6, 0.02, seed=2)
+        value = best_partition_modularity(graph, large_graph_threshold=5)
+        assert -0.5 <= value <= 1.0

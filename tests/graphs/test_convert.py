@@ -1,0 +1,80 @@
+"""Tests for graph conversion helpers."""
+
+import pytest
+
+from repro.graphs.convert import (
+    from_adjacency,
+    from_edge_list,
+    from_networkx,
+    to_adjacency,
+    to_edge_list,
+    to_networkx,
+)
+from repro.graphs.graph import Graph
+
+networkx = pytest.importorskip("networkx")
+
+
+class TestEdgeListConversion:
+    def test_round_trip(self):
+        graph = from_edge_list([(2, 1), (3, 2)], nodes=[9])
+        assert graph.number_of_nodes() == 4
+        assert to_edge_list(graph) == [(1, 2), (2, 3)]
+
+
+class TestAdjacencyConversion:
+    def test_from_adjacency(self):
+        graph = from_adjacency({1: [2, 3], 2: [1], 4: []})
+        assert graph.has_edge(1, 2)
+        assert graph.has_edge(1, 3)
+        assert graph.has_node(4)
+        assert graph.degree(4) == 0
+
+    def test_from_adjacency_skips_self_reference(self):
+        graph = from_adjacency({1: [1, 2]})
+        assert graph.number_of_edges() == 1
+
+    def test_to_adjacency_is_a_copy(self):
+        graph = Graph(edges=[(1, 2)])
+        adjacency = to_adjacency(graph)
+        adjacency[1].add(99)
+        assert not graph.has_edge(1, 99)
+
+
+class TestNetworkxInterop:
+    def test_round_trip(self):
+        graph = Graph(edges=[(1, 2), (2, 3), (3, 1)])
+        nx_graph = to_networkx(graph)
+        assert nx_graph.number_of_edges() == 3
+        back = from_networkx(nx_graph)
+        assert back == graph
+
+    def test_from_networkx_drops_self_loops(self):
+        nx_graph = networkx.Graph()
+        nx_graph.add_edges_from([(1, 1), (1, 2)])
+        graph = from_networkx(nx_graph)
+        assert graph.number_of_edges() == 1
+
+    def test_triangle_counts_match_networkx(self):
+        nx_graph = networkx.les_miserables_graph()
+        graph = from_networkx(nx_graph)
+        from repro.graphs.algorithms import triangle_count
+
+        expected = sum(networkx.triangles(nx_graph).values()) // 3
+        assert triangle_count(graph) == expected
+
+    def test_clustering_matches_networkx(self):
+        nx_graph = networkx.karate_club_graph()
+        graph = from_networkx(nx_graph)
+        from repro.graphs.algorithms import average_clustering
+
+        assert average_clustering(graph) == pytest.approx(
+            networkx.average_clustering(nx_graph)
+        )
+
+    def test_core_numbers_match_networkx(self):
+        nx_graph = networkx.karate_club_graph()
+        graph = from_networkx(nx_graph)
+        from repro.graphs.algorithms import core_numbers
+
+        assert core_numbers(graph) == networkx.core_number(nx_graph)

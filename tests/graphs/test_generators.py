@@ -1,0 +1,133 @@
+"""Tests for random graph generators."""
+
+import pytest
+
+from repro.graphs.algorithms import average_clustering, is_connected
+from repro.graphs.generators import (
+    barabasi_albert_graph,
+    complete_graph,
+    cycle_graph,
+    erdos_renyi_graph,
+    path_graph,
+    planted_partition_graph,
+    powerlaw_cluster_graph,
+    star_graph,
+    watts_strogatz_graph,
+)
+
+
+class TestDeterministicGenerators:
+    def test_complete_graph(self):
+        graph = complete_graph(5)
+        assert graph.number_of_nodes() == 5
+        assert graph.number_of_edges() == 10
+
+    def test_cycle_graph(self):
+        graph = cycle_graph(5)
+        assert graph.number_of_edges() == 5
+        assert all(graph.degree(node) == 2 for node in graph.nodes())
+
+    def test_cycle_too_small_has_no_edges(self):
+        assert cycle_graph(2).number_of_edges() == 0
+
+    def test_path_graph(self):
+        graph = path_graph(4)
+        assert graph.number_of_edges() == 3
+
+    def test_star_graph(self):
+        graph = star_graph(6)
+        assert graph.degree(0) == 6
+        assert graph.number_of_edges() == 6
+
+
+class TestErdosRenyi:
+    def test_extreme_probabilities(self):
+        assert erdos_renyi_graph(10, 0.0, seed=1).number_of_edges() == 0
+        assert erdos_renyi_graph(10, 1.0, seed=1).number_of_edges() == 45
+
+    def test_seed_reproducibility(self):
+        a = erdos_renyi_graph(30, 0.2, seed=5)
+        b = erdos_renyi_graph(30, 0.2, seed=5)
+        assert a == b
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            erdos_renyi_graph(10, 1.5)
+
+
+class TestBarabasiAlbert:
+    def test_size_and_connectivity(self):
+        graph = barabasi_albert_graph(100, 3, seed=2)
+        assert graph.number_of_nodes() == 100
+        assert graph.number_of_edges() > 100
+        assert is_connected(graph)
+
+    def test_invalid_m(self):
+        with pytest.raises(ValueError):
+            barabasi_albert_graph(5, 0)
+        with pytest.raises(ValueError):
+            barabasi_albert_graph(5, 5)
+
+    def test_hub_emerges(self):
+        graph = barabasi_albert_graph(200, 2, seed=3)
+        degrees = sorted(graph.degrees().values(), reverse=True)
+        assert degrees[0] >= 3 * degrees[len(degrees) // 2]
+
+
+class TestWattsStrogatz:
+    def test_no_rewiring_keeps_lattice(self):
+        graph = watts_strogatz_graph(10, 4, 0.0, seed=1)
+        assert graph.number_of_edges() == 20
+        assert all(graph.degree(node) == 4 for node in graph.nodes())
+
+    def test_rewiring_preserves_edge_count(self):
+        graph = watts_strogatz_graph(30, 4, 0.3, seed=4)
+        assert graph.number_of_edges() == 60
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            watts_strogatz_graph(10, 3, 0.1)
+        with pytest.raises(ValueError):
+            watts_strogatz_graph(4, 4, 0.1)
+
+
+class TestPowerlawCluster:
+    def test_size_and_clustering(self):
+        graph = powerlaw_cluster_graph(300, 4, 0.6, seed=1)
+        assert graph.number_of_nodes() == 300
+        # roughly m edges per new node
+        assert graph.number_of_edges() >= 3 * (300 - 4) * 0.9
+        assert average_clustering(graph) > 0.1
+
+    def test_zero_triangle_probability_still_valid(self):
+        graph = powerlaw_cluster_graph(100, 2, 0.0, seed=1)
+        assert graph.number_of_nodes() == 100
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            powerlaw_cluster_graph(10, 0, 0.5)
+        with pytest.raises(ValueError):
+            powerlaw_cluster_graph(10, 2, 1.5)
+
+    def test_seed_reproducibility(self):
+        a = powerlaw_cluster_graph(80, 3, 0.5, seed=9)
+        b = powerlaw_cluster_graph(80, 3, 0.5, seed=9)
+        assert a == b
+
+
+class TestPlantedPartition:
+    def test_dense_blocks_sparse_between(self):
+        graph = planted_partition_graph([20, 20], p_in=0.8, p_out=0.02, seed=1)
+        intra = sum(
+            1 for u, v in graph.edges() if (u < 20) == (v < 20)
+        )
+        inter = graph.number_of_edges() - intra
+        assert intra > inter
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            planted_partition_graph([5, 5], p_in=1.2, p_out=0.1)
+
+    def test_total_nodes(self):
+        graph = planted_partition_graph([3, 4, 5], p_in=0.5, p_out=0.1, seed=2)
+        assert graph.number_of_nodes() == 12

@@ -1,0 +1,155 @@
+"""Tests for the core Graph data structure."""
+
+import pytest
+
+from repro.exceptions import EdgeNotFoundError, NodeNotFoundError
+from repro.graphs.graph import Graph, canonical_edge
+
+
+class TestCanonicalEdge:
+    def test_orders_comparable_nodes(self):
+        assert canonical_edge(2, 1) == (1, 2)
+        assert canonical_edge(1, 2) == (1, 2)
+
+    def test_orders_strings(self):
+        assert canonical_edge("b", "a") == ("a", "b")
+
+    def test_mixed_types_fall_back_to_repr(self):
+        edge = canonical_edge("a", 1)
+        assert set(edge) == {"a", 1}
+        assert canonical_edge(1, "a") == edge
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        graph = Graph()
+        assert graph.number_of_nodes() == 0
+        assert graph.number_of_edges() == 0
+
+    def test_from_edges_and_nodes(self):
+        graph = Graph(edges=[(1, 2), (2, 3)], nodes=[9])
+        assert graph.number_of_nodes() == 4
+        assert graph.number_of_edges() == 2
+        assert graph.has_node(9)
+        assert graph.degree(9) == 0
+
+    def test_duplicate_edges_collapse(self):
+        graph = Graph(edges=[(1, 2), (2, 1), (1, 2)])
+        assert graph.number_of_edges() == 1
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError):
+            Graph(edges=[(1, 1)])
+
+
+class TestMutation:
+    def test_add_and_remove_edge(self):
+        graph = Graph()
+        graph.add_edge("a", "b")
+        assert graph.has_edge("b", "a")
+        graph.remove_edge("a", "b")
+        assert not graph.has_edge("a", "b")
+        assert graph.has_node("a") and graph.has_node("b")
+
+    def test_remove_missing_edge_raises(self):
+        graph = Graph(edges=[(1, 2)])
+        with pytest.raises(EdgeNotFoundError):
+            graph.remove_edge(1, 3)
+
+    def test_remove_edges_from_ignores_missing(self):
+        graph = Graph(edges=[(1, 2), (2, 3)])
+        graph.remove_edges_from([(1, 2), (5, 6)])
+        assert graph.number_of_edges() == 1
+
+    def test_remove_node_drops_incident_edges(self):
+        graph = Graph(edges=[(1, 2), (2, 3), (3, 1)])
+        graph.remove_node(2)
+        assert not graph.has_node(2)
+        assert graph.number_of_edges() == 1
+        assert graph.has_edge(1, 3)
+
+    def test_remove_missing_node_raises(self):
+        graph = Graph()
+        with pytest.raises(NodeNotFoundError):
+            graph.remove_node("ghost")
+
+
+class TestQueries:
+    def test_neighbors_and_degree(self):
+        graph = Graph(edges=[(1, 2), (1, 3), (1, 4)])
+        assert graph.neighbors(1) == {2, 3, 4}
+        assert graph.degree(1) == 3
+        assert graph.degree(2) == 1
+
+    def test_neighbors_missing_node_raises(self):
+        graph = Graph()
+        with pytest.raises(NodeNotFoundError):
+            graph.neighbors(42)
+
+    def test_common_neighbors(self):
+        graph = Graph(edges=[(1, 3), (2, 3), (1, 4), (2, 4), (1, 5)])
+        assert graph.common_neighbors(1, 2) == {3, 4}
+
+    def test_degrees_mapping(self):
+        graph = Graph(edges=[(1, 2), (2, 3)])
+        assert graph.degrees() == {1: 1, 2: 2, 3: 1}
+
+    def test_density(self):
+        triangle = Graph(edges=[(0, 1), (1, 2), (0, 2)])
+        assert triangle.density() == pytest.approx(1.0)
+        assert Graph(nodes=[1]).density() == 0.0
+
+
+class TestIterationAndSizes:
+    def test_edges_canonical_and_unique(self):
+        graph = Graph(edges=[(2, 1), (3, 2)])
+        edges = list(graph.edges())
+        assert len(edges) == 2
+        assert all(edge == canonical_edge(*edge) for edge in edges)
+        assert set(edges) == {(1, 2), (2, 3)}
+
+    def test_len_iter_contains(self):
+        graph = Graph(edges=[(1, 2)], nodes=[7])
+        assert len(graph) == 3
+        assert set(iter(graph)) == {1, 2, 7}
+        assert 7 in graph
+        assert 99 not in graph
+
+
+class TestCopiesAndViews:
+    def test_copy_is_independent(self):
+        graph = Graph(edges=[(1, 2)])
+        clone = graph.copy()
+        clone.add_edge(2, 3)
+        assert graph.number_of_edges() == 1
+        assert clone.number_of_edges() == 2
+
+    def test_subgraph(self):
+        graph = Graph(edges=[(1, 2), (2, 3), (3, 4), (4, 1)])
+        sub = graph.subgraph([1, 2, 3])
+        assert sub.number_of_nodes() == 3
+        assert sub.edge_set() == {(1, 2), (2, 3)}
+
+    def test_subgraph_ignores_unknown_nodes(self):
+        graph = Graph(edges=[(1, 2)])
+        sub = graph.subgraph([1, 2, 99])
+        assert sub.number_of_nodes() == 2
+
+    def test_without_edges_leaves_original_untouched(self):
+        graph = Graph(edges=[(1, 2), (2, 3)])
+        reduced = graph.without_edges([(1, 2), (9, 9)])
+        assert reduced.number_of_edges() == 1
+        assert graph.number_of_edges() == 2
+
+    def test_equality(self):
+        a = Graph(edges=[(1, 2), (2, 3)])
+        b = Graph(edges=[(3, 2), (2, 1)])
+        c = Graph(edges=[(1, 2)])
+        assert a == b
+        assert a != c
+        assert a != "not a graph"
+
+    def test_repr_contains_sizes(self):
+        graph = Graph(edges=[(1, 2)])
+        assert "n=2" in repr(graph)
+        assert "m=1" in repr(graph)

@@ -1,0 +1,70 @@
+"""Tests for edge-list IO."""
+
+import gzip
+
+import pytest
+
+from repro.exceptions import GraphFormatError
+from repro.graphs.graph import Graph
+from repro.graphs.io import (
+    edges_to_lines,
+    iter_edge_lines,
+    parse_edge_lines,
+    read_edge_list,
+    write_edge_list,
+)
+
+
+class TestParsing:
+    def test_iter_edge_lines_skips_comments_and_blanks(self):
+        lines = ["# comment", "% konect style", "", "1 2", "2 3 17 99"]
+        assert list(iter_edge_lines(lines)) == [("1", "2"), ("2", "3")]
+
+    def test_iter_edge_lines_rejects_single_field(self):
+        with pytest.raises(GraphFormatError):
+            list(iter_edge_lines(["42"]))
+
+    def test_parse_as_int(self):
+        graph = parse_edge_lines(["1 2", "2 3"])
+        assert graph.has_edge(1, 2)
+        assert graph.has_edge(2, 3)
+
+    def test_parse_keeps_strings_when_not_numeric(self):
+        graph = parse_edge_lines(["alice bob", "bob carol"])
+        assert graph.has_edge("alice", "bob")
+
+    def test_parse_drops_self_loops(self):
+        graph = parse_edge_lines(["1 1", "1 2"])
+        assert graph.number_of_edges() == 1
+
+
+class TestRoundTrip:
+    def test_write_and_read(self, tmp_path):
+        graph = Graph(edges=[(1, 2), (2, 3), (3, 1)])
+        path = tmp_path / "graph.txt"
+        write_edge_list(graph, path, header="test graph")
+        loaded = read_edge_list(path)
+        assert loaded == graph
+        assert path.read_text().startswith("# test graph")
+
+    def test_read_gzip(self, tmp_path):
+        path = tmp_path / "graph.txt.gz"
+        with gzip.open(path, "wt") as handle:
+            handle.write("# snap style\n10 20\n20 30\n")
+        graph = read_edge_list(path)
+        assert graph.number_of_edges() == 2
+        assert graph.has_edge(10, 20)
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(GraphFormatError):
+            read_edge_list(tmp_path / "nope.txt")
+
+    def test_write_creates_parent_directories(self, tmp_path):
+        graph = Graph(edges=[(1, 2)])
+        path = tmp_path / "deep" / "nested" / "graph.txt"
+        write_edge_list(graph, path)
+        assert path.exists()
+
+    def test_edges_to_lines(self):
+        lines = list(edges_to_lines([(1, 2), ("a", "b")]))
+        assert lines == ["1 2", "a b"]

@@ -1,0 +1,75 @@
+"""Tests for Laplacian spectral quantities."""
+
+import pytest
+
+from repro.exceptions import UtilityError
+from repro.graphs.generators import complete_graph, path_graph, star_graph
+from repro.graphs.graph import Graph
+from repro.graphs.spectral import (
+    _jacobi_eigenvalues,
+    algebraic_connectivity,
+    laplacian_eigenvalues,
+    laplacian_matrix,
+    second_largest_laplacian_eigenvalue,
+)
+
+
+class TestLaplacianMatrix:
+    def test_structure(self):
+        graph = Graph(edges=[(0, 1), (1, 2)])
+        matrix = laplacian_matrix(graph)
+        # nodes sorted by str: 0, 1, 2
+        assert matrix[0][0] == 1.0
+        assert matrix[1][1] == 2.0
+        assert matrix[0][1] == -1.0
+        assert matrix[0][2] == 0.0
+
+    def test_rows_sum_to_zero(self):
+        graph = complete_graph(5)
+        for row in laplacian_matrix(graph):
+            assert sum(row) == pytest.approx(0.0)
+
+
+class TestEigenvalues:
+    def test_complete_graph_spectrum(self):
+        # K_n Laplacian eigenvalues: 0 with multiplicity 1, n with multiplicity n-1
+        values = laplacian_eigenvalues(complete_graph(4))
+        assert values[0] == pytest.approx(0.0, abs=1e-8)
+        assert values[1:] == pytest.approx([4.0, 4.0, 4.0])
+
+    def test_smallest_eigenvalue_always_zero(self):
+        values = laplacian_eigenvalues(path_graph(6))
+        assert values[0] == pytest.approx(0.0, abs=1e-8)
+
+    def test_second_largest(self):
+        assert second_largest_laplacian_eigenvalue(complete_graph(4)) == pytest.approx(4.0)
+        assert second_largest_laplacian_eigenvalue(Graph(nodes=[1])) == 0.0
+
+    def test_algebraic_connectivity_star(self):
+        # star S_n: eigenvalues 0, 1 (n-1 times), n+1... for star with n leaves: 0,1,...,n+1
+        value = algebraic_connectivity(star_graph(4))
+        assert value == pytest.approx(1.0)
+
+    def test_disconnected_graph_has_zero_connectivity(self):
+        graph = Graph(edges=[(0, 1), (2, 3)])
+        assert algebraic_connectivity(graph) == pytest.approx(0.0, abs=1e-8)
+
+    def test_size_limit(self):
+        graph = path_graph(50)
+        with pytest.raises(UtilityError):
+            laplacian_eigenvalues(graph, max_nodes=10)
+
+    def test_empty_graph(self):
+        assert laplacian_eigenvalues(Graph()) == []
+
+
+class TestJacobiFallback:
+    def test_matches_known_spectrum(self):
+        matrix = laplacian_matrix(complete_graph(4))
+        values = sorted(_jacobi_eigenvalues(matrix))
+        assert values[0] == pytest.approx(0.0, abs=1e-6)
+        assert values[-1] == pytest.approx(4.0, abs=1e-6)
+
+    def test_diagonal_matrix(self):
+        values = sorted(_jacobi_eigenvalues([[2.0, 0.0], [0.0, 5.0]]))
+        assert values == pytest.approx([2.0, 5.0])

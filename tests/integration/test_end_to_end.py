@@ -1,0 +1,103 @@
+"""End-to-end integration tests: dataset -> protection -> attack -> utility."""
+
+import pytest
+
+from repro.core.ct import ct_greedy
+from repro.core.model import TPPProblem
+from repro.core.sgb import sgb_greedy
+from repro.core.verification import critical_budget, is_fully_protected, verify_result
+from repro.core.wt import wt_greedy
+from repro.datasets.synthetic import arenas_email_like
+from repro.datasets.targets import sample_ego_targets, sample_random_targets
+from repro.graphs.io import read_edge_list, write_edge_list
+from repro.prediction.attack import AttackSimulator
+from repro.utility.loss import compare_graphs
+
+
+@pytest.fixture(scope="module")
+def social_graph():
+    """A mid-size Arenas-like graph shared by the integration scenarios."""
+    return arenas_email_like(nodes=300, seed=5)
+
+
+class TestFullPipeline:
+    @pytest.mark.parametrize("motif", ["triangle", "rectangle", "rectri"])
+    def test_protect_verify_attack_and_release(self, social_graph, motif, tmp_path):
+        targets = sample_random_targets(social_graph, 8, seed=3)
+        problem = TPPProblem(social_graph, targets, motif=motif)
+
+        result = sgb_greedy(problem, budget=problem.initial_similarity() + 1)
+        assert result.fully_protected
+        assert verify_result(problem, result)
+
+        released = result.released_graph(problem)
+        assert is_fully_protected(released, targets, motif)
+
+        # the motif-based adversary scores every target zero on the release
+        report = AttackSimulator(
+            {"triangle": "triangle_motif", "rectangle": "rectangle_motif", "rectri": "rectri_motif"}[motif],
+            negative_samples=50,
+            seed=0,
+        ).run(released, targets)
+        assert report.fully_defended
+
+        # the released graph can be exported and re-imported with its edge
+        # set intact (plain edge lists drop isolated nodes by construction)
+        path = tmp_path / "released.edges"
+        write_edge_list(released, path)
+        assert read_edge_list(path).edge_set() == released.edge_set()
+
+    def test_budget_constrained_protection_still_reduces_exposure(self, social_graph):
+        targets = sample_random_targets(social_graph, 8, seed=4)
+        problem = TPPProblem(social_graph, targets, motif="triangle")
+        half_budget = max(1, problem.initial_similarity() // 2)
+        result = sgb_greedy(problem, half_budget)
+
+        simulator = AttackSimulator("common_neighbors", negative_samples=100, seed=1)
+        before = simulator.run(problem.phase1_graph, targets)
+        after = simulator.run(result.released_graph(problem), targets)
+        assert sum(after.target_scores.values()) < sum(before.target_scores.values())
+
+    def test_utility_loss_small_at_full_protection(self, social_graph):
+        targets = sample_random_targets(social_graph, 8, seed=5)
+        problem = TPPProblem(social_graph, targets, motif="triangle")
+        result = sgb_greedy(problem, budget=problem.initial_similarity() + 1)
+        report = compare_graphs(
+            social_graph,
+            result.released_graph(problem),
+            metrics=("clust", "cn", "r"),
+        )
+        assert report.average_loss_ratio < 0.10
+
+    def test_ego_scenario_all_algorithms_agree_on_full_protection(self, social_graph):
+        """The introduction's scenario: one user hides several of their links."""
+        targets = sample_ego_targets(social_graph, count=4, seed=2)
+        problem = TPPProblem(social_graph, targets, motif="triangle")
+        budget = problem.initial_similarity() + 1
+        for result in (
+            sgb_greedy(problem, budget),
+            ct_greedy(problem, budget, budget_division="tbd"),
+            wt_greedy(problem, budget, budget_division="tbd"),
+        ):
+            assert result.fully_protected
+            assert verify_result(problem, result)
+
+    def test_critical_budget_ordering(self, social_graph):
+        """k*(SGB) <= k*(CT) <= ... : the global greedy needs the fewest deletions."""
+        targets = sample_random_targets(social_graph, 6, seed=6)
+        problem = TPPProblem(social_graph, targets, motif="triangle")
+        k_sgb = critical_budget(problem, lambda p, k: sgb_greedy(p, k))
+        k_ct = critical_budget(
+            problem, lambda p, k: ct_greedy(p, k, budget_division="tbd")
+        )
+        assert k_sgb <= k_ct
+        assert k_sgb <= problem.initial_similarity()
+
+    def test_rectangle_needs_largest_critical_budget(self, social_graph):
+        """The paper's observation: Rectangle is the hardest motif to defend."""
+        targets = sample_random_targets(social_graph, 6, seed=7)
+        k_star = {}
+        for motif in ("triangle", "rectangle", "rectri"):
+            problem = TPPProblem(social_graph, targets, motif=motif)
+            k_star[motif] = critical_budget(problem, lambda p, k: sgb_greedy(p, k))
+        assert k_star["rectangle"] >= k_star["triangle"]

@@ -1,0 +1,100 @@
+"""Tests for the additional PathMotif and CliqueMotif patterns."""
+
+import pytest
+
+from repro.graphs.generators import complete_graph, path_graph
+from repro.graphs.graph import Graph
+from repro.motifs.base import get_motif
+from repro.motifs.extra import CliqueMotif, PathMotif
+from repro.motifs.rectangle import RectangleMotif
+from repro.motifs.triangle import TriangleMotif
+
+
+class TestPathMotif:
+    def test_length_two_matches_triangle(self):
+        graph = Graph(edges=[(0, 2), (1, 2), (0, 3), (1, 3), (0, 4)])
+        assert PathMotif(length=2).count(graph, (0, 1)) == TriangleMotif().count(
+            graph, (0, 1)
+        )
+
+    def test_length_three_matches_rectangle(self):
+        graph = Graph(edges=[(0, 2), (2, 3), (3, 1), (0, 4), (4, 5), (5, 1)])
+        assert PathMotif(length=3).count(graph, (0, 1)) == RectangleMotif().count(
+            graph, (0, 1)
+        )
+
+    def test_length_four_on_path_graph(self):
+        graph = path_graph(5)  # 0-1-2-3-4
+        assert PathMotif(length=4).count(graph, (0, 4)) == 1
+        assert PathMotif(length=3).count(graph, (0, 4)) == 0
+
+    def test_paths_are_simple(self):
+        # a single chord must not let the path revisit nodes
+        graph = Graph(edges=[(0, 2), (2, 3), (3, 2)]) if False else Graph(
+            edges=[(0, 2), (2, 3), (3, 4), (4, 1), (2, 4)]
+        )
+        instances = PathMotif(length=4).instances(graph, (0, 1))
+        for instance in instances:
+            nodes = {node for edge in instance for node in edge}
+            # a simple path of length 4 touches exactly 5 distinct nodes
+            assert len(nodes) == 5
+
+    def test_invalid_length(self):
+        with pytest.raises(ValueError):
+            PathMotif(length=1)
+
+    def test_registered_path4(self):
+        motif = get_motif("path4")
+        assert isinstance(motif, PathMotif)
+        assert motif.length == 4
+
+
+class TestCliqueMotif:
+    def test_size_three_matches_triangle(self):
+        graph = Graph(edges=[(0, 2), (1, 2), (0, 3), (1, 3), (2, 3)])
+        assert CliqueMotif(size=3).count(graph, (0, 1)) == TriangleMotif().count(
+            graph, (0, 1)
+        )
+
+    def test_size_four_on_k5_minus_target(self):
+        graph = complete_graph(5)
+        graph.remove_edge(0, 1)
+        # remaining common neighbors of 0 and 1: {2, 3, 4}, all pairwise
+        # connected -> C(3, 2) = 3 four-cliques would be completed
+        assert CliqueMotif(size=4).count(graph, (0, 1)) == 3
+
+    def test_clique_requires_internal_edges(self):
+        # common neighbors 2 and 3 NOT connected -> no 4-clique
+        graph = Graph(edges=[(0, 2), (1, 2), (0, 3), (1, 3)])
+        assert CliqueMotif(size=4).count(graph, (0, 1)) == 0
+
+    def test_instance_edges_cover_whole_clique(self):
+        graph = complete_graph(4)
+        graph.remove_edge(0, 1)
+        instances = CliqueMotif(size=4).instances(graph, (0, 1))
+        assert len(instances) == 1
+        assert len(instances[0]) == 5  # K4 has 6 edges, minus the target
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            CliqueMotif(size=2)
+
+    def test_registered_clique4(self):
+        motif = get_motif("clique4")
+        assert isinstance(motif, CliqueMotif)
+        assert motif.size == 4
+
+
+class TestExtraMotifsWithGreedy:
+    @pytest.mark.parametrize("motif_name", ["path4", "clique4"])
+    def test_sgb_fully_protects_extra_motifs(self, motif_name):
+        from repro.core.model import TPPProblem
+        from repro.core.sgb import sgb_greedy
+        from repro.datasets.synthetic import small_social_graph
+        from repro.datasets.targets import sample_random_targets
+
+        graph = small_social_graph(seed=6)
+        targets = sample_random_targets(graph, 3, seed=0)
+        problem = TPPProblem(graph, targets, motif=motif_name)
+        result = sgb_greedy(problem, budget=problem.initial_similarity() + 1)
+        assert result.fully_protected

@@ -1,0 +1,171 @@
+"""Tests for the Triangle, Rectangle and RecTri motif patterns (Fig. 1)."""
+
+import pytest
+
+from repro.exceptions import UnknownMotifError
+from repro.graphs.graph import Graph, canonical_edge
+from repro.motifs.base import available_motifs, coerce_motif, get_motif
+from repro.motifs.rectangle import RectangleMotif
+from repro.motifs.rectri import RecTriMotif
+from repro.motifs.triangle import TriangleMotif
+
+
+class TestRegistry:
+    def test_available_motifs(self):
+        assert {"triangle", "rectangle", "rectri"} <= set(available_motifs())
+
+    def test_get_motif_case_insensitive(self):
+        assert isinstance(get_motif("Triangle"), TriangleMotif)
+
+    def test_unknown_motif_raises(self):
+        with pytest.raises(UnknownMotifError):
+            get_motif("pentagon")
+
+    def test_coerce_passes_instances_through(self):
+        motif = RectangleMotif()
+        assert coerce_motif(motif) is motif
+        assert isinstance(coerce_motif("rectri"), RecTriMotif)
+
+
+class TestTriangleMotif:
+    def test_single_common_neighbor(self):
+        # target (0, 1) with common neighbor 2
+        graph = Graph(edges=[(0, 2), (1, 2)])
+        motif = TriangleMotif()
+        instances = motif.instances(graph, (0, 1))
+        assert instances == [frozenset({(0, 2), (1, 2)})]
+        assert motif.count(graph, (0, 1)) == 1
+
+    def test_count_equals_common_neighbors(self):
+        graph = Graph(edges=[(0, 2), (1, 2), (0, 3), (1, 3), (0, 4)])
+        motif = TriangleMotif()
+        assert motif.count(graph, (0, 1)) == 2
+
+    def test_no_instances_without_common_neighbor(self):
+        graph = Graph(edges=[(0, 2), (1, 3)])
+        assert TriangleMotif().count(graph, (0, 1)) == 0
+
+    def test_missing_endpoint_gives_zero(self):
+        graph = Graph(edges=[(0, 2)])
+        assert TriangleMotif().count(graph, (0, 99)) == 0
+
+    def test_protector_edges_union(self):
+        graph = Graph(edges=[(0, 2), (1, 2), (0, 3), (1, 3)])
+        edges = TriangleMotif().protector_edges(graph, (0, 1))
+        assert edges == frozenset({(0, 2), (1, 2), (0, 3), (1, 3)})
+
+
+class TestRectangleMotif:
+    def test_single_three_path(self):
+        # target (0, 3): path 0-1-2-3
+        graph = Graph(edges=[(0, 1), (1, 2), (2, 3)])
+        motif = RectangleMotif()
+        instances = motif.instances(graph, (0, 3))
+        assert instances == [frozenset({(0, 1), (1, 2), (2, 3)})]
+
+    def test_multiple_paths_counted(self):
+        # two disjoint 3-paths between 0 and 5
+        graph = Graph(edges=[(0, 1), (1, 2), (2, 5), (0, 3), (3, 4), (4, 5)])
+        assert RectangleMotif().count(graph, (0, 5)) == 2
+
+    def test_path_through_endpoint_excluded(self):
+        # 0-1-2 and target (0, 2): the only 3-length walks reuse an endpoint
+        graph = Graph(edges=[(0, 1), (1, 2)])
+        assert RectangleMotif().count(graph, (0, 2)) == 0
+
+    def test_triangle_plus_edge_is_not_a_rectangle(self):
+        # common neighbor only (2-path) should not count
+        graph = Graph(edges=[(0, 2), (1, 2)])
+        assert RectangleMotif().count(graph, (0, 1)) == 0
+
+    def test_instances_are_symmetric_in_target_orientation(self):
+        graph = Graph(edges=[(0, 1), (1, 2), (2, 3)])
+        motif = RectangleMotif()
+        forward = set(motif.instances(graph, (0, 3)))
+        backward = set(motif.instances(graph, (3, 0)))
+        assert forward == backward
+
+
+class TestRecTriMotif:
+    def build_example(self):
+        # target (u, v); w common neighbor; b adjacent to w and v
+        graph = Graph(edges=[("u", "w"), ("w", "v"), ("w", "b"), ("b", "v")])
+        return graph
+
+    def test_basic_instance(self):
+        graph = self.build_example()
+        motif = RecTriMotif()
+        instances = motif.instances(graph, ("u", "v"))
+        expected = frozenset(
+            {
+                canonical_edge("u", "w"),
+                canonical_edge("w", "v"),
+                canonical_edge("w", "b"),
+                canonical_edge("b", "v"),
+            }
+        )
+        assert instances == [expected]
+
+    def test_second_orientation_counted(self):
+        # 3-path running v - w - b - u (b adjacent to w and u, not v)
+        graph = Graph(edges=[("u", "w"), ("w", "v"), ("w", "b"), ("b", "u")])
+        assert RecTriMotif().count(graph, ("u", "v")) == 1
+
+    def test_both_orientations_counted(self):
+        # b adjacent to u, v and w: b also becomes a common neighbor, so each
+        # of the two common neighbors (w and b) contributes both orientations
+        graph = self.build_example()
+        graph.add_edge("b", "u")
+        assert RecTriMotif().count(graph, ("u", "v")) == 4
+
+    def test_requires_the_two_path(self):
+        # no common neighbor w: no RecTri instance even if a 3-path exists
+        graph = Graph(edges=[("u", "a"), ("a", "b"), ("b", "v")])
+        assert RecTriMotif().count(graph, ("u", "v")) == 0
+
+    def test_count_at_least_triangle_degreewise(self):
+        # every RecTri instance needs a triangle 2-path, so zero triangles
+        # implies zero RecTri instances
+        graph = Graph(edges=[(0, 2), (2, 3), (3, 1), (0, 4), (4, 1)])
+        triangle_count = TriangleMotif().count(graph, (0, 1))
+        rectri_count = RecTriMotif().count(graph, (0, 1))
+        if triangle_count == 0:
+            assert rectri_count == 0
+
+
+class TestSubmodularityCases:
+    """The four cases of Lemma 2 (Fig. 1), instantiated on the Triangle motif."""
+
+    def build(self):
+        # target (0, 1) with two triangles: via 2 and via 3; plus an edge (4, 5)
+        # that participates in no target subgraph.
+        return Graph(
+            edges=[(0, 2), (1, 2), (0, 3), (1, 3), (4, 5), (0, 4), (1, 5)]
+        )
+
+    def marginal(self, graph, deleted, candidate):
+        motif = TriangleMotif()
+        before = motif.count(graph.without_edges(deleted), (0, 1))
+        after = motif.count(graph.without_edges(list(deleted) + [candidate]), (0, 1))
+        return before - after
+
+    def test_case1_both_outside_subgraphs(self):
+        graph = self.build()
+        assert self.marginal(graph, [], (4, 5)) == 0
+        assert self.marginal(graph, [(0, 4)], (4, 5)) == 0
+
+    def test_case2_both_in_same_subgraph(self):
+        graph = self.build()
+        # deleting (0, 2) first removes the gain of (1, 2)
+        assert self.marginal(graph, [], (1, 2)) == 1
+        assert self.marginal(graph, [(0, 2)], (1, 2)) == 0
+
+    def test_case3_candidate_in_subgraph_other_outside(self):
+        graph = self.build()
+        assert self.marginal(graph, [], (0, 3)) == 1
+        assert self.marginal(graph, [(4, 5)], (0, 3)) == 1
+
+    def test_case4_candidate_outside_other_in_subgraph(self):
+        graph = self.build()
+        assert self.marginal(graph, [], (4, 5)) == 0
+        assert self.marginal(graph, [(0, 3)], (4, 5)) == 0

@@ -1,0 +1,62 @@
+"""Tests for the recount-based similarity and dissimilarity functions."""
+
+import pytest
+
+from repro.graphs.graph import Graph
+from repro.motifs.similarity import (
+    default_constant,
+    dissimilarity,
+    similarity,
+    similarity_by_target,
+    total_similarity,
+)
+
+
+@pytest.fixture
+def graph():
+    # two targets (0,1) and (2,3); (0,1) has 2 triangles, (2,3) has 1
+    return Graph(
+        edges=[(0, 4), (1, 4), (0, 5), (1, 5), (2, 6), (3, 6)]
+    )
+
+
+TARGETS = [(0, 1), (2, 3)]
+
+
+class TestSimilarity:
+    def test_similarity_per_target(self, graph):
+        assert similarity(graph, (0, 1), "triangle") == 2
+        assert similarity(graph, (2, 3), "triangle") == 1
+
+    def test_similarity_by_target(self, graph):
+        values = similarity_by_target(graph, TARGETS, "triangle")
+        assert values == {(0, 1): 2, (2, 3): 1}
+
+    def test_total_similarity(self, graph):
+        assert total_similarity(graph, TARGETS, "triangle") == 3
+
+    def test_total_similarity_other_motifs(self, graph):
+        assert total_similarity(graph, TARGETS, "rectangle") >= 0
+        assert total_similarity(graph, TARGETS, "rectri") >= 0
+
+    def test_default_constant_equals_initial_similarity(self, graph):
+        assert default_constant(graph, TARGETS, "triangle") == 3
+
+
+class TestDissimilarity:
+    def test_initial_dissimilarity_is_zero_with_default_constant(self, graph):
+        constant = default_constant(graph, TARGETS, "triangle")
+        assert dissimilarity(graph, TARGETS, "triangle", constant) == 0
+
+    def test_dissimilarity_grows_with_deletions(self, graph):
+        constant = default_constant(graph, TARGETS, "triangle")
+        reduced = graph.without_edges([(0, 4)])
+        assert dissimilarity(reduced, TARGETS, "triangle", constant) == 1
+
+    def test_constant_too_small_raises(self, graph):
+        with pytest.raises(ValueError):
+            dissimilarity(graph, TARGETS, "triangle", constant=1)
+
+    def test_larger_constant_shifts_value(self, graph):
+        value = dissimilarity(graph, TARGETS, "triangle", constant=10)
+        assert value == 10 - 3

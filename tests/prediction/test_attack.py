@@ -1,0 +1,103 @@
+"""Tests for the attack simulator."""
+
+import pytest
+
+from repro.core.model import TPPProblem
+from repro.core.sgb import sgb_greedy
+from repro.datasets.synthetic import small_social_graph
+from repro.datasets.targets import sample_random_targets
+from repro.exceptions import PredictionError
+from repro.graphs.graph import Graph
+from repro.prediction.attack import AttackSimulator, sample_non_edges
+
+
+class TestSampleNonEdges:
+    def test_samples_are_non_edges(self):
+        graph = small_social_graph(seed=1)
+        samples = sample_non_edges(graph, 50, seed=0)
+        assert len(samples) == 50
+        assert all(not graph.has_edge(u, v) for u, v in samples)
+
+    def test_excludes_requested_pairs(self):
+        graph = Graph(edges=[(0, 1), (1, 2), (2, 3)])
+        excluded = [(0, 2)]
+        samples = sample_non_edges(graph, 2, seed=0, exclude=excluded)
+        assert (0, 2) not in samples
+
+    def test_no_duplicates(self):
+        graph = small_social_graph(seed=1)
+        samples = sample_non_edges(graph, 100, seed=3)
+        assert len(samples) == len(set(samples))
+
+    def test_tiny_graph(self):
+        assert sample_non_edges(Graph(nodes=[1]), 5, seed=0) == []
+
+
+class TestAttackSimulator:
+    def test_requires_targets(self):
+        simulator = AttackSimulator("common_neighbors")
+        with pytest.raises(PredictionError):
+            simulator.run(Graph(edges=[(0, 1)]), [])
+
+    def test_invalid_negative_samples(self):
+        with pytest.raises(PredictionError):
+            AttackSimulator(negative_samples=0)
+
+    def test_unprotected_targets_are_exposed(self):
+        graph = small_social_graph(seed=2)
+        targets = sample_random_targets(graph, 5, seed=0)
+        problem = TPPProblem(graph, targets, motif="triangle")
+        simulator = AttackSimulator("common_neighbors", negative_samples=100, seed=1)
+        report = simulator.run(problem.phase1_graph, targets)
+        # clustered graph: most sampled targets keep at least one common neighbor
+        assert report.auc > 0.5
+        assert len(report.exposed_targets) >= 1
+
+    def test_protection_reduces_attack_success(self):
+        graph = small_social_graph(seed=2)
+        targets = sample_random_targets(graph, 5, seed=0)
+        problem = TPPProblem(graph, targets, motif="triangle")
+        result = sgb_greedy(problem, budget=problem.initial_similarity() + 1)
+        assert result.fully_protected
+
+        simulator = AttackSimulator("common_neighbors", negative_samples=100, seed=1)
+        before = simulator.run(problem.phase1_graph, targets)
+        after = simulator.run(result.released_graph(problem), targets)
+        assert after.auc <= before.auc
+        assert after.fully_defended
+        assert all(score == 0 for score in after.target_scores.values())
+
+    def test_full_triangle_protection_defends_whole_index_family(self):
+        """§VI-D: a fully protected graph defends Jaccard/AA/RA/... too."""
+        graph = small_social_graph(seed=4)
+        targets = sample_random_targets(graph, 4, seed=1)
+        problem = TPPProblem(graph, targets, motif="triangle")
+        result = sgb_greedy(problem, budget=problem.initial_similarity() + 1)
+        released = result.released_graph(problem)
+        for predictor in ("jaccard", "adamic_adar", "resource_allocation", "salton"):
+            report = AttackSimulator(predictor, negative_samples=50, seed=0).run(
+                released, targets
+            )
+            assert report.fully_defended
+
+    def test_precision_at_k_bounds(self):
+        graph = small_social_graph(seed=5)
+        targets = sample_random_targets(graph, 3, seed=2)
+        problem = TPPProblem(graph, targets, motif="triangle")
+        simulator = AttackSimulator("common_neighbors", negative_samples=50, seed=2)
+        report = simulator.run(problem.phase1_graph, targets, ks=(1, 5, 10))
+        assert set(report.precision_at_k) == {1, 5, 10}
+        assert all(0.0 <= value <= 1.0 for value in report.precision_at_k.values())
+
+    def test_report_summary_mentions_predictor(self):
+        graph = small_social_graph(seed=5)
+        targets = sample_random_targets(graph, 3, seed=2)
+        simulator = AttackSimulator("jaccard", negative_samples=20, seed=0)
+        report = simulator.run(graph.without_edges(targets), targets)
+        assert "jaccard" in report.summary()
+
+    def test_explicit_negative_pool(self):
+        graph = Graph(edges=[(0, 2), (1, 2), (3, 4)])
+        simulator = AttackSimulator("common_neighbors", negative_samples=5, seed=0)
+        report = simulator.run(graph, [(0, 1)], non_edges=[(0, 3), (2, 4)])
+        assert report.auc == 1.0  # the target has a common neighbor, negatives do not

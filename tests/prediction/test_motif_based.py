@@ -1,0 +1,45 @@
+"""Tests for the motif-based predictors (the paper's threat model)."""
+
+import pytest
+
+from repro.graphs.graph import Graph
+from repro.motifs.similarity import similarity
+from repro.prediction.base import get_predictor
+from repro.prediction.motif_based import MotifPredictor
+
+
+@pytest.fixture
+def released_graph():
+    # hidden target (0, 1); two triangles and one rectangle-ish path survive
+    return Graph(edges=[(0, 2), (1, 2), (0, 3), (1, 3), (0, 4), (4, 5), (5, 1)])
+
+
+class TestMotifPredictor:
+    def test_score_equals_similarity(self, released_graph):
+        predictor = MotifPredictor("triangle")
+        assert predictor.score(released_graph, 0, 1) == similarity(
+            released_graph, (0, 1), "triangle"
+        )
+
+    def test_rectangle_score(self, released_graph):
+        predictor = MotifPredictor("rectangle")
+        assert predictor.score(released_graph, 0, 1) == similarity(
+            released_graph, (0, 1), "rectangle"
+        )
+
+    def test_existing_edge_scored_on_phase1_style_graph(self):
+        graph = Graph(edges=[(0, 1), (0, 2), (1, 2)])
+        predictor = MotifPredictor("triangle")
+        # scoring an existing edge removes it first, so the score equals the
+        # similarity the TPP model would assign to it as a target
+        assert predictor.score(graph, 0, 1) == 1.0
+
+    def test_registered_specialisations(self, released_graph):
+        for name in ("triangle_motif", "rectangle_motif", "rectri_motif"):
+            predictor = get_predictor(name)
+            assert predictor.score(released_graph, 0, 1) >= 0.0
+
+    def test_fully_protected_graph_scores_zero(self, released_graph):
+        protected = released_graph.without_edges([(0, 2), (0, 3)])
+        predictor = MotifPredictor("triangle")
+        assert predictor.score(protected, 0, 1) == 0.0

@@ -1,0 +1,75 @@
+"""Tests for path-based indices (Katz, Local Path)."""
+
+import pytest
+
+from repro.graphs.generators import cycle_graph, path_graph
+from repro.graphs.graph import Graph
+from repro.prediction.paths import (
+    KatzPredictor,
+    LocalPathPredictor,
+    katz_index,
+    local_path_index,
+    path_counts,
+)
+
+
+class TestPathCounts:
+    def test_counts_on_path_graph(self):
+        graph = path_graph(4)  # 0-1-2-3
+        counts = path_counts(graph, 0, 3, max_length=4)
+        assert counts[1] == 0
+        assert counts[2] == 0
+        assert counts[3] == 1
+
+    def test_walks_not_simple_paths(self):
+        graph = Graph(edges=[(0, 1)])
+        counts = path_counts(graph, 0, 1, max_length=3)
+        # length-3 walk 0-1-0-1 exists
+        assert counts[1] == 1
+        assert counts[3] == 1
+
+    def test_two_parallel_two_paths(self):
+        graph = Graph(edges=[(0, 2), (2, 1), (0, 3), (3, 1)])
+        assert path_counts(graph, 0, 1, max_length=2)[2] == 2
+
+    def test_missing_nodes(self):
+        graph = Graph(edges=[(0, 1)])
+        assert path_counts(graph, 0, 99)[2] == 0
+
+
+class TestKatz:
+    def test_direct_edge_dominates(self):
+        graph = cycle_graph(6)
+        direct = katz_index(graph, 0, 1, beta=0.1)
+        distant = katz_index(graph, 0, 3, beta=0.1)
+        assert direct > distant
+
+    def test_zero_when_disconnected(self):
+        graph = Graph(edges=[(0, 1), (2, 3)])
+        assert katz_index(graph, 0, 3, beta=0.1, max_length=4) == 0.0
+
+    def test_beta_validation(self):
+        with pytest.raises(ValueError):
+            KatzPredictor(beta=0.0)
+        with pytest.raises(ValueError):
+            KatzPredictor(max_length=1)
+
+    def test_predictor_matches_function(self):
+        graph = cycle_graph(5)
+        predictor = KatzPredictor(beta=0.05, max_length=4)
+        assert predictor.score(graph, 0, 2) == pytest.approx(
+            katz_index(graph, 0, 2, beta=0.05, max_length=4)
+        )
+
+
+class TestLocalPath:
+    def test_two_paths_weighted_more_than_three_paths(self):
+        graph = Graph(edges=[(0, 2), (2, 1), (0, 3), (3, 4), (4, 1)])
+        value = local_path_index(graph, 0, 1, epsilon=0.01)
+        assert value == pytest.approx(1 + 0.01 * 1)
+
+    def test_predictor_registered(self):
+        from repro.prediction.base import get_predictor
+
+        predictor = get_predictor("local_path")
+        assert isinstance(predictor, LocalPathPredictor)

@@ -1,0 +1,86 @@
+"""Property-based tests for the graph substrate."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.algorithms import connected_components, core_numbers, triangle_count
+from repro.graphs.graph import Graph, canonical_edge
+
+
+def edge_lists(max_nodes: int = 12, max_edges: int = 40):
+    """Strategy generating random edge lists over a small node universe."""
+    nodes = st.integers(min_value=0, max_value=max_nodes - 1)
+    edge = st.tuples(nodes, nodes).filter(lambda pair: pair[0] != pair[1])
+    return st.lists(edge, max_size=max_edges)
+
+
+@given(edge_lists())
+@settings(max_examples=60, deadline=None)
+def test_edge_count_matches_canonical_set(edges):
+    graph = Graph(edges=edges)
+    canonical = {canonical_edge(u, v) for u, v in edges}
+    assert graph.number_of_edges() == len(canonical)
+    assert graph.edge_set() == canonical
+
+
+@given(edge_lists())
+@settings(max_examples=60, deadline=None)
+def test_degree_sum_is_twice_edge_count(edges):
+    graph = Graph(edges=edges)
+    assert sum(graph.degrees().values()) == 2 * graph.number_of_edges()
+
+
+@given(edge_lists())
+@settings(max_examples=60, deadline=None)
+def test_copy_equals_original(edges):
+    graph = Graph(edges=edges)
+    assert graph.copy() == graph
+
+
+@given(edge_lists(), st.integers(min_value=0, max_value=11))
+@settings(max_examples=60, deadline=None)
+def test_remove_then_add_edge_round_trips(edges, index):
+    graph = Graph(edges=edges)
+    all_edges = sorted(graph.edges())
+    if not all_edges:
+        return
+    edge = all_edges[index % len(all_edges)]
+    original = graph.copy()
+    graph.remove_edge(*edge)
+    graph.add_edge(*edge)
+    assert graph == original
+
+
+@given(edge_lists())
+@settings(max_examples=60, deadline=None)
+def test_components_partition_nodes(edges):
+    graph = Graph(edges=edges)
+    components = connected_components(graph)
+    all_nodes = [node for component in components for node in component]
+    assert len(all_nodes) == graph.number_of_nodes()
+    assert set(all_nodes) == set(graph.nodes())
+
+
+@given(edge_lists())
+@settings(max_examples=60, deadline=None)
+def test_core_number_bounded_by_degree(edges):
+    graph = Graph(edges=edges)
+    cores = core_numbers(graph)
+    for node, core in cores.items():
+        assert 0 <= core <= graph.degree(node)
+
+
+@given(edge_lists())
+@settings(max_examples=60, deadline=None)
+def test_triangle_count_never_negative_and_stable_under_copy(edges):
+    graph = Graph(edges=edges)
+    count = triangle_count(graph)
+    assert count >= 0
+    assert triangle_count(graph.copy()) == count
+
+
+@given(edge_lists())
+@settings(max_examples=60, deadline=None)
+def test_subgraph_of_all_nodes_is_identity(edges):
+    graph = Graph(edges=edges)
+    assert graph.subgraph(list(graph.nodes())) == graph

@@ -1,0 +1,124 @@
+"""Property-based invariants of the protector-selection algorithms."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.baselines import random_deletion, random_target_subgraph_deletion
+from repro.core.ct import ct_greedy
+from repro.core.model import TPPProblem
+from repro.core.sgb import sgb_greedy
+from repro.core.verification import verify_result
+from repro.core.wt import wt_greedy
+from repro.graphs.graph import Graph
+
+
+def build_problem(seed: int, motif_index: int):
+    rng = random.Random(seed)
+    n = rng.randint(7, 14)
+    p = rng.uniform(0.2, 0.5)
+    graph = Graph(nodes=range(n))
+    for u in range(n):
+        for v in range(u + 1, n):
+            if rng.random() < p:
+                graph.add_edge(u, v)
+    edges = sorted(graph.edges())
+    if len(edges) < 4:
+        return None
+    rng.shuffle(edges)
+    targets = edges[: rng.randint(1, 3)]
+    motif = ("triangle", "rectangle", "rectri")[motif_index % 3]
+    return TPPProblem(graph, targets, motif=motif)
+
+
+ALGORITHMS = [
+    ("sgb", lambda problem, budget: sgb_greedy(problem, budget)),
+    ("ct-tbd", lambda problem, budget: ct_greedy(problem, budget, budget_division="tbd")),
+    ("wt-tbd", lambda problem, budget: wt_greedy(problem, budget, budget_division="tbd")),
+    ("rd", lambda problem, budget: random_deletion(problem, budget, seed=0)),
+    ("rdt", lambda problem, budget: random_target_subgraph_deletion(problem, budget, seed=0)),
+]
+
+
+@given(
+    st.integers(min_value=0, max_value=10_000),
+    st.integers(min_value=0, max_value=2),
+    st.integers(min_value=0, max_value=6),
+    st.sampled_from([name for name, _ in ALGORITHMS]),
+)
+@settings(max_examples=60, deadline=None)
+def test_universal_result_invariants(seed, motif_index, budget, algorithm_name):
+    """Every algorithm respects the budget, never deletes targets, produces a
+    non-increasing similarity trace and a trace consistent with recounting."""
+    problem = build_problem(seed, motif_index)
+    if problem is None:
+        return
+    algorithm = dict(ALGORITHMS)[algorithm_name]
+    result = algorithm(problem, budget)
+
+    assert result.budget_used <= budget
+    assert len(result.protectors) == len(set(result.protectors))
+    assert all(edge not in problem.target_set() for edge in result.protectors)
+    assert all(problem.phase1_graph.has_edge(*edge) for edge in result.protectors)
+
+    trace = result.similarity_trace
+    assert trace[0] == result.initial_similarity
+    assert all(a >= b for a, b in zip(trace, trace[1:]))
+    assert len(trace) == result.budget_used + 1
+
+    assert verify_result(problem, result)
+
+
+@given(st.integers(min_value=0, max_value=10_000), st.integers(min_value=0, max_value=2))
+@settings(max_examples=40, deadline=None)
+def test_sgb_dominates_local_budget_variants(seed, motif_index):
+    """Theorem intuition: the globally budgeted greedy is never worse than the
+    per-target variants or the random baselines at equal budget."""
+    problem = build_problem(seed, motif_index)
+    if problem is None:
+        return
+    budget = min(4, max(1, problem.initial_similarity()))
+    sgb = sgb_greedy(problem, budget).final_similarity
+    ct = ct_greedy(problem, budget, budget_division="tbd").final_similarity
+    wt = wt_greedy(problem, budget, budget_division="tbd").final_similarity
+    rd = random_deletion(problem, budget, seed=1).final_similarity
+    assert sgb <= ct
+    assert sgb <= wt
+    assert sgb <= rd
+
+
+@given(st.integers(min_value=0, max_value=10_000), st.integers(min_value=0, max_value=2))
+@settings(max_examples=40, deadline=None)
+def test_sgb_reaches_full_protection_with_unbounded_budget(seed, motif_index):
+    problem = build_problem(seed, motif_index)
+    if problem is None:
+        return
+    result = sgb_greedy(problem, budget=problem.initial_similarity() + 1)
+    assert result.fully_protected
+
+
+@given(st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=40, deadline=None)
+def test_greedy_achieves_max_k_cover_approximation(seed):
+    """Theorem 3: greedy coverage is at least (1 - 1/e) of the optimum.
+
+    On small instances the optimum is computed by brute force over all
+    protector subsets of size k.
+    """
+    from itertools import combinations
+
+    problem = build_problem(seed, 0)  # triangle only: keeps brute force small
+    if problem is None or problem.initial_similarity() == 0:
+        return
+    budget = 2
+    candidates = sorted(problem.build_index().candidate_edges())
+    if len(candidates) > 12:
+        candidates = candidates[:12]
+    best = 0
+    for subset in combinations(candidates, min(budget, len(candidates))):
+        state = problem.build_index().new_state()
+        state.delete_edges(subset)
+        best = max(best, problem.initial_similarity() - state.total_similarity())
+    greedy_gain = sgb_greedy(problem, budget).dissimilarity_gain
+    assert greedy_gain >= (1 - 1 / 2.718281828459045) * best - 1e-9

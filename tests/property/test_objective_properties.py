@@ -1,0 +1,102 @@
+"""Property-based tests for the paper's central theoretical claims.
+
+Lemmas 1-4: the subgraph dissimilarity is monotone and submodular under link
+deletion, for every motif.  These are exactly the properties the greedy
+approximation guarantees rest on, so they are verified on randomly generated
+graphs and random deletion sets rather than only on hand-picked examples.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.graph import Graph, canonical_edge
+from repro.motifs.similarity import total_similarity
+
+
+def random_problem(draw_seed: int, motif_index: int):
+    """Build a random phase-1 graph plus targets from a seed (deterministic)."""
+    rng = random.Random(draw_seed)
+    n = rng.randint(6, 14)
+    p = rng.uniform(0.15, 0.45)
+    graph = Graph(nodes=range(n))
+    for u in range(n):
+        for v in range(u + 1, n):
+            if rng.random() < p:
+                graph.add_edge(u, v)
+    edges = sorted(graph.edges())
+    rng.shuffle(edges)
+    targets = edges[: min(3, len(edges))]
+    graph.remove_edges_from(targets)  # phase 1
+    motif = ("triangle", "rectangle", "rectri")[motif_index % 3]
+    return graph, targets, motif
+
+
+@given(st.integers(min_value=0, max_value=10_000), st.integers(min_value=0, max_value=2))
+@settings(max_examples=50, deadline=None)
+def test_dissimilarity_monotone_under_deletion(seed, motif_index):
+    """Lemma 1/3: deleting any additional edge never increases the similarity."""
+    graph, targets, motif = random_problem(seed, motif_index)
+    if not targets:
+        return
+    base = total_similarity(graph, targets, motif)
+    for edge in graph.edges():
+        reduced = total_similarity(graph.without_edges([edge]), targets, motif)
+        assert reduced <= base
+
+
+@given(st.integers(min_value=0, max_value=10_000), st.integers(min_value=0, max_value=2))
+@settings(max_examples=50, deadline=None)
+def test_dissimilarity_submodular_under_deletion(seed, motif_index):
+    """Lemma 2/4: marginal gains shrink as the deleted set grows (A ⊆ B)."""
+    graph, targets, motif = random_problem(seed, motif_index)
+    if not targets or graph.number_of_edges() < 3:
+        return
+    rng = random.Random(seed + 1)
+    edges = sorted(graph.edges())
+    rng.shuffle(edges)
+    # A ⊂ B: B adds one extra deleted edge x; p is a third edge
+    p = edges[0]
+    x = edges[1]
+    a_set = edges[2 : 2 + rng.randint(0, max(0, len(edges) - 3))]
+    b_set = a_set + [x]
+
+    def gain(deleted):
+        before = total_similarity(graph.without_edges(deleted), targets, motif)
+        after = total_similarity(graph.without_edges(list(deleted) + [p]), targets, motif)
+        return before - after
+
+    assert gain(a_set) >= gain(b_set)
+
+
+@given(st.integers(min_value=0, max_value=10_000), st.integers(min_value=0, max_value=2))
+@settings(max_examples=40, deadline=None)
+def test_similarity_is_order_independent(seed, motif_index):
+    """Deleting a set of protectors gives the same similarity in any order."""
+    graph, targets, motif = random_problem(seed, motif_index)
+    if not targets or graph.number_of_edges() < 4:
+        return
+    rng = random.Random(seed + 2)
+    edges = sorted(graph.edges())
+    rng.shuffle(edges)
+    chosen = edges[:3]
+    forward = total_similarity(graph.without_edges(chosen), targets, motif)
+    backward = total_similarity(graph.without_edges(list(reversed(chosen))), targets, motif)
+    assert forward == backward
+
+
+@given(st.integers(min_value=0, max_value=10_000), st.integers(min_value=0, max_value=2))
+@settings(max_examples=40, deadline=None)
+def test_only_target_subgraph_edges_matter(seed, motif_index):
+    """Lemma 5: deleting edges outside every target subgraph changes nothing."""
+    from repro.motifs.enumeration import TargetSubgraphIndex
+
+    graph, targets, motif = random_problem(seed, motif_index)
+    if not targets:
+        return
+    index = TargetSubgraphIndex(graph, targets, motif)
+    relevant = index.candidate_edges()
+    irrelevant = [edge for edge in graph.edges() if edge not in relevant]
+    base = total_similarity(graph, targets, motif)
+    assert total_similarity(graph.without_edges(irrelevant), targets, motif) == base

@@ -1,0 +1,87 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.graphs.io import read_edge_list, write_edge_list
+from repro.graphs.generators import powerlaw_cluster_graph
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_protect_defaults(self):
+        args = build_parser().parse_args(["protect"])
+        assert args.dataset == "arenas-email"
+        assert args.method == "SGB-Greedy"
+
+    def test_experiment_choices(self):
+        args = build_parser().parse_args(["experiment", "fig3", "--scale", "quick"])
+        assert args.name == "fig3"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "fig99"])
+
+
+class TestProtectCommand:
+    def test_protect_named_dataset(self, capsys):
+        exit_code = main(
+            [
+                "protect",
+                "--dataset",
+                "small-social",
+                "--targets",
+                "4",
+                "--budget",
+                "10",
+                "--method",
+                "SGB-Greedy",
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "SGB-Greedy" in output
+        assert "fully protected" in output
+
+    def test_protect_edge_list_with_output_and_utility(self, tmp_path, capsys):
+        graph = powerlaw_cluster_graph(80, 3, 0.5, seed=1)
+        source = tmp_path / "input.txt"
+        write_edge_list(graph, source)
+        released_path = tmp_path / "released.txt"
+        exit_code = main(
+            [
+                "protect",
+                "--edge-list",
+                str(source),
+                "--targets",
+                "3",
+                "--budget",
+                "15",
+                "--utility",
+                "--output",
+                str(released_path),
+            ]
+        )
+        assert exit_code == 0
+        assert released_path.exists()
+        released = read_edge_list(released_path)
+        assert released.number_of_edges() < graph.number_of_edges()
+        output = capsys.readouterr().out
+        assert "average utility loss" in output
+
+
+class TestExperimentCommand:
+    def test_experiment_table5_with_json(self, tmp_path, capsys):
+        json_path = tmp_path / "result.json"
+        exit_code = main(
+            ["experiment", "table5", "--scale", "quick", "--json", str(json_path)]
+        )
+        assert exit_code == 0
+        assert json_path.exists()
+        payload = json.loads(json_path.read_text())
+        assert payload["kind"] == "utility_loss"
+        output = capsys.readouterr().out
+        assert "utility loss" in output

@@ -1,0 +1,97 @@
+"""Tests for the top-level package API and the exception hierarchy."""
+
+import pytest
+
+import repro
+from repro import exceptions
+
+
+class TestTopLevelExports:
+    def test_version(self):
+        assert repro.__version__.count(".") == 2
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"repro.__all__ exports missing name {name}"
+
+    def test_subpackage_all_names_resolve(self):
+        import repro.anonymization
+        import repro.core
+        import repro.datasets
+        import repro.experiments
+        import repro.graphs
+        import repro.motifs
+        import repro.prediction
+        import repro.utility
+
+        for module in (
+            repro.graphs,
+            repro.motifs,
+            repro.core,
+            repro.prediction,
+            repro.utility,
+            repro.datasets,
+            repro.experiments,
+            repro.anonymization,
+        ):
+            for name in module.__all__:
+                assert hasattr(module, name), f"{module.__name__} missing {name}"
+
+    def test_quickstart_flow_via_top_level_names(self):
+        graph = repro.Graph(edges=[(0, 1), (0, 2), (1, 2), (0, 3), (1, 3)])
+        problem = repro.TPPProblem(graph, [(0, 1)], motif="triangle")
+        result = repro.sgb_greedy(problem, budget=5)
+        assert result.fully_protected
+        assert repro.verify_result(problem, result)
+
+
+class TestExceptionHierarchy:
+    def test_all_library_errors_derive_from_repro_error(self):
+        for name in dir(exceptions):
+            obj = getattr(exceptions, name)
+            if isinstance(obj, type) and issubclass(obj, Exception) and name.endswith("Error"):
+                assert issubclass(obj, exceptions.ReproError) or obj is exceptions.ReproError
+
+    def test_key_errors_are_also_lookup_errors(self):
+        assert issubclass(exceptions.NodeNotFoundError, KeyError)
+        assert issubclass(exceptions.EdgeNotFoundError, KeyError)
+        assert issubclass(exceptions.BudgetError, ValueError)
+
+    def test_node_not_found_message(self):
+        error = exceptions.NodeNotFoundError("alice")
+        assert "alice" in str(error)
+        assert error.node == "alice"
+
+    def test_unknown_motif_lists_known(self):
+        error = exceptions.UnknownMotifError("pentagon", {"triangle", "rectangle"})
+        assert "pentagon" in str(error)
+        assert "triangle" in str(error)
+
+
+class TestSelectionHelpers:
+    def test_argmax_edge_deterministic_tie_break(self):
+        from repro.core.selection import argmax_edge
+
+        edges = [(2, 3), (0, 1), (4, 5)]
+        best = argmax_edge(edges, lambda edge: 1.0)
+        assert best == ((0, 1), 1.0)
+
+    def test_argmax_edge_empty(self):
+        from repro.core.selection import argmax_edge
+
+        assert argmax_edge([], lambda edge: 1.0) is None
+
+    def test_argmax_edge_picks_max(self):
+        from repro.core.selection import argmax_edge
+
+        edges = [(0, 1), (1, 2), (2, 3)]
+        best = argmax_edge(edges, lambda edge: edge[0])
+        assert best == ((2, 3), 2)
+
+    def test_stopwatch_monotone(self):
+        from repro.core.selection import Stopwatch
+
+        watch = Stopwatch()
+        first = watch.elapsed()
+        second = watch.elapsed()
+        assert 0.0 <= first <= second

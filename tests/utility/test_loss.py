@@ -1,0 +1,87 @@
+"""Tests for utility loss ratios (Tables III-V machinery)."""
+
+import pytest
+
+from repro.core.model import TPPProblem
+from repro.core.sgb import sgb_greedy
+from repro.datasets.synthetic import small_social_graph
+from repro.datasets.targets import sample_random_targets
+from repro.graphs.generators import complete_graph
+from repro.utility.loss import UtilityLossReport, compare_graphs, utility_loss_ratio
+
+
+class TestUtilityLossRatio:
+    def test_basic_ratio(self):
+        assert utility_loss_ratio(2.0, 1.0) == pytest.approx(0.5)
+        assert utility_loss_ratio(2.0, 2.0) == 0.0
+
+    def test_absolute_value(self):
+        assert utility_loss_ratio(2.0, 3.0) == pytest.approx(0.5)
+        assert utility_loss_ratio(-2.0, -1.0) == pytest.approx(0.5)
+
+    def test_zero_original(self):
+        assert utility_loss_ratio(0.0, 0.0) == 0.0
+        assert utility_loss_ratio(0.0, 0.5) == 1.0
+
+
+class TestCompareGraphs:
+    def test_identical_graphs_have_zero_loss(self):
+        graph = complete_graph(6)
+        report = compare_graphs(graph, graph.copy())
+        assert report.average_loss_ratio == pytest.approx(0.0)
+        assert all(value == 0.0 for value in report.loss_ratios.values())
+
+    def test_explicit_metric_subset(self):
+        graph = complete_graph(6)
+        report = compare_graphs(graph, graph.copy(), metrics=("clust", "cn"))
+        assert set(report.loss_ratios) == {"clust", "cn"}
+
+    def test_loss_grows_with_more_deletions(self):
+        graph = small_social_graph(seed=1)
+        light = graph.without_edges(list(graph.edges())[:3])
+        heavy = graph.without_edges(list(graph.edges())[:30])
+        metrics = ("clust", "cn")
+        light_report = compare_graphs(graph, light, metrics=metrics)
+        heavy_report = compare_graphs(graph, heavy, metrics=metrics)
+        assert heavy_report.average_loss_ratio >= light_report.average_loss_ratio
+
+    def test_report_rows_and_summary(self):
+        graph = complete_graph(5)
+        report = compare_graphs(graph, graph.copy(), metrics=("clust",))
+        rows = report.as_rows()
+        assert rows[0][0] == "clust"
+        assert "average utility loss" in report.summary()
+        assert report.average_loss_percent == pytest.approx(0.0)
+
+    def test_empty_report(self):
+        report = UtilityLossReport({}, {}, {})
+        assert report.average_loss_ratio == 0.0
+
+
+class TestEndToEndUtility:
+    def test_full_protection_costs_little_utility(self):
+        """The paper's headline: full target protection at a few percent loss."""
+        graph = small_social_graph(seed=2)
+        targets = sample_random_targets(graph, 4, seed=0)
+        problem = TPPProblem(graph, targets, motif="triangle")
+        result = sgb_greedy(problem, budget=problem.initial_similarity() + 1)
+        assert result.fully_protected
+        report = compare_graphs(
+            graph, result.released_graph(problem), metrics=("clust", "cn")
+        )
+        # small graph, handful of deletions: loss stays below 25%
+        assert report.average_loss_ratio < 0.25
+
+    def test_protection_of_more_targets_costs_more(self):
+        graph = small_social_graph(seed=2)
+        few = sample_random_targets(graph, 3, seed=1)
+        many = sample_random_targets(graph, 10, seed=1)
+        losses = []
+        for targets in (few, many):
+            problem = TPPProblem(graph, targets, motif="triangle")
+            result = sgb_greedy(problem, budget=problem.initial_similarity() + 1)
+            report = compare_graphs(
+                graph, result.released_graph(problem), metrics=("clust", "cn")
+            )
+            losses.append(report.average_loss_ratio)
+        assert losses[1] >= losses[0]

@@ -1,0 +1,91 @@
+"""Tests for the Table II utility metrics."""
+
+import pytest
+
+from repro.exceptions import UtilityError
+from repro.graphs.generators import complete_graph, cycle_graph, path_graph, star_graph
+from repro.graphs.graph import Graph
+from repro.utility.metrics import (
+    ALL_METRICS,
+    SCALABLE_METRICS,
+    assortativity_metric,
+    average_path_length_metric,
+    clustering_metric,
+    compute_metrics,
+    core_number_metric,
+    default_metrics_for,
+    eigenvalue_metric,
+    modularity_metric,
+)
+
+
+class TestIndividualMetrics:
+    def test_average_path_length_complete_graph(self):
+        assert average_path_length_metric(complete_graph(5)) == pytest.approx(1.0)
+
+    def test_average_path_length_sampled(self):
+        graph = cycle_graph(20)
+        exact = average_path_length_metric(graph)
+        sampled = average_path_length_metric(graph, sample_size=5, seed=1)
+        assert sampled == pytest.approx(exact, rel=0.3)
+
+    def test_clustering(self):
+        assert clustering_metric(complete_graph(4)) == pytest.approx(1.0)
+        assert clustering_metric(cycle_graph(5)) == 0.0
+
+    def test_assortativity_star_is_negative(self):
+        assert assortativity_metric(star_graph(6)) < 0
+
+    def test_assortativity_regular_graph_is_zero(self):
+        assert assortativity_metric(cycle_graph(8)) == 0.0
+
+    def test_assortativity_matches_networkx(self):
+        networkx = pytest.importorskip("networkx")
+        nx_graph = networkx.karate_club_graph()
+        from repro.graphs.convert import from_networkx
+
+        expected = networkx.degree_assortativity_coefficient(nx_graph)
+        assert assortativity_metric(from_networkx(nx_graph)) == pytest.approx(
+            expected, abs=1e-6
+        )
+
+    def test_core_number_metric(self):
+        assert core_number_metric(complete_graph(5)) == pytest.approx(4.0)
+        assert core_number_metric(Graph()) == 0.0
+
+    def test_eigenvalue_metric(self):
+        assert eigenvalue_metric(complete_graph(4)) == pytest.approx(4.0)
+
+    def test_modularity_metric_two_cliques(self):
+        graph = Graph()
+        for offset in (0, 10):
+            for u in range(offset, offset + 5):
+                for v in range(u + 1, offset + 5):
+                    graph.add_edge(u, v)
+        graph.add_edge(0, 10)
+        assert modularity_metric(graph) > 0.3
+
+
+class TestComputeMetrics:
+    def test_all_metric_names_supported(self):
+        graph = complete_graph(6)
+        values = compute_metrics(graph, metrics=list(ALL_METRICS))
+        assert set(values) == set(ALL_METRICS)
+
+    def test_unknown_metric_rejected(self):
+        with pytest.raises(UtilityError):
+            compute_metrics(complete_graph(3), metrics=["pagerank"])
+
+    def test_default_metrics_depend_on_size(self):
+        small = path_graph(10)
+        assert default_metrics_for(small) == tuple(ALL_METRICS)
+        assert default_metrics_for(small, large_graph_threshold=5) == SCALABLE_METRICS
+
+    def test_defaults_used_when_metrics_omitted(self):
+        values = compute_metrics(path_graph(6))
+        assert set(values) == set(ALL_METRICS)
+
+    def test_path_length_sampling_passthrough(self):
+        graph = cycle_graph(30)
+        values = compute_metrics(graph, metrics=["l"], path_length_sample=5)
+        assert values["l"] > 0
