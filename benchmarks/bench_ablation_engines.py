@@ -15,6 +15,8 @@ from repro.core.sgb import sgb_greedy
 
 VARIANTS = {
     "recount": {"engine": "recount", "lazy": False},
+    "coverage-set": {"engine": "coverage-set", "lazy": False},
+    "coverage-set+celf": {"engine": "coverage-set", "lazy": True},
     "coverage": {"engine": "coverage", "lazy": False},
     "coverage+lazy": {"engine": "coverage", "lazy": True},
 }

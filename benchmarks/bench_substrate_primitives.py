@@ -34,16 +34,50 @@ def test_bench_similarity_recount(benchmark, arenas_graph, arenas_targets, motif
     assert total >= 0
 
 
-def test_bench_coverage_gain_queries(benchmark, arenas_graph, arenas_targets):
+@pytest.mark.parametrize("state_kind", ["array", "set"])
+def test_bench_coverage_gain_queries(benchmark, arenas_graph, arenas_targets, state_kind):
+    """Old-vs-new gain queries: the array kernel reads counters (O(1)/edge),
+    the set state rescans the inverted index per edge."""
     problem = TPPProblem(arenas_graph, arenas_targets, motif="rectangle")
-    state = problem.build_index().new_state()
-    candidates = sorted(problem.build_index().candidate_edges())
+    index = problem.build_index()
+    state = index.new_state() if state_kind == "array" else index.new_set_state()
+    candidates = index.candidate_edge_list()
 
     def query_all():
         return sum(state.gain(edge) for edge in candidates)
 
     total = benchmark(query_all)
     assert total >= len(candidates) * 0  # non-negative
+
+
+def test_bench_kernel_candidate_scan(benchmark, arenas_graph, arenas_targets):
+    """Live-candidate enumeration from the gain counters (no per-edge rescan)."""
+    problem = TPPProblem(arenas_graph, arenas_targets, motif="rectangle")
+    state = problem.build_index().new_state()
+
+    candidates = benchmark(state.candidate_edge_list)
+    assert candidates
+
+
+def test_bench_kernel_top_gain_drain(benchmark, arenas_graph, arenas_targets):
+    """Heap-backed greedy drain: repeatedly pop the max-gain edge and delete it
+    (the inner loop of the lazy SGB-Greedy-R)."""
+    problem = TPPProblem(arenas_graph, arenas_targets, motif="rectangle")
+    index = problem.build_index()
+
+    def drain():
+        state = index.new_state()
+        deletions = 0
+        while True:
+            top = state.top_gain_edge()
+            if top is None:
+                break
+            state.delete_edge(top[0])
+            deletions += 1
+        return deletions
+
+    deletions = benchmark.pedantic(drain, rounds=1, iterations=1)
+    assert deletions > 0
 
 
 def test_bench_scalable_utility_metrics(benchmark, dblp_graph):

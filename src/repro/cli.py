@@ -25,6 +25,7 @@ import argparse
 import sys
 from typing import List, Optional
 
+from repro.core.engines import ENGINE_NAMES
 from repro.core.model import TPPProblem
 from repro.datasets.loaders import load_edge_list_dataset
 from repro.datasets.registry import available_datasets, load_dataset
@@ -71,7 +72,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     protect.add_argument("--method", default="SGB-Greedy", choices=sorted(ALL_METHODS))
     protect.add_argument(
-        "--engine", default="coverage", choices=("coverage", "recount")
+        "--engine",
+        default="coverage",
+        choices=ENGINE_NAMES,
+        help="marginal-gain engine: 'coverage' = array kernel (-R algorithms), "
+        "'coverage-set' = hash-set reference state, 'recount' = naive recount",
     )
     protect.add_argument("--seed", type=int, default=0)
     protect.add_argument("--output", help="write the released graph to this edge list")

@@ -9,7 +9,10 @@ The paper compares its greedy algorithms against two randomized baselines:
   algorithms restrict themselves to).
 
 Both are implemented on top of the coverage index so their similarity traces
-are produced exactly like the greedy algorithms'.
+are produced exactly like the greedy algorithms'.  Candidate pools come from
+the index in deterministic ``edge_sort_key`` order (no per-edge gain rescans
+and no dependence on set iteration order), so a fixed seed reproduces the
+same deletions across processes and hash seeds.
 """
 
 from __future__ import annotations
@@ -39,6 +42,7 @@ def _run_random_baseline(
     candidates: List[Edge],
     algorithm: str,
     seed: RandomLike,
+    deterministic_order: bool = False,
 ) -> ProtectionResult:
     if budget < 0:
         raise BudgetError(f"budget must be >= 0, got {budget}")
@@ -46,7 +50,9 @@ def _run_random_baseline(
     rng = _rng(seed)
     state = problem.build_index().new_state()
 
-    pool = sorted(candidates, key=edge_sort_key)
+    pool = list(candidates)
+    if not deterministic_order:
+        pool.sort(key=edge_sort_key)
     rng.shuffle(pool)
     chosen = pool[: min(budget, len(pool))]
 
@@ -85,8 +91,12 @@ def random_target_subgraph_deletion(
     """RDT baseline: delete ``budget`` edges sampled from target subgraphs.
 
     The candidate pool is the union of all edges participating in at least
-    one target subgraph; if the pool is smaller than the budget every pool
-    edge is deleted.
+    one target subgraph — taken from the index in its deterministic
+    ``edge_sort_key`` order, so no re-sort (and no hash-order hazard) is
+    needed.  If the pool is smaller than the budget every pool edge is
+    deleted.
     """
-    candidates = list(problem.build_index().candidate_edges())
-    return _run_random_baseline(problem, budget, candidates, "RDT", seed)
+    candidates = problem.build_index().candidate_edge_list()
+    return _run_random_baseline(
+        problem, budget, candidates, "RDT", seed, deterministic_order=True
+    )

@@ -21,7 +21,7 @@ from typing import Callable, Dict, Mapping, Sequence, Union
 
 from repro.core.model import TPPProblem
 from repro.exceptions import BudgetError
-from repro.graphs.graph import Edge
+from repro.graphs.graph import Edge, canonical_edge
 
 __all__ = [
     "BudgetDivision",
@@ -136,7 +136,8 @@ def make_budget_division(
     """Return a budget division from a strategy name or an explicit mapping.
 
     Accepts ``"tbd"``, ``"dbd"``, ``"uniform"`` or a pre-computed mapping
-    (which is validated and copied).
+    (whose keys are canonicalised, then validated and copied — so callers may
+    spell a target ``(v, u)`` even though the problem stores ``(u, v)``).
     """
     if isinstance(strategy, str):
         name = strategy.lower()
@@ -147,7 +148,14 @@ def make_budget_division(
             )
         division = _STRATEGIES[name](problem, budget)
     else:
-        division = {target: int(value) for target, value in strategy.items()}
+        division = {
+            canonical_edge(*target): int(value) for target, value in strategy.items()
+        }
+        if len(division) != len(strategy):
+            raise BudgetError(
+                "budget division lists the same target more than once "
+                "(keys collide after canonicalisation)"
+            )
     validate_budget_division(problem, budget, division)
     return division
 

@@ -17,9 +17,9 @@ from __future__ import annotations
 from typing import Dict, List, Mapping, Optional, Set, Tuple, Union
 
 from repro.core.budget import make_budget_division
-from repro.core.engines import make_engine
+from repro.core.engines import CoverageEngine, make_engine
 from repro.core.model import ProtectionResult, TPPProblem
-from repro.core.selection import Stopwatch, edge_sort_key
+from repro.core.selection import Stopwatch
 from repro.exceptions import BudgetError
 from repro.graphs.graph import Edge
 
@@ -44,7 +44,8 @@ def ct_greedy(
         ``"tbd"``, ``"dbd"``, ``"uniform"`` or an explicit target -> budget
         mapping.
     engine:
-        ``"coverage"`` (CT-Greedy-R) or ``"recount"`` (CT-Greedy).
+        ``"coverage"`` (CT-Greedy-R, array kernel), ``"coverage-set"``
+        (reference hash-set state) or ``"recount"`` (CT-Greedy).
 
     Returns
     -------
@@ -57,7 +58,9 @@ def ct_greedy(
     division = make_budget_division(problem, budget, budget_division)
     gain_engine = make_engine(problem, engine)
     constant = max(problem.constant, 1)
-    algorithm = "CT-Greedy-R" if engine == "coverage" else "CT-Greedy"
+    algorithm = (
+        "CT-Greedy-R" if isinstance(gain_engine, CoverageEngine) else "CT-Greedy"
+    )
     if isinstance(budget_division, str):
         algorithm = f"{algorithm}:{budget_division.upper()}"
 
@@ -75,11 +78,10 @@ def ct_greedy(
         active_set = set(active_targets)
         best: Optional[Tuple[float, Edge, Edge]] = None  # (score, target, edge)
         fallback: Optional[Tuple[float, Edge, Edge]] = None  # pairs with own gain 0
-        for edge in sorted(gain_engine.candidate_edges(), key=edge_sort_key):
-            gains = gain_engine.gain_by_target(edge)
-            if not gains:
-                continue
-            total = sum(gains.values())
+        # one deterministic sweep over positive-gain candidates; the kernel
+        # engine iterates its live counters, other engines fall back to a
+        # full scan (see MarginalGainEngine.iter_gain_breakdowns)
+        for edge, total, gains in gain_engine.iter_gain_breakdowns():
             scored_any = False
             for target, own in gains.items():
                 if target not in active_set or own <= 0:

@@ -15,26 +15,46 @@ the difference between the paper's plain algorithms and their scalable
   instances from the graph.  Faithful, simple, and slow (this is what
   Figs. 5–6 measure as SGB/CT/WT-Greedy).
 * :class:`CoverageEngine` — the scalable formulation of Lemma 5: target
-  subgraphs are enumerated once into a :class:`~repro.motifs.CoverageState`;
-  candidates are restricted to edges of target subgraphs and queries are
-  answered from the inverted index.  Equivalent results, orders of magnitude
-  faster (SGB/CT/WT-Greedy-R).
+  subgraphs are enumerated once into a coverage state over the index and
+  candidates are restricted to edges of target subgraphs.  With the default
+  array kernel (``state="array"``, :class:`~repro.motifs.CoverageState`)
+  gains are O(1) counter reads and the maximum-gain edge pops from a lazy
+  max-heap; with ``state="set"`` the original hash-set bookkeeping
+  (:class:`~repro.motifs.SetCoverageState`) is used — same answers, kept as
+  the reference implementation for differential tests and old-vs-new
+  benchmarks.
+
+Beyond the point queries, the engine protocol exposes batched entry points
+(:meth:`MarginalGainEngine.top_gain_edge`,
+:meth:`~MarginalGainEngine.top_k_edges`,
+:meth:`~MarginalGainEngine.iter_gain_breakdowns`,
+:meth:`~MarginalGainEngine.target_gain_map`) with generic full-scan default
+implementations; :class:`CoverageEngine` overrides them with the kernel's
+incremental counterparts so SGB/CT/WT share one fast path.
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Dict, Set
+from typing import Dict, Iterator, List, Optional, Set, Tuple, Union
 
 from repro.core.model import TPPProblem
+from repro.core.selection import argmax_edge, edge_sort_key
 from repro.graphs.graph import Edge, Graph, canonical_edge
 from repro.motifs.base import MotifPattern
+from repro.motifs.enumeration import CoverageState, SetCoverageState
 
-__all__ = ["MarginalGainEngine", "RecountEngine", "CoverageEngine", "make_engine"]
+__all__ = [
+    "MarginalGainEngine",
+    "RecountEngine",
+    "CoverageEngine",
+    "ENGINE_NAMES",
+    "make_engine",
+]
 
 
 class MarginalGainEngine(ABC):
-    """Common interface of the two marginal-gain evaluation strategies."""
+    """Common interface of the marginal-gain evaluation strategies."""
 
     @abstractmethod
     def candidate_edges(self) -> Set[Edge]:
@@ -68,6 +88,65 @@ class MarginalGainEngine(ABC):
         """Return whether all target subgraphs are already broken."""
         return self.total_similarity() == 0
 
+    # ------------------------------------------------------------------
+    # batched queries (generic full-scan defaults; engines may override
+    # with incremental implementations)
+    # ------------------------------------------------------------------
+    def top_gain_edge(self) -> Optional[Tuple[Edge, int]]:
+        """Return the candidate with maximal positive gain, or ``None``.
+
+        Ties break toward the smallest ``edge_sort_key``.  The default is a
+        full evaluation sweep; kernel-backed engines answer from a heap.
+        """
+        best = argmax_edge(self.candidate_edges(), self.total_gain)
+        if best is None or best[1] <= 0:
+            return None
+        return best
+
+    def top_k_edges(self, k: int) -> List[Tuple[Edge, int]]:
+        """Return up to ``k`` positive-gain candidates, best first.
+
+        Gains are individual (overlapping) marginal gains — a shortlist for
+        pruning, not a batch selection.  Ordered by descending gain with
+        ``edge_sort_key`` tie-breaking.
+        """
+        if k <= 0:
+            return []
+        scored = [
+            (edge, gain)
+            for edge in self.candidate_edges()
+            if (gain := self.total_gain(edge)) > 0
+        ]
+        scored.sort(key=lambda pair: (-pair[1], edge_sort_key(pair[0])))
+        return scored[:k]
+
+    def iter_gain_breakdowns(self) -> Iterator[Tuple[Edge, int, Dict[Edge, int]]]:
+        """Yield ``(edge, total gain, per-target gains)`` for every candidate
+        with positive total gain, in deterministic ``edge_sort_key`` order.
+
+        This is the cross-target greedy's inner loop: one deterministic sweep
+        that exposes both the total and the attribution of each gain.
+        """
+        for edge in sorted(self.candidate_edges(), key=edge_sort_key):
+            gains = self.gain_by_target(edge)
+            if not gains:
+                continue
+            yield edge, sum(gains.values()), gains
+
+    def target_gain_map(self, target: Edge) -> Dict[Edge, int]:
+        """Return ``{edge: own gain}`` for edges breaking subgraphs of ``target``.
+
+        Keys are emitted in deterministic ``edge_sort_key`` order; only
+        positive own-gains are included.  The within-target greedy scores
+        exactly these edges instead of probing the whole candidate set.
+        """
+        gains: Dict[Edge, int] = {}
+        for edge in sorted(self.candidate_edges(), key=edge_sort_key):
+            own = self.gain_for_target(edge, target)
+            if own > 0:
+                gains[edge] = own
+        return gains
+
 
 class CoverageEngine(MarginalGainEngine):
     """Scalable engine backed by the enumerated target-subgraph index.
@@ -83,18 +162,49 @@ class CoverageEngine(MarginalGainEngine):
         still answered from the index (edges outside any target subgraph
         simply report zero gain), so this setting only changes how much work
         the greedy loop does per step.
+    state:
+        ``"array"`` (default) uses the incremental array kernel
+        (:class:`~repro.motifs.CoverageState`): O(1) gains, heap-backed
+        :meth:`top_gain_edge`.  ``"set"`` uses the original hash-set
+        bookkeeping (:class:`~repro.motifs.SetCoverageState`), kept as the
+        slow reference implementation.
     """
 
-    def __init__(self, problem: TPPProblem, restrict_candidates: bool = True) -> None:
+    def __init__(
+        self,
+        problem: TPPProblem,
+        restrict_candidates: bool = True,
+        state: str = "array",
+    ) -> None:
+        if state not in ("array", "set"):
+            raise ValueError(f"unknown state kind {state!r}; expected 'array' or 'set'")
         self._problem = problem
         self._restrict = restrict_candidates
-        self._state = problem.build_index().new_state()
+        index = problem.build_index()
+        self._state: Union[CoverageState, SetCoverageState] = (
+            index.new_state() if state == "array" else index.new_set_state()
+        )
+        self._state_kind = state
         self._deleted: Set[Edge] = set()
-        self._all_edges = problem.phase1_graph.edge_set()
+        # full edge set only matters for restrict_candidates=False; build lazily
+        self._all_edges: Optional[Set[Edge]] = None
+
+    @property
+    def state_kind(self) -> str:
+        """``"array"`` (incremental kernel) or ``"set"`` (reference)."""
+        return self._state_kind
+
+    @property
+    def supports_fast_top(self) -> bool:
+        """Whether :meth:`top_gain_edge` is answered incrementally (O(log m))
+        rather than by a full evaluation sweep."""
+        return self._state_kind == "array"
 
     def candidate_edges(self) -> Set[Edge]:
         if self._restrict:
             return self._state.candidate_edges()
+        if self._all_edges is None:
+            self._all_edges = self._problem.phase1_graph.edge_set()
         return self._all_edges - self._deleted
 
     def total_gain(self, edge: Edge) -> int:
@@ -117,6 +227,31 @@ class CoverageEngine(MarginalGainEngine):
     def similarity_of(self, target: Edge) -> int:
         return self._state.similarity_of(target)
 
+    # ------------------------------------------------------------------
+    # batched queries: kernel fast paths
+    # ------------------------------------------------------------------
+    def top_gain_edge(self) -> Optional[Tuple[Edge, int]]:
+        if self._state_kind == "array":
+            return self._state.top_gain_edge()
+        return super().top_gain_edge()
+
+    def top_k_edges(self, k: int) -> List[Tuple[Edge, int]]:
+        if self._state_kind == "array":
+            return self._state.top_gain_edges(k)
+        return super().top_k_edges(k)
+
+    def iter_gain_breakdowns(self) -> Iterator[Tuple[Edge, int, Dict[Edge, int]]]:
+        if self._state_kind == "array":
+            for edge, total in self._state.iter_positive_gains():
+                yield edge, total, self._state.gain_by_target(edge)
+            return
+        yield from super().iter_gain_breakdowns()
+
+    def target_gain_map(self, target: Edge) -> Dict[Edge, int]:
+        if self._state_kind == "array":
+            return self._state.gains_for_target(target)
+        return super().target_gain_map(target)
+
 
 class RecountEngine(MarginalGainEngine):
     """Naive engine recounting motif instances from the working graph.
@@ -124,7 +259,9 @@ class RecountEngine(MarginalGainEngine):
     This reproduces the cost profile of the paper's non-scalable algorithms:
     the candidate set is the whole remaining edge set and each marginal gain
     recounts the similarity of every target with the candidate edge
-    temporarily removed.
+    temporarily removed.  The batched protocol methods intentionally keep
+    their generic full-sweep defaults — that cost profile *is* what the
+    Fig. 5 naive curves measure.
     """
 
     def __init__(self, problem: TPPProblem) -> None:
@@ -179,19 +316,23 @@ class RecountEngine(MarginalGainEngine):
 
 
 #: Names accepted by :func:`make_engine`.
-ENGINE_NAMES = ("coverage", "recount")
+ENGINE_NAMES = ("coverage", "coverage-set", "recount")
 
 
 def make_engine(problem: TPPProblem, engine: str = "coverage") -> MarginalGainEngine:
     """Return a marginal-gain engine by name.
 
-    ``"coverage"`` builds the scalable :class:`CoverageEngine` (the ``-R``
-    algorithms); ``"recount"`` builds the naive :class:`RecountEngine` (the
-    paper's base algorithms).
+    ``"coverage"`` builds the scalable :class:`CoverageEngine` on the array
+    kernel (the ``-R`` algorithms); ``"coverage-set"`` builds the same engine
+    on the original hash-set state (reference implementation, used by the
+    differential tests and old-vs-new benchmarks); ``"recount"`` builds the
+    naive :class:`RecountEngine` (the paper's base algorithms).
     """
     name = engine.lower()
     if name == "coverage":
         return CoverageEngine(problem)
+    if name == "coverage-set":
+        return CoverageEngine(problem, state="set")
     if name == "recount":
         return RecountEngine(problem)
     raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINE_NAMES}")

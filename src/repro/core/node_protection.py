@@ -113,6 +113,7 @@ def protect_target_nodes(
     algorithm: str = "sgb",
     budget_division: Union[str, Mapping[Edge, int]] = "tbd",
     engine: str = "coverage",
+    lazy: Optional[bool] = None,
 ) -> NodeProtectionResult:
     """Protect every incident link of the given target nodes.
 
@@ -131,13 +132,17 @@ def protect_target_nodes(
     budget_division:
         Budget division for the multi-local-budget algorithms.
     engine:
-        Marginal-gain engine (``"coverage"`` or ``"recount"``).
+        Marginal-gain engine (``"coverage"``, ``"coverage-set"`` or
+        ``"recount"``).
+    lazy:
+        Lazy evaluation for the SGB greedy (default: on for the coverage
+        engines); ignored by the other algorithms.
     """
     targets = node_targets(graph, nodes)
     problem = TPPProblem(graph, targets, motif=motif)
     name = algorithm.lower()
     if name == "sgb":
-        link_result = sgb_greedy(problem, budget, engine=engine)
+        link_result = sgb_greedy(problem, budget, engine=engine, lazy=lazy)
     elif name == "ct":
         link_result = ct_greedy(
             problem, budget, budget_division=budget_division, engine=engine

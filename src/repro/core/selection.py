@@ -5,14 +5,9 @@ from __future__ import annotations
 import time
 from typing import Callable, Iterable, Optional, Tuple
 
-from repro.graphs.graph import Edge
+from repro.graphs.graph import Edge, edge_sort_key
 
 __all__ = ["argmax_edge", "edge_sort_key", "Stopwatch"]
-
-
-def edge_sort_key(edge: Edge) -> Tuple[str, str]:
-    """Deterministic ordering key for edges (used to break score ties)."""
-    return (str(edge[0]), str(edge[1]))
 
 
 def argmax_edge(

@@ -6,20 +6,28 @@ subgraphs (over *all* targets) is deleted.  Because the dissimilarity is
 monotone and submodular (Lemmas 1–2), the greedy selection is a ``1 - 1/e``
 approximation of the optimal protector set (Theorem 3).
 
-Two marginal-gain engines are available (see :mod:`repro.core.engines`):
-``engine="recount"`` reproduces the paper's non-scalable SGB-Greedy, while
-``engine="coverage"`` is the scalable SGB-Greedy-R of Lemma 5.  On top of the
-coverage engine an optional lazy (CELF-style) evaluation exploits
-submodularity to skip re-evaluations; it selects a protector set of the same
-greedy quality (identical up to ties) and is useful on DBLP-scale graphs.
+Three evaluation strategies are available (see :mod:`repro.core.engines`):
+
+* ``engine="recount"`` reproduces the paper's non-scalable SGB-Greedy;
+* ``engine="coverage"`` is the scalable SGB-Greedy-R of Lemma 5, and by
+  default runs the *lazy* selection: the array kernel maintains exact
+  per-edge live-gain counters, so the maximum-gain edge pops straight off a
+  heap instead of being found by a full candidate sweep.  This is CELF taken
+  to its limit — with exact incremental gains no re-evaluation is ever
+  needed — and it selects the identical protector sequence as the plain
+  sweep (tie-breaking included);
+* ``engine="coverage-set"`` is the original hash-set implementation, kept as
+  the reference; its lazy mode uses the classic CELF stale-upper-bound heap.
+
+Pass ``lazy=False`` to force the full evaluation sweep on any engine.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import List
+from typing import List, Optional, Tuple
 
-from repro.core.engines import CoverageEngine, make_engine
+from repro.core.engines import CoverageEngine, MarginalGainEngine, make_engine
 from repro.core.model import ProtectionResult, TPPProblem
 from repro.core.selection import Stopwatch, argmax_edge, edge_sort_key
 from repro.exceptions import BudgetError
@@ -32,7 +40,7 @@ def sgb_greedy(
     problem: TPPProblem,
     budget: int,
     engine: str = "coverage",
-    lazy: bool = False,
+    lazy: Optional[bool] = None,
 ) -> ProtectionResult:
     """Select up to ``budget`` protectors with the single-global-budget greedy.
 
@@ -43,12 +51,16 @@ def sgb_greedy(
     budget:
         Maximum number of protector deletions ``k``.
     engine:
-        ``"coverage"`` (scalable, SGB-Greedy-R) or ``"recount"``
-        (naive, SGB-Greedy).
+        ``"coverage"`` (scalable, SGB-Greedy-R), ``"coverage-set"`` (the
+        hash-set reference implementation) or ``"recount"`` (naive,
+        SGB-Greedy).
     lazy:
-        Use CELF-style lazy evaluation (coverage engine only).  Produces a
-        protector set of the same greedy quality (identical up to ties);
-        typically much faster on large graphs.
+        Use lazy (CELF-style) evaluation instead of a full candidate sweep
+        per step.  Defaults to ``True`` on the coverage engines and ``False``
+        on the recount engine (which does not support it).  Produces the same
+        protector selection as the plain sweep (identical tie-breaking on the
+        array kernel, identical up to ties on the set state); typically much
+        faster on large graphs.
 
     Returns
     -------
@@ -61,15 +73,29 @@ def sgb_greedy(
         raise BudgetError(f"budget must be >= 0, got {budget}")
     stopwatch = Stopwatch()
     gain_engine = make_engine(problem, engine)
-    algorithm = "SGB-Greedy-R" if engine == "coverage" else "SGB-Greedy"
+    algorithm = (
+        "SGB-Greedy-R" if isinstance(gain_engine, CoverageEngine) else "SGB-Greedy"
+    )
+    if lazy is None:
+        lazy = isinstance(gain_engine, CoverageEngine)
     if lazy and not isinstance(gain_engine, CoverageEngine):
         raise ValueError("lazy evaluation requires the coverage engine")
 
     protectors: List[Edge] = []
     trace: List[int] = [gain_engine.total_similarity()]
 
-    if lazy:
-        protectors, trace = _lazy_selection(gain_engine, budget, trace)
+    if lazy and gain_engine.supports_fast_top:
+        # the kernel's heap holds *exact* live gains: pop, commit, repeat
+        while len(protectors) < budget:
+            best = gain_engine.top_gain_edge()
+            if best is None:
+                break
+            edge, _ = best
+            gain_engine.commit(edge)
+            protectors.append(edge)
+            trace.append(gain_engine.total_similarity())
+    elif lazy:
+        protectors, trace = _celf_selection(gain_engine, budget, trace)
     else:
         while len(protectors) < budget:
             best = argmax_edge(gain_engine.candidate_edges(), gain_engine.total_gain)
@@ -92,12 +118,16 @@ def sgb_greedy(
     )
 
 
-def _lazy_selection(engine: CoverageEngine, budget: int, trace: List[int]):
-    """CELF lazy greedy on the coverage engine.
+def _celf_selection(
+    engine: MarginalGainEngine, budget: int, trace: List[int]
+) -> Tuple[List[Edge], List[int]]:
+    """Classic CELF lazy greedy over stale upper bounds.
 
-    Maintains a max-heap of (stale) upper bounds on each candidate's gain;
-    submodularity guarantees a candidate whose refreshed gain still tops the
-    heap is the true argmax, so most candidates are never re-evaluated.
+    Used for engines without exact incremental counters (the hash-set
+    reference state).  Maintains a max-heap of (stale) upper bounds on each
+    candidate's gain; submodularity guarantees a candidate whose refreshed
+    gain still tops the heap is the true argmax, so most candidates are never
+    re-evaluated.
     """
     protectors: List[Edge] = []
     heap = []

@@ -20,9 +20,9 @@ from __future__ import annotations
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.core.budget import make_budget_division
-from repro.core.engines import make_engine
+from repro.core.engines import CoverageEngine, make_engine
 from repro.core.model import ProtectionResult, TPPProblem
-from repro.core.selection import Stopwatch, edge_sort_key
+from repro.core.selection import Stopwatch
 from repro.exceptions import BudgetError
 from repro.graphs.graph import Edge
 
@@ -48,7 +48,8 @@ def wt_greedy(
         ``"tbd"``, ``"dbd"``, ``"uniform"`` or an explicit target -> budget
         mapping.
     engine:
-        ``"coverage"`` (WT-Greedy-R) or ``"recount"`` (WT-Greedy).
+        ``"coverage"`` (WT-Greedy-R, array kernel), ``"coverage-set"``
+        (reference hash-set state) or ``"recount"`` (WT-Greedy).
     target_order:
         Optional explicit processing order of the targets; defaults to the
         problem's target order.
@@ -64,7 +65,9 @@ def wt_greedy(
     division = make_budget_division(problem, budget, budget_division)
     gain_engine = make_engine(problem, engine)
     constant = max(problem.constant, 1)
-    algorithm = "WT-Greedy-R" if engine == "coverage" else "WT-Greedy"
+    algorithm = (
+        "WT-Greedy-R" if isinstance(gain_engine, CoverageEngine) else "WT-Greedy"
+    )
     if isinstance(budget_division, str):
         algorithm = f"{algorithm}:{budget_division.upper()}"
 
@@ -85,10 +88,11 @@ def wt_greedy(
                 break
             best_edge: Optional[Edge] = None
             best_score = 0.0
-            for edge in sorted(gain_engine.candidate_edges(), key=edge_sort_key):
-                own = gain_engine.gain_for_target(edge, target)
-                if own <= 0:
-                    continue
+            # only edges touching an alive subgraph of *this* target can have
+            # a positive own-gain; the engine enumerates exactly those (the
+            # kernel scans the target's alive instances once) in
+            # deterministic edge_sort_key order
+            for edge, own in gain_engine.target_gain_map(target).items():
                 total = gain_engine.total_gain(edge)
                 score = own + (total - own) / constant
                 if score > best_score:

@@ -45,11 +45,17 @@ class RuntimeComparison:
         )
 
 
+#: Legend suffix per engine: the array kernel and the hash-set reference are
+#: both "-R" (scalable) implementations, distinguished so old-vs-new engine
+#: comparisons can be read off one runtime table.
+_ENGINE_SUFFIXES = {"coverage": "-R", "coverage-set": "-R(set)", "recount": ""}
+
+
 def _label(method: str, engine: str) -> str:
     """Return the paper-style legend label for a method + engine combination."""
     if not is_greedy_method(method):
         return method
-    suffix = "-R" if engine == "coverage" else ""
+    suffix = _ENGINE_SUFFIXES.get(engine, f"-{engine}")
     if ":" in method:
         base, division = method.split(":", 1)
         return f"{base}{suffix}:{division}"

@@ -23,9 +23,11 @@ from repro.graphs.community import (
 from repro.graphs.convert import (
     from_adjacency,
     from_edge_list,
+    from_indexed,
     from_networkx,
     to_adjacency,
     to_edge_list,
+    to_indexed,
     to_networkx,
 )
 from repro.graphs.generators import (
@@ -39,7 +41,8 @@ from repro.graphs.generators import (
     star_graph,
     watts_strogatz_graph,
 )
-from repro.graphs.graph import Edge, Graph, Node, canonical_edge
+from repro.graphs.graph import Edge, Graph, Node, canonical_edge, edge_sort_key
+from repro.graphs.indexed import IndexedGraph
 from repro.graphs.io import read_edge_list, write_edge_list
 from repro.graphs.spectral import (
     algebraic_connectivity,
@@ -53,6 +56,8 @@ __all__ = [
     "Node",
     "Edge",
     "canonical_edge",
+    "edge_sort_key",
+    "IndexedGraph",
     # algorithms
     "bfs_distances",
     "shortest_path_length",
@@ -78,6 +83,8 @@ __all__ = [
     "to_adjacency",
     "from_networkx",
     "to_networkx",
+    "to_indexed",
+    "from_indexed",
     # generators
     "erdos_renyi_graph",
     "barabasi_albert_graph",

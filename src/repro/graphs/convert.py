@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Set
 
 from repro.graphs.graph import Edge, Graph, Node
+from repro.graphs.indexed import IndexedGraph
 
 __all__ = [
     "from_edge_list",
@@ -19,6 +20,8 @@ __all__ = [
     "to_adjacency",
     "from_networkx",
     "to_networkx",
+    "to_indexed",
+    "from_indexed",
 ]
 
 
@@ -45,6 +48,23 @@ def from_adjacency(adjacency: Dict[Node, Iterable[Node]]) -> Graph:
 def to_adjacency(graph: Graph) -> Dict[Node, Set[Node]]:
     """Return a node -> neighbor-set mapping (a deep copy)."""
     return {node: set(graph.neighbors(node)) for node in graph.nodes()}
+
+
+def to_indexed(graph: Graph) -> IndexedGraph:
+    """Freeze ``graph`` into a dense integer-indexed :class:`IndexedGraph`.
+
+    The snapshot is immutable; node ids are assigned in ``str`` order and edge
+    ids in ``edge_sort_key`` order (see :mod:`repro.graphs.indexed`).
+    """
+    return IndexedGraph(graph)
+
+
+def from_indexed(indexed: IndexedGraph) -> Graph:
+    """Materialise an :class:`IndexedGraph` snapshot back into a :class:`Graph`.
+
+    ``from_indexed(to_indexed(g)) == g`` for every graph ``g``.
+    """
+    return indexed.to_graph()
 
 
 def from_networkx(nx_graph) -> Graph:

@@ -20,7 +20,7 @@ from repro.exceptions import EdgeNotFoundError, NodeNotFoundError
 Node = Hashable
 Edge = Tuple[Node, Node]
 
-__all__ = ["Graph", "Node", "Edge", "canonical_edge"]
+__all__ = ["Graph", "Node", "Edge", "canonical_edge", "edge_sort_key"]
 
 
 def canonical_edge(u: Node, v: Node) -> Edge:
@@ -33,6 +33,18 @@ def canonical_edge(u: Node, v: Node) -> Edge:
         return (u, v) if u <= v else (v, u)
     except TypeError:
         return (u, v) if repr(u) <= repr(v) else (v, u)
+
+
+def edge_sort_key(edge: Edge) -> Tuple[str, str]:
+    """Deterministic total ordering key for (canonical) edges.
+
+    This is the library-wide tie-breaking order: the greedy algorithms break
+    score ties by it, and :class:`~repro.graphs.indexed.IndexedGraph` assigns
+    edge ids in this order so that comparing ids reproduces comparing keys.
+    Defined here (not in :mod:`repro.core.selection`, which re-exports it)
+    because the substrate layer must share it without importing core.
+    """
+    return (str(edge[0]), str(edge[1]))
 
 
 class Graph:

@@ -1,0 +1,195 @@
+"""Dense integer-indexed view of a :class:`~repro.graphs.graph.Graph`.
+
+The coverage kernel (see :mod:`repro.motifs.enumeration`) and other hot loops
+should not hash arbitrary node/edge objects on every query.  An
+:class:`IndexedGraph` freezes a graph into
+
+* node ids ``0 .. n-1`` (assigned in deterministic ``str`` order),
+* edge ids ``0 .. m-1`` (assigned in :func:`~repro.graphs.graph.edge_sort_key`
+  order, i.e. sorted by the string forms of the canonical endpoints), and
+* a CSR adjacency structure (``indptr`` / ``neighbors`` / ``incident_edges``)
+  over those ids,
+
+so downstream code can carry plain ``int`` handles through its inner loops and
+only translate back to node/edge objects at API boundaries.  The edge-id order
+is load-bearing: because it matches ``edge_sort_key``, comparing edge ids
+reproduces the deterministic tie-breaking the greedy algorithms already use on
+edge tuples.
+
+The view is immutable; mutating the source graph afterwards does not affect an
+already-built index.  Round-trips are provided here (:meth:`IndexedGraph.to_graph`)
+and in :mod:`repro.graphs.convert` (:func:`~repro.graphs.convert.to_indexed` /
+:func:`~repro.graphs.convert.from_indexed`).
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Dict, Iterator, Optional, Sequence, Tuple
+
+from repro.exceptions import EdgeNotFoundError, NodeNotFoundError
+from repro.graphs.graph import Edge, Graph, Node, canonical_edge, edge_sort_key
+
+__all__ = ["IndexedGraph"]
+
+
+class IndexedGraph:
+    """Immutable dense-id snapshot of an undirected simple graph.
+
+    Parameters
+    ----------
+    graph:
+        The graph to snapshot.  Node and edge identities are frozen at
+        construction time.
+    """
+
+    __slots__ = (
+        "_nodes",
+        "_node_id",
+        "_edges",
+        "_edge_id",
+        "_indptr",
+        "_neighbors",
+        "_incident_edges",
+    )
+
+    def __init__(self, graph: Graph) -> None:
+        # -- node ids: deterministic str order --------------------------------
+        self._nodes: Tuple[Node, ...] = tuple(sorted(graph.nodes(), key=str))
+        self._node_id: Dict[Node, int] = {
+            node: index for index, node in enumerate(self._nodes)
+        }
+
+        # -- edge ids: edge_sort_key order over canonical edges ---------------
+        self._edges: Tuple[Edge, ...] = tuple(
+            sorted(graph.edges(), key=edge_sort_key)
+        )
+        self._edge_id: Dict[Edge, int] = {
+            edge: index for index, edge in enumerate(self._edges)
+        }
+
+        # -- CSR adjacency over node ids --------------------------------------
+        n = len(self._nodes)
+        indptr = array("l", [0] * (n + 1))
+        for i, node in enumerate(self._nodes):
+            indptr[i + 1] = indptr[i] + graph.degree(node)
+        neighbors = array("l", [0] * indptr[n])
+        incident = array("l", [0] * indptr[n])
+        cursor = array("l", indptr[:n])
+        for u_id, u in enumerate(self._nodes):
+            # neighbors in node-id order keeps the CSR rows deterministic
+            for v in sorted(graph.neighbors(u), key=str):
+                v_id = self._node_id[v]
+                position = cursor[u_id]
+                neighbors[position] = v_id
+                incident[position] = self._edge_id[canonical_edge(u, v)]
+                cursor[u_id] = position + 1
+        self._indptr = indptr
+        self._neighbors = neighbors
+        self._incident_edges = incident
+
+    # ------------------------------------------------------------------
+    # sizes
+    # ------------------------------------------------------------------
+    def number_of_nodes(self) -> int:
+        """Return ``|V|``."""
+        return len(self._nodes)
+
+    def number_of_edges(self) -> int:
+        """Return ``|E|``."""
+        return len(self._edges)
+
+    # ------------------------------------------------------------------
+    # node id mapping
+    # ------------------------------------------------------------------
+    @property
+    def nodes(self) -> Tuple[Node, ...]:
+        """All nodes, in id order."""
+        return self._nodes
+
+    def node_id(self, node: Node) -> int:
+        """Return the dense id of ``node``.
+
+        Raises
+        ------
+        NodeNotFoundError
+            If the node was not part of the snapshotted graph.
+        """
+        try:
+            return self._node_id[node]
+        except KeyError:
+            raise NodeNotFoundError(node) from None
+
+    def node_at(self, node_id: int) -> Node:
+        """Return the node with dense id ``node_id``."""
+        return self._nodes[node_id]
+
+    # ------------------------------------------------------------------
+    # edge id mapping
+    # ------------------------------------------------------------------
+    @property
+    def edges(self) -> Tuple[Edge, ...]:
+        """All canonical edges, in id (``edge_sort_key``) order."""
+        return self._edges
+
+    def edge_id(self, u: Node, v: Node) -> int:
+        """Return the dense id of the undirected edge ``(u, v)``.
+
+        Raises
+        ------
+        EdgeNotFoundError
+            If the edge was not part of the snapshotted graph.
+        """
+        try:
+            return self._edge_id[canonical_edge(u, v)]
+        except KeyError:
+            raise EdgeNotFoundError((u, v)) from None
+
+    def find_edge_id(self, u: Node, v: Node) -> Optional[int]:
+        """Return the dense id of ``(u, v)``, or ``None`` if absent."""
+        return self._edge_id.get(canonical_edge(u, v))
+
+    def edge_at(self, edge_id: int) -> Edge:
+        """Return the canonical edge with dense id ``edge_id``."""
+        return self._edges[edge_id]
+
+    def has_edge(self, u: Node, v: Node) -> bool:
+        """Return whether the snapshot contains the undirected edge ``(u, v)``."""
+        return canonical_edge(u, v) in self._edge_id
+
+    # ------------------------------------------------------------------
+    # CSR adjacency
+    # ------------------------------------------------------------------
+    def degree_of(self, node_id: int) -> int:
+        """Return the degree of the node with dense id ``node_id``."""
+        return self._indptr[node_id + 1] - self._indptr[node_id]
+
+    def neighbor_ids(self, node_id: int) -> Sequence[int]:
+        """Return the neighbor ids of ``node_id`` (a zero-copy CSR row)."""
+        return self._neighbors[self._indptr[node_id] : self._indptr[node_id + 1]]
+
+    def incident_edge_ids(self, node_id: int) -> Sequence[int]:
+        """Return the incident edge ids of ``node_id``, aligned with
+        :meth:`neighbor_ids` (position ``i`` is the edge to neighbor ``i``)."""
+        return self._incident_edges[
+            self._indptr[node_id] : self._indptr[node_id + 1]
+        ]
+
+    # ------------------------------------------------------------------
+    # round-trip
+    # ------------------------------------------------------------------
+    def to_graph(self) -> Graph:
+        """Materialise the snapshot back into a mutable :class:`Graph`."""
+        return Graph(edges=self._edges, nodes=self._nodes)
+
+    def __iter__(self) -> Iterator[Node]:
+        return iter(self._nodes)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(n={self.number_of_nodes()}, "
+            f"m={self.number_of_edges()})"
+        )

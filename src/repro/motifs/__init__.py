@@ -8,7 +8,12 @@ from repro.motifs.base import (
     get_motif,
     register_motif,
 )
-from repro.motifs.enumeration import CoverageState, InstanceId, TargetSubgraphIndex
+from repro.motifs.enumeration import (
+    CoverageState,
+    InstanceId,
+    SetCoverageState,
+    TargetSubgraphIndex,
+)
 from repro.motifs.extra import Clique4Motif, CliqueMotif, Path4Motif, PathMotif
 from repro.motifs.rectangle import RectangleMotif
 from repro.motifs.rectri import RecTriMotif
@@ -37,6 +42,7 @@ __all__ = [
     "Clique4Motif",
     "TargetSubgraphIndex",
     "CoverageState",
+    "SetCoverageState",
     "InstanceId",
     "similarity",
     "similarity_by_target",

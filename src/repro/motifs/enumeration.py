@@ -1,4 +1,4 @@
-"""Target-subgraph enumeration and the incremental coverage index.
+"""Target-subgraph enumeration and the incremental coverage kernel.
 
 The scalable implementations of the paper (SGB/CT/WT-Greedy-R, Lemma 5) rest
 on two observations about the phase-1 graph (targets already deleted):
@@ -8,22 +8,50 @@ on two observations about the phase-1 graph (targets already deleted):
 2. only edges that participate in some target subgraph can ever have a
    positive marginal gain.
 
-:class:`TargetSubgraphIndex` materialises ``W`` with an inverted
-``edge -> instances`` index; :class:`CoverageState` layers a mutable "which
-instances are still alive" view on top of it so greedy algorithms can query
-marginal gains and commit deletions in time proportional to the instances
-touched.
+:class:`TargetSubgraphIndex` materialises ``W`` once over an
+:class:`~repro.graphs.indexed.IndexedGraph` snapshot of the phase-1 graph, so
+every instance and every edge is addressed by a dense integer id:
+
+* ``instance -> edge ids`` as a flat CSR array (``_inst_indptr`` /
+  ``_inst_edge_ids``),
+* ``edge id -> instances`` as the inverse CSR (``_edge_indptr`` /
+  ``_edge_inst_ids``), and
+* ``instance -> target index`` as a flat array.
+
+:class:`CoverageState` layers the mutable greedy bookkeeping on top: an alive
+bitmask over instances and — the heart of the kernel — **per-edge live-gain
+counters maintained incrementally**.  Deleting an edge walks the instances it
+kills exactly once and decrements the counters of every sibling edge, so
+
+* :meth:`CoverageState.gain` is O(1) (a counter read),
+* :meth:`CoverageState.candidate_edges` is O(|candidate edges|) with no
+  per-edge rescan, and
+* :meth:`CoverageState.top_gain_edge` is amortised O(log) via a lazy max-heap
+  (valid because gains only ever decrease).
+
+:class:`SetCoverageState` preserves the previous hash-set implementation as an
+executable reference: the differential tests in
+``tests/property/test_kernel_differential.py`` assert that the kernel, the set
+state and a from-scratch recount agree on every trace.
 """
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple, Union
+import heapq
+from array import array
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.exceptions import MotifError
 from repro.graphs.graph import Edge, Graph, canonical_edge
+from repro.graphs.indexed import IndexedGraph
 from repro.motifs.base import MotifInstance, MotifPattern, coerce_motif
 
-__all__ = ["TargetSubgraphIndex", "CoverageState", "InstanceId"]
+__all__ = [
+    "TargetSubgraphIndex",
+    "CoverageState",
+    "SetCoverageState",
+    "InstanceId",
+]
 
 #: Opaque identifier of one enumerated target subgraph.
 InstanceId = int
@@ -43,10 +71,12 @@ class TargetSubgraphIndex:
 
     Notes
     -----
-    Every instance is assigned an integer id.  Because phase 1 removed all
-    targets, each instance belongs to exactly one target (the paper's
-    ``W_t ∩ W_t' = ∅`` property for the *target* attribution; a protector
-    edge, on the other hand, may participate in instances of many targets).
+    Every instance is assigned an integer id; instances of one target occupy a
+    contiguous id range (the paper's ``W_t ∩ W_t' = ∅`` property for the
+    *target* attribution; a protector edge, on the other hand, may participate
+    in instances of many targets).  Edges are addressed by the dense edge ids
+    of the underlying :class:`~repro.graphs.indexed.IndexedGraph`, whose order
+    matches the library-wide ``edge_sort_key`` tie-breaking.
     """
 
     def __init__(
@@ -66,30 +96,70 @@ class TargetSubgraphIndex:
                     "remove all targets (phase 1) before building the index"
                 )
 
-        instance_edges: List[MotifInstance] = []
-        instance_target: List[Edge] = []
-        instances_by_target: Dict[Edge, List[InstanceId]] = {
-            target: [] for target in self._targets
+        indexed = IndexedGraph(graph)
+        self._indexed = indexed
+        self._target_index: Dict[Edge, int] = {
+            target: position for position, target in enumerate(self._targets)
         }
-        edge_to_instances: Dict[Edge, Set[InstanceId]] = {}
 
-        for target in self._targets:
+        # ------------------------------------------------------------------
+        # pass 1: enumerate instances, translating edge tuples to edge ids
+        # once at the boundary (the kernel never hashes tuples afterwards)
+        # ------------------------------------------------------------------
+        inst_indptr: List[int] = [0]
+        inst_edge_ids: List[int] = []
+        inst_target_idx: List[int] = []
+        target_ranges: List[Tuple[int, int]] = []
+        edge_id_of = indexed.edge_id
+        for position, target in enumerate(self._targets):
+            start = len(inst_target_idx)
             for edges in self._motif.enumerate_instances(graph, target):
-                instance_id = len(instance_edges)
-                instance_edges.append(edges)
-                instance_target.append(target)
-                instances_by_target[target].append(instance_id)
-                for edge in edges:
-                    edge_to_instances.setdefault(edge, set()).add(instance_id)
+                inst_edge_ids.extend(edge_id_of(u, v) for u, v in edges)
+                inst_indptr.append(len(inst_edge_ids))
+                inst_target_idx.append(position)
+            target_ranges.append((start, len(inst_target_idx)))
 
-        self._instance_edges: Tuple[MotifInstance, ...] = tuple(instance_edges)
-        self._instance_target: Tuple[Edge, ...] = tuple(instance_target)
-        self._instances_by_target = {
-            target: tuple(ids) for target, ids in instances_by_target.items()
-        }
-        self._edge_to_instances = {
-            edge: frozenset(ids) for edge, ids in edge_to_instances.items()
-        }
+        self._inst_indptr = array("l", inst_indptr)
+        self._inst_edge_ids = array("l", inst_edge_ids)
+        self._inst_target_idx = array("l", inst_target_idx)
+        self._target_ranges: Tuple[Tuple[int, int], ...] = tuple(target_ranges)
+
+        # ------------------------------------------------------------------
+        # pass 2: invert into the edge id -> instances CSR
+        # ------------------------------------------------------------------
+        m = indexed.number_of_edges()
+        counts = array("l", [0] * (m + 1))
+        for edge_id in self._inst_edge_ids:
+            counts[edge_id + 1] += 1
+        for edge_id in range(m):
+            counts[edge_id + 1] += counts[edge_id]
+        edge_indptr = counts  # now the CSR offsets
+        edge_inst_ids = array("l", [0] * len(self._inst_edge_ids))
+        cursor = array("l", edge_indptr[:m])
+        number_of_instances = len(self._inst_target_idx)
+        for instance_id in range(number_of_instances):
+            for position in range(
+                self._inst_indptr[instance_id], self._inst_indptr[instance_id + 1]
+            ):
+                edge_id = self._inst_edge_ids[position]
+                edge_inst_ids[cursor[edge_id]] = instance_id
+                cursor[edge_id] += 1
+        self._edge_indptr = edge_indptr
+        self._edge_inst_ids = edge_inst_ids
+
+        #: Candidate edge ids (edges in >= 1 instance), ascending == sorted
+        #: by ``edge_sort_key`` thanks to the IndexedGraph id order.
+        self._candidate_ids: Tuple[int, ...] = tuple(
+            edge_id
+            for edge_id in range(m)
+            if edge_indptr[edge_id + 1] > edge_indptr[edge_id]
+        )
+
+        # edge -> frozenset(instance ids), materialised lazily on first use:
+        # only the tuple-level accessors and SetCoverageState need it (the
+        # kernel reads the CSR directly), but once built it must be O(1) per
+        # lookup so the set state keeps the seed implementation's cost profile
+        self._edge_to_instances: Optional[Dict[Edge, FrozenSet[InstanceId]]] = None
 
     # ------------------------------------------------------------------
     # read-only accessors
@@ -104,32 +174,59 @@ class TargetSubgraphIndex:
         """The canonical target links, in input order."""
         return self._targets
 
+    @property
+    def indexed_graph(self) -> IndexedGraph:
+        """The dense-id snapshot of the phase-1 graph the kernel runs on."""
+        return self._indexed
+
     def number_of_instances(self) -> int:
         """Return ``|W|``, the total number of target subgraphs."""
-        return len(self._instance_edges)
+        return len(self._inst_target_idx)
+
+    def number_of_candidate_edges(self) -> int:
+        """Return how many distinct edges participate in target subgraphs."""
+        return len(self._candidate_ids)
 
     def instances_of(self, target: Edge) -> Tuple[InstanceId, ...]:
         """Return the instance ids belonging to ``target`` (``W_t``)."""
-        return self._instances_by_target[canonical_edge(*target)]
+        start, end = self._target_ranges[self._target_position(target)]
+        return tuple(range(start, end))
 
     def initial_similarity(self, target: Edge) -> int:
         """Return ``s(∅, t) = |W_t|`` for ``target``."""
-        return len(self.instances_of(target))
+        start, end = self._target_ranges[self._target_position(target)]
+        return end - start
 
     def initial_total_similarity(self) -> int:
         """Return ``s(∅, T) = |W|``."""
-        return len(self._instance_edges)
+        return len(self._inst_target_idx)
 
     def edges_of_instance(self, instance_id: InstanceId) -> MotifInstance:
         """Return the protector edges of one instance."""
-        return self._instance_edges[instance_id]
+        edge_at = self._indexed.edge_at
+        return frozenset(
+            edge_at(self._inst_edge_ids[position])
+            for position in range(
+                self._inst_indptr[instance_id], self._inst_indptr[instance_id + 1]
+            )
+        )
 
     def target_of_instance(self, instance_id: InstanceId) -> Edge:
         """Return the target an instance belongs to."""
-        return self._instance_target[instance_id]
+        return self._targets[self._inst_target_idx[instance_id]]
 
     def instances_containing(self, edge: Edge) -> FrozenSet[InstanceId]:
         """Return all instance ids that contain ``edge`` (empty if none)."""
+        if self._edge_to_instances is None:
+            edge_at = self._indexed.edge_at
+            indptr = self._edge_indptr
+            inst_ids = self._edge_inst_ids
+            self._edge_to_instances = {
+                edge_at(edge_id): frozenset(
+                    inst_ids[indptr[edge_id] : indptr[edge_id + 1]]
+                )
+                for edge_id in self._candidate_ids
+            }
         return self._edge_to_instances.get(canonical_edge(*edge), frozenset())
 
     def candidate_edges(self) -> Set[Edge]:
@@ -139,27 +236,351 @@ class TargetSubgraphIndex:
         protectors; the scalable ``-R`` algorithms restrict their search to
         this set.
         """
-        return set(self._edge_to_instances)
+        edge_at = self._indexed.edge_at
+        return {edge_at(edge_id) for edge_id in self._candidate_ids}
+
+    def candidate_edge_list(self) -> List[Edge]:
+        """Return the candidate edges in deterministic ``edge_sort_key`` order.
+
+        Unlike :meth:`candidate_edges` (a set, for membership tests) the list
+        form has a stable iteration order across processes and hash seeds,
+        which the baselines and greedy loops rely on for reproducibility.
+        """
+        edge_at = self._indexed.edge_at
+        return [edge_at(edge_id) for edge_id in self._candidate_ids]
 
     def candidate_edges_of(self, target: Edge) -> Set[Edge]:
         """Return the edges participating in some instance of ``target``."""
-        edges: Set[Edge] = set()
-        for instance_id in self.instances_of(target):
-            edges |= self._instance_edges[instance_id]
-        return edges
+        start, end = self._target_ranges[self._target_position(target)]
+        edge_at = self._indexed.edge_at
+        return {
+            edge_at(self._inst_edge_ids[position])
+            for instance_id in range(start, end)
+            for position in range(
+                self._inst_indptr[instance_id], self._inst_indptr[instance_id + 1]
+            )
+        }
 
     def new_state(self) -> "CoverageState":
-        """Return a fresh mutable :class:`CoverageState` over this index."""
+        """Return a fresh mutable array-backed :class:`CoverageState`."""
         return CoverageState(self)
+
+    def new_set_state(self) -> "SetCoverageState":
+        """Return the hash-set reference implementation of the state.
+
+        Slower than :meth:`new_state`; kept as the executable specification
+        the kernel is differentially tested against.
+        """
+        return SetCoverageState(self)
+
+    # ------------------------------------------------------------------
+    # internal helpers shared with the states
+    # ------------------------------------------------------------------
+    def _target_position(self, target: Edge) -> int:
+        return self._target_index[canonical_edge(*target)]
 
 
 class CoverageState:
-    """Mutable view tracking which target subgraphs are still alive.
+    """Array-backed mutable view tracking which target subgraphs are alive.
 
-    Deleting an edge kills every alive instance containing it.  The state
-    answers marginal-gain queries (total and per target) in time proportional
-    to the number of instances the edge touches, which is what makes the
-    greedy algorithms scale.
+    Deleting an edge kills every alive instance containing it and eagerly
+    decrements the live-gain counter of each sibling edge, so marginal-gain
+    queries are O(1) counter reads and :meth:`top_gain_edge` pops an exact
+    maximum from a lazily-repaired heap (gains are monotone non-increasing,
+    which makes stale heap entries safe to re-validate on pop).
+    """
+
+    def __init__(self, index: TargetSubgraphIndex) -> None:
+        self._index = index
+        n_instances = index.number_of_instances()
+        self._alive = bytearray(b"\x01") * n_instances
+        self._alive_total = n_instances
+        self._alive_by_tidx = array(
+            "l", (end - start for start, end in index._target_ranges)
+        )
+        # live-gain counters: gain[edge_id] == alive instances containing it
+        self._gain = array(
+            "l",
+            (
+                index._edge_indptr[edge_id + 1] - index._edge_indptr[edge_id]
+                for edge_id in range(index.indexed_graph.number_of_edges())
+            ),
+        )
+        self._deleted_edges: List[Edge] = []
+        # lazy max-heap of (-gain, edge_id); built on first top-gain query
+        self._heap: Optional[List[Tuple[int, int]]] = None
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def index(self) -> TargetSubgraphIndex:
+        """The immutable index this state is layered on."""
+        return self._index
+
+    @property
+    def deleted_edges(self) -> Tuple[Edge, ...]:
+        """Edges deleted so far, in deletion order."""
+        return tuple(self._deleted_edges)
+
+    def total_similarity(self) -> int:
+        """Return the current ``s(P, T)`` (alive instances)."""
+        return self._alive_total
+
+    def similarity_of(self, target: Edge) -> int:
+        """Return the current ``s(P, t)`` for ``target``."""
+        return self._alive_by_tidx[self._index._target_position(target)]
+
+    def similarity_by_target(self) -> Dict[Edge, int]:
+        """Return the current per-target similarities."""
+        return {
+            target: self._alive_by_tidx[position]
+            for position, target in enumerate(self._index.targets)
+        }
+
+    def is_fully_protected(self) -> bool:
+        """Return whether every target subgraph has been broken."""
+        return self._alive_total == 0
+
+    def gain(self, edge: Edge) -> int:
+        """Return how many alive instances deleting ``edge`` would break.
+
+        O(1): reads the incrementally maintained live-gain counter.
+        """
+        edge_id = self._index._indexed.find_edge_id(*edge)
+        if edge_id is None:
+            return 0
+        return self._gain[edge_id]
+
+    def gain_by_target(self, edge: Edge) -> Dict[Edge, int]:
+        """Return per-target counts of alive instances ``edge`` would break."""
+        edge_id = self._index._indexed.find_edge_id(*edge)
+        if edge_id is None or self._gain[edge_id] == 0:
+            return {}
+        index = self._index
+        counts: Dict[int, int] = {}
+        for position in range(
+            index._edge_indptr[edge_id], index._edge_indptr[edge_id + 1]
+        ):
+            instance_id = index._edge_inst_ids[position]
+            if self._alive[instance_id]:
+                tidx = index._inst_target_idx[instance_id]
+                counts[tidx] = counts.get(tidx, 0) + 1
+        targets = index.targets
+        return {targets[tidx]: count for tidx, count in sorted(counts.items())}
+
+    def gain_for_target(self, edge: Edge, target: Edge) -> int:
+        """Return alive instances of ``target`` that deleting ``edge`` breaks."""
+        edge_id = self._index._indexed.find_edge_id(*edge)
+        if edge_id is None or self._gain[edge_id] == 0:
+            return 0
+        index = self._index
+        wanted = index._target_position(target)
+        count = 0
+        for position in range(
+            index._edge_indptr[edge_id], index._edge_indptr[edge_id + 1]
+        ):
+            instance_id = index._edge_inst_ids[position]
+            if (
+                self._alive[instance_id]
+                and index._inst_target_idx[instance_id] == wanted
+            ):
+                count += 1
+        return count
+
+    def candidate_edges(self) -> Set[Edge]:
+        """Return undeleted edges that still break at least one alive instance.
+
+        O(|candidate edges|): a deleted or dead edge has a zero counter, so no
+        per-edge instance rescan is needed.
+        """
+        edge_at = self._index._indexed.edge_at
+        gain = self._gain
+        return {
+            edge_at(edge_id)
+            for edge_id in self._index._candidate_ids
+            if gain[edge_id] > 0
+        }
+
+    def candidate_edge_list(self) -> List[Edge]:
+        """Return the live candidates in deterministic ``edge_sort_key`` order."""
+        edge_at = self._index._indexed.edge_at
+        gain = self._gain
+        return [
+            edge_at(edge_id)
+            for edge_id in self._index._candidate_ids
+            if gain[edge_id] > 0
+        ]
+
+    def iter_positive_gains(self) -> Iterator[Tuple[Edge, int]]:
+        """Yield ``(edge, live gain)`` for every live candidate, in
+        deterministic ``edge_sort_key`` order.
+
+        Mirrors the generic engine sweep exactly: the candidate list is
+        snapshotted before the first yield, but each gain is read live and
+        candidates that died mid-iteration are skipped — so callers that
+        delete edges while iterating observe the same sequence on every
+        engine.
+        """
+        edge_at = self._index._indexed.edge_at
+        gain = self._gain
+        snapshot = [
+            edge_id
+            for edge_id in self._index._candidate_ids
+            if gain[edge_id] > 0
+        ]
+        for edge_id in snapshot:
+            value = gain[edge_id]
+            if value > 0:
+                yield edge_at(edge_id), value
+
+    def gains_for_target(self, target: Edge) -> Dict[Edge, int]:
+        """Return ``{edge: alive instances of target it breaks}`` for every
+        edge with a positive own-gain for ``target``.
+
+        One pass over the target's alive instances — the within-target greedy
+        uses this instead of probing every graph edge.  Keys are emitted in
+        deterministic ``edge_sort_key`` order.
+        """
+        index = self._index
+        start, end = index._target_ranges[index._target_position(target)]
+        counts: Dict[int, int] = {}
+        for instance_id in range(start, end):
+            if self._alive[instance_id]:
+                for position in range(
+                    index._inst_indptr[instance_id],
+                    index._inst_indptr[instance_id + 1],
+                ):
+                    edge_id = index._inst_edge_ids[position]
+                    counts[edge_id] = counts.get(edge_id, 0) + 1
+        edge_at = index._indexed.edge_at
+        return {edge_at(edge_id): count for edge_id, count in sorted(counts.items())}
+
+    def top_gain_edge(self) -> Optional[Tuple[Edge, int]]:
+        """Return the ``(edge, gain)`` with maximal live gain, or ``None``.
+
+        Ties break toward the smallest ``edge_sort_key`` (identical to the
+        full-scan ``argmax_edge`` the plain greedy uses).  Amortised O(log m):
+        the max-heap is repaired lazily, which is sound because live gains
+        only ever decrease.
+        """
+        heap = self._heap
+        if heap is None:
+            gain = self._gain
+            heap = [
+                (-gain[edge_id], edge_id)
+                for edge_id in self._index._candidate_ids
+                if gain[edge_id] > 0
+            ]
+            heapq.heapify(heap)
+            self._heap = heap
+        gain = self._gain
+        while heap:
+            negative, edge_id = heap[0]
+            current = gain[edge_id]
+            if current <= 0:
+                heapq.heappop(heap)
+            elif -negative != current:
+                heapq.heapreplace(heap, (-current, edge_id))
+            else:
+                return self._index._indexed.edge_at(edge_id), current
+        return None
+
+    def top_gain_edges(self, k: int) -> List[Tuple[Edge, int]]:
+        """Return up to ``k`` distinct edges with the highest live gains.
+
+        Ordered by descending gain, ties toward the smallest
+        ``edge_sort_key``.  Note the gains are *individual* live gains; they
+        overlap, so this is a candidate shortlist, not a batch selection.
+        """
+        if k <= 0:
+            return []
+        popped: List[Tuple[int, int]] = []
+        result: List[Tuple[Edge, int]] = []
+        # force heap construction via top_gain_edge, which also repairs the top
+        while len(result) < k and self.top_gain_edge() is not None:
+            entry = heapq.heappop(self._heap)  # validated by top_gain_edge
+            popped.append(entry)
+            result.append((self._index._indexed.edge_at(entry[1]), -entry[0]))
+        for entry in popped:
+            heapq.heappush(self._heap, entry)
+        return result
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def delete_edge(self, edge: Edge) -> Dict[Edge, int]:
+        """Delete ``edge`` and return the per-target counts of broken instances.
+
+        Deleting an edge that touches no alive instance is allowed and
+        returns an empty mapping (the greedy algorithms stop before doing
+        this, but baselines such as RD routinely delete useless edges).
+
+        Cost is proportional to the killed instances times their arity — the
+        sibling-edge counters are decremented here so all later gain queries
+        stay O(1).
+        """
+        edge = canonical_edge(*edge)
+        self._deleted_edges.append(edge)
+        index = self._index
+        edge_id = index._indexed.find_edge_id(*edge)
+        if edge_id is None or self._gain[edge_id] == 0:
+            return {}
+        alive = self._alive
+        gain = self._gain
+        broken_by_tidx: Dict[int, int] = {}
+        for position in range(
+            index._edge_indptr[edge_id], index._edge_indptr[edge_id + 1]
+        ):
+            instance_id = index._edge_inst_ids[position]
+            if not alive[instance_id]:
+                continue
+            alive[instance_id] = 0
+            tidx = index._inst_target_idx[instance_id]
+            broken_by_tidx[tidx] = broken_by_tidx.get(tidx, 0) + 1
+            self._alive_by_tidx[tidx] -= 1
+            self._alive_total -= 1
+            # decrement every sibling edge of the killed instance (including
+            # the deleted edge itself, whose counter reaches exactly zero)
+            for sibling_position in range(
+                index._inst_indptr[instance_id], index._inst_indptr[instance_id + 1]
+            ):
+                gain[index._inst_edge_ids[sibling_position]] -= 1
+        targets = index.targets
+        return {
+            targets[tidx]: count for tidx, count in sorted(broken_by_tidx.items())
+        }
+
+    def delete_edges(self, edges: Iterable[Edge]) -> Dict[Edge, int]:
+        """Delete several edges; return aggregated per-target broken counts."""
+        total: Dict[Edge, int] = {}
+        for edge in edges:
+            for target, count in self.delete_edge(edge).items():
+                total[target] = total.get(target, 0) + count
+        return total
+
+    def copy(self) -> "CoverageState":
+        """Return an independent copy of this state (same underlying index)."""
+        clone = CoverageState.__new__(CoverageState)
+        clone._index = self._index
+        clone._alive = bytearray(self._alive)
+        clone._alive_total = self._alive_total
+        clone._alive_by_tidx = array("l", self._alive_by_tidx)
+        clone._gain = array("l", self._gain)
+        clone._deleted_edges = list(self._deleted_edges)
+        # stale entries are safe: gains only decrease, pops re-validate
+        clone._heap = list(self._heap) if self._heap is not None else None
+        return clone
+
+
+class SetCoverageState:
+    """Hash-set reference implementation of the coverage state.
+
+    This is the original (pre-kernel) formulation: alive instances in a set,
+    gains recomputed by scanning the inverted index on every query.  It is
+    retained as the executable specification for differential tests and the
+    old-vs-new micro-benchmark (``benchmarks/bench_engine_kernel.py``); use
+    :meth:`TargetSubgraphIndex.new_state` for real workloads.
     """
 
     def __init__(self, index: TargetSubgraphIndex) -> None:
@@ -207,9 +628,15 @@ class CoverageState:
         return sum(1 for instance_id in instances if instance_id in self._alive)
 
     def gain_by_target(self, edge: Edge) -> Dict[Edge, int]:
-        """Return per-target counts of alive instances ``edge`` would break."""
+        """Return per-target counts of alive instances ``edge`` would break.
+
+        Instance ids are visited in sorted order; because ids are contiguous
+        per target in target-input order, the resulting dict lists targets in
+        the same order as the array kernel and the recount engine — CT's
+        strict tie-breaking depends on that shared iteration order.
+        """
         gains: Dict[Edge, int] = {}
-        for instance_id in self._index.instances_containing(edge):
+        for instance_id in sorted(self._index.instances_containing(edge)):
             if instance_id in self._alive:
                 target = self._index.target_of_instance(instance_id)
                 gains[target] = gains.get(target, 0) + 1
@@ -239,12 +666,7 @@ class CoverageState:
     # mutation
     # ------------------------------------------------------------------
     def delete_edge(self, edge: Edge) -> Dict[Edge, int]:
-        """Delete ``edge`` and return the per-target counts of broken instances.
-
-        Deleting an edge that touches no alive instance is allowed and
-        returns an empty mapping (the greedy algorithms stop before doing
-        this, but baselines such as RD routinely delete useless edges).
-        """
+        """Delete ``edge`` and return the per-target counts of broken instances."""
         edge = canonical_edge(*edge)
         broken: Dict[Edge, int] = {}
         for instance_id in self._index.instances_containing(edge):
@@ -264,9 +686,9 @@ class CoverageState:
                 total[target] = total.get(target, 0) + count
         return total
 
-    def copy(self) -> "CoverageState":
+    def copy(self) -> "SetCoverageState":
         """Return an independent copy of this state (same underlying index)."""
-        clone = CoverageState(self._index)
+        clone = SetCoverageState(self._index)
         clone._alive = set(self._alive)
         clone._alive_by_target = dict(self._alive_by_target)
         clone._deleted_edges = list(self._deleted_edges)

@@ -30,12 +30,22 @@ class TestMakeEngine:
         assert isinstance(make_engine(problem, "coverage"), CoverageEngine)
         assert isinstance(make_engine(problem, "recount"), RecountEngine)
 
+    def test_factory_set_state(self, problem):
+        engine = make_engine(problem, "coverage-set")
+        assert isinstance(engine, CoverageEngine)
+        assert engine.state_kind == "set"
+        assert not engine.supports_fast_top
+        assert make_engine(problem, "coverage").state_kind == "array"
+        assert make_engine(problem, "coverage").supports_fast_top
+
     def test_unknown_engine(self, problem):
         with pytest.raises(ValueError):
             make_engine(problem, "magic")
+        with pytest.raises(ValueError):
+            CoverageEngine(problem, state="magic")
 
 
-@pytest.mark.parametrize("engine_name", ["coverage", "recount"])
+@pytest.mark.parametrize("engine_name", ["coverage", "coverage-set", "recount"])
 class TestEngineBehaviour:
     def test_initial_similarity(self, problem, engine_name):
         engine = make_engine(problem, engine_name)
@@ -93,6 +103,50 @@ class TestCandidateSets:
             engine = make_engine(problem, engine_name)
             assert (0, 1) not in engine.candidate_edges()
             assert (2, 3) not in engine.candidate_edges()
+
+
+@pytest.mark.parametrize("engine_name", ["coverage", "coverage-set", "recount"])
+class TestBatchedProtocol:
+    """The batched queries (kernel fast paths and generic defaults) agree."""
+
+    def test_top_gain_edge(self, problem, engine_name):
+        engine = make_engine(problem, engine_name)
+        edge, gain = engine.top_gain_edge()
+        assert gain == 1  # every candidate breaks exactly one triangle here
+        assert engine.total_gain(edge) == 1
+        # exhaust all gains: top becomes None
+        for protector in [(0, 4), (0, 5), (2, 6)]:
+            engine.commit(protector)
+        assert engine.top_gain_edge() is None
+
+    def test_top_k_edges(self, problem, engine_name):
+        engine = make_engine(problem, engine_name)
+        top = engine.top_k_edges(3)
+        assert len(top) == 3
+        assert all(gain == 1 for _, gain in top)
+        assert len({edge for edge, _ in top}) == 3
+        assert engine.top_k_edges(0) == []
+        # ordering: descending gain, edge_sort_key ties
+        assert top == sorted(
+            top, key=lambda pair: (-pair[1], (str(pair[0][0]), str(pair[0][1])))
+        )
+
+    def test_iter_gain_breakdowns(self, problem, engine_name):
+        engine = make_engine(problem, engine_name)
+        rows = list(engine.iter_gain_breakdowns())
+        assert rows  # at least the six triangle edges
+        for edge, total, gains in rows:
+            assert total == sum(gains.values()) > 0
+            assert gains == engine.gain_by_target(edge)
+        edges = [edge for edge, _, _ in rows]
+        assert edges == sorted(edges, key=lambda e: (str(e[0]), str(e[1])))
+
+    def test_target_gain_map(self, problem, engine_name):
+        engine = make_engine(problem, engine_name)
+        gains = engine.target_gain_map((2, 3))
+        assert gains == {(2, 6): 1, (3, 6): 1}
+        engine.commit((2, 6))
+        assert engine.target_gain_map((2, 3)) == {}
 
 
 class TestEnginesAgree:

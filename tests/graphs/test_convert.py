@@ -5,14 +5,29 @@ import pytest
 from repro.graphs.convert import (
     from_adjacency,
     from_edge_list,
+    from_indexed,
     from_networkx,
     to_adjacency,
     to_edge_list,
+    to_indexed,
     to_networkx,
 )
 from repro.graphs.graph import Graph
 
 networkx = pytest.importorskip("networkx")
+
+
+class TestIndexedConversion:
+    def test_round_trip(self):
+        graph = Graph(edges=[(2, 1), (3, 2), (1, 3)], nodes=[7])
+        indexed = to_indexed(graph)
+        assert from_indexed(indexed) == graph
+
+    def test_indexed_ids_stable_across_builds(self):
+        graph = Graph(edges=[(0, 1), (1, 2), (0, 2)])
+        first, second = to_indexed(graph), to_indexed(graph)
+        assert first.edges == second.edges
+        assert first.nodes == second.nodes
 
 
 class TestEdgeListConversion:

@@ -129,3 +129,72 @@ class TestCoverageState:
         state = TargetSubgraphIndex(phase1_graph, TARGETS, "triangle").new_state()
         state.delete_edges([(0, 4), (0, 5)])
         assert state.deleted_edges == ((0, 4), (0, 5))
+
+
+class TestArrayKernel:
+    """Behaviour specific to the incremental array kernel."""
+
+    def test_candidate_edge_list_deterministic_order(self, phase1_graph):
+        index = TargetSubgraphIndex(phase1_graph, TARGETS, "triangle")
+        ordered = index.candidate_edge_list()
+        assert set(ordered) == index.candidate_edges()
+        assert ordered == sorted(ordered, key=lambda e: (str(e[0]), str(e[1])))
+        state = index.new_state()
+        assert state.candidate_edge_list() == ordered
+        state.delete_edge((1, 4))
+        live = state.candidate_edge_list()
+        assert set(live) == state.candidate_edges()
+        assert live == sorted(live, key=lambda e: (str(e[0]), str(e[1])))
+
+    def test_top_gain_edge_tracks_deletions(self, phase1_graph):
+        state = TargetSubgraphIndex(phase1_graph, TARGETS, "triangle").new_state()
+        edge, gain = state.top_gain_edge()
+        assert gain == 1
+        # smallest edge_sort_key among the all-tied candidates
+        assert edge == min(state.candidate_edges(), key=lambda e: (str(e[0]), str(e[1])))
+        for protector in [(0, 4), (0, 5), (0, 2)]:
+            state.delete_edge(protector)
+        assert state.top_gain_edge() is None
+
+    def test_top_gain_edges_shortlist(self, phase1_graph):
+        state = TargetSubgraphIndex(phase1_graph, TARGETS, "triangle").new_state()
+        shortlist = state.top_gain_edges(4)
+        assert len(shortlist) == 4
+        assert all(gain == 1 for _, gain in shortlist)
+        assert state.top_gain_edges(0) == []
+        # the shortlist must not consume the heap: top stays answerable
+        assert state.top_gain_edge() == shortlist[0]
+
+    def test_iter_positive_gains_matches_gain(self, phase1_graph):
+        state = TargetSubgraphIndex(phase1_graph, TARGETS, "triangle").new_state()
+        state.delete_edge((1, 4))
+        for edge, gain in state.iter_positive_gains():
+            assert gain > 0
+            assert gain == state.gain(edge)
+
+    def test_gains_for_target_one_pass(self, phase1_graph):
+        state = TargetSubgraphIndex(phase1_graph, TARGETS, "triangle").new_state()
+        assert state.gains_for_target((2, 3)) == {(0, 2): 1, (0, 3): 1}
+        state.delete_edge((0, 2))
+        assert state.gains_for_target((2, 3)) == {}
+
+
+class TestSetStateParity:
+    """The hash-set reference state mirrors the kernel on the fixture."""
+
+    def test_new_set_state_matches_kernel(self, phase1_graph):
+        index = TargetSubgraphIndex(phase1_graph, TARGETS, "triangle")
+        kernel, reference = index.new_state(), index.new_set_state()
+        for edge in sorted(phase1_graph.edges()):
+            assert kernel.gain(edge) == reference.gain(edge)
+        assert kernel.candidate_edges() == reference.candidate_edges()
+        assert kernel.delete_edge((0, 4)) == reference.delete_edge((0, 4))
+        assert kernel.total_similarity() == reference.total_similarity()
+        assert kernel.similarity_by_target() == reference.similarity_by_target()
+
+    def test_set_state_copy_independent(self, phase1_graph):
+        reference = TargetSubgraphIndex(phase1_graph, TARGETS, "triangle").new_set_state()
+        clone = reference.copy()
+        clone.delete_edge((0, 4))
+        assert reference.total_similarity() == 3
+        assert clone.total_similarity() == 2

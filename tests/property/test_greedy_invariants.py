@@ -70,22 +70,73 @@ def test_universal_result_invariants(seed, motif_index, budget, algorithm_name):
     assert verify_result(problem, result)
 
 
+GREEDY_RATIO = 1 - 1 / 2.718281828459045
+
+
 @given(st.integers(min_value=0, max_value=10_000), st.integers(min_value=0, max_value=2))
 @settings(max_examples=40, deadline=None)
-def test_sgb_dominates_local_budget_variants(seed, motif_index):
-    """Theorem intuition: the globally budgeted greedy is never worse than the
-    per-target variants or the random baselines at equal budget."""
+def test_sgb_approximation_dominates_other_variants(seed, motif_index):
+    """Theorem 3, applied correctly: SGB-Greedy does *not* pointwise dominate
+    the per-target variants (it is only a (1 - 1/e)-approximation, and CT/WT
+    optimise a different constrained objective), but its dissimilarity gain is
+    at least (1 - 1/e) times the gain of ANY feasible k-deletion solution —
+    including whatever CT, WT and the random baselines selected."""
     problem = build_problem(seed, motif_index)
     if problem is None:
         return
     budget = min(4, max(1, problem.initial_similarity()))
-    sgb = sgb_greedy(problem, budget).final_similarity
-    ct = ct_greedy(problem, budget, budget_division="tbd").final_similarity
-    wt = wt_greedy(problem, budget, budget_division="tbd").final_similarity
-    rd = random_deletion(problem, budget, seed=1).final_similarity
-    assert sgb <= ct
-    assert sgb <= wt
-    assert sgb <= rd
+    sgb = sgb_greedy(problem, budget).dissimilarity_gain
+    rivals = [
+        ct_greedy(problem, budget, budget_division="tbd").dissimilarity_gain,
+        wt_greedy(problem, budget, budget_division="tbd").dissimilarity_gain,
+        random_deletion(problem, budget, seed=1).dissimilarity_gain,
+        random_target_subgraph_deletion(problem, budget, seed=1).dissimilarity_gain,
+    ]
+    for rival_gain in rivals:
+        assert sgb >= GREEDY_RATIO * rival_gain - 1e-9
+
+
+@given(st.integers(min_value=0, max_value=10_000), st.integers(min_value=0, max_value=2))
+@settings(max_examples=40, deadline=None)
+def test_sgb_first_step_is_best_single_deletion(seed, motif_index):
+    """With budget >= 1 the greedy gain is bounded below by the best
+    single-step gain (the first deletion IS the argmax single deletion)."""
+    problem = build_problem(seed, motif_index)
+    if problem is None:
+        return
+    budget = min(4, max(1, problem.initial_similarity()))
+    result = sgb_greedy(problem, budget)
+    state = problem.build_index().new_state()
+    best_single = max(
+        (state.gain(edge) for edge in problem.build_index().candidate_edges()),
+        default=0,
+    )
+    assert result.dissimilarity_gain >= best_single
+    if result.similarity_trace and len(result.similarity_trace) > 1:
+        first_gain = result.similarity_trace[0] - result.similarity_trace[1]
+        assert first_gain == best_single
+
+
+@given(st.integers(min_value=0, max_value=10_000), st.integers(min_value=0, max_value=2))
+@settings(max_examples=20, deadline=None)
+def test_sgb_beats_random_deletion_in_expectation(seed, motif_index):
+    """SGB-Greedy protects at least as well as blind random deletion *in
+    expectation*: averaged over a battery of fixed RD seeds (an unbiased
+    estimate of the expected RD outcome), the random baseline never ends with
+    lower similarity than the greedy selection.  (The old pointwise
+    formulation of this test was false: single lucky RD draws and the CT/WT
+    variants can individually beat SGB on adversarial instances.)"""
+    problem = build_problem(seed, motif_index)
+    if problem is None:
+        return
+    budget = min(4, max(1, problem.initial_similarity()))
+    sgb_final = sgb_greedy(problem, budget).final_similarity
+    rd_finals = [
+        random_deletion(problem, budget, seed=rd_seed).final_similarity
+        for rd_seed in range(10)
+    ]
+    mean_rd_final = sum(rd_finals) / len(rd_finals)
+    assert sgb_final <= mean_rd_final + 1e-9
 
 
 @given(st.integers(min_value=0, max_value=10_000), st.integers(min_value=0, max_value=2))

@@ -1,0 +1,174 @@
+"""Differential tests: array kernel vs hash-set reference vs naive recount.
+
+The array-backed coverage kernel (``CoverageState``), the original hash-set
+state (``SetCoverageState``) and a from-scratch recount of the graph are
+three implementations of the same semantics.  These tests assert they are
+indistinguishable — identical marginal gains, identical similarity traces and
+identical protector sequences (the tie-breaking is shared: smallest
+``edge_sort_key`` among maxima) — across all three paper motifs on random
+graphs.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.ct import ct_greedy
+from repro.core.model import TPPProblem
+from repro.core.sgb import sgb_greedy
+from repro.core.wt import wt_greedy
+from repro.graphs.graph import Graph
+
+ENGINES = ("coverage", "coverage-set", "recount")
+
+
+def build_problem(seed: int, motif_index: int):
+    rng = random.Random(seed)
+    n = rng.randint(6, 13)
+    p = rng.uniform(0.2, 0.5)
+    graph = Graph(nodes=range(n))
+    for u in range(n):
+        for v in range(u + 1, n):
+            if rng.random() < p:
+                graph.add_edge(u, v)
+    edges = sorted(graph.edges())
+    if len(edges) < 3:
+        return None
+    rng.shuffle(edges)
+    targets = edges[: rng.randint(1, 3)]
+    motif = ("triangle", "rectangle", "rectri")[motif_index % 3]
+    return TPPProblem(graph, targets, motif=motif)
+
+
+@given(st.integers(min_value=0, max_value=10_000), st.integers(min_value=0, max_value=2))
+@settings(max_examples=30, deadline=None)
+def test_states_agree_on_gains_and_deletions(seed, motif_index):
+    """Array kernel and set state answer every query identically along a
+    random deletion sequence."""
+    problem = build_problem(seed, motif_index)
+    if problem is None:
+        return
+    index = problem.build_index()
+    kernel = index.new_state()
+    reference = index.new_set_state()
+    rng = random.Random(seed + 17)
+    edges = sorted(problem.phase1_graph.edges())
+    rng.shuffle(edges)
+    for edge in edges[: min(6, len(edges))]:
+        assert kernel.gain(edge) == reference.gain(edge)
+        assert kernel.gain_by_target(edge) == reference.gain_by_target(edge)
+        assert kernel.delete_edge(edge) == reference.delete_edge(edge)
+        assert kernel.total_similarity() == reference.total_similarity()
+        assert kernel.similarity_by_target() == reference.similarity_by_target()
+        assert kernel.candidate_edges() == reference.candidate_edges()
+    assert kernel.deleted_edges == reference.deleted_edges
+
+
+@given(st.integers(min_value=0, max_value=10_000), st.integers(min_value=0, max_value=2))
+@settings(max_examples=30, deadline=None)
+def test_kernel_top_gain_matches_full_scan(seed, motif_index):
+    """The heap-backed top_gain_edge equals the argmax of a full gain sweep,
+    tie-breaking included, after every deletion."""
+    from repro.core.selection import argmax_edge
+
+    problem = build_problem(seed, motif_index)
+    if problem is None:
+        return
+    state = problem.build_index().new_state()
+    while True:
+        top = state.top_gain_edge()
+        best = argmax_edge(state.candidate_edges(), state.gain)
+        if top is None:
+            assert best is None or best[1] <= 0
+            break
+        assert best is not None
+        assert top == best
+        state.delete_edge(top[0])
+
+
+@given(st.integers(min_value=0, max_value=10_000), st.integers(min_value=0, max_value=2))
+@settings(max_examples=25, deadline=None)
+def test_sgb_identical_across_all_engines(seed, motif_index):
+    """SGB selects the identical protector sequence and similarity trace on
+    the kernel, the set reference and the naive recount."""
+    problem = build_problem(seed, motif_index)
+    if problem is None:
+        return
+    budget = min(5, max(1, problem.initial_similarity()))
+    results = [sgb_greedy(problem, budget, engine=engine) for engine in ENGINES]
+    baseline = results[0]
+    for result in results[1:]:
+        assert result.protectors == baseline.protectors
+        assert result.similarity_trace == baseline.similarity_trace
+
+
+@given(st.integers(min_value=0, max_value=10_000), st.integers(min_value=0, max_value=2))
+@settings(max_examples=15, deadline=None)
+def test_ct_identical_across_all_engines(seed, motif_index):
+    problem = build_problem(seed, motif_index)
+    if problem is None:
+        return
+    budget = min(5, max(1, problem.initial_similarity()))
+    results = [
+        ct_greedy(problem, budget, budget_division="tbd", engine=engine)
+        for engine in ENGINES
+    ]
+    baseline = results[0]
+    for result in results[1:]:
+        assert result.protectors == baseline.protectors
+        assert result.similarity_trace == baseline.similarity_trace
+        assert result.allocation == baseline.allocation
+
+
+@given(st.integers(min_value=0, max_value=10_000), st.integers(min_value=0, max_value=2))
+@settings(max_examples=15, deadline=None)
+def test_wt_identical_across_all_engines(seed, motif_index):
+    problem = build_problem(seed, motif_index)
+    if problem is None:
+        return
+    budget = min(5, max(1, problem.initial_similarity()))
+    results = [
+        wt_greedy(problem, budget, budget_division="tbd", engine=engine)
+        for engine in ENGINES
+    ]
+    baseline = results[0]
+    for result in results[1:]:
+        assert result.protectors == baseline.protectors
+        assert result.similarity_trace == baseline.similarity_trace
+        assert result.allocation == baseline.allocation
+
+
+@given(st.integers(min_value=0, max_value=10_000), st.integers(min_value=0, max_value=2))
+@settings(max_examples=20, deadline=None)
+def test_kernel_copy_is_independent_and_equivalent(seed, motif_index):
+    """A copied kernel state diverges independently and still answers like a
+    fresh reference state replaying the same deletions."""
+    problem = build_problem(seed, motif_index)
+    if problem is None:
+        return
+    index = problem.build_index()
+    state = index.new_state()
+    edges = sorted(problem.phase1_graph.edges())
+    rng = random.Random(seed)
+    rng.shuffle(edges)
+    prefix, suffix = edges[:2], edges[2:4]
+    state.delete_edges(prefix)
+    clone = state.copy()
+    clone.delete_edges(suffix)
+    # original untouched by the clone's deletions
+    reference = index.new_set_state()
+    reference.delete_edges(prefix)
+    assert state.total_similarity() == reference.total_similarity()
+    assert state.candidate_edges() == reference.candidate_edges()
+    # clone matches a reference replay of the full sequence
+    reference.delete_edges(suffix)
+    assert clone.total_similarity() == reference.total_similarity()
+    assert clone.candidate_edges() == reference.candidate_edges()
+    top = clone.top_gain_edge()
+    if top is None:
+        assert not reference.candidate_edges()
+    else:
+        edge, gain = top
+        assert gain == reference.gain(edge)
+        assert gain == max(reference.gain(e) for e in reference.candidate_edges())
