@@ -39,6 +39,10 @@ from repro.graphs.generators import powerlaw_cluster_graph  # noqa: E402
 #: The acceptance bar for the SGB end-to-end kernel speedup.
 SGB_SPEEDUP_TARGET = 5.0
 
+#: The acceptance bar for the CT end-to-end kernel speedup (the per-(edge,
+#: target) counter matrix + per-target heaps; before them CT sat at ~1.4x).
+CT_SPEEDUP_TARGET = 3.0
+
 
 def _methods(budget: int):
     # the set engine runs SGB with lazy=False: that full argmax sweep per step
@@ -76,11 +80,13 @@ def run(args: argparse.Namespace) -> dict:
             "motif": args.motif,
             "budget": args.budget,
             "seed": args.seed,
+            "repeats": args.repeats,
             "instances": index.number_of_instances(),
             "candidate_edges": index.number_of_candidate_edges(),
         },
         "enumeration_seconds": round(enumeration_seconds, 6),
         "sgb_speedup_target": SGB_SPEEDUP_TARGET,
+        "ct_speedup_target": CT_SPEEDUP_TARGET,
         "methods": {},
     }
 
@@ -89,9 +95,15 @@ def run(args: argparse.Namespace) -> dict:
         timings = {}
         results = {}
         for engine_label, engine in (("kernel", "coverage"), ("set", "coverage-set")):
-            started = time.perf_counter()
-            results[engine_label] = runner(problem, engine)
-            timings[engine_label] = time.perf_counter() - started
+            # min over repeats: the runs are deterministic, so the spread is
+            # pure scheduler/GC noise and the minimum is the robust statistic
+            # (the CI regression gate compares speedup ratios of these)
+            best_seconds = float("inf")
+            for _ in range(max(1, args.repeats)):
+                started = time.perf_counter()
+                results[engine_label] = runner(problem, engine)
+                best_seconds = min(best_seconds, time.perf_counter() - started)
+            timings[engine_label] = best_seconds
         agree = results["kernel"].protectors == results["set"].protectors
         all_agree = all_agree and agree
         report["methods"][label] = {
@@ -109,6 +121,9 @@ def run(args: argparse.Namespace) -> dict:
     sgb = report["methods"]["SGB-Greedy-R"]
     report["sgb_speedup"] = sgb["speedup"]
     report["sgb_speedup_met"] = sgb["speedup"] >= SGB_SPEEDUP_TARGET
+    ct = report["methods"]["CT-Greedy-R:TBD"]
+    report["ct_speedup"] = ct["speedup"]
+    report["ct_speedup_met"] = ct["speedup"] >= CT_SPEEDUP_TARGET
     report["all_protectors_agree"] = all_agree
     return report
 
@@ -126,6 +141,14 @@ def main(argv=None) -> int:
         "enough instances for the engine gap to be measurable",
     )
     parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=3,
+        help="timing repetitions per method and engine; the minimum "
+        "wall-clock is reported, which keeps the CI regression gate "
+        "stable against scheduler noise",
+    )
     parser.add_argument(
         "--uniform-targets",
         dest="hub_targets",
@@ -153,6 +176,8 @@ def main(argv=None) -> int:
     print(
         f"SGB speedup {report['sgb_speedup']:.2f}x "
         f"(target >= {SGB_SPEEDUP_TARGET}x, met={report['sgb_speedup_met']}); "
+        f"CT speedup {report['ct_speedup']:.2f}x "
+        f"(target >= {CT_SPEEDUP_TARGET}x, met={report['ct_speedup_met']}); "
         f"report written to {args.output}"
     )
     return 0 if report["all_protectors_agree"] else 1

@@ -1,0 +1,85 @@
+"""Fail when a fresh kernel benchmark regresses against the committed one.
+
+CI re-runs ``bench_engine_kernel.py`` at the committed configuration and
+compares the freshly emitted JSON against the ``BENCH_engine_kernel.json``
+checked into the repository::
+
+    PYTHONPATH=src python benchmarks/bench_engine_kernel.py --output fresh.json
+    python benchmarks/check_bench_regression.py fresh.json BENCH_engine_kernel.json
+
+The check fails (exit 1) if any method's kernel-vs-set *speedup* dropped by
+more than ``--max-regression`` (default 30%, absorbing CI machine noise), if
+a method disappeared, if the engines stopped agreeing on protectors, or if a
+speedup acceptance target recorded in the committed report is no longer met.
+Larger speedups and new methods never fail the check.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def compare(fresh: dict, committed: dict, max_regression: float) -> list:
+    """Return a list of human-readable failures (empty == pass)."""
+    failures = []
+    if not fresh.get("all_protectors_agree", False):
+        failures.append("fresh run: engines disagree on a protector sequence")
+    for method, committed_row in committed.get("methods", {}).items():
+        fresh_row = fresh.get("methods", {}).get(method)
+        if fresh_row is None:
+            failures.append(f"{method}: missing from the fresh report")
+            continue
+        committed_speedup = committed_row.get("speedup", 0.0)
+        fresh_speedup = fresh_row.get("speedup", 0.0)
+        floor = committed_speedup * (1.0 - max_regression)
+        if fresh_speedup < floor:
+            failures.append(
+                f"{method}: speedup {fresh_speedup:.2f}x fell more than "
+                f"{max_regression:.0%} below the committed "
+                f"{committed_speedup:.2f}x (floor {floor:.2f}x)"
+            )
+    for flag, target_key in (
+        ("sgb_speedup_met", "sgb_speedup_target"),
+        ("ct_speedup_met", "ct_speedup_target"),
+    ):
+        if committed.get(flag) and not fresh.get(flag, False):
+            failures.append(
+                f"{flag.split('_')[0].upper()} speedup target "
+                f"(>= {committed.get(target_key)}x) no longer met: "
+                f"fresh {fresh.get(target_key.replace('_target', ''))}x"
+            )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("fresh", help="freshly emitted BENCH_engine_kernel.json")
+    parser.add_argument("committed", help="committed BENCH_engine_kernel.json")
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.30,
+        help="tolerated fractional speedup drop per method (default 0.30)",
+    )
+    args = parser.parse_args(argv)
+
+    fresh = json.loads(Path(args.fresh).read_text())
+    committed = json.loads(Path(args.committed).read_text())
+    failures = compare(fresh, committed, args.max_regression)
+    for method in sorted(committed.get("methods", {})):
+        fresh_speedup = fresh.get("methods", {}).get(method, {}).get("speedup")
+        committed_speedup = committed["methods"][method].get("speedup")
+        print(f"{method:>18}: committed {committed_speedup}x, fresh {fresh_speedup}x")
+    if failures:
+        for failure in failures:
+            print(f"REGRESSION: {failure}", file=sys.stderr)
+        return 1
+    print(f"no kernel speedup regression beyond {args.max_regression:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

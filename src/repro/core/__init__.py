@@ -3,6 +3,7 @@
 from repro.core.baselines import random_deletion, random_target_subgraph_deletion
 from repro.core.budget import (
     BudgetDivision,
+    BudgetUnderAllocationWarning,
     degree_product_budget_division,
     make_budget_division,
     target_subgraph_budget_division,
@@ -42,6 +43,7 @@ __all__ = [
     "random_deletion",
     "random_target_subgraph_deletion",
     "BudgetDivision",
+    "BudgetUnderAllocationWarning",
     "target_subgraph_budget_division",
     "degree_product_budget_division",
     "uniform_budget_division",

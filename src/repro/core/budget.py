@@ -17,6 +17,7 @@ provided as an additional baseline.
 
 from __future__ import annotations
 
+import warnings
 from typing import Callable, Dict, Mapping, Sequence, Union
 
 from repro.core.model import TPPProblem
@@ -25,12 +26,23 @@ from repro.graphs.graph import Edge, canonical_edge
 
 __all__ = [
     "BudgetDivision",
+    "BudgetUnderAllocationWarning",
     "target_subgraph_budget_division",
     "degree_product_budget_division",
     "uniform_budget_division",
     "make_budget_division",
     "validate_budget_division",
 ]
+
+
+class BudgetUnderAllocationWarning(UserWarning):
+    """A budget division leaves budget unspent although targets have headroom.
+
+    The built-in strategies (TBD/DBD/uniform) always allocate
+    ``min(budget, sum_t |W_t|)`` units, so this warning only fires for
+    explicit user-supplied divisions that strand budget which could still be
+    absorbed by some target.
+    """
 
 #: A budget division: mapping target -> sub budget.
 BudgetDivision = Dict[Edge, int]
@@ -43,9 +55,11 @@ def _proportional_allocation(
 ) -> BudgetDivision:
     """Allocate ``budget`` integer units proportionally to ``weights``.
 
-    Uses largest-remainder apportionment, then greedily redistributes any
-    units lost to the per-target ``caps`` to the highest-weight targets that
-    still have headroom.
+    Uses largest-remainder apportionment, then redistributes any units lost
+    to the per-target ``caps`` round-robin (in largest-remainder order) over
+    the targets that still have headroom.  The loop terminates only when the
+    budget is spent or no target can absorb another unit, so the result
+    always allocates exactly ``min(budget, sum(caps))`` units.
     """
     targets = list(weights)
     allocation = {target: 0 for target in targets}
@@ -59,21 +73,28 @@ def _proportional_allocation(
         allocation[target] = min(int(shares[target]), caps[target])
 
     remaining = budget - sum(allocation.values())
-    # hand out remaining units by largest fractional remainder, respecting caps
-    by_remainder = sorted(
+    # hand out remaining units by largest fractional remainder, respecting
+    # caps; saturated targets drop out of the rotation instead of burning
+    # passes, so no budget is ever stranded while headroom exists
+    open_targets = sorted(
         targets, key=lambda t: (shares[t] - int(shares[t]), weights[t]), reverse=True
     )
-    index = 0
-    passes = 0
-    while remaining > 0 and passes < 2 * len(targets) + budget:
-        target = by_remainder[index % len(targets)]
-        if allocation[target] < caps[target]:
-            allocation[target] += 1
-            remaining -= 1
-        index += 1
-        passes += 1
-        if all(allocation[t] >= caps[t] for t in targets):
+    while remaining > 0:
+        open_targets = [t for t in open_targets if allocation[t] < caps[t]]
+        if not open_targets:
             break
+        if len(open_targets) == 1:
+            target = open_targets[0]
+            grant = min(remaining, caps[target] - allocation[target])
+            allocation[target] += grant
+            remaining -= grant
+            continue
+        for target in open_targets:
+            if remaining == 0:
+                break
+            if allocation[target] < caps[target]:
+                allocation[target] += 1
+                remaining -= 1
     return allocation
 
 
@@ -170,6 +191,17 @@ def validate_budget_division(
     BudgetError
         If a sub budget is negative, references an unknown target, or the
         sub budgets sum to more than ``budget``.
+
+    Warns
+    -----
+    BudgetUnderAllocationWarning
+        If the division leaves budget unspent even though some target could
+        still absorb more (``k_t < |W_t|``).  Spending those units can only
+        improve protection, so stranding them is almost always a mistake.
+        The headroom check reads the problem's cached target-subgraph index
+        and is skipped when none has been built yet, so validating a
+        division never triggers the enumeration (the built-in strategies
+        build the index to compute their caps, hence are always checked).
     """
     known = set(problem.targets)
     total = 0
@@ -183,6 +215,19 @@ def validate_budget_division(
         raise BudgetError(
             f"sub budgets sum to {total}, exceeding the global budget {budget}"
         )
+    if total < budget and problem.has_cached_index:
+        caps = problem.initial_similarity_by_target()
+        headroom = sum(
+            max(0, caps[target] - division.get(target, 0))
+            for target in problem.targets
+        )
+        if headroom > 0:
+            warnings.warn(
+                f"budget division allocates {total} of {budget} units while "
+                f"targets could still absorb {headroom} more",
+                BudgetUnderAllocationWarning,
+                stacklevel=2,
+            )
 
 
 def describe_division(division: Mapping[Edge, int]) -> str:

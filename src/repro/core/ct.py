@@ -19,7 +19,7 @@ from typing import Dict, List, Mapping, Optional, Set, Tuple, Union
 from repro.core.budget import make_budget_division
 from repro.core.engines import CoverageEngine, make_engine
 from repro.core.model import ProtectionResult, TPPProblem
-from repro.core.selection import Stopwatch
+from repro.core.selection import Stopwatch, edge_sort_key
 from repro.exceptions import BudgetError
 from repro.graphs.graph import Edge
 
@@ -75,32 +75,33 @@ def ct_greedy(
         active_targets = [t for t in problem.targets if t not in exhausted]
         if not active_targets or len(protectors) >= budget:
             break
-        active_set = set(active_targets)
-        best: Optional[Tuple[float, Edge, Edge]] = None  # (score, target, edge)
-        fallback: Optional[Tuple[float, Edge, Edge]] = None  # pairs with own gain 0
-        # one deterministic sweep over positive-gain candidates; the kernel
-        # engine iterates its live counters, other engines fall back to a
-        # full scan (see MarginalGainEngine.iter_gain_breakdowns)
-        for edge, total, gains in gain_engine.iter_gain_breakdowns():
-            scored_any = False
-            for target, own in gains.items():
-                if target not in active_set or own <= 0:
-                    continue
-                scored_any = True
-                score = own + (total - own) / constant
-                if best is None or score > best[0]:
-                    best = (score, target, edge)
-            if not scored_any:
-                # the edge only helps exhausted targets' peers: Δ_t^p = total / C
-                # for every active target; charge it to the first active one.
-                score = total / constant
-                if score > 0 and (fallback is None or score > fallback[0]):
-                    fallback = (score, active_targets[0], edge)
+        # the argmax over (active target, candidate edge) pairs scored
+        # Δ_t^p = own + (total - own) / C; the kernel engine answers from
+        # per-target lazy max-heaps (sublinear in the candidate count),
+        # other engines run a deterministic full sweep — identical results
+        best: Optional[Tuple[int, Edge, Edge]] = gain_engine.best_scored_pair(
+            active_targets, constant
+        )
         if best is None:
-            best = fallback
-        if best is None:
-            break
-        _, target, edge = best
+            # no remaining edge has an own-gain for any active target, so
+            # every positive edge scores Δ_t^p = total / C for every active
+            # target: take the max-total edge and charge it to the active
+            # target with the most remaining sub-budget (deterministic
+            # tie-break by edge_sort_key), keeping the tightest sub-budgets
+            # free for deletions that still break their own subgraphs
+            top = gain_engine.top_gain_edge()
+            if top is None:
+                break
+            target = min(
+                active_targets,
+                key=lambda t: (
+                    len(allocation[t]) - division.get(t, 0),
+                    edge_sort_key(t),
+                ),
+            )
+            edge = top[0]
+        else:
+            _, target, edge = best
         gain_engine.commit(edge)
         protectors.append(edge)
         allocation[target].append(edge)

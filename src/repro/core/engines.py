@@ -28,15 +28,20 @@ Beyond the point queries, the engine protocol exposes batched entry points
 (:meth:`MarginalGainEngine.top_gain_edge`,
 :meth:`~MarginalGainEngine.top_k_edges`,
 :meth:`~MarginalGainEngine.iter_gain_breakdowns`,
-:meth:`~MarginalGainEngine.target_gain_map`) with generic full-scan default
+:meth:`~MarginalGainEngine.target_gain_map`,
+:meth:`~MarginalGainEngine.best_scored_pair`) with generic full-scan default
 implementations; :class:`CoverageEngine` overrides them with the kernel's
-incremental counterparts so SGB/CT/WT share one fast path.
+incremental counterparts so SGB/CT/WT share one fast path.  In particular
+``best_scored_pair`` — the argmax of the MLBT score ``Δ_t^p`` over
+``(target, edge)`` pairs — is answered by the array kernel from per-target
+lazy max-heaps over the per-(edge, target) counter matrix, which is what
+makes the CT/WT greedy steps sublinear in the candidate count.
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Dict, Iterator, List, Optional, Set, Tuple, Union
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.core.model import TPPProblem
 from repro.core.selection import argmax_edge, edge_sort_key
@@ -147,6 +152,40 @@ class MarginalGainEngine(ABC):
                 gains[edge] = own
         return gains
 
+    def best_scored_pair(
+        self, targets: Sequence[Edge], constant: int
+    ) -> Optional[Tuple[int, Edge, Edge]]:
+        """Return the ``(key, target, edge)`` maximising the MLBT greedy score
+        over the given targets, or ``None`` if no pair has a positive
+        own-gain.
+
+        The integer key is ``own * (constant - 1) + total``; dividing by
+        ``constant`` gives the paper's ``Δ_t^p = own + (total - own) / C``,
+        so maximising the key maximises the score with exact integer
+        arithmetic (no float rounding near ties).  Ties break toward the
+        smallest ``edge_sort_key`` and then toward the earliest target —
+        the order a deterministic edge-major sweep produces.  Callers must
+        pass ``targets`` as a subsequence of the problem's target order so
+        the generic sweep and the kernel heaps resolve ties identically.
+
+        CT-Greedy queries all its non-exhausted targets at once; WT-Greedy
+        queries a single target.  The default sweeps every positive-gain
+        candidate; the array kernel answers from per-target lazy max-heaps.
+        """
+        wanted = set(targets)
+        best: Optional[Tuple[int, Edge, Edge]] = None
+        # edge-major sweep with strict improvement: ties resolve to the first
+        # pair encountered, i.e. smallest edge_sort_key then target order
+        # (gain_by_target lists targets in problem order on every engine)
+        for edge, total, gains in self.iter_gain_breakdowns():
+            for target, own in gains.items():
+                if target not in wanted or own <= 0:
+                    continue
+                key = own * (constant - 1) + total
+                if best is None or key > best[0]:
+                    best = (key, target, edge)
+        return best
+
 
 class CoverageEngine(MarginalGainEngine):
     """Scalable engine backed by the enumerated target-subgraph index.
@@ -251,6 +290,13 @@ class CoverageEngine(MarginalGainEngine):
         if self._state_kind == "array":
             return self._state.gains_for_target(target)
         return super().target_gain_map(target)
+
+    def best_scored_pair(
+        self, targets: Sequence[Edge], constant: int
+    ) -> Optional[Tuple[int, Edge, Edge]]:
+        if self._state_kind == "array":
+            return self._state.best_scored_pair(targets, constant)
+        return super().best_scored_pair(targets, constant)
 
 
 class RecountEngine(MarginalGainEngine):

@@ -126,6 +126,16 @@ class TPPProblem:
             )
         return self._index
 
+    @property
+    def has_cached_index(self) -> bool:
+        """Whether the target-subgraph index has already been built.
+
+        Lets callers offer index-dependent extras (diagnostics, warnings)
+        without triggering the enumeration on workloads — e.g. the naive
+        recount baseline — that never needed it.
+        """
+        return self._index is not None
+
     def initial_similarity(self) -> int:
         """Return ``s(∅, T)`` on the phase-1 graph."""
         if self._index is not None:

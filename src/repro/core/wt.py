@@ -86,18 +86,13 @@ def wt_greedy(
         for _ in range(sub_budget):
             if len(protectors) >= budget:
                 break
-            best_edge: Optional[Edge] = None
-            best_score = 0.0
-            # only edges touching an alive subgraph of *this* target can have
-            # a positive own-gain; the engine enumerates exactly those (the
-            # kernel scans the target's alive instances once) in
-            # deterministic edge_sort_key order
-            for edge, own in gain_engine.target_gain_map(target).items():
-                total = gain_engine.total_gain(edge)
-                score = own + (total - own) / constant
-                if score > best_score:
-                    best_score = score
-                    best_edge = edge
+            # only edges touching an alive subgraph of *this* target can
+            # have a positive own-gain; the kernel engine answers the
+            # single-target argmax from the target's lazy max-heap over
+            # the per-(edge, target) counter matrix, other engines run a
+            # deterministic sweep in edge_sort_key order — identical results
+            best = gain_engine.best_scored_pair((target,), constant)
+            best_edge: Optional[Edge] = best[2] if best is not None else None
             if best_edge is None:
                 # nothing left to break for this target (possibly already
                 # protected by earlier deletions): move on to the next target

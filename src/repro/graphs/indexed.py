@@ -25,6 +25,7 @@ and in :mod:`repro.graphs.convert` (:func:`~repro.graphs.convert.to_indexed` /
 from __future__ import annotations
 
 from array import array
+from bisect import bisect_left
 from typing import Dict, Iterator, Optional, Sequence, Tuple
 
 from repro.exceptions import EdgeNotFoundError, NodeNotFoundError
@@ -124,6 +125,10 @@ class IndexedGraph:
         """Return the node with dense id ``node_id``."""
         return self._nodes[node_id]
 
+    def has_node(self, node: Node) -> bool:
+        """Return whether the snapshot contains ``node``."""
+        return node in self._node_id
+
     # ------------------------------------------------------------------
     # edge id mapping
     # ------------------------------------------------------------------
@@ -174,6 +179,54 @@ class IndexedGraph:
         return self._incident_edges[
             self._indptr[node_id] : self._indptr[node_id + 1]
         ]
+
+    def csr(self) -> Tuple[Sequence[int], Sequence[int], Sequence[int]]:
+        """Return the raw CSR arrays ``(indptr, neighbors, incident_edges)``.
+
+        Zero-copy access for hot loops (motif enumeration, the coverage
+        kernel): row ``u`` spans ``indptr[u]:indptr[u+1]`` of the two flat
+        arrays, neighbors sorted ascending by node id (node ids are assigned
+        in ``str`` order, so ascending ids is the deterministic row order).
+        The arrays are the index's own storage — callers must not mutate.
+        """
+        return self._indptr, self._neighbors, self._incident_edges
+
+    def common_neighbor_edges(
+        self, u_id: int, v_id: int
+    ) -> Iterator[Tuple[int, int, int]]:
+        """Yield ``(w_id, edge id of (u, w), edge id of (w, v))`` for every
+        common neighbor ``w`` of two node ids, ascending by ``w_id``.
+
+        Two-pointer merge of the sorted CSR rows: O(deg(u) + deg(v)).  This
+        is the shared primitive of the triangle-closing motif enumerators.
+        """
+        indptr, neighbors, incident = self._indptr, self._neighbors, self._incident_edges
+        i, i_end = indptr[u_id], indptr[u_id + 1]
+        j, j_end = indptr[v_id], indptr[v_id + 1]
+        while i < i_end and j < j_end:
+            a, b = neighbors[i], neighbors[j]
+            if a == b:
+                yield a, incident[i], incident[j]
+                i += 1
+                j += 1
+            elif a < b:
+                i += 1
+            else:
+                j += 1
+
+    def edge_id_between(self, u_id: int, v_id: int) -> Optional[int]:
+        """Return the edge id joining two node ids, or ``None`` if absent.
+
+        Binary search over the (sorted) shorter CSR row: O(log deg).
+        """
+        if self.degree_of(u_id) > self.degree_of(v_id):
+            u_id, v_id = v_id, u_id
+        lo = bisect_left(
+            self._neighbors, v_id, self._indptr[u_id], self._indptr[u_id + 1]
+        )
+        if lo < self._indptr[u_id + 1] and self._neighbors[lo] == v_id:
+            return self._incident_edges[lo]
+        return None
 
     # ------------------------------------------------------------------
     # round-trip

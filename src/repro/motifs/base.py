@@ -15,10 +15,11 @@ phase-1 graph).
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Dict, FrozenSet, Iterator, List, Tuple, Type, Union
+from typing import Dict, FrozenSet, Iterator, List, Sequence, Tuple, Type, Union
 
 from repro.exceptions import UnknownMotifError
 from repro.graphs.graph import Edge, Graph, canonical_edge
+from repro.graphs.indexed import IndexedGraph
 
 __all__ = [
     "MotifPattern",
@@ -60,6 +61,27 @@ class MotifPattern(ABC):
             The protector edges of one motif occurrence, each in canonical
             form (see :func:`repro.graphs.canonical_edge`).
         """
+
+    def enumerate_instance_edge_ids(
+        self, indexed: IndexedGraph, graph: Graph, target: Edge
+    ) -> Iterator[Sequence[int]]:
+        """Yield every instance as a sequence of dense edge ids.
+
+        This is the enumeration entry point of the coverage kernel
+        (:class:`~repro.motifs.enumeration.TargetSubgraphIndex`): ``indexed``
+        is the frozen snapshot of ``graph`` and the yielded ids refer to its
+        edge numbering.  The ids of one instance must be distinct (each edge
+        participates once per occurrence).
+
+        The built-in motifs override this with direct walks over the
+        :meth:`~repro.graphs.indexed.IndexedGraph.csr` rows — integer merges
+        and binary searches instead of hashing node tuples.  The default
+        translates :meth:`enumerate_instances` at the boundary, so custom
+        motifs only ever need the tuple-based method.
+        """
+        edge_id = indexed.edge_id
+        for instance in self.enumerate_instances(graph, target):
+            yield [edge_id(u, v) for u, v in instance]
 
     # ------------------------------------------------------------------
     # derived helpers

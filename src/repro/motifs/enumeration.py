@@ -19,15 +19,30 @@ every instance and every edge is addressed by a dense integer id:
 * ``instance -> target index`` as a flat array.
 
 :class:`CoverageState` layers the mutable greedy bookkeeping on top: an alive
-bitmask over instances and — the heart of the kernel — **per-edge live-gain
-counters maintained incrementally**.  Deleting an edge walks the instances it
-kills exactly once and decrements the counters of every sibling edge, so
+bitmask over instances and — the heart of the kernel — **live-gain counters
+maintained incrementally**, both per edge and per (edge, target).  The
+per-(edge, target) counter matrix is a CSR over the same edge ids (row of an
+edge lists the targets it touches, ``_et_indptr`` / ``_et_tidx``); deleting an
+edge walks the instances it kills exactly once and decrements the total *and*
+the matrix entry of every sibling edge, so
 
 * :meth:`CoverageState.gain` is O(1) (a counter read),
+* :meth:`CoverageState.gain_by_target` is O(#targets touching the edge)
+  (one matrix row, no instance rescan),
 * :meth:`CoverageState.candidate_edges` is O(|candidate edges|) with no
-  per-edge rescan, and
+  per-edge rescan,
 * :meth:`CoverageState.top_gain_edge` is amortised O(log) via a lazy max-heap
-  (valid because gains only ever decrease).
+  (valid because gains only ever decrease), and
+* :meth:`CoverageState.best_scored_pair` — the cross-target greedy's argmax
+  over ``(target, edge)`` pairs scored ``own + (total - own) / C`` — is
+  amortised sublinear in the candidate count via per-target lazy max-heaps
+  (valid because own-gains and totals only ever decrease).
+
+Enumeration itself (pass 1) runs over the :class:`IndexedGraph` CSR rows via
+:meth:`~repro.motifs.base.MotifPattern.enumerate_instance_edge_ids`, so the
+built-in motifs intersect integer adjacency rows instead of hashing node
+tuples; custom motifs fall back to the tuple-based
+``enumerate_instances`` transparently.
 
 :class:`SetCoverageState` preserves the previous hash-set implementation as an
 executable reference: the differential tests in
@@ -103,18 +118,21 @@ class TargetSubgraphIndex:
         }
 
         # ------------------------------------------------------------------
-        # pass 1: enumerate instances, translating edge tuples to edge ids
-        # once at the boundary (the kernel never hashes tuples afterwards)
+        # pass 1: enumerate instances directly in edge-id space — the
+        # built-in motifs walk the IndexedGraph CSR rows (integer merges and
+        # lookups), custom motifs fall back to tuple enumeration translated
+        # once at this boundary (the kernel never hashes tuples afterwards)
         # ------------------------------------------------------------------
         inst_indptr: List[int] = [0]
         inst_edge_ids: List[int] = []
         inst_target_idx: List[int] = []
         target_ranges: List[Tuple[int, int]] = []
-        edge_id_of = indexed.edge_id
         for position, target in enumerate(self._targets):
             start = len(inst_target_idx)
-            for edges in self._motif.enumerate_instances(graph, target):
-                inst_edge_ids.extend(edge_id_of(u, v) for u, v in edges)
+            for edge_ids in self._motif.enumerate_instance_edge_ids(
+                indexed, graph, target
+            ):
+                inst_edge_ids.extend(edge_ids)
                 inst_indptr.append(len(inst_edge_ids))
                 inst_target_idx.append(position)
             target_ranges.append((start, len(inst_target_idx)))
@@ -146,6 +164,43 @@ class TargetSubgraphIndex:
                 cursor[edge_id] += 1
         self._edge_indptr = edge_indptr
         self._edge_inst_ids = edge_inst_ids
+
+        # ------------------------------------------------------------------
+        # pass 3: per-(edge, target) counter matrix, CSR over edge ids.
+        # The row of an edge lists the targets whose instances contain it
+        # (tidx ascending: each edge's instance list is ascending and
+        # instance ids are contiguous per target) with the initial counts.
+        # ------------------------------------------------------------------
+        et_indptr = array("l", [0] * (m + 1))
+        et_tidx: List[int] = []
+        et_count: List[int] = []
+        slot_of: Dict[Tuple[int, int], int] = {}
+        inst_target = self._inst_target_idx
+        for edge_id in range(m):
+            previous_tidx = -1
+            for position in range(edge_indptr[edge_id], edge_indptr[edge_id + 1]):
+                tidx = inst_target[edge_inst_ids[position]]
+                if tidx != previous_tidx:
+                    slot_of[(edge_id, tidx)] = len(et_tidx)
+                    et_tidx.append(tidx)
+                    et_count.append(0)
+                    previous_tidx = tidx
+                et_count[-1] += 1
+            et_indptr[edge_id + 1] = len(et_tidx)
+        self._et_indptr = et_indptr
+        self._et_tidx = array("l", et_tidx)
+        self._et_initial_count = array("l", et_count)
+        # membership position -> matrix slot of (sibling edge, instance's
+        # target), so the kill walk decrements the matrix entry with one
+        # array read instead of a hash lookup
+        inst_slot = array("l", [0] * len(self._inst_edge_ids))
+        for instance_id in range(number_of_instances):
+            tidx = inst_target[instance_id]
+            for position in range(
+                self._inst_indptr[instance_id], self._inst_indptr[instance_id + 1]
+            ):
+                inst_slot[position] = slot_of[(self._inst_edge_ids[position], tidx)]
+        self._inst_slot = inst_slot
 
         #: Candidate edge ids (edges in >= 1 instance), ascending == sorted
         #: by ``edge_sort_key`` thanks to the IndexedGraph id order.
@@ -306,9 +361,17 @@ class CoverageState:
                 for edge_id in range(index.indexed_graph.number_of_edges())
             ),
         )
+        # per-(edge, target) live counters: entry s of the index's counter
+        # matrix currently counts the alive instances of target _et_tidx[s]
+        # containing the row's edge
+        self._et_count = array("l", index._et_initial_count)
         self._deleted_edges: List[Edge] = []
         # lazy max-heap of (-gain, edge_id); built on first top-gain query
         self._heap: Optional[List[Tuple[int, int]]] = None
+        # per-target lazy max-heaps of (-score key, edge_id) for
+        # best_scored_pair, built on first use and keyed to one constant C
+        self._pair_heaps: Dict[int, List[Tuple[int, int]]] = {}
+        self._pair_constant: Optional[int] = None
 
     # ------------------------------------------------------------------
     # queries
@@ -353,40 +416,48 @@ class CoverageState:
         return self._gain[edge_id]
 
     def gain_by_target(self, edge: Edge) -> Dict[Edge, int]:
-        """Return per-target counts of alive instances ``edge`` would break."""
+        """Return per-target counts of alive instances ``edge`` would break.
+
+        O(#targets touching the edge): one row of the per-(edge, target)
+        counter matrix, no instance rescan.  Targets are listed in target
+        index (problem) order, matching the other engines.
+        """
         edge_id = self._index._indexed.find_edge_id(*edge)
         if edge_id is None or self._gain[edge_id] == 0:
             return {}
         index = self._index
-        counts: Dict[int, int] = {}
-        for position in range(
-            index._edge_indptr[edge_id], index._edge_indptr[edge_id + 1]
-        ):
-            instance_id = index._edge_inst_ids[position]
-            if self._alive[instance_id]:
-                tidx = index._inst_target_idx[instance_id]
-                counts[tidx] = counts.get(tidx, 0) + 1
         targets = index.targets
-        return {targets[tidx]: count for tidx, count in sorted(counts.items())}
+        et_tidx = index._et_tidx
+        et_count = self._et_count
+        return {
+            targets[et_tidx[slot]]: et_count[slot]
+            for slot in range(
+                index._et_indptr[edge_id], index._et_indptr[edge_id + 1]
+            )
+            if et_count[slot] > 0
+        }
 
     def gain_for_target(self, edge: Edge, target: Edge) -> int:
-        """Return alive instances of ``target`` that deleting ``edge`` breaks."""
+        """Return alive instances of ``target`` that deleting ``edge`` breaks.
+
+        O(#targets touching the edge): a counter-matrix row scan.
+        """
         edge_id = self._index._indexed.find_edge_id(*edge)
         if edge_id is None or self._gain[edge_id] == 0:
             return 0
+        return self._own_gain(edge_id, self._index._target_position(target))
+
+    def _own_gain(self, edge_id: int, tidx: int) -> int:
+        """Return the live (edge, target) counter; rows are tidx-ascending."""
         index = self._index
-        wanted = index._target_position(target)
-        count = 0
-        for position in range(
-            index._edge_indptr[edge_id], index._edge_indptr[edge_id + 1]
-        ):
-            instance_id = index._edge_inst_ids[position]
-            if (
-                self._alive[instance_id]
-                and index._inst_target_idx[instance_id] == wanted
-            ):
-                count += 1
-        return count
+        et_tidx = index._et_tidx
+        for slot in range(index._et_indptr[edge_id], index._et_indptr[edge_id + 1]):
+            entry = et_tidx[slot]
+            if entry == tidx:
+                return self._et_count[slot]
+            if entry > tidx:
+                break
+        return 0
 
     def candidate_edges(self) -> Set[Edge]:
         """Return undeleted edges that still break at least one alive instance.
@@ -443,7 +514,14 @@ class CoverageState:
         deterministic ``edge_sort_key`` order.
         """
         index = self._index
-        start, end = index._target_ranges[index._target_position(target)]
+        counts = self._own_gains_by_edge_id(index._target_position(target))
+        edge_at = index._indexed.edge_at
+        return {edge_at(edge_id): count for edge_id, count in sorted(counts.items())}
+
+    def _own_gains_by_edge_id(self, tidx: int) -> Dict[int, int]:
+        """One pass over a target's alive instances: ``{edge id: own gain}``."""
+        index = self._index
+        start, end = index._target_ranges[tidx]
         counts: Dict[int, int] = {}
         for instance_id in range(start, end):
             if self._alive[instance_id]:
@@ -453,8 +531,67 @@ class CoverageState:
                 ):
                     edge_id = index._inst_edge_ids[position]
                     counts[edge_id] = counts.get(edge_id, 0) + 1
-        edge_at = index._indexed.edge_at
-        return {edge_at(edge_id): count for edge_id, count in sorted(counts.items())}
+        return counts
+
+    def best_scored_pair(
+        self, targets: Sequence[Edge], constant: int
+    ) -> Optional[Tuple[int, Edge, Edge]]:
+        """Return ``(key, target, edge)`` maximising the MLBT score over the
+        given targets and the live candidate edges, or ``None`` if no pair
+        has a positive own-gain.
+
+        The integer key is ``own * (constant - 1) + total``; dividing by
+        ``constant`` gives the paper's ``Δ_t^p = own + (total - own) / C``,
+        so maximising the key maximises the score with exact integer
+        arithmetic.  Ties break toward the smallest edge id (== smallest
+        ``edge_sort_key``) and then toward the earliest target in
+        ``targets`` — identical to a deterministic edge-major sweep over
+        ``gain_by_target`` rows.
+
+        Amortised sublinear in the candidate count: each queried target
+        keeps a lazy max-heap of stale keys over its own-gain edges (sound
+        because own-gains and totals only ever decrease, so a stale key is
+        an upper bound), and a query validates heap tops only.
+        """
+        if constant != self._pair_constant:
+            self._pair_heaps = {}
+            self._pair_constant = constant
+        index = self._index
+        best: Optional[Tuple[int, int, Edge]] = None  # (key, edge_id, target)
+        for target in targets:
+            top = self._pair_heap_top(index._target_position(target), constant)
+            if top is None:
+                continue
+            key, edge_id = top
+            if best is None or key > best[0] or (key == best[0] and edge_id < best[1]):
+                best = (key, edge_id, target)
+        if best is None:
+            return None
+        return best[0], best[2], index._indexed.edge_at(best[1])
+
+    def _pair_heap_top(self, tidx: int, constant: int) -> Optional[Tuple[int, int]]:
+        """Return the validated ``(key, edge id)`` top of one target's heap."""
+        heap = self._pair_heaps.get(tidx)
+        weight = constant - 1
+        gain = self._gain
+        if heap is None:
+            heap = [
+                (-(own * weight + gain[edge_id]), edge_id)
+                for edge_id, own in sorted(self._own_gains_by_edge_id(tidx).items())
+            ]
+            heapq.heapify(heap)
+            self._pair_heaps[tidx] = heap
+        while heap:
+            negative, edge_id = heap[0]
+            own = self._own_gain(edge_id, tidx)
+            if own <= 0:
+                heapq.heappop(heap)
+                continue
+            key = own * weight + gain[edge_id]
+            if -negative == key:
+                return key, edge_id
+            heapq.heapreplace(heap, (-key, edge_id))
+        return None
 
     def top_gain_edge(self) -> Optional[Tuple[Edge, int]]:
         """Return the ``(edge, gain)`` with maximal live gain, or ``None``.
@@ -528,6 +665,8 @@ class CoverageState:
             return {}
         alive = self._alive
         gain = self._gain
+        et_count = self._et_count
+        inst_slot = index._inst_slot
         broken_by_tidx: Dict[int, int] = {}
         for position in range(
             index._edge_indptr[edge_id], index._edge_indptr[edge_id + 1]
@@ -541,11 +680,13 @@ class CoverageState:
             self._alive_by_tidx[tidx] -= 1
             self._alive_total -= 1
             # decrement every sibling edge of the killed instance (including
-            # the deleted edge itself, whose counter reaches exactly zero)
+            # the deleted edge itself, whose counters reach exactly zero):
+            # both the per-edge total and the (edge, target) matrix entry
             for sibling_position in range(
                 index._inst_indptr[instance_id], index._inst_indptr[instance_id + 1]
             ):
                 gain[index._inst_edge_ids[sibling_position]] -= 1
+                et_count[inst_slot[sibling_position]] -= 1
         targets = index.targets
         return {
             targets[tidx]: count for tidx, count in sorted(broken_by_tidx.items())
@@ -567,9 +708,14 @@ class CoverageState:
         clone._alive_total = self._alive_total
         clone._alive_by_tidx = array("l", self._alive_by_tidx)
         clone._gain = array("l", self._gain)
+        clone._et_count = array("l", self._et_count)
         clone._deleted_edges = list(self._deleted_edges)
         # stale entries are safe: gains only decrease, pops re-validate
         clone._heap = list(self._heap) if self._heap is not None else None
+        clone._pair_heaps = {
+            tidx: list(heap) for tidx, heap in self._pair_heaps.items()
+        }
+        clone._pair_constant = self._pair_constant
         return clone
 
 

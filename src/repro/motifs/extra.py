@@ -14,10 +14,12 @@ ablation benchmarks:
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from itertools import combinations
-from typing import Iterator, List
+from typing import Iterator, List, Sequence
 
 from repro.graphs.graph import Edge, Graph
+from repro.graphs.indexed import IndexedGraph
 from repro.motifs.base import MotifInstance, MotifPattern, register_motif
 
 __all__ = ["PathMotif", "CliqueMotif", "Path4Motif", "Clique4Motif"]
@@ -65,6 +67,47 @@ class PathMotif(MotifPattern):
                 graph, prefix + [neighbor], v, remaining - 1, forbidden | {neighbor}
             )
 
+    def enumerate_instance_edge_ids(
+        self, indexed: IndexedGraph, graph: Graph, target: Edge
+    ) -> Iterator[Sequence[int]]:
+        u, v = target
+        if not (indexed.has_node(u) and indexed.has_node(v)):
+            return
+        u_id, v_id = indexed.node_id(u), indexed.node_id(v)
+        yield from self._extend_ids(
+            indexed, u_id, v_id, self.length, {u_id, v_id}, []
+        )
+
+    def _extend_ids(
+        self,
+        indexed: IndexedGraph,
+        last_id: int,
+        v_id: int,
+        remaining: int,
+        forbidden,
+        edge_ids: List[int],
+    ) -> Iterator[Sequence[int]]:
+        """Depth-first simple-path enumeration over the CSR rows."""
+        indptr, neighbors, incident = indexed.csr()
+        lo, hi = indptr[last_id], indptr[last_id + 1]
+        if remaining == 1:
+            position = bisect_left(neighbors, v_id, lo, hi)
+            if position < hi and neighbors[position] == v_id:
+                yield edge_ids + [incident[position]]
+            return
+        for position in range(lo, hi):
+            neighbor = neighbors[position]
+            if neighbor in forbidden:
+                continue
+            yield from self._extend_ids(
+                indexed,
+                neighbor,
+                v_id,
+                remaining - 1,
+                forbidden | {neighbor},
+                edge_ids + [incident[position]],
+            )
+
 
 class CliqueMotif(MotifPattern):
     """Cliques of a fixed size that the target link would complete.
@@ -101,6 +144,31 @@ class CliqueMotif(MotifPattern):
     @staticmethod
     def _is_clique(graph: Graph, nodes) -> bool:
         return all(graph.has_edge(a, b) for a, b in combinations(nodes, 2))
+
+    def enumerate_instance_edge_ids(
+        self, indexed: IndexedGraph, graph: Graph, target: Edge
+    ) -> Iterator[Sequence[int]]:
+        u, v = target
+        if not (indexed.has_node(u) and indexed.has_node(v)):
+            return
+        u_id, v_id = indexed.node_id(u), indexed.node_id(v)
+        # common neighbors (id-ascending == the tuple path's str order) with
+        # the aligned edge ids to both endpoints
+        common = list(indexed.common_neighbor_edges(u_id, v_id))
+        needed = self.size - 2
+        for group in combinations(common, needed):
+            edge_ids: List[int] = []
+            for a_entry, b_entry in combinations(group, 2):
+                within = indexed.edge_id_between(a_entry[0], b_entry[0])
+                if within is None:
+                    edge_ids = []
+                    break
+                edge_ids.append(within)
+            else:
+                for _, edge_uw, edge_wv in group:
+                    edge_ids.append(edge_uw)
+                    edge_ids.append(edge_wv)
+                yield edge_ids
 
 
 @register_motif

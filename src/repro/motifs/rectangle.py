@@ -10,9 +10,10 @@ introduction.
 
 from __future__ import annotations
 
-from typing import Iterator
+from typing import Iterator, Sequence
 
 from repro.graphs.graph import Edge, Graph
+from repro.graphs.indexed import IndexedGraph
 from repro.motifs.base import MotifInstance, MotifPattern, register_motif
 
 __all__ = ["RectangleMotif"]
@@ -43,3 +44,29 @@ class RectangleMotif(MotifPattern):
                             self._canonical(b, v),
                         )
                     )
+
+    def enumerate_instance_edge_ids(
+        self, indexed: IndexedGraph, graph: Graph, target: Edge
+    ) -> Iterator[Sequence[int]]:
+        u, v = target
+        if not (indexed.has_node(u) and indexed.has_node(v)):
+            return
+        indptr, neighbors, incident = indexed.csr()
+        u_id, v_id = indexed.node_id(u), indexed.node_id(v)
+        # one dict per target: neighbor id of v -> edge id of (b, v)
+        v_row = {
+            neighbors[j]: incident[j]
+            for j in range(indptr[v_id], indptr[v_id + 1])
+        }
+        for i in range(indptr[u_id], indptr[u_id + 1]):
+            a = neighbors[i]
+            if a == v_id:
+                continue
+            edge_ua = incident[i]
+            for j in range(indptr[a], indptr[a + 1]):
+                b = neighbors[j]
+                if b == u_id or b == v_id:
+                    continue
+                edge_bv = v_row.get(b)
+                if edge_bv is not None:
+                    yield (edge_ua, incident[j], edge_bv)

@@ -16,9 +16,10 @@ an instance are the union of the two paths' edges (four edges).
 
 from __future__ import annotations
 
-from typing import Iterator
+from typing import Iterator, Sequence
 
 from repro.graphs.graph import Edge, Graph
+from repro.graphs.indexed import IndexedGraph
 from repro.motifs.base import MotifInstance, MotifPattern, register_motif
 
 __all__ = ["RecTriMotif"]
@@ -54,3 +55,34 @@ class RecTriMotif(MotifPattern):
                     yield frozenset(
                         (edge_uw, edge_wv, self._canonical(w, b), self._canonical(b, u))
                     )
+
+    def enumerate_instance_edge_ids(
+        self, indexed: IndexedGraph, graph: Graph, target: Edge
+    ) -> Iterator[Sequence[int]]:
+        u, v = target
+        if not (indexed.has_node(u) and indexed.has_node(v)):
+            return
+        indptr, neighbors, incident = indexed.csr()
+        u_id, v_id = indexed.node_id(u), indexed.node_id(v)
+        u_row = {
+            neighbors[i]: incident[i]
+            for i in range(indptr[u_id], indptr[u_id + 1])
+        }
+        v_row = {
+            neighbors[j]: incident[j]
+            for j in range(indptr[v_id], indptr[v_id + 1])
+        }
+        for w, edge_uw, edge_wv in indexed.common_neighbor_edges(u_id, v_id):
+            for k in range(indptr[w], indptr[w + 1]):
+                b = neighbors[k]
+                if b == u_id or b == v_id:
+                    continue
+                edge_wb = incident[k]
+                # orientation u - w - b - v (b adjacent to v)
+                edge_bv = v_row.get(b)
+                if edge_bv is not None:
+                    yield (edge_uw, edge_wv, edge_wb, edge_bv)
+                # orientation v - w - b - u (b adjacent to u)
+                edge_bu = u_row.get(b)
+                if edge_bu is not None:
+                    yield (edge_uw, edge_wv, edge_wb, edge_bu)

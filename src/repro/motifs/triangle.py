@@ -9,9 +9,10 @@ the basis of every common-neighbor style link prediction.
 
 from __future__ import annotations
 
-from typing import Iterator
+from typing import Iterator, Sequence
 
 from repro.graphs.graph import Edge, Graph
+from repro.graphs.indexed import IndexedGraph
 from repro.motifs.base import MotifInstance, MotifPattern, register_motif
 
 __all__ = ["TriangleMotif"]
@@ -31,3 +32,15 @@ class TriangleMotif(MotifPattern):
             if w == u or w == v:
                 continue
             yield frozenset((self._canonical(u, w), self._canonical(w, v)))
+
+    def enumerate_instance_edge_ids(
+        self, indexed: IndexedGraph, graph: Graph, target: Edge
+    ) -> Iterator[Sequence[int]]:
+        u, v = target
+        if not (indexed.has_node(u) and indexed.has_node(v)):
+            return
+        u_id, v_id = indexed.node_id(u), indexed.node_id(v)
+        # the aligned incident-edge ids of each common neighbor are exactly
+        # the protector edges (u, w) and (w, v)
+        for _, edge_uw, edge_wv in indexed.common_neighbor_edges(u_id, v_id):
+            yield (edge_uw, edge_wv)

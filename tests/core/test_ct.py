@@ -103,3 +103,49 @@ class TestCTGreedy:
         result = ct_greedy(problem, budget=3, budget_division=division)
         for target, protectors in result.allocation.items():
             assert len(protectors) <= division[target]
+
+
+class TestZeroOwnGainFallback:
+    """When only cross-gain edges remain, the deletion must be charged to the
+    active target with the most remaining sub-budget (regression: it used to
+    be charged to whichever active target came first, burning sub-budget of
+    targets that could still have used it)."""
+
+    @pytest.fixture
+    def fallback_problem(self):
+        # t1=(0,1): one triangle via 4; t2=(8,9): one triangle via 5;
+        # t3=(2,3): two triangles via 6 and 7 but a zero sub-budget, so its
+        # edges only ever carry cross-target gain for t1/t2.
+        graph = Graph(
+            edges=[
+                (0, 1),
+                (8, 9),
+                (2, 3),
+                (0, 4),
+                (1, 4),
+                (5, 8),
+                (5, 9),
+                (2, 6),
+                (3, 6),
+                (2, 7),
+                (3, 7),
+            ]
+        )
+        return TPPProblem(graph, [(0, 1), (8, 9), (2, 3)], motif="triangle")
+
+    @pytest.mark.parametrize("engine", ["coverage", "coverage-set", "recount"])
+    def test_fallback_charges_target_with_most_remaining_budget(
+        self, fallback_problem, engine
+    ):
+        division = {(0, 1): 2, (8, 9): 3, (2, 3): 0}
+        result = ct_greedy(
+            fallback_problem, budget=5, budget_division=division, engine=engine
+        )
+        # steps 1-2 break t1's and t2's own triangles; step 3 is the first
+        # fallback: (2,6) must be charged to t2 (remaining 2) not t1
+        # (remaining 1, but first in target order); step 4 ties at remaining
+        # 1 apiece and resolves to t1 by edge_sort_key of the target link
+        assert result.protectors == ((0, 4), (5, 8), (2, 6), (2, 7))
+        assert result.allocation[(8, 9)] == ((5, 8), (2, 6))
+        assert result.allocation[(0, 1)] == ((0, 4), (2, 7))
+        assert result.fully_protected

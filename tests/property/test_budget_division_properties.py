@@ -1,0 +1,132 @@
+"""Property tests for the budget divisions (TBD/DBD/uniform).
+
+The paper's MLBT algorithms receive their per-target sub budgets from a
+budget division; a division that strands budget despite available headroom
+silently weakens every TBD/DBD experiment.  These tests pin the allocation
+invariant
+
+    sum_t k_t == min(budget, sum_t |W_t|)    and    k_t <= |W_t|
+
+across random cap/weight profiles, including the historical stranding repro
+(the redistribution loop used to give up after a fixed number of passes).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.budget import (
+    BudgetUnderAllocationWarning,
+    _proportional_allocation,
+    make_budget_division,
+    validate_budget_division,
+)
+from repro.core.model import TPPProblem
+from repro.graphs.graph import Graph
+
+profiles = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=50.0, allow_nan=False),
+        st.integers(min_value=0, max_value=40),
+    ),
+    min_size=1,
+    max_size=25,
+)
+
+
+@given(profiles, st.integers(min_value=0, max_value=400))
+@settings(max_examples=200, deadline=None)
+def test_allocation_exhausts_budget_or_headroom(profile, budget):
+    """Every unit is allocated unless every target is saturated."""
+    weights = {("t", i): weight for i, (weight, _) in enumerate(profile)}
+    caps = {("t", i): cap for i, (_, cap) in enumerate(profile)}
+    allocation = _proportional_allocation(weights, caps, budget)
+    assert set(allocation) == set(weights)
+    for target, value in allocation.items():
+        assert 0 <= value <= caps[target]
+    if sum(weights.values()) > 0:
+        assert sum(allocation.values()) == min(budget, sum(caps.values()))
+    else:
+        assert sum(allocation.values()) == 0
+
+
+def test_stranding_repro_one_target_with_headroom():
+    """50 targets capped at 1 plus one target with headroom 1000: a budget of
+    500 must be fully spent (the old pass-bounded loop allocated only 66)."""
+    weights = {("t", i): 1.0 for i in range(50)}
+    caps = {("t", i): 1 for i in range(50)}
+    weights[("big", 0)] = 1.0
+    caps[("big", 0)] = 1000
+    allocation = _proportional_allocation(weights, caps, 500)
+    assert sum(allocation.values()) == 500
+    assert allocation[("big", 0)] == 450
+    assert all(allocation[("t", i)] == 1 for i in range(50))
+
+
+def test_uniform_weights_distribute_evenly_before_caps():
+    weights = {i: 1.0 for i in range(4)}
+    caps = {i: 10 for i in range(4)}
+    allocation = _proportional_allocation(weights, caps, 8)
+    assert all(value == 2 for value in allocation.values())
+
+
+@pytest.fixture
+def problem():
+    # target (0,1) has 3 triangles, target (2,3) has 1, target (0,9) has 0
+    graph = Graph(
+        edges=[
+            (0, 1),
+            (2, 3),
+            (0, 9),
+            (0, 4),
+            (1, 4),
+            (0, 5),
+            (1, 5),
+            (0, 6),
+            (1, 6),
+            (2, 7),
+            (3, 7),
+        ]
+    )
+    return TPPProblem(graph, [(0, 1), (2, 3), (0, 9)], motif="triangle")
+
+
+@pytest.mark.parametrize("strategy", ["tbd", "dbd", "uniform"])
+def test_strategies_always_allocate_min_of_budget_and_headroom(problem, strategy):
+    caps = problem.initial_similarity_by_target()
+    for budget in range(0, 8):
+        division = make_budget_division(problem, budget, strategy)
+        assert sum(division.values()) == min(budget, sum(caps.values()))
+        for target, value in division.items():
+            assert 0 <= value <= caps[target]
+
+
+def test_validate_warns_on_underallocation_with_headroom(problem):
+    problem.build_index()
+    # one unit for a 4-subgraph problem under budget 3: 2 units stranded
+    with pytest.warns(BudgetUnderAllocationWarning):
+        validate_budget_division(problem, 3, {(0, 1): 1})
+
+
+def test_validate_silent_when_budget_or_headroom_exhausted(problem):
+    import warnings
+
+    problem.build_index()
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", BudgetUnderAllocationWarning)
+        # full budget spent
+        validate_budget_division(problem, 2, {(0, 1): 1, (2, 3): 1})
+        # all headroom consumed (|W| = 4 < budget)
+        validate_budget_division(problem, 10, {(0, 1): 3, (2, 3): 1})
+
+
+def test_validate_headroom_check_never_builds_the_index(problem):
+    import warnings
+
+    # the check must piggyback on an already-built index only: validating a
+    # division on a fresh problem (e.g. for the naive recount baseline,
+    # whose cost profile must stay enumeration-free) stays silent and cheap
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", BudgetUnderAllocationWarning)
+        validate_budget_division(problem, 3, {(0, 1): 1})
+    assert not problem.has_cached_index

@@ -141,6 +141,36 @@ def test_wt_identical_across_all_engines(seed, motif_index):
 
 @given(st.integers(min_value=0, max_value=10_000), st.integers(min_value=0, max_value=2))
 @settings(max_examples=20, deadline=None)
+def test_best_scored_pair_heap_matches_full_sweep(seed, motif_index):
+    """The kernel's per-target-heap argmax over (target, edge) pairs equals
+    the generic edge-major sweep on the set engine — key, charged target and
+    selected edge — along a full greedy deletion sequence, for both the
+    all-targets (CT) and single-target (WT) query shapes."""
+    from repro.core.engines import make_engine
+
+    problem = build_problem(seed, motif_index)
+    if problem is None:
+        return
+    constant = max(problem.constant, 1)
+    kernel = make_engine(problem, "coverage")
+    reference = make_engine(problem, "coverage-set")
+    targets = problem.targets
+    # alternate between the CT shape (all targets) and the WT shape (each
+    # target alone) so the heaps are exercised under both access patterns
+    while True:
+        best = kernel.best_scored_pair(targets, constant)
+        assert best == reference.best_scored_pair(targets, constant)
+        for target in targets:
+            single = kernel.best_scored_pair((target,), constant)
+            assert single == reference.best_scored_pair((target,), constant)
+        if best is None:
+            break
+        _, _, edge = best
+        assert kernel.commit(edge) == reference.commit(edge)
+
+
+@given(st.integers(min_value=0, max_value=10_000), st.integers(min_value=0, max_value=2))
+@settings(max_examples=20, deadline=None)
 def test_kernel_copy_is_independent_and_equivalent(seed, motif_index):
     """A copied kernel state diverges independently and still answers like a
     fresh reference state replaying the same deletions."""
