@@ -26,15 +26,13 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
-from repro.core.ct import ct_greedy  # noqa: E402
 from repro.core.model import TPPProblem  # noqa: E402
-from repro.core.sgb import sgb_greedy  # noqa: E402
-from repro.core.wt import wt_greedy  # noqa: E402
 from repro.datasets.targets import (  # noqa: E402
     sample_degree_weighted_targets,
     sample_random_targets,
 )
 from repro.graphs.generators import powerlaw_cluster_graph  # noqa: E402
+from repro.service import ProtectionRequest, ProtectionService  # noqa: E402
 
 #: The acceptance bar for the SGB end-to-end kernel speedup.
 SGB_SPEEDUP_TARGET = 5.0
@@ -48,14 +46,14 @@ def _methods(budget: int):
     # the set engine runs SGB with lazy=False: that full argmax sweep per step
     # is exactly what the seed's set-based engine executed by default
     return {
-        "SGB-Greedy-R": lambda problem, engine: sgb_greedy(
-            problem, budget, engine=engine, lazy=engine == "coverage"
+        "SGB-Greedy-R": lambda engine: ProtectionRequest(
+            "SGB-Greedy", budget, engine=engine, lazy=engine == "coverage"
         ),
-        "CT-Greedy-R:TBD": lambda problem, engine: ct_greedy(
-            problem, budget, budget_division="tbd", engine=engine
+        "CT-Greedy-R:TBD": lambda engine: ProtectionRequest(
+            "CT-Greedy:TBD", budget, engine=engine
         ),
-        "WT-Greedy-R:TBD": lambda problem, engine: wt_greedy(
-            problem, budget, budget_division="tbd", engine=engine
+        "WT-Greedy-R:TBD": lambda engine: ProtectionRequest(
+            "WT-Greedy:TBD", budget, engine=engine
         ),
     }
 
@@ -66,11 +64,11 @@ def run(args: argparse.Namespace) -> dict:
         sample_degree_weighted_targets if args.hub_targets else sample_random_targets
     )
     targets = sampler(graph, args.targets, seed=args.seed)
-    problem = TPPProblem(graph, targets, motif=args.motif)
-
-    started = time.perf_counter()
-    index = problem.build_index()
-    enumeration_seconds = time.perf_counter() - started
+    # the session owns the shared index; its build time is the enumeration
+    # cost both engines share (exactly as in the Fig. 5/6 harness)
+    service = ProtectionService(TPPProblem(graph, targets, motif=args.motif))
+    index = service.index
+    enumeration_seconds = service.build_seconds
 
     report = {
         "config": {
@@ -91,17 +89,18 @@ def run(args: argparse.Namespace) -> dict:
     }
 
     all_agree = True
-    for label, runner in _methods(args.budget).items():
+    for label, make_request in _methods(args.budget).items():
         timings = {}
         results = {}
         for engine_label, engine in (("kernel", "coverage"), ("set", "coverage-set")):
+            request = make_request(engine)
             # min over repeats: the runs are deterministic, so the spread is
             # pure scheduler/GC noise and the minimum is the robust statistic
             # (the CI regression gate compares speedup ratios of these)
             best_seconds = float("inf")
             for _ in range(max(1, args.repeats)):
                 started = time.perf_counter()
-                results[engine_label] = runner(problem, engine)
+                results[engine_label] = service.solve(request)
                 best_seconds = min(best_seconds, time.perf_counter() - started)
             timings[engine_label] = best_seconds
         agree = results["kernel"].protectors == results["set"].protectors

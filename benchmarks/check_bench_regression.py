@@ -1,17 +1,26 @@
-"""Fail when a fresh kernel benchmark regresses against the committed one.
+"""Fail when a fresh benchmark report regresses against the committed one.
 
-CI re-runs ``bench_engine_kernel.py`` at the committed configuration and
-compares the freshly emitted JSON against the ``BENCH_engine_kernel.json``
-checked into the repository::
+CI re-runs a benchmark at the committed configuration and compares the
+freshly emitted JSON against the report checked into the repository::
 
     PYTHONPATH=src python benchmarks/bench_engine_kernel.py --output fresh.json
     python benchmarks/check_bench_regression.py fresh.json BENCH_engine_kernel.json
 
-The check fails (exit 1) if any method's kernel-vs-set *speedup* dropped by
-more than ``--max-regression`` (default 30%, absorbing CI machine noise), if
-a method disappeared, if the engines stopped agreeing on protectors, or if a
-speedup acceptance target recorded in the committed report is no longer met.
-Larger speedups and new methods never fail the check.
+    PYTHONPATH=src python benchmarks/bench_service_throughput.py --output fresh.json
+    python benchmarks/check_bench_regression.py fresh.json BENCH_service_throughput.json
+
+The report kind is read from the committed JSON (``"kind"``; missing means
+the engine-kernel report).  For the kernel report the check fails (exit 1)
+if any method's kernel-vs-set *speedup* dropped by more than
+``--max-regression`` (default 30%, absorbing CI machine noise), if a method
+disappeared, if the engines stopped agreeing on protectors, or if a speedup
+acceptance target recorded in the committed report is no longer met.  For
+the service-throughput report it fails if the traces stopped agreeing, if
+the shared-vs-rebuild speedup dropped more than ``--max-regression`` below
+the committed value, or if an acceptance flag that was true in the committed
+report (``shared_speedup_met``, ``workers_beat_serial`` — the latter only
+recorded true on multi-core boxes) is no longer met.  Larger speedups and
+new methods never fail the check.
 """
 
 from __future__ import annotations
@@ -22,8 +31,33 @@ import sys
 from pathlib import Path
 
 
+def compare_service(fresh: dict, committed: dict, max_regression: float) -> list:
+    """Return the failure list for a ``service_throughput`` report pair."""
+    failures = []
+    if not fresh.get("traces_agree", False):
+        failures.append(
+            "fresh run: service-path protector traces no longer agree with "
+            "the legacy direct calls"
+        )
+    committed_speedup = committed.get("shared_vs_rebuild_speedup", 0.0)
+    fresh_speedup = fresh.get("shared_vs_rebuild_speedup", 0.0)
+    floor = committed_speedup * (1.0 - max_regression)
+    if fresh_speedup < floor:
+        failures.append(
+            f"shared_vs_rebuild_speedup {fresh_speedup:.2f}x fell more than "
+            f"{max_regression:.0%} below the committed {committed_speedup:.2f}x "
+            f"(floor {floor:.2f}x)"
+        )
+    for flag in ("shared_speedup_met", "workers_beat_serial"):
+        if committed.get(flag) and not fresh.get(flag, False):
+            failures.append(f"{flag} was true in the committed report, now false")
+    return failures
+
+
 def compare(fresh: dict, committed: dict, max_regression: float) -> list:
     """Return a list of human-readable failures (empty == pass)."""
+    if committed.get("kind") == "service_throughput":
+        return compare_service(fresh, committed, max_regression)
     failures = []
     if not fresh.get("all_protectors_agree", False):
         failures.append("fresh run: engines disagree on a protector sequence")
@@ -69,15 +103,24 @@ def main(argv=None) -> int:
     fresh = json.loads(Path(args.fresh).read_text())
     committed = json.loads(Path(args.committed).read_text())
     failures = compare(fresh, committed, args.max_regression)
-    for method in sorted(committed.get("methods", {})):
-        fresh_speedup = fresh.get("methods", {}).get(method, {}).get("speedup")
-        committed_speedup = committed["methods"][method].get("speedup")
-        print(f"{method:>18}: committed {committed_speedup}x, fresh {fresh_speedup}x")
+    if committed.get("kind") == "service_throughput":
+        print(
+            f"shared_vs_rebuild_speedup: committed "
+            f"{committed.get('shared_vs_rebuild_speedup')}x, fresh "
+            f"{fresh.get('shared_vs_rebuild_speedup')}x; workers_speedup: "
+            f"committed {committed.get('workers_speedup')}x, fresh "
+            f"{fresh.get('workers_speedup')}x"
+        )
+    else:
+        for method in sorted(committed.get("methods", {})):
+            fresh_speedup = fresh.get("methods", {}).get(method, {}).get("speedup")
+            committed_speedup = committed["methods"][method].get("speedup")
+            print(f"{method:>18}: committed {committed_speedup}x, fresh {fresh_speedup}x")
     if failures:
         for failure in failures:
             print(f"REGRESSION: {failure}", file=sys.stderr)
         return 1
-    print(f"no kernel speedup regression beyond {args.max_regression:.0%}")
+    print(f"no benchmark regression beyond {args.max_regression:.0%}")
     return 0
 
 

@@ -18,7 +18,7 @@ from __future__ import annotations
 import sys
 import time
 
-from repro import TPPProblem, sgb_greedy
+from repro import ProtectionRequest, ProtectionService
 from repro.datasets import dblp_like, sample_random_targets
 from repro.experiments import format_table
 from repro.utility import compare_graphs
@@ -37,20 +37,22 @@ def main(nodes: int = 20_000) -> None:
     rows = []
     released_by_motif = {}
     for motif in ("triangle", "rectangle", "rectri"):
-        problem = TPPProblem(graph, targets, motif=motif)
-        enumeration_start = time.perf_counter()
-        initial = problem.initial_similarity()
-        enumeration_time = time.perf_counter() - enumeration_start
+        # one session per motif: enumeration happens once at session build,
+        # the selection query then runs on a copy of the pristine state
+        service = ProtectionService(graph, targets, motif=motif)
+        initial = service.pristine_similarity()
 
-        result = sgb_greedy(problem, budget=initial + 1, lazy=True)
-        released_by_motif[motif] = result.released_graph(problem)
+        result = service.solve(
+            ProtectionRequest("SGB-Greedy", budget=initial + 1, lazy=True)
+        )
+        released_by_motif[motif] = result.released_graph(service.problem)
         rows.append(
             (
                 motif,
                 initial,
                 result.budget_used,
                 "yes" if result.fully_protected else "no",
-                f"{enumeration_time:.1f}s",
+                f"{service.build_seconds:.1f}s",
                 f"{result.runtime_seconds:.1f}s",
             )
         )

@@ -19,7 +19,7 @@ Run with::
 
 from __future__ import annotations
 
-from repro import AttackSimulator, TPPProblem, sgb_greedy
+from repro import AttackSimulator, ProtectionRequest, ProtectionService
 from repro.datasets import arenas_email_like, sample_ego_targets
 from repro.experiments import format_table
 
@@ -40,16 +40,19 @@ def main() -> None:
     ego = targets[0][0] if all(t[0] == targets[0][0] for t in targets) else targets[0][1]
     print(f"ego node {ego!r} hides {len(targets)} of its {graph.degree(ego)} links")
 
-    problem = TPPProblem(graph, targets, motif="triangle")
+    service = ProtectionService(graph, targets, motif="triangle")
+    problem = service.problem
     print(f"surviving target subgraphs after merely deleting the links: "
-          f"{problem.initial_similarity()}")
+          f"{service.pristine_similarity()}")
 
     attacker = AttackSimulator("common_neighbors", negative_samples=300, seed=0)
     before = attacker.run(problem.phase1_graph, targets)
     describe_attack(before, "attacker's view after naive deletion (phase 1 only)")
 
-    # budgeted protection
-    result = sgb_greedy(problem, budget=problem.initial_similarity() + 1)
+    # budgeted protection, served from the session's shared index
+    result = service.solve(
+        ProtectionRequest("SGB-Greedy", budget=service.pristine_similarity() + 1)
+    )
     released = result.released_graph(problem)
     after = attacker.run(released, targets)
     describe_attack(after, f"attacker's view after TPP ({result.budget_used} protector deletions)")

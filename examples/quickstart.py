@@ -1,11 +1,14 @@
 """Quickstart: protect a handful of sensitive links in a social graph.
 
-Runs the full TPP workflow on a synthetic Arenas-email-like graph:
+Runs the full TPP workflow on a synthetic Arenas-email-like graph through
+the session API — the target-subgraph index is built once and every query
+runs on a copy of the session's pristine coverage state:
 
 1. sample target links that must stay hidden,
-2. select protector links with the three greedy algorithms,
-3. verify full protection and compare the algorithms, and
-4. measure the utility cost of the release.
+2. open a ProtectionService session for (graph, targets, motif),
+3. solve the three greedy selections as one batch of typed requests,
+4. verify full protection and compare the algorithms, and
+5. measure the utility cost of the release.
 
 Run with::
 
@@ -14,7 +17,7 @@ Run with::
 
 from __future__ import annotations
 
-from repro import TPPProblem, ct_greedy, sgb_greedy, verify_result, wt_greedy
+from repro import ProtectionRequest, ProtectionService, verify_result
 from repro.datasets import arenas_email_like, sample_random_targets
 from repro.experiments import format_table
 from repro.utility import compare_graphs
@@ -27,21 +30,28 @@ def main() -> None:
     print(f"graph: {graph.number_of_nodes()} nodes, {graph.number_of_edges()} edges")
     print(f"targets to hide: {len(targets)} links")
 
-    # 2. build the TPP problem (phase 1 removes the targets) ---------------
-    problem = TPPProblem(graph, targets, motif="triangle")
-    print(f"target subgraphs an adversary could exploit: {problem.initial_similarity()}")
+    # 2. open a protection session (phase 1 removes the targets, the index
+    #    is enumerated exactly once) ----------------------------------------
+    service = ProtectionService(graph, targets, motif="triangle")
+    print(
+        f"target subgraphs an adversary could exploit: {service.pristine_similarity()} "
+        f"(index built in {service.build_seconds:.3f}s)"
+    )
 
-    # 3. run the three greedy protector selections --------------------------
+    # 3. run the three greedy protector selections as one request batch -----
     budget = 40
-    results = [
-        sgb_greedy(problem, budget),
-        ct_greedy(problem, budget, budget_division="tbd"),
-        wt_greedy(problem, budget, budget_division="tbd"),
+    requests = [
+        ProtectionRequest("SGB-Greedy", budget),
+        ProtectionRequest("CT-Greedy:TBD", budget),
+        ProtectionRequest("WT-Greedy:TBD", budget),
     ]
+    results = service.solve_many(requests, workers=2)
 
     rows = []
     for result in results:
-        assert verify_result(problem, result), "incremental trace must match recount"
+        assert verify_result(service.problem, result), "trace must match recount"
+        service_meta = result.extra["service"]
+        assert service_meta["reused_index"], "coverage queries reuse the session index"
         rows.append(
             (
                 result.algorithm,
@@ -49,7 +59,7 @@ def main() -> None:
                 result.initial_similarity,
                 result.final_similarity,
                 "yes" if result.fully_protected else "no",
-                f"{result.runtime_seconds:.3f}s",
+                f"{service_meta['solve_seconds']:.3f}s",
             )
         )
     print()
@@ -60,9 +70,15 @@ def main() -> None:
         )
     )
 
-    # 4. utility cost of the best release -----------------------------------
+    # 4. the session stayed pristine: repeated queries are deterministic ----
+    repeat = service.solve(requests[0])
+    assert repeat.protectors == results[0].protectors, "same request, same answer"
+    assert service.pristine_deletions() == (), "queries never mutate the session"
+    print(f"\nsession answered {service.queries_served} queries from one index")
+
+    # 5. utility cost of the best release -----------------------------------
     best = results[0]
-    released = best.released_graph(problem)
+    released = best.released_graph(service.problem)
     report = compare_graphs(graph, released, metrics=("clust", "cn", "r"))
     print()
     print(f"utility impact of {best.algorithm}: {report.summary()}")

@@ -6,21 +6,26 @@ Networks"* (Jiang et al., ICDE 2020): protect a small set of sensitive
 budget-limited set of *protector* links, while keeping the released graph's
 utility high.
 
-Typical usage::
+Typical usage — build a session once, serve many queries::
 
-    from repro import Graph, TPPProblem, sgb_greedy
+    from repro import ProtectionRequest, ProtectionService
     from repro.datasets import arenas_email_like, sample_random_targets
 
     graph = arenas_email_like()
     targets = sample_random_targets(graph, 20, seed=0)
-    problem = TPPProblem(graph, targets, motif="triangle")
-    result = sgb_greedy(problem, budget=40)
-    released = result.released_graph(problem)
+    service = ProtectionService(graph, targets, motif="triangle")
+    result = service.solve(ProtectionRequest("SGB-Greedy", budget=40))
+    released = result.released_graph(service.problem)
+
+The direct algorithm calls (:func:`sgb_greedy`, :func:`ct_greedy`,
+:func:`wt_greedy`, the baselines) remain available for one-off runs; the
+session API reuses the enumerated target-subgraph index across queries and
+fans batches out over workers (``service.solve_many(requests, workers=4)``).
 
 The top-level package re-exports the most frequently used names; the
 subpackages (:mod:`repro.graphs`, :mod:`repro.motifs`, :mod:`repro.core`,
-:mod:`repro.prediction`, :mod:`repro.utility`, :mod:`repro.datasets`,
-:mod:`repro.experiments`) contain the full API.
+:mod:`repro.service`, :mod:`repro.prediction`, :mod:`repro.utility`,
+:mod:`repro.datasets`, :mod:`repro.experiments`) contain the full API.
 """
 
 from repro.core import (
@@ -39,9 +44,15 @@ from repro.exceptions import ReproError
 from repro.graphs import Graph, canonical_edge
 from repro.motifs import available_motifs, get_motif
 from repro.prediction import AttackSimulator
+from repro.service import (
+    ProtectionRequest,
+    ProtectionService,
+    method_names,
+    register_method,
+)
 from repro.utility import compare_graphs
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -49,6 +60,10 @@ __all__ = [
     "canonical_edge",
     "TPPProblem",
     "ProtectionResult",
+    "ProtectionService",
+    "ProtectionRequest",
+    "register_method",
+    "method_names",
     "sgb_greedy",
     "ct_greedy",
     "wt_greedy",

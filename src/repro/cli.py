@@ -2,8 +2,10 @@
 
 Two sub-commands cover the common workflows:
 
-* ``repro-tpp protect`` — run one protection method on an edge-list file (or
-  a named dataset) and write the released graph, and
+* ``repro-tpp protect`` — run one or more protection queries on an edge-list
+  file (or a named dataset) through a shared-index
+  :class:`~repro.service.ProtectionService` session and write the released
+  graph, and
 * ``repro-tpp experiment`` — regenerate one of the paper's figures/tables and
   print its rows/series.
 
@@ -14,6 +16,11 @@ Protect 10 random targets of a synthetic Arenas-like graph::
     repro-tpp protect --dataset arenas-email --targets 10 --budget 30 \
         --motif triangle --method SGB-Greedy --output released.edges
 
+Sweep three budgets from one session, four queries in flight, JSON out::
+
+    repro-tpp protect --dataset arenas-email --budget 10 20 30 \
+        --workers 4 --json results.json
+
 Regenerate Fig. 3 at quick scale::
 
     repro-tpp experiment fig3 --scale quick
@@ -22,15 +29,15 @@ Regenerate Fig. 3 at quick scale::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 from repro.core.engines import ENGINE_NAMES
-from repro.core.model import TPPProblem
 from repro.datasets.loaders import load_edge_list_dataset
 from repro.datasets.registry import available_datasets, load_dataset
 from repro.datasets.targets import sample_random_targets
-from repro.experiments.methods import ALL_METHODS, run_method
 from repro.experiments.reporting import (
     format_runtime_comparison,
     format_similarity_evolution,
@@ -43,13 +50,23 @@ from repro.experiments.similarity_evolution import SimilarityEvolution
 from repro.experiments.utility_loss import UtilityLossTable
 from repro.graphs.io import write_edge_list
 from repro.motifs.base import available_motifs
+from repro.service import ProtectionRequest, ProtectionService, method_names
 from repro.utility.loss import compare_graphs
 
 __all__ = ["main", "build_parser"]
 
+#: Experiment runners that accept a ``workers`` fan-out argument.
+_PARALLEL_EXPERIMENTS = ("fig3", "fig4")
+
 
 def build_parser() -> argparse.ArgumentParser:
-    """Build the top-level argument parser."""
+    """Build the top-level argument parser.
+
+    Method and engine choices are read from the live registries
+    (:func:`repro.service.method_names`, ``ENGINE_NAMES``), so methods
+    registered by downstream plugins are accepted — and a typo fails fast
+    with the full list of valid names.
+    """
     parser = argparse.ArgumentParser(
         prog="repro-tpp",
         description="Target Privacy Preserving for social networks (ICDE 2020 reproduction)",
@@ -66,11 +83,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     protect.add_argument("--edge-list", help="path to an edge-list file to protect")
     protect.add_argument("--targets", type=int, default=10, help="number of random targets")
-    protect.add_argument("--budget", type=int, default=20, help="protector deletion budget k")
+    protect.add_argument(
+        "--budget",
+        type=int,
+        nargs="+",
+        default=[20],
+        help="protector deletion budget k; several values sweep the budgets "
+        "from one shared-index session",
+    )
     protect.add_argument(
         "--motif", default="triangle", choices=sorted(available_motifs())
     )
-    protect.add_argument("--method", default="SGB-Greedy", choices=sorted(ALL_METHODS))
+    protect.add_argument(
+        "--method", default="SGB-Greedy", choices=sorted(method_names())
+    )
     protect.add_argument(
         "--engine",
         default="coverage",
@@ -79,7 +105,24 @@ def build_parser() -> argparse.ArgumentParser:
         "'coverage-set' = hash-set reference state, 'recount' = naive recount",
     )
     protect.add_argument("--seed", type=int, default=0)
+    protect.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="fan a multi-budget sweep out over this many workers",
+    )
+    protect.add_argument(
+        "--parallel-mode",
+        default="thread",
+        choices=("thread", "process"),
+        help="worker kind for --workers > 1 (process pickles the index once per worker)",
+    )
     protect.add_argument("--output", help="write the released graph to this edge list")
+    protect.add_argument(
+        "--json",
+        dest="json_path",
+        help="write the full ProtectionResult(s) to this JSON file",
+    )
     protect.add_argument(
         "--utility", action="store_true", help="also report the utility loss"
     )
@@ -89,6 +132,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     experiment.add_argument("name", choices=sorted(EXPERIMENT_RUNNERS))
     experiment.add_argument("--scale", default="quick", choices=("quick", "paper"))
+    experiment.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help=f"fan-out for the sweep experiments ({', '.join(_PARALLEL_EXPERIMENTS)})",
+    )
     experiment.add_argument("--json", help="also save the result as JSON to this path")
 
     return parser
@@ -110,27 +159,63 @@ def _command_protect(args: argparse.Namespace) -> int:
     else:
         graph = load_dataset(args.dataset)
     targets = sample_random_targets(graph, args.targets, seed=args.seed)
-    problem = TPPProblem(graph, targets, motif=args.motif)
-    result = run_method(
-        args.method, problem, args.budget, engine=args.engine, seed=args.seed
+
+    service = ProtectionService(graph, targets, motif=args.motif)
+    requests = [
+        ProtectionRequest(args.method, budget, engine=args.engine, seed=args.seed)
+        for budget in args.budget
+    ]
+    results = service.solve_many(
+        requests, workers=args.workers, mode=args.parallel_mode
     )
-    print(result.summary())
-    print(f"fully protected: {result.fully_protected}")
-    released = result.released_graph(problem)
-    if args.utility:
-        report = compare_graphs(graph, released, path_length_sample=100)
-        print(report.summary())
-        for metric, original, new, loss in report.as_rows():
-            print(f"  {metric:>6}: {original:.4f} -> {new:.4f} (loss {100 * loss:.2f}%)")
-    if args.output:
-        write_edge_list(released, args.output, header=f"released by {result.algorithm}")
-        print(f"released graph written to {args.output}")
+
+    problem = service.problem
+    for result in results:
+        print(result.summary())
+        print(f"fully protected: {result.fully_protected}")
+
+    if args.json_path:
+        payload = (
+            results[0].to_dict()
+            if len(results) == 1
+            else [result.to_dict() for result in results]
+        )
+        path = Path(args.json_path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True), encoding="utf-8")
+        print(f"results saved to {path}")
+
+    if (args.output or args.utility) and len(results) > 1:
+        print(
+            "note: --output/--utility use the largest-budget result of the sweep",
+            file=sys.stderr,
+        )
+    best = max(results, key=lambda result: result.budget, default=None)
+    if best is not None:
+        released = best.released_graph(problem)
+        if args.utility:
+            report = compare_graphs(graph, released, path_length_sample=100)
+            print(report.summary())
+            for metric, original, new, loss in report.as_rows():
+                print(f"  {metric:>6}: {original:.4f} -> {new:.4f} (loss {100 * loss:.2f}%)")
+        if args.output:
+            write_edge_list(released, args.output, header=f"released by {best.algorithm}")
+            print(f"released graph written to {args.output}")
     return 0
 
 
 def _command_experiment(args: argparse.Namespace) -> int:
     runner = EXPERIMENT_RUNNERS[args.name]
-    results = runner(scale=args.scale)
+    if args.name in _PARALLEL_EXPERIMENTS and args.workers > 1:
+        results = runner(scale=args.scale, workers=args.workers)
+    else:
+        if args.workers > 1:
+            print(
+                f"note: --workers only applies to "
+                f"{', '.join(_PARALLEL_EXPERIMENTS)}; running {args.name} serially",
+                file=sys.stderr,
+            )
+        results = runner(scale=args.scale)
     if not isinstance(results, list):
         results = [results]
     for result in results:

@@ -17,7 +17,13 @@ from repro.core.dissimilarity import (
     apply_link_addition,
     apply_link_switching,
 )
-from repro.core.engines import CoverageEngine, MarginalGainEngine, RecountEngine, make_engine
+from repro.core.engines import (
+    CoverageEngine,
+    EngineLike,
+    MarginalGainEngine,
+    RecountEngine,
+    make_engine,
+)
 from repro.core.model import ProtectionResult, TPPProblem
 from repro.core.node_protection import (
     NodeProtectionResult,
@@ -52,6 +58,7 @@ __all__ = [
     "MarginalGainEngine",
     "CoverageEngine",
     "RecountEngine",
+    "EngineLike",
     "make_engine",
     "SubgraphDissimilarity",
     "LocalIndexDissimilarity",

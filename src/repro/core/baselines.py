@@ -24,10 +24,15 @@ from repro.core.model import ProtectionResult, TPPProblem
 from repro.core.selection import Stopwatch, edge_sort_key
 from repro.exceptions import BudgetError
 from repro.graphs.graph import Edge
+from repro.motifs.enumeration import CoverageState, SetCoverageState
 
 __all__ = ["random_deletion", "random_target_subgraph_deletion"]
 
 RandomLike = Union[int, random.Random, None]
+
+#: A prepared coverage state the baseline traces deletions on (the session
+#: API passes a copy of its pristine prototype; ``None`` builds a fresh one).
+StateLike = Union[CoverageState, SetCoverageState, None]
 
 
 def _rng(seed: RandomLike) -> random.Random:
@@ -43,12 +48,14 @@ def _run_random_baseline(
     algorithm: str,
     seed: RandomLike,
     deterministic_order: bool = False,
+    state: StateLike = None,
 ) -> ProtectionResult:
     if budget < 0:
         raise BudgetError(f"budget must be >= 0, got {budget}")
     stopwatch = Stopwatch()
     rng = _rng(seed)
-    state = problem.build_index().new_state()
+    if state is None:
+        state = problem.build_index().new_state()
 
     pool = list(candidates)
     if not deterministic_order:
@@ -74,19 +81,20 @@ def _run_random_baseline(
 
 
 def random_deletion(
-    problem: TPPProblem, budget: int, seed: RandomLike = None
+    problem: TPPProblem, budget: int, seed: RandomLike = None, state: StateLike = None
 ) -> ProtectionResult:
     """RD baseline: delete ``budget`` edges sampled uniformly from the graph.
 
     Target links are already absent (phase 1), so the sample is drawn from
-    the phase-1 edge set.
+    the phase-1 edge set.  ``state`` optionally supplies a prepared coverage
+    state to trace the deletions on (avoids rebuilding one from the index).
     """
     candidates = list(problem.phase1_graph.edges())
-    return _run_random_baseline(problem, budget, candidates, "RD", seed)
+    return _run_random_baseline(problem, budget, candidates, "RD", seed, state=state)
 
 
 def random_target_subgraph_deletion(
-    problem: TPPProblem, budget: int, seed: RandomLike = None
+    problem: TPPProblem, budget: int, seed: RandomLike = None, state: StateLike = None
 ) -> ProtectionResult:
     """RDT baseline: delete ``budget`` edges sampled from target subgraphs.
 
@@ -98,5 +106,5 @@ def random_target_subgraph_deletion(
     """
     candidates = problem.build_index().candidate_edge_list()
     return _run_random_baseline(
-        problem, budget, candidates, "RDT", seed, deterministic_order=True
+        problem, budget, candidates, "RDT", seed, deterministic_order=True, state=state
     )

@@ -17,7 +17,7 @@ from __future__ import annotations
 from typing import Dict, List, Mapping, Optional, Set, Tuple, Union
 
 from repro.core.budget import make_budget_division
-from repro.core.engines import CoverageEngine, make_engine
+from repro.core.engines import CoverageEngine, EngineLike, make_engine
 from repro.core.model import ProtectionResult, TPPProblem
 from repro.core.selection import Stopwatch, edge_sort_key
 from repro.exceptions import BudgetError
@@ -30,7 +30,7 @@ def ct_greedy(
     problem: TPPProblem,
     budget: int,
     budget_division: Union[str, Mapping[Edge, int]] = "tbd",
-    engine: str = "coverage",
+    engine: EngineLike = "coverage",
 ) -> ProtectionResult:
     """Select protectors with the cross-target greedy under per-target budgets.
 
@@ -45,7 +45,8 @@ def ct_greedy(
         mapping.
     engine:
         ``"coverage"`` (CT-Greedy-R, array kernel), ``"coverage-set"``
-        (reference hash-set state) or ``"recount"`` (CT-Greedy).
+        (reference hash-set state), ``"recount"`` (CT-Greedy), or an
+        already-constructed engine instance.
 
     Returns
     -------
@@ -119,5 +120,5 @@ def ct_greedy(
         budget_division=dict(division),
         allocation={t: tuple(edges) for t, edges in allocation.items()},
         runtime_seconds=stopwatch.elapsed(),
-        extra={"engine": engine},
+        extra={"engine": gain_engine.name},
     )

@@ -54,12 +54,18 @@ __all__ = [
     "RecountEngine",
     "CoverageEngine",
     "ENGINE_NAMES",
+    "EngineLike",
     "make_engine",
 ]
 
 
 class MarginalGainEngine(ABC):
     """Common interface of the marginal-gain evaluation strategies."""
+
+    @property
+    @abstractmethod
+    def name(self) -> str:
+        """The registry name of this engine (one of :data:`ENGINE_NAMES`)."""
 
     @abstractmethod
     def candidate_edges(self) -> Set[Edge]:
@@ -206,32 +212,56 @@ class CoverageEngine(MarginalGainEngine):
         (:class:`~repro.motifs.CoverageState`): O(1) gains, heap-backed
         :meth:`top_gain_edge`.  ``"set"`` uses the original hash-set
         bookkeeping (:class:`~repro.motifs.SetCoverageState`), kept as the
-        slow reference implementation.
+        slow reference implementation.  A prepared :class:`CoverageState` /
+        :class:`SetCoverageState` instance (typically a cheap ``copy()`` of a
+        session's pristine prototype, see
+        :class:`repro.service.ProtectionService`) may be passed instead of a
+        kind name; it must be layered on this problem's index and is adopted
+        as-is — no enumeration and no counter rebuild happens.
     """
 
     def __init__(
         self,
         problem: TPPProblem,
         restrict_candidates: bool = True,
-        state: str = "array",
+        state: Union[str, CoverageState, SetCoverageState] = "array",
     ) -> None:
-        if state not in ("array", "set"):
-            raise ValueError(f"unknown state kind {state!r}; expected 'array' or 'set'")
         self._problem = problem
         self._restrict = restrict_candidates
-        index = problem.build_index()
-        self._state: Union[CoverageState, SetCoverageState] = (
-            index.new_state() if state == "array" else index.new_set_state()
-        )
-        self._state_kind = state
-        self._deleted: Set[Edge] = set()
+        if isinstance(state, (CoverageState, SetCoverageState)):
+            if state.index is not problem.build_index():
+                raise ValueError(
+                    "prepared coverage state is layered on a different "
+                    "TargetSubgraphIndex than the problem's"
+                )
+            self._state: Union[CoverageState, SetCoverageState] = state
+            self._state_kind = "array" if isinstance(state, CoverageState) else "set"
+            self._deleted = set(state.deleted_edges)
+        else:
+            if state not in ("array", "set"):
+                raise ValueError(
+                    f"unknown state kind {state!r}; expected 'array' or 'set'"
+                )
+            index = problem.build_index()
+            self._state = index.new_state() if state == "array" else index.new_set_state()
+            self._state_kind = state
+            self._deleted = set()
         # full edge set only matters for restrict_candidates=False; build lazily
         self._all_edges: Optional[Set[Edge]] = None
+
+    @property
+    def name(self) -> str:
+        return "coverage" if self._state_kind == "array" else "coverage-set"
 
     @property
     def state_kind(self) -> str:
         """``"array"`` (incremental kernel) or ``"set"`` (reference)."""
         return self._state_kind
+
+    @property
+    def coverage_state(self) -> Union[CoverageState, SetCoverageState]:
+        """The mutable coverage state this engine commits deletions into."""
+        return self._state
 
     @property
     def supports_fast_top(self) -> bool:
@@ -319,6 +349,10 @@ class RecountEngine(MarginalGainEngine):
             target: self._motif.count(self._working, target) for target in self._targets
         }
 
+    @property
+    def name(self) -> str:
+        return "recount"
+
     def candidate_edges(self) -> Set[Edge]:
         return self._working.edge_set()
 
@@ -364,16 +398,26 @@ class RecountEngine(MarginalGainEngine):
 #: Names accepted by :func:`make_engine`.
 ENGINE_NAMES = ("coverage", "coverage-set", "recount")
 
+#: Either an engine name or an already-constructed engine instance.
+EngineLike = Union[str, MarginalGainEngine]
 
-def make_engine(problem: TPPProblem, engine: str = "coverage") -> MarginalGainEngine:
-    """Return a marginal-gain engine by name.
+
+def make_engine(problem: TPPProblem, engine: EngineLike = "coverage") -> MarginalGainEngine:
+    """Return a marginal-gain engine by name (or pass an instance through).
 
     ``"coverage"`` builds the scalable :class:`CoverageEngine` on the array
     kernel (the ``-R`` algorithms); ``"coverage-set"`` builds the same engine
     on the original hash-set state (reference implementation, used by the
     differential tests and old-vs-new benchmarks); ``"recount"`` builds the
     naive :class:`RecountEngine` (the paper's base algorithms).
+
+    An already-constructed :class:`MarginalGainEngine` is returned unchanged —
+    this is how :class:`repro.service.ProtectionService` injects engines built
+    on a cheap ``copy()`` of its pristine coverage state instead of letting
+    every greedy call rebuild one.
     """
+    if isinstance(engine, MarginalGainEngine):
+        return engine
     name = engine.lower()
     if name == "coverage":
         return CoverageEngine(problem)

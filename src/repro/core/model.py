@@ -245,3 +245,63 @@ class ProtectionResult:
             f"used={self.budget_used} s: {self.initial_similarity} -> "
             f"{self.final_similarity} ({self.runtime_seconds:.3f}s)"
         )
+
+    # ------------------------------------------------------------------
+    # serialization (JSON-friendly: edge tuples become 2-element lists)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """Return a JSON-serialisable dictionary of this result.
+
+        Edge tuples become two-element lists; the edge-keyed mappings
+        (``budget_division``, ``allocation``) become lists of
+        ``[edge, value]`` pairs because JSON objects only take string keys.
+        :meth:`from_dict` reverses the conversion exactly, so
+        ``ProtectionResult.from_dict(result.to_dict()) == result`` (also
+        after a ``json.dumps``/``json.loads`` round trip, provided the node
+        labels are JSON scalars, which every built-in dataset's are).
+        """
+        payload: Dict[str, object] = {
+            "algorithm": self.algorithm,
+            "motif": self.motif,
+            "budget": self.budget,
+            "protectors": [list(edge) for edge in self.protectors],
+            "similarity_trace": list(self.similarity_trace),
+            "initial_similarity": self.initial_similarity,
+            "runtime_seconds": self.runtime_seconds,
+            "extra": dict(self.extra),
+        }
+        if self.budget_division is not None:
+            payload["budget_division"] = [
+                [list(target), value] for target, value in self.budget_division.items()
+            ]
+        if self.allocation is not None:
+            payload["allocation"] = [
+                [list(target), [list(edge) for edge in edges]]
+                for target, edges in self.allocation.items()
+            ]
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "ProtectionResult":
+        """Rebuild a result from a :meth:`to_dict` payload (or parsed JSON)."""
+        division = payload.get("budget_division")
+        allocation = payload.get("allocation")
+        return cls(
+            algorithm=payload["algorithm"],
+            motif=payload["motif"],
+            budget=int(payload["budget"]),
+            protectors=tuple(tuple(edge) for edge in payload["protectors"]),
+            similarity_trace=tuple(int(v) for v in payload["similarity_trace"]),
+            initial_similarity=int(payload["initial_similarity"]),
+            budget_division=None
+            if division is None
+            else {tuple(target): int(value) for target, value in division},
+            allocation=None
+            if allocation is None
+            else {
+                tuple(target): tuple(tuple(edge) for edge in edges)
+                for target, edges in allocation
+            },
+            runtime_seconds=float(payload.get("runtime_seconds", 0.0)),
+            extra=dict(payload.get("extra", {})),
+        )

@@ -27,7 +27,7 @@ from __future__ import annotations
 import heapq
 from typing import List, Optional, Tuple
 
-from repro.core.engines import CoverageEngine, MarginalGainEngine, make_engine
+from repro.core.engines import CoverageEngine, EngineLike, MarginalGainEngine, make_engine
 from repro.core.model import ProtectionResult, TPPProblem
 from repro.core.selection import Stopwatch, argmax_edge, edge_sort_key
 from repro.exceptions import BudgetError
@@ -39,7 +39,7 @@ __all__ = ["sgb_greedy"]
 def sgb_greedy(
     problem: TPPProblem,
     budget: int,
-    engine: str = "coverage",
+    engine: EngineLike = "coverage",
     lazy: Optional[bool] = None,
 ) -> ProtectionResult:
     """Select up to ``budget`` protectors with the single-global-budget greedy.
@@ -52,8 +52,10 @@ def sgb_greedy(
         Maximum number of protector deletions ``k``.
     engine:
         ``"coverage"`` (scalable, SGB-Greedy-R), ``"coverage-set"`` (the
-        hash-set reference implementation) or ``"recount"`` (naive,
-        SGB-Greedy).
+        hash-set reference implementation), ``"recount"`` (naive,
+        SGB-Greedy), or an already-constructed
+        :class:`~repro.core.engines.MarginalGainEngine` (the session API
+        passes engines built on a copy of its pristine coverage state).
     lazy:
         Use lazy (CELF-style) evaluation instead of a full candidate sweep
         per step.  Defaults to ``True`` on the coverage engines and ``False``
@@ -114,7 +116,7 @@ def sgb_greedy(
         similarity_trace=tuple(trace),
         initial_similarity=problem.initial_similarity(),
         runtime_seconds=stopwatch.elapsed(),
-        extra={"engine": engine, "lazy": lazy},
+        extra={"engine": gain_engine.name, "lazy": lazy},
     )
 
 

@@ -20,7 +20,7 @@ from __future__ import annotations
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.core.budget import make_budget_division
-from repro.core.engines import CoverageEngine, make_engine
+from repro.core.engines import CoverageEngine, EngineLike, make_engine
 from repro.core.model import ProtectionResult, TPPProblem
 from repro.core.selection import Stopwatch
 from repro.exceptions import BudgetError
@@ -33,7 +33,7 @@ def wt_greedy(
     problem: TPPProblem,
     budget: int,
     budget_division: Union[str, Mapping[Edge, int]] = "tbd",
-    engine: str = "coverage",
+    engine: EngineLike = "coverage",
     target_order: Optional[Sequence[Edge]] = None,
 ) -> ProtectionResult:
     """Select protectors with the within-target greedy under per-target budgets.
@@ -49,7 +49,8 @@ def wt_greedy(
         mapping.
     engine:
         ``"coverage"`` (WT-Greedy-R, array kernel), ``"coverage-set"``
-        (reference hash-set state) or ``"recount"`` (WT-Greedy).
+        (reference hash-set state), ``"recount"`` (WT-Greedy), or an
+        already-constructed engine instance.
     target_order:
         Optional explicit processing order of the targets; defaults to the
         problem's target order.
@@ -112,5 +113,5 @@ def wt_greedy(
         budget_division=dict(division),
         allocation={t: tuple(edges) for t, edges in allocation.items()},
         runtime_seconds=stopwatch.elapsed(),
-        extra={"engine": engine},
+        extra={"engine": gain_engine.name},
     )

@@ -15,12 +15,12 @@ from dataclasses import dataclass
 from typing import Dict, Mapping, Optional, Sequence, Tuple
 
 from repro.core.model import TPPProblem
-from repro.core.sgb import sgb_greedy
 from repro.datasets.registry import load_dataset
 from repro.datasets.targets import sample_random_targets
 from repro.experiments.config import ExperimentConfig
 from repro.graphs.graph import Graph
 from repro.prediction.attack import AttackSimulator
+from repro.service import ProtectionRequest, ProtectionService
 
 __all__ = ["AttackDefenseResult", "run_attack_defense", "DEFAULT_PREDICTORS"]
 
@@ -100,9 +100,14 @@ def run_attack_defense(
     for repetition in range(config.repetitions):
         seed = config.seed + repetition
         targets = sample_random_targets(graph, config.num_targets, seed=seed)
-        problem = TPPProblem(graph, targets, motif=motif)
-        result = sgb_greedy(
-            problem, budget=problem.initial_similarity() + 1, engine=config.engine
+        session = ProtectionService(TPPProblem(graph, targets, motif=motif))
+        problem = session.problem
+        result = session.solve(
+            ProtectionRequest(
+                "SGB-Greedy",
+                session.pristine_similarity() + 1,
+                engine=config.engine,
+            )
         )
         budget_total += result.budget_used
         released = result.released_graph(problem)

@@ -14,6 +14,7 @@ from typing import Optional, Sequence, Tuple
 
 from repro.exceptions import ExperimentError
 from repro.experiments.methods import ALL_METHODS
+from repro.service.registry import method_names
 
 __all__ = ["ExperimentConfig", "quick_profile", "paper_profile"]
 
@@ -65,9 +66,14 @@ class ExperimentConfig:
             raise ExperimentError(
                 f"engine must be 'coverage' or 'recount', got {self.engine!r}"
             )
-        unknown = [name for name in self.methods if name not in ALL_METHODS]
+        # validate against the live registry so plugin-registered methods pass
+        known = set(method_names())
+        unknown = [name for name in self.methods if name not in known]
         if unknown:
-            raise ExperimentError(f"unknown methods in config: {unknown}")
+            raise ExperimentError(
+                f"unknown methods in config: {unknown}; registered methods: "
+                f"{', '.join(sorted(known))}"
+            )
 
     def dataset_options(self) -> dict:
         """Return ``dataset_kwargs`` as a regular dictionary."""

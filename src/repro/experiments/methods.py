@@ -1,29 +1,37 @@
-"""Registry of the protection methods compared in the paper's evaluation.
+"""Back-compat façade over the service-layer method registry.
 
-Figures 3-6 and Tables III-V compare seven curves:
+The seven methods of the paper's evaluation (Figs. 3-6, Tables III-V) used
+to be hard-coded here in two hand-maintained dicts plus a duplicated
+ordering tuple.  They now live in the decorator-based registry of
+:mod:`repro.service.registry` (registered in :mod:`repro.service.builtin`),
+which downstream users can extend with
+:func:`~repro.service.register_method`; this module re-exports the old
+names — derived live from the registry, so plugins show up — and keeps
+:func:`run_method` as a thin deprecation shim.
 
-* ``SGB-Greedy(-R)`` — single global budget greedy,
-* ``CT-Greedy(-R):TBD`` / ``CT-Greedy(-R):DBD`` — cross-target greedy under
-  the two budget divisions,
-* ``WT-Greedy(-R):TBD`` / ``WT-Greedy(-R):DBD`` — within-target greedy under
-  the two budget divisions,
-* ``RD`` and ``RDT`` — the random baselines.
+New code should go through :class:`repro.service.ProtectionService`, which
+builds the target-subgraph index once and serves every query from a copy of
+its pristine coverage state::
 
-:func:`run_method` dispatches a method name to the corresponding algorithm
-with a chosen marginal-gain engine, so every experiment and benchmark speaks
-the same vocabulary as the paper's legends.
+    service = ProtectionService(problem)
+    result = service.solve(ProtectionRequest("CT-Greedy:TBD", budget=30))
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Tuple
+import warnings
+from typing import Dict, Tuple
 
-from repro.core.baselines import random_deletion, random_target_subgraph_deletion
-from repro.core.ct import ct_greedy
+from repro.core.engines import EngineLike
 from repro.core.model import ProtectionResult, TPPProblem
-from repro.core.sgb import sgb_greedy
-from repro.core.wt import wt_greedy
-from repro.exceptions import ExperimentError
+from repro.service import builtin  # noqa: F401  (registers the built-in methods)
+from repro.service.registry import (
+    MethodRunner,
+    get_method,
+    is_greedy_method,
+    iter_methods,
+    method_names,
+)
 
 __all__ = [
     "GREEDY_METHODS",
@@ -33,95 +41,51 @@ __all__ = [
     "is_greedy_method",
 ]
 
-MethodRunner = Callable[[TPPProblem, int, str, int], ProtectionResult]
+
+def __getattr__(name: str):
+    """Expose the legacy collections as live views of the registry.
+
+    ``ALL_METHODS`` (a tuple in the paper's legend order) and the
+    ``GREEDY_METHODS`` / ``BASELINE_METHODS`` dicts are computed from the
+    registration metadata on every access, so methods registered by
+    downstream plugins appear without any hand-maintained duplicate list.
+    """
+    if name == "ALL_METHODS":
+        return method_names()
+    if name == "GREEDY_METHODS":
+        return {spec.name: spec.runner for spec in iter_methods() if spec.is_greedy}
+    if name == "BASELINE_METHODS":
+        return {spec.name: spec.runner for spec in iter_methods() if not spec.is_greedy}
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
-def _run_sgb(problem: TPPProblem, budget: int, engine: str, seed: int) -> ProtectionResult:
-    return sgb_greedy(problem, budget, engine=engine)
-
-
-def _run_ct_tbd(problem: TPPProblem, budget: int, engine: str, seed: int) -> ProtectionResult:
-    return ct_greedy(problem, budget, budget_division="tbd", engine=engine)
-
-
-def _run_ct_dbd(problem: TPPProblem, budget: int, engine: str, seed: int) -> ProtectionResult:
-    return ct_greedy(problem, budget, budget_division="dbd", engine=engine)
-
-
-def _run_wt_tbd(problem: TPPProblem, budget: int, engine: str, seed: int) -> ProtectionResult:
-    return wt_greedy(problem, budget, budget_division="tbd", engine=engine)
-
-
-def _run_wt_dbd(problem: TPPProblem, budget: int, engine: str, seed: int) -> ProtectionResult:
-    return wt_greedy(problem, budget, budget_division="dbd", engine=engine)
-
-
-def _run_rd(problem: TPPProblem, budget: int, engine: str, seed: int) -> ProtectionResult:
-    return random_deletion(problem, budget, seed=seed)
-
-
-def _run_rdt(problem: TPPProblem, budget: int, engine: str, seed: int) -> ProtectionResult:
-    return random_target_subgraph_deletion(problem, budget, seed=seed)
-
-
-#: Greedy methods (legend labels of Figs. 3-6, without the engine suffix).
-GREEDY_METHODS: Dict[str, MethodRunner] = {
-    "SGB-Greedy": _run_sgb,
-    "CT-Greedy:TBD": _run_ct_tbd,
-    "CT-Greedy:DBD": _run_ct_dbd,
-    "WT-Greedy:TBD": _run_wt_tbd,
-    "WT-Greedy:DBD": _run_wt_dbd,
-}
-
-#: Random baselines.
-BASELINE_METHODS: Dict[str, MethodRunner] = {
-    "RD": _run_rd,
-    "RDT": _run_rdt,
-}
-
-#: Every method in the order the paper's legends use.
-ALL_METHODS: Tuple[str, ...] = (
-    "SGB-Greedy",
-    "CT-Greedy:DBD",
-    "WT-Greedy:DBD",
-    "CT-Greedy:TBD",
-    "WT-Greedy:TBD",
-    "RD",
-    "RDT",
-)
-
-
-def is_greedy_method(name: str) -> bool:
-    """Return whether ``name`` refers to one of the greedy methods."""
-    return name in GREEDY_METHODS
+# typing-only declarations for the module __getattr__ views above
+ALL_METHODS: Tuple[str, ...]
+GREEDY_METHODS: Dict[str, MethodRunner]
+BASELINE_METHODS: Dict[str, MethodRunner]
 
 
 def run_method(
     name: str,
     problem: TPPProblem,
     budget: int,
-    engine: str = "coverage",
+    engine: EngineLike = "coverage",
     seed: int = 0,
 ) -> ProtectionResult:
-    """Run the method registered under ``name``.
+    """Run the method registered under ``name`` (deprecated shim).
 
-    Parameters
-    ----------
-    name:
-        A key of :data:`GREEDY_METHODS` or :data:`BASELINE_METHODS`.
-    problem:
-        The TPP instance.
-    budget:
-        Deletion budget ``k``.
-    engine:
-        ``"coverage"`` (the scalable ``-R`` implementations) or ``"recount"``
-        (the naive implementations); ignored by the random baselines.
-    seed:
-        Random seed for the baselines (ignored by the greedy methods).
+    .. deprecated::
+        Build a :class:`repro.service.ProtectionService` and call
+        :meth:`~repro.service.ProtectionService.solve` instead — it reuses
+        the enumerated index across queries instead of rebuilding state per
+        call.  This shim stays for one-off scripting compatibility.
     """
-    runner = GREEDY_METHODS.get(name) or BASELINE_METHODS.get(name)
-    if runner is None:
-        raise ExperimentError(
-            f"unknown method {name!r}; known methods: {sorted(ALL_METHODS)}"
-        )
-    return runner(problem, budget, engine, seed)
+    warnings.warn(
+        "run_method() is deprecated; use ProtectionService.solve() — it builds "
+        "the target-subgraph index once and serves every query from a copy of "
+        "its pristine coverage state",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    spec = get_method(name)
+    return spec.runner(problem, budget, engine, seed)

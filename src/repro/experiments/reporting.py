@@ -12,6 +12,7 @@ import json
 from pathlib import Path
 from typing import Iterable, List, Sequence, Union
 
+from repro.core.model import ProtectionResult
 from repro.experiments.runtime import RuntimeComparison
 from repro.experiments.similarity_evolution import SimilarityEvolution
 from repro.experiments.utility_loss import UtilityLossTable
@@ -83,9 +84,18 @@ def format_utility_loss_table(result: UtilityLossTable) -> str:
 
 
 def results_to_json(
-    result: Union[SimilarityEvolution, RuntimeComparison, UtilityLossTable],
+    result: Union[
+        SimilarityEvolution, RuntimeComparison, UtilityLossTable, ProtectionResult
+    ],
 ) -> dict:
-    """Return a JSON-serialisable dictionary for any experiment result."""
+    """Return a JSON-serialisable dictionary for any experiment result.
+
+    Individual :class:`~repro.core.model.ProtectionResult` objects (as
+    returned by :meth:`repro.service.ProtectionService.solve`) serialise via
+    their own round-trippable :meth:`~repro.core.model.ProtectionResult.to_dict`.
+    """
+    if isinstance(result, ProtectionResult):
+        return {"kind": "protection_result", **result.to_dict()}
     if isinstance(result, SimilarityEvolution):
         return {
             "kind": "similarity_evolution",

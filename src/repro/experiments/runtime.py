@@ -16,8 +16,9 @@ from repro.core.model import TPPProblem
 from repro.datasets.registry import load_dataset
 from repro.datasets.targets import sample_random_targets
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.methods import is_greedy_method, run_method
 from repro.graphs.graph import Graph
+from repro.service import ProtectionRequest, ProtectionService
+from repro.service.registry import is_greedy_method
 
 __all__ = ["RuntimeComparison", "run_runtime_comparison"]
 
@@ -93,16 +94,17 @@ def run_runtime_comparison(
     for repetition in range(config.repetitions):
         seed = config.seed + repetition
         targets = sample_random_targets(graph, config.num_targets, seed=seed)
-        problem = TPPProblem(graph, targets, motif=motif)
-        problem.build_index()  # enumeration cost is shared, not re-measured per run
+        # one session per sampled instance: enumeration cost is shared (paid
+        # at session build), so only protector selection is measured per run
+        session = ProtectionService(TPPProblem(graph, targets, motif=motif))
         for method in config.methods:
             method_engines = engines if is_greedy_method(method) else ("coverage",)
             for engine in method_engines:
                 label = _label(method, engine)
                 times = sums.setdefault(label, [0.0] * len(budgets))
                 for index, budget in enumerate(budgets):
-                    result = run_method(
-                        method, problem, budget, engine=engine, seed=seed
+                    result = session.solve(
+                        ProtectionRequest(method, budget, engine=engine, seed=seed)
                     )
                     times[index] += result.runtime_seconds
 

@@ -16,10 +16,14 @@ from repro.core.model import TPPProblem
 from repro.datasets.registry import load_dataset
 from repro.datasets.targets import sample_random_targets
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.methods import is_greedy_method, run_method
 from repro.graphs.graph import Graph
+from repro.service import ProtectionRequest, ProtectionService
 
 __all__ = ["SimilarityEvolution", "run_similarity_evolution", "evolution_for_problem"]
+
+#: Methods whose step-``i`` protector does not depend on the final budget, so
+#: one run at ``max(budgets)`` yields the whole curve from its trace.
+_PREFIX_METHODS = ("SGB-Greedy", "RD", "RDT")
 
 
 @dataclass(frozen=True)
@@ -67,8 +71,16 @@ def evolution_for_problem(
     methods: Sequence[str],
     engine: str = "coverage",
     seed: int = 0,
+    service: Optional[ProtectionService] = None,
+    workers: Optional[int] = None,
 ) -> Dict[str, List[int]]:
     """Return ``method -> s(P, T) at each budget`` for a single problem instance.
+
+    All queries are served by one :class:`~repro.service.ProtectionService`
+    session (built here unless passed in), so the target-subgraph index is
+    enumerated once and every run executes on a copy of the pristine
+    coverage state; ``workers`` fans the request batch out via
+    :meth:`~repro.service.ProtectionService.solve_many`.
 
     Greedy prefix property: for the single-global-budget greedy and the
     random baselines, the protector chosen at step ``i`` does not depend on
@@ -76,18 +88,31 @@ def evolution_for_problem(
     curve from its similarity trace.  The multi-local-budget methods are
     re-run per budget because their budget division changes with ``k``.
     """
+    if service is None:
+        service = ProtectionService(problem)
     max_budget = max(budgets)
+    requests: List[ProtectionRequest] = []
+    spans: Dict[str, slice] = {}
+    for method in methods:
+        start = len(requests)
+        if method in _PREFIX_METHODS:
+            requests.append(
+                ProtectionRequest(method, max_budget, engine=engine, seed=seed)
+            )
+        else:
+            requests.extend(
+                ProtectionRequest(method, budget, engine=engine, seed=seed)
+                for budget in budgets
+            )
+        spans[method] = slice(start, len(requests))
+    results = service.solve_many(requests, workers=workers)
     curves: Dict[str, List[int]] = {}
     for method in methods:
-        if method in ("SGB-Greedy", "RD", "RDT"):
-            result = run_method(method, problem, max_budget, engine=engine, seed=seed)
-            curves[method] = [result.similarity_at(k) for k in budgets]
+        answers = results[spans[method]]
+        if method in _PREFIX_METHODS:
+            curves[method] = [answers[0].similarity_at(k) for k in budgets]
         else:
-            values = []
-            for budget in budgets:
-                result = run_method(method, problem, budget, engine=engine, seed=seed)
-                values.append(result.final_similarity)
-            curves[method] = values
+            curves[method] = [result.final_similarity for result in answers]
     return curves
 
 
@@ -96,6 +121,7 @@ def run_similarity_evolution(
     motif: str,
     graph: Optional[Graph] = None,
     budgets: Optional[Sequence[int]] = None,
+    workers: Optional[int] = None,
 ) -> SimilarityEvolution:
     """Run the Fig. 3 / Fig. 4 experiment for one motif.
 
@@ -111,6 +137,10 @@ def run_similarity_evolution(
         Explicit budget axis; defaults to ``config.budgets`` or, when that is
         also ``None``, to ``1 .. k*`` of the SGB greedy on the first
         repetition (the paper's choice of sweeping up to full protection).
+    workers:
+        Optional thread fan-out for each repetition's request batch (one
+        :class:`~repro.service.ProtectionService` session per sampled
+        instance; results are independent of the worker count).
     """
     if graph is None:
         graph = load_dataset(config.dataset, **config.dataset_options())
@@ -121,32 +151,41 @@ def run_similarity_evolution(
         list(config.budgets) if config.budgets is not None else None
     )
 
-    problems: List[TPPProblem] = []
+    # one session per sampled instance: the enumerated index is shared by the
+    # k* probe and every method x budget query of that repetition
+    sessions: List[ProtectionService] = []
     for repetition in range(config.repetitions):
         seed = config.seed + repetition
         targets = sample_random_targets(graph, config.num_targets, seed=seed)
-        problem = TPPProblem(graph, targets, motif=motif)
-        problems.append(problem)
-        initial_similarities.append(problem.initial_similarity())
+        session = ProtectionService(TPPProblem(graph, targets, motif=motif))
+        sessions.append(session)
+        initial_similarities.append(session.pristine_similarity())
 
     if budget_axis is None:
         # sweep up to the budget at which the strongest method (SGB) reaches
         # full protection on the hardest sampled instance (the paper's k*)
         k_star = 1
-        for problem in problems:
-            probe = run_method(
-                "SGB-Greedy",
-                problem,
-                problem.initial_similarity() + 1,
-                engine=config.engine,
+        for session in sessions:
+            probe = session.solve(
+                ProtectionRequest(
+                    "SGB-Greedy",
+                    session.pristine_similarity() + 1,
+                    engine=config.engine,
+                )
             )
             k_star = max(k_star, probe.budget_used)
         budget_axis = list(range(1, k_star + 1))
 
-    for repetition, problem in enumerate(problems):
+    for repetition, session in enumerate(sessions):
         seed = config.seed + repetition
         curves = evolution_for_problem(
-            problem, budget_axis, config.methods, engine=config.engine, seed=seed
+            session.problem,
+            budget_axis,
+            config.methods,
+            engine=config.engine,
+            seed=seed,
+            service=session,
+            workers=workers,
         )
         per_repetition.append(curves)
 

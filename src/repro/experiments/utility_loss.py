@@ -17,8 +17,9 @@ from repro.core.model import TPPProblem
 from repro.datasets.registry import load_dataset
 from repro.datasets.targets import sample_random_targets
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.methods import GREEDY_METHODS, run_method
 from repro.graphs.graph import Graph
+from repro.service import ProtectionRequest, ProtectionService
+from repro.service.registry import is_greedy_method
 from repro.utility.loss import compare_graphs
 
 __all__ = ["UtilityLossTable", "run_utility_loss"]
@@ -88,7 +89,7 @@ def run_utility_loss(
     if graph is None:
         graph = load_dataset(config.dataset, **config.dataset_options())
     if methods is None:
-        methods = [m for m in config.methods if m in GREEDY_METHODS]
+        methods = [m for m in config.methods if is_greedy_method(m)]
 
     loss_sums: Dict[str, Dict[str, float]] = {}
     budget_sums: Dict[str, Dict[str, float]] = {}
@@ -104,9 +105,10 @@ def run_utility_loss(
         seed = config.seed + repetition
         targets = sample_random_targets(graph, config.num_targets, seed=seed)
         for motif in config.motifs:
-            problem = TPPProblem(graph, targets, motif=motif)
+            session = ProtectionService(TPPProblem(graph, targets, motif=motif))
+            problem = session.problem
             effective_budget = (
-                budget if budget is not None else problem.initial_similarity() + 1
+                budget if budget is not None else session.pristine_similarity() + 1
             )
 
             phase1_report = compare_graphs(
@@ -119,8 +121,10 @@ def run_utility_loss(
             phase1_sums[motif] += phase1_report.average_loss_percent
 
             for method in methods:
-                result = run_method(
-                    method, problem, effective_budget, engine=config.engine, seed=seed
+                result = session.solve(
+                    ProtectionRequest(
+                        method, effective_budget, engine=config.engine, seed=seed
+                    )
                 )
                 released = result.released_graph(problem)
                 report = compare_graphs(

@@ -1,0 +1,114 @@
+"""Tests for the decorator-based method registry."""
+
+import pytest
+
+from repro.core.model import TPPProblem
+from repro.core.sgb import sgb_greedy
+from repro.datasets.synthetic import small_social_graph
+from repro.datasets.targets import sample_random_targets
+from repro.exceptions import ExperimentError
+from repro.service import (
+    ProtectionRequest,
+    ProtectionService,
+    baseline_method_names,
+    get_method,
+    greedy_method_names,
+    is_greedy_method,
+    method_names,
+    register_method,
+    unregister_method,
+)
+
+#: The paper's legend order, which the registration metadata must reproduce.
+LEGEND_ORDER = (
+    "SGB-Greedy",
+    "CT-Greedy:DBD",
+    "WT-Greedy:DBD",
+    "CT-Greedy:TBD",
+    "WT-Greedy:TBD",
+    "RD",
+    "RDT",
+)
+
+
+@pytest.fixture
+def problem():
+    graph = small_social_graph(seed=1)
+    targets = sample_random_targets(graph, 5, seed=0)
+    return TPPProblem(graph, targets, motif="triangle")
+
+
+class TestBuiltinRegistrations:
+    def test_legend_order_derived_from_metadata(self):
+        assert method_names() == LEGEND_ORDER
+
+    def test_greedy_baseline_split(self):
+        assert greedy_method_names() == LEGEND_ORDER[:5]
+        assert baseline_method_names() == ("RD", "RDT")
+        assert is_greedy_method("SGB-Greedy")
+        assert not is_greedy_method("RD")
+        assert not is_greedy_method("Oracle")
+
+    def test_legacy_collections_derive_from_registry(self):
+        from repro.experiments import methods as legacy
+
+        assert legacy.ALL_METHODS == LEGEND_ORDER
+        assert set(legacy.GREEDY_METHODS) == set(greedy_method_names())
+        assert set(legacy.BASELINE_METHODS) == set(baseline_method_names())
+
+    def test_get_method_unknown_lists_valid_names(self):
+        with pytest.raises(ExperimentError) as excinfo:
+            get_method("Oracle")
+        message = str(excinfo.value)
+        for name in LEGEND_ORDER:
+            assert name in message
+
+
+class TestCustomRegistration:
+    def test_register_solve_unregister(self, problem):
+        @register_method("SGB-Lazy-Off", kind="greedy", order=999)
+        def _run(problem, budget, engine, seed, **options):
+            return sgb_greedy(problem, budget, engine=engine, lazy=False)
+
+        try:
+            assert "SGB-Lazy-Off" in method_names()
+            assert is_greedy_method("SGB-Lazy-Off")
+            # visible through the legacy live view too
+            from repro.experiments import methods as legacy
+
+            assert "SGB-Lazy-Off" in legacy.ALL_METHODS
+
+            service = ProtectionService(problem)
+            custom = service.solve(ProtectionRequest("SGB-Lazy-Off", 3))
+            builtin = service.solve(ProtectionRequest("SGB-Greedy", 3))
+            assert custom.protectors == builtin.protectors
+        finally:
+            unregister_method("SGB-Lazy-Off")
+        assert "SGB-Lazy-Off" not in method_names()
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ExperimentError):
+
+            @register_method("SGB-Greedy")
+            def _clash(problem, budget, engine, seed, **options):
+                raise AssertionError("never called")
+
+    def test_replace_allows_override(self, problem):
+        original = get_method("RD")
+
+        @register_method("RD", kind="baseline", order=original.order, replace=True)
+        def _stub(problem, budget, engine, seed, **options):
+            return original.runner(problem, 0, engine, seed)
+
+        try:
+            service = ProtectionService(problem)
+            result = service.solve(ProtectionRequest("RD", 5, seed=1))
+            assert result.budget_used == 0
+        finally:
+            register_method(
+                "RD", kind="baseline", order=original.order, replace=True
+            )(original.runner)
+
+    def test_invalid_kind_rejected(self):
+        with pytest.raises(ExperimentError):
+            register_method("Oracle", kind="magic")

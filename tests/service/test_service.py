@@ -1,0 +1,238 @@
+"""Tests for the ProtectionService session API.
+
+Covers the PR's acceptance guarantees:
+
+* determinism — repeated identical requests return identical protector
+  sequences, and a solved query never mutates the session's pristine state,
+* differential — service-path results equal legacy direct-call results on
+  randomized instances for every method, and
+* worker independence — serial, threaded and process fan-out produce
+  byte-identical protector traces.
+"""
+
+import pytest
+
+from repro.core.baselines import random_deletion, random_target_subgraph_deletion
+from repro.core.ct import ct_greedy
+from repro.core.model import TPPProblem
+from repro.core.sgb import sgb_greedy
+from repro.core.wt import wt_greedy
+from repro.datasets.targets import sample_random_targets
+from repro.exceptions import ExperimentError
+from repro.graphs.generators import powerlaw_cluster_graph
+from repro.service import ProtectionRequest, ProtectionService, method_names
+
+
+@pytest.fixture
+def graph():
+    return powerlaw_cluster_graph(220, 3, 0.5, seed=3)
+
+
+@pytest.fixture
+def targets(graph):
+    return sample_random_targets(graph, 6, seed=1)
+
+
+@pytest.fixture
+def service(graph, targets):
+    return ProtectionService(graph, targets, motif="triangle")
+
+
+def trace(result):
+    return (result.protectors, result.similarity_trace)
+
+
+class TestConstruction:
+    def test_from_graph_and_from_problem_agree(self, graph, targets):
+        from_graph = ProtectionService(graph, targets, motif="triangle")
+        from_problem = ProtectionService(TPPProblem(graph, targets, motif="triangle"))
+        request = ProtectionRequest("SGB-Greedy", 5)
+        assert trace(from_graph.solve(request)) == trace(from_problem.solve(request))
+
+    def test_graph_without_targets_rejected(self, graph):
+        with pytest.raises(ExperimentError):
+            ProtectionService(graph)
+
+    def test_session_reuses_problem_index(self, graph, targets):
+        problem = TPPProblem(graph, targets, motif="triangle")
+        index = problem.build_index()
+        session = ProtectionService(problem)
+        assert session.index is index
+
+
+class TestDeterminismAndIsolation:
+    def test_repeated_solve_identical(self, service):
+        """Same-session repeated solve of an identical request is identical."""
+        for method in method_names():
+            request = ProtectionRequest(method, 6, seed=2)
+            first = service.solve(request)
+            second = service.solve(request)
+            assert trace(first) == trace(second), method
+
+    def test_solved_queries_never_mutate_pristine_state(self, service):
+        initial = service.pristine_similarity()
+        for method in method_names():
+            result = service.solve(ProtectionRequest(method, 8, seed=1))
+            assert result.budget_used >= 0
+        assert service.pristine_deletions() == ()
+        assert service.pristine_similarity() == initial
+        # fresh queries still see the untouched instance
+        again = service.solve(ProtectionRequest("SGB-Greedy", 1))
+        assert again.initial_similarity == initial
+
+    def test_queries_served_counts(self, service):
+        before = service.queries_served
+        service.solve_many([ProtectionRequest("SGB-Greedy", k) for k in (1, 2, 3)])
+        assert service.queries_served == before + 3
+
+
+class TestServiceMetadata:
+    def test_result_carries_request_echo_and_timings(self, service):
+        request = ProtectionRequest("CT-Greedy:TBD", 4, label="sweep-0")
+        result = service.solve(request)
+        meta = result.extra["service"]
+        assert meta["request"] == request.to_dict()
+        assert meta["reused_index"] is True
+        assert meta["label"] == "sweep-0"
+        assert meta["build_seconds"] >= 0.0
+        assert meta["solve_seconds"] >= 0.0
+
+    def test_recount_engine_reports_no_index_reuse(self, service):
+        result = service.solve(ProtectionRequest("SGB-Greedy", 3, engine="recount"))
+        assert result.extra["service"]["reused_index"] is False
+        assert result.algorithm.startswith("SGB-Greedy")
+
+    def test_baselines_served_from_kernel_even_for_recount_requests(self, service):
+        """A recount-engine baseline request must not build a recount engine."""
+        recount = service.solve(ProtectionRequest("RD", 5, seed=3, engine="recount"))
+        coverage = service.solve(ProtectionRequest("RD", 5, seed=3))
+        assert trace(recount) == trace(coverage)
+        # the baseline traced deletions on the shared kernel state
+        assert recount.extra["service"]["reused_index"] is True
+
+    def test_unknown_method_and_engine_fail_with_names(self, service):
+        with pytest.raises(ExperimentError, match="SGB-Greedy"):
+            service.solve(ProtectionRequest("Oracle", 3))
+        with pytest.raises(ExperimentError, match="coverage"):
+            service.solve(ProtectionRequest("SGB-Greedy", 3, engine="quantum"))
+
+
+class TestDifferentialAgainstLegacy:
+    """Service-path results equal legacy direct calls on randomized instances."""
+
+    @pytest.mark.parametrize("instance_seed", [0, 1, 2])
+    def test_all_methods_match_direct_calls(self, instance_seed):
+        graph = powerlaw_cluster_graph(150 + 30 * instance_seed, 3, 0.4, seed=instance_seed)
+        targets = sample_random_targets(graph, 5, seed=instance_seed)
+        service = ProtectionService(graph, targets, motif="triangle")
+        problem = TPPProblem(graph, targets, motif="triangle")
+        budget = 7
+        legacy = {
+            "SGB-Greedy": sgb_greedy(problem, budget),
+            "CT-Greedy:DBD": ct_greedy(problem, budget, budget_division="dbd"),
+            "WT-Greedy:DBD": wt_greedy(problem, budget, budget_division="dbd"),
+            "CT-Greedy:TBD": ct_greedy(problem, budget, budget_division="tbd"),
+            "WT-Greedy:TBD": wt_greedy(problem, budget, budget_division="tbd"),
+            "RD": random_deletion(problem, budget, seed=instance_seed),
+            "RDT": random_target_subgraph_deletion(problem, budget, seed=instance_seed),
+        }
+        for method, expected in legacy.items():
+            served = service.solve(
+                ProtectionRequest(method, budget, seed=instance_seed)
+            )
+            assert trace(served) == trace(expected), method
+            assert served.algorithm == expected.algorithm
+
+    def test_engine_variants_match(self, service, graph, targets):
+        problem = TPPProblem(graph, targets, motif="triangle")
+        for engine in ("coverage", "coverage-set", "recount"):
+            served = service.solve(ProtectionRequest("SGB-Greedy", 5, engine=engine))
+            expected = sgb_greedy(problem, 5, engine=engine)
+            assert trace(served) == trace(expected), engine
+
+    def test_explicit_budget_division_override(self, service, graph, targets):
+        problem = TPPProblem(graph, targets, motif="triangle")
+        division = {target: 2 for target in problem.targets}
+        budget = sum(division.values())
+        served = service.solve(
+            ProtectionRequest("CT-Greedy:TBD", budget, budget_division=division)
+        )
+        expected = ct_greedy(problem, budget, budget_division=division)
+        assert trace(served) == trace(expected)
+
+
+class TestSolveMany:
+    def _batch(self):
+        # SGB / CT / WT / RD across several budgets, as the issue requires
+        return [
+            ProtectionRequest(method, budget, seed=seed)
+            for seed, method in enumerate(
+                ("SGB-Greedy", "CT-Greedy:TBD", "WT-Greedy:DBD", "RD", "RDT")
+            )
+            for budget in (3, 6)
+        ]
+
+    def test_results_independent_of_workers(self, service):
+        batch = self._batch()
+        serial = service.solve_many(batch)
+        threaded = service.solve_many(batch, workers=3)
+        processed = service.solve_many(batch, workers=2, mode="process")
+        assert [trace(r) for r in serial] == [trace(r) for r in threaded]
+        assert [trace(r) for r in serial] == [trace(r) for r in processed]
+        # byte-identical traces, same algorithms, same order
+        assert [r.algorithm for r in serial] == [r.algorithm for r in processed]
+
+    def test_invalid_mode_rejected(self, service):
+        with pytest.raises(ExperimentError):
+            service.solve_many([ProtectionRequest("SGB-Greedy", 2)], workers=2, mode="warp")
+
+    def test_empty_batch(self, service):
+        assert service.solve_many([]) == []
+
+
+class TestTargetSubsets:
+    def test_subset_query_equals_subset_problem(self, service, graph, targets):
+        subset = tuple(targets[:3])
+        served = service.solve(ProtectionRequest("SGB-Greedy", 5, targets=subset))
+        expected = sgb_greedy(TPPProblem(graph, subset, motif="triangle"), 5)
+        assert trace(served) == trace(expected)
+
+    def test_subset_sessions_are_cached(self, service, targets):
+        subset = tuple(targets[:2])
+        service.solve(ProtectionRequest("SGB-Greedy", 2, targets=subset))
+        assert len(service._subsessions) == 1
+        cached = next(iter(service._subsessions.values()))
+        service.solve(ProtectionRequest("SGB-Greedy", 3, targets=subset))
+        assert len(service._subsessions) == 1
+        assert next(iter(service._subsessions.values())) is cached
+
+    def test_subset_inherits_session_constant(self, graph, targets):
+        """Sub-sessions must score Δ_t^p with the parent session's C."""
+        full_problem = TPPProblem(graph, targets, motif="triangle")
+        constant = full_problem.initial_similarity() + 50
+        session = ProtectionService(graph, targets, motif="triangle", constant=constant)
+        subset = tuple(targets[:3])
+        served = session.solve(ProtectionRequest("CT-Greedy:TBD", 5, targets=subset))
+        expected = ct_greedy(
+            TPPProblem(graph, subset, motif="triangle", constant=constant),
+            5,
+            budget_division="tbd",
+        )
+        assert trace(served) == trace(expected)
+
+    def test_subset_metadata_truthful(self, service, targets):
+        subset = tuple(targets[:3])
+        first = service.solve(ProtectionRequest("SGB-Greedy", 4, targets=subset))
+        second = service.solve(ProtectionRequest("SGB-Greedy", 4, targets=subset))
+        # the first subset query enumerated a fresh sub-session
+        assert first.extra["service"]["reused_index"] is False
+        assert second.extra["service"]["reused_index"] is True
+        # the request echo records the subset the result answered
+        echoed = first.extra["service"]["request"]
+        assert [tuple(edge) for edge in echoed["targets"]] == list(subset)
+
+    def test_unknown_subset_target_rejected(self, service):
+        with pytest.raises(ExperimentError):
+            service.solve(
+                ProtectionRequest("SGB-Greedy", 2, targets=(("no", "edge"),))
+            )

@@ -18,6 +18,27 @@ class TestParser:
         args = build_parser().parse_args(["protect"])
         assert args.dataset == "arenas-email"
         assert args.method == "SGB-Greedy"
+        assert args.budget == [20]
+        assert args.workers == 1
+
+    def test_method_choices_follow_live_registry(self, capsys):
+        from repro.service import register_method, unregister_method
+        from repro.core.sgb import sgb_greedy
+
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["protect", "--method", "Oracle"])
+        error = capsys.readouterr().err
+        assert "SGB-Greedy" in error  # the valid names are listed
+
+        @register_method("Plugin-Method", kind="greedy", order=999)
+        def _run(problem, budget, engine, seed, **options):
+            return sgb_greedy(problem, budget, engine=engine)
+
+        try:
+            args = build_parser().parse_args(["protect", "--method", "Plugin-Method"])
+            assert args.method == "Plugin-Method"
+        finally:
+            unregister_method("Plugin-Method")
 
     def test_experiment_choices(self):
         args = build_parser().parse_args(["experiment", "fig3", "--scale", "quick"])
@@ -71,6 +92,63 @@ class TestProtectCommand:
         assert released.number_of_edges() < graph.number_of_edges()
         output = capsys.readouterr().out
         assert "average utility loss" in output
+
+
+class TestProtectSweepAndJson:
+    def test_budget_sweep_with_workers_and_json(self, tmp_path, capsys):
+        from repro.core.model import ProtectionResult
+
+        json_path = tmp_path / "results.json"
+        exit_code = main(
+            [
+                "protect",
+                "--dataset",
+                "small-social",
+                "--targets",
+                "4",
+                "--budget",
+                "5",
+                "10",
+                "15",
+                "--workers",
+                "2",
+                "--json",
+                str(json_path),
+            ]
+        )
+        assert exit_code == 0
+        payload = json.loads(json_path.read_text())
+        assert isinstance(payload, list) and len(payload) == 3
+        results = [ProtectionResult.from_dict(entry) for entry in payload]
+        assert [r.budget for r in results] == [5, 10, 15]
+        # the sweep shares one session: every result echoes its request and
+        # reports the reused index
+        for result in results:
+            meta = result.extra["service"]
+            assert meta["reused_index"] is True
+            assert meta["request"]["method"] == "SGB-Greedy"
+        output = capsys.readouterr().out
+        assert output.count("fully protected:") == 3
+
+    def test_single_budget_json_is_object(self, tmp_path):
+        json_path = tmp_path / "result.json"
+        exit_code = main(
+            [
+                "protect",
+                "--dataset",
+                "small-social",
+                "--targets",
+                "3",
+                "--budget",
+                "6",
+                "--json",
+                str(json_path),
+            ]
+        )
+        assert exit_code == 0
+        payload = json.loads(json_path.read_text())
+        assert isinstance(payload, dict)
+        assert payload["budget"] == 6
 
 
 class TestExperimentCommand:
