@@ -29,9 +29,7 @@ Regenerate Fig. 3 at quick scale::
 from __future__ import annotations
 
 import argparse
-import json
 import sys
-from pathlib import Path
 from typing import List, Optional
 
 from repro.core.engines import ENGINE_NAMES
@@ -175,14 +173,7 @@ def _command_protect(args: argparse.Namespace) -> int:
         print(f"fully protected: {result.fully_protected}")
 
     if args.json_path:
-        payload = (
-            results[0].to_dict()
-            if len(results) == 1
-            else [result.to_dict() for result in results]
-        )
-        path = Path(args.json_path)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(json.dumps(payload, indent=2, sort_keys=True), encoding="utf-8")
+        path = save_json(results[0] if len(results) == 1 else results, args.json_path)
         print(f"results saved to {path}")
 
     if (args.output or args.utility) and len(results) > 1:

@@ -13,10 +13,23 @@ from dataclasses import dataclass, field, replace
 from typing import Optional, Sequence, Tuple
 
 from repro.exceptions import ExperimentError
-from repro.experiments.methods import ALL_METHODS
 from repro.service.registry import method_names
 
-__all__ = ["ExperimentConfig", "quick_profile", "paper_profile"]
+__all__ = ["ExperimentConfig", "PAPER_METHODS", "quick_profile", "paper_profile"]
+
+#: The paper's seven curves, in legend order — the default sweep.  Pinned
+#: explicitly (not a live registry view) so plugin methods registered before
+#: this module is imported never silently join the default figure/table
+#: reproductions; pass ``methods=...`` to sweep extras.
+PAPER_METHODS: Tuple[str, ...] = (
+    "SGB-Greedy",
+    "CT-Greedy:DBD",
+    "WT-Greedy:DBD",
+    "CT-Greedy:TBD",
+    "WT-Greedy:TBD",
+    "RD",
+    "RDT",
+)
 
 
 @dataclass(frozen=True)
@@ -39,7 +52,8 @@ class ExperimentConfig:
     engine:
         Marginal-gain engine: ``"coverage"`` (scalable) or ``"recount"``.
     methods:
-        Method names (see :data:`repro.experiments.methods.ALL_METHODS`).
+        Method names (default :data:`PAPER_METHODS`; any name in the live
+        registry — :func:`repro.service.method_names` — is accepted).
     seed:
         Base random seed; repetition ``i`` uses ``seed + i``.
     dataset_kwargs:
@@ -53,7 +67,7 @@ class ExperimentConfig:
     budgets: Optional[Tuple[int, ...]] = None
     repetitions: int = 3
     engine: str = "coverage"
-    methods: Tuple[str, ...] = ALL_METHODS
+    methods: Tuple[str, ...] = PAPER_METHODS
     seed: int = 0
     dataset_kwargs: Tuple[Tuple[str, object], ...] = field(default_factory=tuple)
 

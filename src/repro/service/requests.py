@@ -49,7 +49,12 @@ class ProtectionRequest:
         Optional override of SGB's lazy (heap) evaluation.
     targets:
         Optional target subset to protect (must be a subset of the session's
-        targets); ``None`` protects all of them.
+        targets); ``None`` protects all of them.  A subset query still hides
+        *all* of the session's targets in phase 1 — the non-subset targets
+        are removed from the sub-problem's graph, never released — only the
+        protector budget is focused on the subset.  Order is not
+        significant: permutations of the same subset share one cached
+        sub-session and return identical protector traces.
     label:
         Optional caller tag echoed through the result metadata.
     """

@@ -86,6 +86,25 @@ class TestCustomRegistration:
             unregister_method("SGB-Lazy-Off")
         assert "SGB-Lazy-Off" not in method_names()
 
+    def test_package_views_live_but_default_sweep_pinned(self):
+        """`repro.experiments.ALL_METHODS` must see plugins (live view), while
+        the default reproduction sweep stays the paper's seven curves."""
+
+        @register_method("Plugin-Live", kind="baseline", order=998)
+        def _run(problem, budget, engine, seed, **options):
+            raise AssertionError("never called")
+
+        try:
+            import repro.experiments as experiments
+            from repro.experiments.config import PAPER_METHODS, ExperimentConfig
+
+            assert "Plugin-Live" in experiments.ALL_METHODS
+            assert "Plugin-Live" in experiments.BASELINE_METHODS
+            assert ExperimentConfig().methods == PAPER_METHODS
+            assert "Plugin-Live" not in ExperimentConfig().methods
+        finally:
+            unregister_method("Plugin-Live")
+
     def test_duplicate_registration_rejected(self):
         with pytest.raises(ExperimentError):
 

@@ -20,6 +20,7 @@ from repro.core.wt import wt_greedy
 from repro.datasets.targets import sample_random_targets
 from repro.exceptions import ExperimentError
 from repro.graphs.generators import powerlaw_cluster_graph
+from repro.graphs.graph import Graph, edge_sort_key
 from repro.service import ProtectionRequest, ProtectionService, method_names
 
 
@@ -190,12 +191,100 @@ class TestSolveMany:
         assert service.solve_many([]) == []
 
 
+def subset_problem(service, subset, constant=None):
+    """The sub-problem a subset query answers: every session target stays
+    hidden (the non-subset ones are removed from the graph, per the paper's
+    phase 1), targets in the library-wide sort order, parent's constant."""
+    subset = tuple(sorted(subset, key=edge_sort_key))
+    rest = [t for t in service.targets if t not in set(subset)]
+    return TPPProblem(
+        service.problem.graph.without_edges(rest),
+        subset,
+        motif="triangle",
+        constant=service.problem.constant if constant is None else constant,
+    )
+
+
 class TestTargetSubsets:
-    def test_subset_query_equals_subset_problem(self, service, graph, targets):
+    def test_subset_query_equals_subset_problem(self, service, targets):
         subset = tuple(targets[:3])
         served = service.solve(ProtectionRequest("SGB-Greedy", 5, targets=subset))
-        expected = sgb_greedy(TPPProblem(graph, subset, motif="triangle"), 5)
+        expected = sgb_greedy(subset_problem(service, subset), 5)
         assert trace(served) == trace(expected)
+
+    def test_subset_released_graph_keeps_other_targets_hidden(self, service, targets):
+        """The non-subset sensitive links must never reach the released graph."""
+        subset = tuple(targets[:3])
+        service.solve(ProtectionRequest("SGB-Greedy", 4, targets=subset))
+        sub = next(iter(service._subsessions.values()))
+        for target in service.targets:
+            assert not sub.problem.phase1_graph.has_edge(*target)
+
+    def test_adjacent_targets_subset_query(self):
+        """Regression: subset queries on adjacent targets raised
+        InvalidTargetError — the sub-problem resurrected the other target
+        edges, pushing its initial similarity above the inherited C."""
+        graph = Graph(
+            [("a", "b"), ("a", "c"), ("b", "c"), ("a", "d"), ("b", "d")]
+        )
+        session = ProtectionService(
+            graph, [("a", "b"), ("a", "c"), ("b", "c")], motif="triangle"
+        )
+        result = session.solve(
+            ProtectionRequest("SGB-Greedy", 2, targets=(("a", "b"),))
+        )
+        # the only surviving instance of ("a", "b") is the path a-d-b
+        assert result.initial_similarity == 1
+        assert result.fully_protected
+
+    def test_subset_order_insensitive(self, service, targets):
+        subset = tuple(targets[:3])
+        forward = service.solve(ProtectionRequest("WT-Greedy:TBD", 5, targets=subset))
+        backward = service.solve(
+            ProtectionRequest("WT-Greedy:TBD", 5, targets=subset[::-1])
+        )
+        assert trace(forward) == trace(backward)
+        # permutations share one cached sub-session
+        assert len(service._subsessions) == 1
+        assert backward.extra["service"]["reused_index"] is True
+
+    def test_queries_served_counts_subset_queries(self, service, targets):
+        before = service.queries_served
+        subset = tuple(targets[:2])
+        service.solve(ProtectionRequest("SGB-Greedy", 2, targets=subset))
+        service.solve(ProtectionRequest("SGB-Greedy", 3, targets=subset))
+        assert service.queries_served == before + 2
+
+    def test_subset_cache_is_lru_bounded(self, graph, targets):
+        session = ProtectionService(
+            graph, targets, motif="triangle", max_cached_subsets=2
+        )
+        subsets = [tuple(session.targets[i : i + 2]) for i in range(3)]
+        for subset in subsets:
+            session.solve(ProtectionRequest("SGB-Greedy", 2, targets=subset))
+        assert len(session._subsessions) == 2
+        # the two most recent subsets survived; the first was evicted
+        kept = session.solve(ProtectionRequest("SGB-Greedy", 2, targets=subsets[2]))
+        assert kept.extra["service"]["reused_index"] is True
+        evicted = session.solve(ProtectionRequest("SGB-Greedy", 2, targets=subsets[0]))
+        assert evicted.extra["service"]["reused_index"] is False
+
+    def test_invalid_subset_cache_bound_rejected(self, graph, targets):
+        with pytest.raises(ExperimentError):
+            ProtectionService(graph, targets, max_cached_subsets=0)
+
+    def test_concurrent_first_subset_queries_share_one_session(self, service, targets):
+        """Concurrent first queries on a fresh subset enumerate it once."""
+        subset = tuple(targets[:3])
+        batch = [
+            ProtectionRequest(method, 3, targets=subset)
+            for method in ("SGB-Greedy", "CT-Greedy:TBD", "WT-Greedy:TBD", "RD")
+        ]
+        results = service.solve_many(batch, workers=4)
+        assert len(service._subsessions) == 1
+        assert service._subset_builders == {}
+        serial = [service.solve(request) for request in batch]
+        assert [trace(r) for r in results] == [trace(r) for r in serial]
 
     def test_subset_sessions_are_cached(self, service, targets):
         subset = tuple(targets[:2])
@@ -214,7 +303,7 @@ class TestTargetSubsets:
         subset = tuple(targets[:3])
         served = session.solve(ProtectionRequest("CT-Greedy:TBD", 5, targets=subset))
         expected = ct_greedy(
-            TPPProblem(graph, subset, motif="triangle", constant=constant),
+            subset_problem(session, subset, constant=constant),
             5,
             budget_division="tbd",
         )
@@ -236,3 +325,23 @@ class TestTargetSubsets:
             service.solve(
                 ProtectionRequest("SGB-Greedy", 2, targets=(("no", "edge"),))
             )
+
+    def test_duplicate_subset_targets_rejected_cleanly(self, service, targets):
+        """A duplicated link (e.g. both orientations) must fail with a clear
+        error, not a deep InvalidTargetError, and must leak no builder lock."""
+        u, v = targets[0]
+        with pytest.raises(ExperimentError, match="duplicate"):
+            service.solve(
+                ProtectionRequest("SGB-Greedy", 2, targets=((u, v), (v, u)))
+            )
+        assert service._subset_builders == {}
+        assert len(service._subsessions) == 0
+
+    def test_full_set_permutation_served_by_main_session(self, service):
+        """Naming every session target (any order/orientation) is not a
+        subset query — no duplicate sub-session may be enumerated."""
+        full = tuple((v, u) for (u, v) in reversed(service.targets))
+        canonical = service.solve(ProtectionRequest("SGB-Greedy", 3))
+        permuted = service.solve(ProtectionRequest("SGB-Greedy", 3, targets=full))
+        assert trace(permuted) == trace(canonical)
+        assert len(service._subsessions) == 0
