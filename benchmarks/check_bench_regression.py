@@ -9,8 +9,18 @@ freshly emitted JSON against the report checked into the repository::
     PYTHONPATH=src python benchmarks/bench_service_throughput.py --output fresh.json
     python benchmarks/check_bench_regression.py fresh.json BENCH_service_throughput.json
 
+    PYTHONPATH=src python benchmarks/bench_index_build.py --output fresh.json
+    python benchmarks/check_bench_regression.py fresh.json BENCH_index_build.json
+
 The report kind is read from the committed JSON (``"kind"``; missing means
-the engine-kernel report).  For the kernel report the check fails (exit 1)
+the engine-kernel report).  For the index-build report the check fails if
+the builds stopped being bit-identical (or their greedy traces diverged), if
+the overall vectorized-vs-seed build speedup dropped more than
+``--max-regression`` below the committed value, or if an acceptance flag
+that was true in the committed report (``vectorized_speedup_met``,
+``workers_beat_serial``) is no longer met — with the same single-CPU skip
+for ``workers_beat_serial`` as the service report.  For the kernel report
+the check fails (exit 1)
 if any method's kernel-vs-set *speedup* dropped by more than
 ``--max-regression`` (default 30%, absorbing CI machine noise), if a method
 disappeared, if the engines stopped agreeing on protectors, or if a speedup
@@ -33,6 +43,58 @@ import sys
 from pathlib import Path
 
 
+def _check_flags(fresh: dict, committed: dict, flags) -> list:
+    """Enforce boolean acceptance flags that were true in the committed report.
+
+    ``workers_beat_serial`` is skipped when the *fresh* run records
+    ``workers_beat_serial_expected: false`` (a single-CPU runner cannot show
+    a parallel win; that is machine shape, not a regression).
+    """
+    failures = []
+    for flag in flags:
+        if not committed.get(flag) or fresh.get(flag, False):
+            continue
+        if flag == "workers_beat_serial" and not fresh.get(
+            "workers_beat_serial_expected", True
+        ):
+            print(
+                "workers_beat_serial skipped: fresh runner reports a single "
+                "available CPU (workers_beat_serial_expected=false)"
+            )
+            continue
+        failures.append(f"{flag} was true in the committed report, now false")
+    return failures
+
+
+def compare_index_build(fresh: dict, committed: dict, max_regression: float) -> list:
+    """Return the failure list for an ``index_build`` report pair."""
+    failures = []
+    if not fresh.get("parallel_identical", False):
+        failures.append(
+            "fresh run: parallel/vectorized builds are no longer bit-identical "
+            "to the seed build"
+        )
+    if not fresh.get("greedy_traces_agree", False):
+        failures.append(
+            "fresh run: greedy traces diverge between build strategies"
+        )
+    committed_speedup = committed.get("overall_vectorized_speedup", 0.0)
+    fresh_speedup = fresh.get("overall_vectorized_speedup", 0.0)
+    floor = committed_speedup * (1.0 - max_regression)
+    if fresh_speedup < floor:
+        failures.append(
+            f"overall_vectorized_speedup {fresh_speedup:.2f}x fell more than "
+            f"{max_regression:.0%} below the committed {committed_speedup:.2f}x "
+            f"(floor {floor:.2f}x)"
+        )
+    failures.extend(
+        _check_flags(
+            fresh, committed, ("vectorized_speedup_met", "workers_beat_serial")
+        )
+    )
+    return failures
+
+
 def compare_service(fresh: dict, committed: dict, max_regression: float) -> list:
     """Return the failure list for a ``service_throughput`` report pair."""
     failures = []
@@ -50,21 +112,9 @@ def compare_service(fresh: dict, committed: dict, max_regression: float) -> list
             f"{max_regression:.0%} below the committed {committed_speedup:.2f}x "
             f"(floor {floor:.2f}x)"
         )
-    for flag in ("shared_speedup_met", "workers_beat_serial"):
-        if not committed.get(flag) or fresh.get(flag, False):
-            continue
-        if flag == "workers_beat_serial" and not fresh.get(
-            "workers_beat_serial_expected", True
-        ):
-            # the fresh box itself records that a parallel win is not
-            # expected there (one available CPU) — a machine-shape
-            # difference, not a regression
-            print(
-                "workers_beat_serial skipped: fresh runner reports a single "
-                "available CPU (workers_beat_serial_expected=false)"
-            )
-            continue
-        failures.append(f"{flag} was true in the committed report, now false")
+    failures.extend(
+        _check_flags(fresh, committed, ("shared_speedup_met", "workers_beat_serial"))
+    )
     return failures
 
 
@@ -72,6 +122,8 @@ def compare(fresh: dict, committed: dict, max_regression: float) -> list:
     """Return a list of human-readable failures (empty == pass)."""
     if committed.get("kind") == "service_throughput":
         return compare_service(fresh, committed, max_regression)
+    if committed.get("kind") == "index_build":
+        return compare_index_build(fresh, committed, max_regression)
     failures = []
     if not fresh.get("all_protectors_agree", False):
         failures.append("fresh run: engines disagree on a protector sequence")
@@ -117,7 +169,15 @@ def main(argv=None) -> int:
     fresh = json.loads(Path(args.fresh).read_text())
     committed = json.loads(Path(args.committed).read_text())
     failures = compare(fresh, committed, args.max_regression)
-    if committed.get("kind") == "service_throughput":
+    if committed.get("kind") == "index_build":
+        print(
+            f"overall_vectorized_speedup: committed "
+            f"{committed.get('overall_vectorized_speedup')}x, fresh "
+            f"{fresh.get('overall_vectorized_speedup')}x; bit-identical builds: "
+            f"{fresh.get('parallel_identical')}; greedy traces agree: "
+            f"{fresh.get('greedy_traces_agree')}"
+        )
+    elif committed.get("kind") == "service_throughput":
         print(
             f"shared_vs_rebuild_speedup: committed "
             f"{committed.get('shared_vs_rebuild_speedup')}x, fresh "

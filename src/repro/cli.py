@@ -115,6 +115,13 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("thread", "process"),
         help="worker kind for --workers > 1 (process pickles the index once per worker)",
     )
+    protect.add_argument(
+        "--build-workers",
+        type=int,
+        default=1,
+        help="fan the index build (per-target enumeration) out over this "
+        "many worker processes; the index is bit-identical for every count",
+    )
     protect.add_argument("--output", help="write the released graph to this edge list")
     protect.add_argument(
         "--json",
@@ -135,6 +142,13 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=1,
         help=f"fan-out for the sweep experiments ({', '.join(_PARALLEL_EXPERIMENTS)})",
+    )
+    experiment.add_argument(
+        "--build-workers",
+        type=int,
+        default=1,
+        help="fan each session's index build out over this many worker "
+        f"processes ({', '.join(_PARALLEL_EXPERIMENTS)})",
     )
     experiment.add_argument("--json", help="also save the result as JSON to this path")
 
@@ -158,7 +172,9 @@ def _command_protect(args: argparse.Namespace) -> int:
         graph = load_dataset(args.dataset)
     targets = sample_random_targets(graph, args.targets, seed=args.seed)
 
-    service = ProtectionService(graph, targets, motif=args.motif)
+    service = ProtectionService(
+        graph, targets, motif=args.motif, build_workers=args.build_workers
+    )
     requests = [
         ProtectionRequest(args.method, budget, engine=args.engine, seed=args.seed)
         for budget in args.budget
@@ -197,12 +213,18 @@ def _command_protect(args: argparse.Namespace) -> int:
 
 def _command_experiment(args: argparse.Namespace) -> int:
     runner = EXPERIMENT_RUNNERS[args.name]
-    if args.name in _PARALLEL_EXPERIMENTS and args.workers > 1:
-        results = runner(scale=args.scale, workers=args.workers)
+    if args.name in _PARALLEL_EXPERIMENTS and (
+        args.workers > 1 or args.build_workers > 1
+    ):
+        results = runner(
+            scale=args.scale,
+            workers=args.workers,
+            build_workers=args.build_workers,
+        )
     else:
-        if args.workers > 1:
+        if args.workers > 1 or args.build_workers > 1:
             print(
-                f"note: --workers only applies to "
+                f"note: --workers/--build-workers only apply to "
                 f"{', '.join(_PARALLEL_EXPERIMENTS)}; running {args.name} serially",
                 file=sys.stderr,
             )

@@ -118,13 +118,50 @@ class TPPProblem:
         """Return the targets as a frozen set of canonical edges."""
         return frozenset(self._targets)
 
-    def build_index(self) -> TargetSubgraphIndex:
-        """Return (and cache) the target-subgraph index on the phase-1 graph."""
+    def build_index(
+        self, build_workers: Optional[int] = None
+    ) -> TargetSubgraphIndex:
+        """Return (and cache) the target-subgraph index on the phase-1 graph.
+
+        ``build_workers > 1`` fans the per-target enumeration out over that
+        many worker processes (bit-identical result for every worker count);
+        it only applies to the build that actually runs — a cached index is
+        returned as-is.
+        """
         if self._index is None:
             self._index = TargetSubgraphIndex(
-                self._phase1_graph, self._targets, self._motif
+                self._phase1_graph,
+                self._targets,
+                self._motif,
+                build_workers=build_workers,
             )
         return self._index
+
+    def adopt_index(self, index: TargetSubgraphIndex) -> TargetSubgraphIndex:
+        """Adopt a prebuilt target-subgraph index as this problem's cache.
+
+        Lets callers that built an index out-of-band (a parallel build, a
+        deserialised snapshot, the build benchmark) serve this problem from
+        it without re-enumerating.  The index must have been built for this
+        problem's targets and motif on its phase-1 graph; targets, motif and
+        graph size are validated, the graph contents are the caller's
+        responsibility.
+        """
+        if index.targets != self._targets:
+            raise InvalidTargetError(
+                "adopted index was built for different targets"
+            )
+        if index.motif.name != self._motif.name:
+            raise InvalidTargetError(
+                f"adopted index was built for motif {index.motif.name!r}, "
+                f"problem uses {self._motif.name!r}"
+            )
+        if index.indexed_graph.number_of_edges() != self._phase1_graph.number_of_edges():
+            raise InvalidTargetError(
+                "adopted index was built on a different phase-1 graph"
+            )
+        self._index = index
+        return index
 
     @property
     def has_cached_index(self) -> bool:

@@ -20,6 +20,16 @@ The view is immutable; mutating the source graph afterwards does not affect an
 already-built index.  Round-trips are provided here (:meth:`IndexedGraph.to_graph`)
 and in :mod:`repro.graphs.convert` (:func:`~repro.graphs.convert.to_indexed` /
 :func:`~repro.graphs.convert.from_indexed`).
+
+Construction is vectorised: because node ids are assigned in ``str`` order
+and ``edge_sort_key`` compares the ``str`` forms of the canonical endpoints,
+sorting edges by their (head id, tail id) pairs with ``np.lexsort``
+reproduces the ``edge_sort_key`` order exactly, and the whole CSR adjacency
+falls out of one more lexsort over the doubled endpoint arrays — no
+per-node neighbor sort, no per-position dict lookup.  The seed's pure-Python
+loop is retained behind ``assembly="python"`` as the executable reference
+(``tests/graphs/test_indexed.py`` pins the two byte-identical; the
+``bench_index_build`` benchmark measures the gap).
 """
 
 from __future__ import annotations
@@ -28,10 +38,25 @@ from array import array
 from bisect import bisect_left
 from typing import Dict, Iterator, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.exceptions import EdgeNotFoundError, NodeNotFoundError
 from repro.graphs.graph import Edge, Graph, Node, canonical_edge, edge_sort_key
 
 __all__ = ["IndexedGraph"]
+
+#: numpy dtype matching ``array("l")`` (the flat-array storage everywhere).
+NP_LONG = np.dtype("l")
+
+#: Recognised ``assembly`` arguments (numpy = vectorised, python = seed loop).
+ASSEMBLY_MODES = ("numpy", "python")
+
+
+def _as_long_array(values: np.ndarray) -> array:
+    """Copy a C-long ndarray into an ``array("l")`` (one buffer memcpy)."""
+    out = array("l")
+    out.frombytes(np.ascontiguousarray(values, dtype=NP_LONG).tobytes())
+    return out
 
 
 class IndexedGraph:
@@ -42,6 +67,11 @@ class IndexedGraph:
     graph:
         The graph to snapshot.  Node and edge identities are frozen at
         construction time.
+    assembly:
+        ``"numpy"`` (default) builds the edge order and CSR adjacency with
+        vectorised sorts; ``"python"`` runs the seed's element-wise loops.
+        Both produce byte-identical arrays — the flag exists for the
+        old-vs-new build benchmark and the differential tests.
     """
 
     __slots__ = (
@@ -54,22 +84,77 @@ class IndexedGraph:
         "_incident_edges",
     )
 
-    def __init__(self, graph: Graph) -> None:
+    def __init__(self, graph: Graph, assembly: str = "numpy") -> None:
+        if assembly not in ASSEMBLY_MODES:
+            raise ValueError(
+                f"assembly must be one of {ASSEMBLY_MODES}, got {assembly!r}"
+            )
         # -- node ids: deterministic str order --------------------------------
         self._nodes: Tuple[Node, ...] = tuple(sorted(graph.nodes(), key=str))
         self._node_id: Dict[Node, int] = {
             node: index for index, node in enumerate(self._nodes)
         }
+        if assembly == "python":
+            self._assemble_python(graph)
+        else:
+            self._assemble_numpy(graph)
 
-        # -- edge ids: edge_sort_key order over canonical edges ---------------
-        self._edges: Tuple[Edge, ...] = tuple(
-            sorted(graph.edges(), key=edge_sort_key)
-        )
-        self._edge_id: Dict[Edge, int] = {
-            edge: index for index, edge in enumerate(self._edges)
-        }
+    def _assemble_numpy(self, graph: Graph) -> None:
+        """Vectorised edge ordering + CSR assembly.
 
-        # -- CSR adjacency over node ids --------------------------------------
+        Node ids are assigned in ``str`` order, so mapping nodes to ids is
+        monotone in ``str`` — comparing ``(str(u), str(v))`` pairs
+        (``edge_sort_key``) is equivalent to comparing ``(id(u), id(v))``
+        pairs, and one ``np.lexsort`` over the endpoint-id columns yields the
+        exact ``edge_sort_key`` edge order.  The CSR rows fall out of a
+        second lexsort over the doubled (src, dst) arrays: rows grouped by
+        src in id order, neighbors ascending by id (== ``str`` order).
+        """
+        node_id = self._node_id
+        n = len(self._nodes)
+        # visit each undirected edge once (from its smaller-id endpoint, so no
+        # seen-set) and record the canonical tuple's endpoint ids alongside
+        raw_edges = []
+        pair_buffer = array("l")
+        append_edge = raw_edges.append
+        append_id = pair_buffer.append
+        for u_id, u in enumerate(self._nodes):
+            for v in graph.neighbors(u):
+                v_id = node_id[v]
+                if v_id > u_id:
+                    edge = canonical_edge(u, v)
+                    append_edge(edge)
+                    if edge[0] is u:
+                        append_id(u_id)
+                        append_id(v_id)
+                    else:
+                        append_id(v_id)
+                        append_id(u_id)
+        m = len(raw_edges)
+        endpoint_ids = np.frombuffer(pair_buffer, dtype=NP_LONG).reshape(m, 2)
+        order = np.lexsort((endpoint_ids[:, 1], endpoint_ids[:, 0]))
+        self._edges = tuple(raw_edges[position] for position in order.tolist())
+        self._edge_id = {edge: index for index, edge in enumerate(self._edges)}
+        heads = endpoint_ids[order, 0]
+        tails = endpoint_ids[order, 1]
+
+        src = np.concatenate((heads, tails))
+        dst = np.concatenate((tails, heads))
+        eid = np.concatenate((np.arange(m, dtype=NP_LONG),) * 2)
+        csr_order = np.lexsort((dst, src))
+        indptr = np.zeros(n + 1, dtype=NP_LONG)
+        np.cumsum(np.bincount(src, minlength=n), out=indptr[1:])
+        # final storage stays array("l"): the motif enumerators walk these
+        # rows with scalar reads, which are faster on array than on ndarray
+        self._indptr = _as_long_array(indptr)
+        self._neighbors = _as_long_array(dst[csr_order])
+        self._incident_edges = _as_long_array(eid[csr_order])
+
+    def _assemble_python(self, graph: Graph) -> None:
+        """The seed's element-wise ordering + CSR loops (reference path)."""
+        self._edges = tuple(sorted(graph.edges(), key=edge_sort_key))
+        self._edge_id = {edge: index for index, edge in enumerate(self._edges)}
+
         n = len(self._nodes)
         indptr = array("l", [0] * (n + 1))
         for i, node in enumerate(self._nodes):

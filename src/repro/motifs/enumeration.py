@@ -44,6 +44,25 @@ built-in motifs intersect integer adjacency rows instead of hashing node
 tuples; custom motifs fall back to the tuple-based
 ``enumerate_instances`` transparently.
 
+Construction is built for speed on two axes:
+
+* **Vectorised assembly** — pass 1 only collects flat buffers (membership
+  edge ids, per-instance arities, per-target instance counts); the inverse
+  CSR, the per-(edge, target) counter matrix and the slot table are then
+  assembled with numpy counting sorts (``np.argsort``/``np.bincount``/
+  ``np.cumsum``) instead of element-wise Python loops.  The seed's loops are
+  retained behind ``assembly="python"`` as the executable reference — both
+  paths produce byte-identical arrays (pinned by
+  ``tests/property/test_index_build_equivalence.py``).
+* **Parallel pass 1** — ``build_workers=N`` fans the per-target enumeration
+  (embarrassingly parallel: every target's instances are independent) out
+  over a process pool.  The frozen ``(IndexedGraph, graph, motif)`` triple is
+  pickled once per worker, each worker enumerates a contiguous chunk of
+  targets through the same dispatcher (so custom tuple-only motifs take the
+  same fallback as the serial path), and the chunk buffers are merged in
+  target order — the resulting index is bit-identical for every worker
+  count.
+
 :class:`SetCoverageState` preserves the previous hash-set implementation as an
 executable reference: the differential tests in
 ``tests/property/test_kernel_differential.py`` assert that the kernel, the set
@@ -53,12 +72,16 @@ state and a from-scratch recount agree on every trace.
 from __future__ import annotations
 
 import heapq
+import multiprocessing
 from array import array
+from concurrent.futures import ProcessPoolExecutor
 from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple, Union
+
+import numpy as np
 
 from repro.exceptions import MotifError
 from repro.graphs.graph import Edge, Graph, canonical_edge
-from repro.graphs.indexed import IndexedGraph
+from repro.graphs.indexed import ASSEMBLY_MODES, NP_LONG, IndexedGraph
 from repro.motifs.base import MotifInstance, MotifPattern, coerce_motif
 
 __all__ = [
@@ -66,10 +89,187 @@ __all__ = [
     "CoverageState",
     "SetCoverageState",
     "InstanceId",
+    "INDEX_ARRAY_FIELDS",
 ]
 
 #: Opaque identifier of one enumerated target subgraph.
 InstanceId = int
+
+#: The flat arrays whose bytes define an index "bit-identically": the build
+#: benchmark and the equivalence tests both fingerprint exactly this list, so
+#: a new array added to :class:`TargetSubgraphIndex` only needs to be
+#: registered here to be covered by every bit-identity gate.
+INDEX_ARRAY_FIELDS = (
+    "_inst_indptr",
+    "_inst_edge_ids",
+    "_inst_target_idx",
+    "_edge_indptr",
+    "_edge_inst_ids",
+    "_et_indptr",
+    "_et_tidx",
+    "_et_initial_count",
+    "_inst_slot",
+    "_initial_gain",
+)
+
+
+# ----------------------------------------------------------------------
+# pass 1: per-target enumeration into flat buffers (serial + process pool)
+# ----------------------------------------------------------------------
+def _enumerate_buffers(
+    indexed: IndexedGraph,
+    graph: Graph,
+    motif: MotifPattern,
+    targets: Sequence[Edge],
+) -> Tuple[array, array, List[int]]:
+    """Enumerate ``targets`` into ``(edge ids, arities, per-target counts)``.
+
+    This is the single enumeration dispatcher both the serial and the
+    parallel build go through: built-in motifs walk the CSR rows via
+    ``enumerate_instance_edge_ids`` (a deterministic id-order walk), custom
+    motifs take the tuple-enumeration fallback inherited from
+    :class:`~repro.motifs.base.MotifPattern`.
+
+    The fallback's generation order follows ``Graph`` adjacency-*set*
+    iteration, which is not stable across hash seeds or a pickle round trip
+    (a build worker unpickles the graph) — so for motifs that did not
+    override the id-space enumeration, each target's instances are put in
+    canonical order (ids sorted within an instance, instances sorted within
+    the target).  That makes the built index a pure function of the graph
+    for custom motifs too, and therefore bit-identical for every
+    ``build_workers`` count and start method.
+    """
+    edge_buffer = array("l")
+    arity_buffer = array("l")
+    counts: List[int] = []
+    extend = edge_buffer.extend
+    append_arity = arity_buffer.append
+    canonicalize = (
+        type(motif).enumerate_instance_edge_ids
+        is MotifPattern.enumerate_instance_edge_ids
+    )
+    for target in targets:
+        before = len(arity_buffer)
+        instances: Iterable[Sequence[int]] = motif.enumerate_instance_edge_ids(
+            indexed, graph, target
+        )
+        if canonicalize:
+            instances = sorted(sorted(edge_ids) for edge_ids in instances)
+        for edge_ids in instances:
+            extend(edge_ids)
+            append_arity(len(edge_ids))
+        counts.append(len(arity_buffer) - before)
+    return edge_buffer, arity_buffer, counts
+
+
+#: Per-process enumeration context installed by the pool initializer, so the
+#: (IndexedGraph, graph, motif, targets) payload is pickled once per worker
+#: instead of once per chunk.
+_BUILD_CONTEXT: Optional[Tuple[IndexedGraph, Graph, MotifPattern, Tuple[Edge, ...]]] = None
+
+
+def _build_worker_init(
+    indexed: IndexedGraph,
+    graph: Graph,
+    motif: MotifPattern,
+    targets: Tuple[Edge, ...],
+) -> None:
+    global _BUILD_CONTEXT
+    _BUILD_CONTEXT = (indexed, graph, motif, targets)
+
+
+def _build_worker_chunk(span: Tuple[int, int]) -> Tuple[bytes, bytes, List[int]]:
+    assert _BUILD_CONTEXT is not None, "build worker initializer did not run"
+    indexed, graph, motif, targets = _BUILD_CONTEXT
+    start, stop = span
+    edge_buffer, arity_buffer, counts = _enumerate_buffers(
+        indexed, graph, motif, targets[start:stop]
+    )
+    return edge_buffer.tobytes(), arity_buffer.tobytes(), counts
+
+
+def _chunk_spans(n_targets: int, workers: int) -> List[Tuple[int, int]]:
+    """Split ``range(n_targets)`` into balanced contiguous spans.
+
+    More chunks than workers (4x) keeps the pool busy when per-target costs
+    are skewed; merging in span order keeps the result order-deterministic.
+    """
+    n_chunks = max(1, min(n_targets, workers * 4))
+    base, remainder = divmod(n_targets, n_chunks)
+    spans = []
+    start = 0
+    for chunk in range(n_chunks):
+        stop = start + base + (1 if chunk < remainder else 0)
+        spans.append((start, stop))
+        start = stop
+    return spans
+
+
+def _pool_context():
+    """Return the multiprocessing context for the build pool.
+
+    ``forkserver`` (falling back to ``spawn`` where unavailable): the build
+    can be triggered lazily from a thread that is concurrently serving
+    queries — a subset sub-session enumerating inside ``solve_many`` — and
+    plain ``fork`` from a multi-threaded process can clone a held allocator
+    lock into the child and deadlock.  The worker payload already travels by
+    pickle (``initargs``), so nothing relies on fork's memory inheritance.
+    """
+    try:
+        return multiprocessing.get_context("forkserver")
+    except ValueError:  # platform without forkserver (e.g. Windows)
+        return multiprocessing.get_context("spawn")
+
+
+def _enumerate_buffers_parallel(
+    indexed: IndexedGraph,
+    graph: Graph,
+    motif: MotifPattern,
+    targets: Tuple[Edge, ...],
+    workers: int,
+) -> Tuple[array, array, List[int]]:
+    """Fan pass 1 out over a process pool; merge chunk buffers in target order."""
+    spans = _chunk_spans(len(targets), workers)
+    edge_buffer = array("l")
+    arity_buffer = array("l")
+    counts: List[int] = []
+    with ProcessPoolExecutor(
+        max_workers=min(workers, len(spans)),
+        mp_context=_pool_context(),
+        initializer=_build_worker_init,
+        initargs=(indexed, graph, motif, targets),
+    ) as executor:
+        for edge_bytes, arity_bytes, chunk_counts in executor.map(
+            _build_worker_chunk, spans
+        ):
+            edge_buffer.frombytes(edge_bytes)
+            arity_buffer.frombytes(arity_bytes)
+            counts.extend(chunk_counts)
+    return edge_buffer, arity_buffer, counts
+
+
+#: Instance-row size below which the kill walk stays element-wise — a few
+#: memberships cost less to walk than the fixed setup of the numpy gathers.
+_SCALAR_KILL_THRESHOLD = 32
+
+
+def _flat_ranges(starts: np.ndarray, lengths: np.ndarray) -> np.ndarray:
+    """Return ``concatenate([arange(s, s + l) for s, l in zip(starts, lengths)])``
+    without a Python loop.
+
+    Every ``lengths[i]`` must be >= 1 (the cumsum trick writes one boundary
+    marker per range; zero-length ranges would collide on one position —
+    callers filter them out first).  Empty inputs return an empty array.
+    """
+    if not len(starts):
+        return np.empty(0, dtype=NP_LONG)
+    total = int(lengths.sum())
+    out = np.ones(total, dtype=NP_LONG)
+    out[0] = starts[0]
+    if len(starts) > 1:
+        ends = np.cumsum(lengths[:-1])
+        out[ends] = starts[1:] - (starts[:-1] + lengths[:-1]) + 1
+    return np.cumsum(out, out=out)
 
 
 class TargetSubgraphIndex:
@@ -83,6 +283,18 @@ class TargetSubgraphIndex:
         The hidden target links.
     motif:
         The subgraph pattern (name or :class:`MotifPattern`).
+    build_workers:
+        ``None``/``0``/``1`` enumerates serially; ``N > 1`` fans the
+        per-target enumeration (pass 1) out over ``N`` worker processes.
+        The result is bit-identical for every worker count.  Parallelism
+        pays once the enumeration itself (roughly ``|T| x`` the motif cost
+        per target) outweighs pickling the graph snapshot to each worker —
+        as a rule of thumb, tens of targets on a >= 10k-edge graph.
+    assembly:
+        ``"numpy"`` (default) assembles the flat arrays with vectorised
+        counting sorts; ``"python"`` runs the seed's element-wise loops.
+        Byte-identical outputs; the flag exists for the build benchmark and
+        the differential tests.
 
     Notes
     -----
@@ -99,7 +311,13 @@ class TargetSubgraphIndex:
         graph: Graph,
         targets: Sequence[Edge],
         motif: Union[str, MotifPattern],
+        build_workers: Optional[int] = None,
+        assembly: str = "numpy",
     ) -> None:
+        if assembly not in ASSEMBLY_MODES:
+            raise MotifError(
+                f"assembly must be one of {ASSEMBLY_MODES}, got {assembly!r}"
+            )
         self._motif = coerce_motif(motif)
         self._targets: Tuple[Edge, ...] = tuple(
             canonical_edge(*target) for target in targets
@@ -111,7 +329,7 @@ class TargetSubgraphIndex:
                     "remove all targets (phase 1) before building the index"
                 )
 
-        indexed = IndexedGraph(graph)
+        indexed = IndexedGraph(graph, assembly=assembly)
         self._indexed = indexed
         self._target_index: Dict[Edge, int] = {
             target: position for position, target in enumerate(self._targets)
@@ -121,65 +339,174 @@ class TargetSubgraphIndex:
         # pass 1: enumerate instances directly in edge-id space — the
         # built-in motifs walk the IndexedGraph CSR rows (integer merges and
         # lookups), custom motifs fall back to tuple enumeration translated
-        # once at this boundary (the kernel never hashes tuples afterwards)
+        # once at this boundary (the kernel never hashes tuples afterwards).
+        # Only flat buffers are collected (membership edge ids, per-instance
+        # arities, per-target counts); with build_workers > 1 the per-target
+        # work fans out over a process pool and the chunk buffers are merged
+        # in target order, so the buffers are identical to a serial run.
         # ------------------------------------------------------------------
-        inst_indptr: List[int] = [0]
-        inst_edge_ids: List[int] = []
-        inst_target_idx: List[int] = []
-        target_ranges: List[Tuple[int, int]] = []
-        for position, target in enumerate(self._targets):
-            start = len(inst_target_idx)
-            for edge_ids in self._motif.enumerate_instance_edge_ids(
-                indexed, graph, target
-            ):
-                inst_edge_ids.extend(edge_ids)
-                inst_indptr.append(len(inst_edge_ids))
-                inst_target_idx.append(position)
-            target_ranges.append((start, len(inst_target_idx)))
+        workers = int(build_workers) if build_workers else 0
+        if workers > 1 and len(self._targets) > 1:
+            edge_buffer, arity_buffer, counts = _enumerate_buffers_parallel(
+                indexed, graph, self._motif, self._targets, workers
+            )
+        else:
+            edge_buffer, arity_buffer, counts = _enumerate_buffers(
+                indexed, graph, self._motif, self._targets
+            )
 
-        self._inst_indptr = array("l", inst_indptr)
-        self._inst_edge_ids = array("l", inst_edge_ids)
-        self._inst_target_idx = array("l", inst_target_idx)
-        self._target_ranges: Tuple[Tuple[int, int], ...] = tuple(target_ranges)
+        # per-target contiguous instance-id ranges (python ints, API-facing)
+        ranges: List[Tuple[int, int]] = []
+        cursor = 0
+        for count in counts:
+            ranges.append((cursor, cursor + count))
+            cursor += count
+        self._target_ranges: Tuple[Tuple[int, int], ...] = tuple(ranges)
 
-        # ------------------------------------------------------------------
+        if assembly == "python":
+            self._assemble_python(edge_buffer, arity_buffer, counts)
+        else:
+            self._assemble_numpy(edge_buffer, arity_buffer, counts)
+
+        #: Candidate edge ids (edges in >= 1 instance), ascending == sorted
+        #: by ``edge_sort_key`` thanks to the IndexedGraph id order.  Held
+        #: both as python ints (heap building iterates them) and as an array
+        #: (vector gathers index with it).
+        self._candidate_id_array = np.flatnonzero(self._initial_gain)
+        self._candidate_ids: Tuple[int, ...] = tuple(
+            self._candidate_id_array.tolist()
+        )
+
+        # array("l") mirrors of the counter-matrix row structure: the heap
+        # validation loops read these element-wise, and scalar reads from an
+        # array yield plain ints without numpy boxing
+        self._et_indptr_l = array("l")
+        self._et_indptr_l.frombytes(self._et_indptr.tobytes())
+        self._et_tidx_l = array("l")
+        self._et_tidx_l.frombytes(self._et_tidx.tobytes())
+
+        # edge -> frozenset(instance ids), materialised lazily on first use:
+        # only the tuple-level accessors and SetCoverageState need it (the
+        # kernel reads the CSR directly), but once built it must be O(1) per
+        # lookup so the set state keeps the seed implementation's cost profile
+        self._edge_to_instances: Optional[Dict[Edge, FrozenSet[InstanceId]]] = None
+
+    def _assemble_numpy(
+        self, edge_buffer: array, arity_buffer: array, counts: List[int]
+    ) -> None:
+        """Vectorised passes 2-3: counting sorts over the flat buffers.
+
+        The inverse CSR is one stable argsort of the membership edge ids
+        (stable = within an edge, instances stay ascending, exactly like the
+        seed's cursor walk).  The per-(edge, target) matrix falls out of
+        run-length encoding the (edge, target) key sequence along that same
+        sorted order — sound because instance ids are contiguous per target,
+        so the key sequence is non-decreasing — and the slot table is the
+        inverse scatter of the run ids back to instance-major positions.
+        """
+        m = self._indexed.number_of_edges()
+        n_targets = len(self._targets)
+        memberships = np.array(edge_buffer, dtype=NP_LONG)
+        arities = np.array(arity_buffer, dtype=NP_LONG)
+        target_counts = np.asarray(counts, dtype=NP_LONG)
+        n_instances = len(arities)
+
+        inst_indptr = np.zeros(n_instances + 1, dtype=NP_LONG)
+        np.cumsum(arities, out=inst_indptr[1:])
+        self._inst_indptr = inst_indptr
+        self._inst_edge_ids = memberships
+        self._inst_target_idx = np.repeat(
+            np.arange(n_targets, dtype=NP_LONG), target_counts
+        )
+
         # pass 2: invert into the edge id -> instances CSR
-        # ------------------------------------------------------------------
-        m = indexed.number_of_edges()
-        counts = array("l", [0] * (m + 1))
-        for edge_id in self._inst_edge_ids:
-            counts[edge_id + 1] += 1
+        per_edge = np.bincount(memberships, minlength=m).astype(NP_LONG, copy=False)
+        edge_indptr = np.zeros(m + 1, dtype=NP_LONG)
+        np.cumsum(per_edge, out=edge_indptr[1:])
+        order = np.argsort(memberships, kind="stable")
+        inst_of_membership = np.repeat(
+            np.arange(n_instances, dtype=NP_LONG), arities
+        )
+        self._edge_indptr = edge_indptr
+        self._edge_inst_ids = inst_of_membership[order]
+        self._initial_gain = per_edge
+
+        # pass 3: per-(edge, target) counter matrix + slot table
+        edge_sorted = memberships[order]
+        tidx_sorted = self._inst_target_idx[self._edge_inst_ids]
+        n_memberships = len(memberships)
+        new_run = np.empty(n_memberships, dtype=bool)
+        if n_memberships:
+            new_run[0] = True
+            np.logical_or(
+                edge_sorted[1:] != edge_sorted[:-1],
+                tidx_sorted[1:] != tidx_sorted[:-1],
+                out=new_run[1:],
+            )
+        slots = np.cumsum(new_run, dtype=NP_LONG) - 1
+        self._et_tidx = tidx_sorted[new_run]
+        self._et_initial_count = np.bincount(slots, minlength=0).astype(
+            NP_LONG, copy=False
+        )
+        et_indptr = np.zeros(m + 1, dtype=NP_LONG)
+        np.cumsum(
+            np.bincount(edge_sorted[new_run], minlength=m), out=et_indptr[1:]
+        )
+        self._et_indptr = et_indptr
+        inst_slot = np.empty(n_memberships, dtype=NP_LONG)
+        inst_slot[order] = slots
+        self._inst_slot = inst_slot
+
+    def _assemble_python(
+        self, edge_buffer: array, arity_buffer: array, counts: List[int]
+    ) -> None:
+        """The seed's element-wise passes 2-3 (reference path).
+
+        Same buffers in, byte-identical arrays out — kept executable for the
+        old-vs-new build benchmark and the assembly differential tests.
+        """
+        m = self._indexed.number_of_edges()
+        inst_indptr: List[int] = [0]
+        for arity in arity_buffer:
+            inst_indptr.append(inst_indptr[-1] + arity)
+        inst_target_idx: List[int] = []
+        for position, count in enumerate(counts):
+            inst_target_idx.extend([position] * count)
+        self._inst_indptr = np.asarray(inst_indptr, dtype=NP_LONG)
+        self._inst_edge_ids = np.array(edge_buffer, dtype=NP_LONG)
+        self._inst_target_idx = np.asarray(inst_target_idx, dtype=NP_LONG)
+
+        # pass 2: invert into the edge id -> instances CSR
+        csr_counts = array("l", [0] * (m + 1))
+        for edge_id in edge_buffer:
+            csr_counts[edge_id + 1] += 1
         for edge_id in range(m):
-            counts[edge_id + 1] += counts[edge_id]
-        edge_indptr = counts  # now the CSR offsets
-        edge_inst_ids = array("l", [0] * len(self._inst_edge_ids))
+            csr_counts[edge_id + 1] += csr_counts[edge_id]
+        edge_indptr = csr_counts  # now the CSR offsets
+        edge_inst_ids = array("l", [0] * len(edge_buffer))
         cursor = array("l", edge_indptr[:m])
-        number_of_instances = len(self._inst_target_idx)
+        number_of_instances = len(inst_target_idx)
         for instance_id in range(number_of_instances):
-            for position in range(
-                self._inst_indptr[instance_id], self._inst_indptr[instance_id + 1]
-            ):
-                edge_id = self._inst_edge_ids[position]
+            for position in range(inst_indptr[instance_id], inst_indptr[instance_id + 1]):
+                edge_id = edge_buffer[position]
                 edge_inst_ids[cursor[edge_id]] = instance_id
                 cursor[edge_id] += 1
-        self._edge_indptr = edge_indptr
-        self._edge_inst_ids = edge_inst_ids
+        self._edge_indptr = np.array(edge_indptr, dtype=NP_LONG)
+        self._edge_inst_ids = np.array(edge_inst_ids, dtype=NP_LONG)
+        self._initial_gain = np.diff(self._edge_indptr)
 
-        # ------------------------------------------------------------------
         # pass 3: per-(edge, target) counter matrix, CSR over edge ids.
         # The row of an edge lists the targets whose instances contain it
         # (tidx ascending: each edge's instance list is ascending and
         # instance ids are contiguous per target) with the initial counts.
-        # ------------------------------------------------------------------
         et_indptr = array("l", [0] * (m + 1))
         et_tidx: List[int] = []
         et_count: List[int] = []
         slot_of: Dict[Tuple[int, int], int] = {}
-        inst_target = self._inst_target_idx
         for edge_id in range(m):
             previous_tidx = -1
             for position in range(edge_indptr[edge_id], edge_indptr[edge_id + 1]):
-                tidx = inst_target[edge_inst_ids[position]]
+                tidx = inst_target_idx[edge_inst_ids[position]]
                 if tidx != previous_tidx:
                     slot_of[(edge_id, tidx)] = len(et_tidx)
                     et_tidx.append(tidx)
@@ -187,34 +514,25 @@ class TargetSubgraphIndex:
                     previous_tidx = tidx
                 et_count[-1] += 1
             et_indptr[edge_id + 1] = len(et_tidx)
-        self._et_indptr = et_indptr
-        self._et_tidx = array("l", et_tidx)
-        self._et_initial_count = array("l", et_count)
+        self._et_indptr = np.array(et_indptr, dtype=NP_LONG)
+        self._et_tidx = np.asarray(et_tidx, dtype=NP_LONG)
+        self._et_initial_count = np.asarray(et_count, dtype=NP_LONG)
         # membership position -> matrix slot of (sibling edge, instance's
         # target), so the kill walk decrements the matrix entry with one
         # array read instead of a hash lookup
-        inst_slot = array("l", [0] * len(self._inst_edge_ids))
+        inst_slot = array("l", [0] * len(edge_buffer))
         for instance_id in range(number_of_instances):
-            tidx = inst_target[instance_id]
-            for position in range(
-                self._inst_indptr[instance_id], self._inst_indptr[instance_id + 1]
-            ):
-                inst_slot[position] = slot_of[(self._inst_edge_ids[position], tidx)]
-        self._inst_slot = inst_slot
+            tidx = inst_target_idx[instance_id]
+            for position in range(inst_indptr[instance_id], inst_indptr[instance_id + 1]):
+                inst_slot[position] = slot_of[(edge_buffer[position], tidx)]
+        self._inst_slot = np.array(inst_slot, dtype=NP_LONG)
 
-        #: Candidate edge ids (edges in >= 1 instance), ascending == sorted
-        #: by ``edge_sort_key`` thanks to the IndexedGraph id order.
-        self._candidate_ids: Tuple[int, ...] = tuple(
-            edge_id
-            for edge_id in range(m)
-            if edge_indptr[edge_id + 1] > edge_indptr[edge_id]
-        )
-
-        # edge -> frozenset(instance ids), materialised lazily on first use:
-        # only the tuple-level accessors and SetCoverageState need it (the
-        # kernel reads the CSR directly), but once built it must be O(1) per
-        # lookup so the set state keeps the seed implementation's cost profile
-        self._edge_to_instances: Optional[Dict[Edge, FrozenSet[InstanceId]]] = None
+    def __getstate__(self) -> Dict[str, object]:
+        # the lazy edge -> instances dict can dwarf the flat arrays; rebuild
+        # it on demand on the other side instead of shipping it to workers
+        state = self.__dict__.copy()
+        state["_edge_to_instances"] = None
+        return state
 
     # ------------------------------------------------------------------
     # read-only accessors
@@ -278,7 +596,7 @@ class TargetSubgraphIndex:
             inst_ids = self._edge_inst_ids
             self._edge_to_instances = {
                 edge_at(edge_id): frozenset(
-                    inst_ids[indptr[edge_id] : indptr[edge_id + 1]]
+                    inst_ids[indptr[edge_id] : indptr[edge_id + 1]].tolist()
                 )
                 for edge_id in self._candidate_ids
             }
@@ -332,6 +650,10 @@ class TargetSubgraphIndex:
     # internal helpers shared with the states
     # ------------------------------------------------------------------
     def _target_position(self, target: Edge) -> int:
+        # fast path: callers overwhelmingly pass already-canonical targets
+        position = self._target_index.get(target)
+        if position is not None:
+            return position
         return self._target_index[canonical_edge(*target)]
 
 
@@ -348,23 +670,27 @@ class CoverageState:
     def __init__(self, index: TargetSubgraphIndex) -> None:
         self._index = index
         n_instances = index.number_of_instances()
-        self._alive = bytearray(b"\x01") * n_instances
+        self._alive = np.ones(n_instances, dtype=np.uint8)
         self._alive_total = n_instances
-        self._alive_by_tidx = array(
-            "l", (end - start for start, end in index._target_ranges)
+        self._alive_by_tidx = np.fromiter(
+            (end - start for start, end in index._target_ranges),
+            dtype=NP_LONG,
+            count=len(index._target_ranges),
         )
         # live-gain counters: gain[edge_id] == alive instances containing it
-        self._gain = array(
-            "l",
-            (
-                index._edge_indptr[edge_id + 1] - index._edge_indptr[edge_id]
-                for edge_id in range(index.indexed_graph.number_of_edges())
-            ),
-        )
+        # (a pure memcpy of the index's precomputed pristine counters)
+        self._gain = index._initial_gain.copy()
         # per-(edge, target) live counters: entry s of the index's counter
         # matrix currently counts the alive instances of target _et_tidx[s]
         # containing the row's edge
-        self._et_count = array("l", index._et_initial_count)
+        self._et_count = index._et_initial_count.copy()
+        # memoryviews over the live counters: scalar reads in the heap
+        # validation loops yield plain ints (no numpy boxing), while the
+        # vectorised kill walk mutates the same buffers in place
+        self._gain_mv = memoryview(self._gain)
+        self._et_count_mv = memoryview(self._et_count)
+        self._alive_mv = memoryview(self._alive)
+        self._alive_by_tidx_mv = memoryview(self._alive_by_tidx)
         self._deleted_edges: List[Edge] = []
         # lazy max-heap of (-gain, edge_id); built on first top-gain query
         self._heap: Optional[List[Tuple[int, int]]] = None
@@ -392,12 +718,13 @@ class CoverageState:
 
     def similarity_of(self, target: Edge) -> int:
         """Return the current ``s(P, t)`` for ``target``."""
-        return self._alive_by_tidx[self._index._target_position(target)]
+        return int(self._alive_by_tidx[self._index._target_position(target)])
 
     def similarity_by_target(self) -> Dict[Edge, int]:
         """Return the current per-target similarities."""
+        by_tidx = self._alive_by_tidx.tolist()
         return {
-            target: self._alive_by_tidx[position]
+            target: by_tidx[position]
             for position, target in enumerate(self._index.targets)
         }
 
@@ -413,7 +740,7 @@ class CoverageState:
         edge_id = self._index._indexed.find_edge_id(*edge)
         if edge_id is None:
             return 0
-        return self._gain[edge_id]
+        return self._gain_mv[edge_id]
 
     def gain_by_target(self, edge: Edge) -> Dict[Edge, int]:
         """Return per-target counts of alive instances ``edge`` would break.
@@ -427,14 +754,13 @@ class CoverageState:
             return {}
         index = self._index
         targets = index.targets
-        et_tidx = index._et_tidx
-        et_count = self._et_count
+        start, stop = index._et_indptr[edge_id], index._et_indptr[edge_id + 1]
+        row_tidx = index._et_tidx[start:stop].tolist()
+        row_count = self._et_count[start:stop].tolist()
         return {
-            targets[et_tidx[slot]]: et_count[slot]
-            for slot in range(
-                index._et_indptr[edge_id], index._et_indptr[edge_id + 1]
-            )
-            if et_count[slot] > 0
+            targets[tidx]: count
+            for tidx, count in zip(row_tidx, row_count)
+            if count > 0
         }
 
     def gain_for_target(self, edge: Edge, target: Edge) -> int:
@@ -450,11 +776,12 @@ class CoverageState:
     def _own_gain(self, edge_id: int, tidx: int) -> int:
         """Return the live (edge, target) counter; rows are tidx-ascending."""
         index = self._index
-        et_tidx = index._et_tidx
-        for slot in range(index._et_indptr[edge_id], index._et_indptr[edge_id + 1]):
+        et_tidx = index._et_tidx_l
+        indptr = index._et_indptr_l
+        for slot in range(indptr[edge_id], indptr[edge_id + 1]):
             entry = et_tidx[slot]
             if entry == tidx:
-                return self._et_count[slot]
+                return self._et_count_mv[slot]
             if entry > tidx:
                 break
         return 0
@@ -466,22 +793,18 @@ class CoverageState:
         per-edge instance rescan is needed.
         """
         edge_at = self._index._indexed.edge_at
-        gain = self._gain
-        return {
-            edge_at(edge_id)
-            for edge_id in self._index._candidate_ids
-            if gain[edge_id] > 0
-        }
+        return {edge_at(edge_id) for edge_id in self._live_candidate_ids()}
 
     def candidate_edge_list(self) -> List[Edge]:
         """Return the live candidates in deterministic ``edge_sort_key`` order."""
         edge_at = self._index._indexed.edge_at
-        gain = self._gain
-        return [
-            edge_at(edge_id)
-            for edge_id in self._index._candidate_ids
-            if gain[edge_id] > 0
-        ]
+        return [edge_at(edge_id) for edge_id in self._live_candidate_ids()]
+
+    def _live_candidate_ids(self) -> List[int]:
+        """Candidate edge ids with a positive live gain, ascending (one gather)."""
+        index = self._index
+        candidates = index._candidate_id_array
+        return candidates[self._gain[candidates] > 0].tolist()
 
     def iter_positive_gains(self) -> Iterator[Tuple[Edge, int]]:
         """Yield ``(edge, live gain)`` for every live candidate, in
@@ -494,12 +817,8 @@ class CoverageState:
         engine.
         """
         edge_at = self._index._indexed.edge_at
-        gain = self._gain
-        snapshot = [
-            edge_id
-            for edge_id in self._index._candidate_ids
-            if gain[edge_id] > 0
-        ]
+        gain = self._gain_mv
+        snapshot = self._live_candidate_ids()
         for edge_id in snapshot:
             value = gain[edge_id]
             if value > 0:
@@ -519,19 +838,24 @@ class CoverageState:
         return {edge_at(edge_id): count for edge_id, count in sorted(counts.items())}
 
     def _own_gains_by_edge_id(self, tidx: int) -> Dict[int, int]:
-        """One pass over a target's alive instances: ``{edge id: own gain}``."""
+        """One pass over a target's alive instances: ``{edge id: own gain}``
+        with keys ascending (the counting sort yields them sorted)."""
         index = self._index
         start, end = index._target_ranges[tidx]
-        counts: Dict[int, int] = {}
-        for instance_id in range(start, end):
-            if self._alive[instance_id]:
-                for position in range(
-                    index._inst_indptr[instance_id],
-                    index._inst_indptr[instance_id + 1],
-                ):
-                    edge_id = index._inst_edge_ids[position]
-                    counts[edge_id] = counts.get(edge_id, 0) + 1
-        return counts
+        live = np.flatnonzero(self._alive[start:end])
+        if not len(live):
+            return {}
+        live += start
+        starts = index._inst_indptr[live]
+        arities = index._inst_indptr[live + 1] - starts
+        positive = arities > 0  # zero-arity instances have no memberships
+        positions = _flat_ranges(starts[positive], arities[positive])
+        if not len(positions):
+            return {}
+        edge_ids, counts = np.unique(
+            index._inst_edge_ids[positions], return_counts=True
+        )
+        return dict(zip(edge_ids.tolist(), counts.tolist()))
 
     def best_scored_pair(
         self, targets: Sequence[Edge], constant: int
@@ -575,19 +899,28 @@ class CoverageState:
         weight = constant - 1
         gain = self._gain
         if heap is None:
+            own_gains = self._own_gains_by_edge_id(tidx)  # keys ascending
+            if own_gains:
+                edge_ids = np.fromiter(
+                    own_gains.keys(), dtype=NP_LONG, count=len(own_gains)
+                )
+                totals = gain[edge_ids].tolist()
+            else:
+                totals = []
             heap = [
-                (-(own * weight + gain[edge_id]), edge_id)
-                for edge_id, own in sorted(self._own_gains_by_edge_id(tidx).items())
+                (-(own * weight + total), edge_id)
+                for (edge_id, own), total in zip(own_gains.items(), totals)
             ]
             heapq.heapify(heap)
             self._pair_heaps[tidx] = heap
+        gain_mv = self._gain_mv
         while heap:
             negative, edge_id = heap[0]
             own = self._own_gain(edge_id, tidx)
             if own <= 0:
                 heapq.heappop(heap)
                 continue
-            key = own * weight + gain[edge_id]
+            key = own * weight + gain_mv[edge_id]
             if -negative == key:
                 return key, edge_id
             heapq.heapreplace(heap, (-key, edge_id))
@@ -603,15 +936,18 @@ class CoverageState:
         """
         heap = self._heap
         if heap is None:
-            gain = self._gain
+            candidates = self._index._candidate_id_array
+            gains = self._gain[candidates]
+            mask = gains > 0
             heap = [
-                (-gain[edge_id], edge_id)
-                for edge_id in self._index._candidate_ids
-                if gain[edge_id] > 0
+                (-value, edge_id)
+                for value, edge_id in zip(
+                    gains[mask].tolist(), candidates[mask].tolist()
+                )
             ]
             heapq.heapify(heap)
             self._heap = heap
-        gain = self._gain
+        gain = self._gain_mv
         while heap:
             negative, edge_id = heap[0]
             current = gain[edge_id]
@@ -654,39 +990,75 @@ class CoverageState:
         this, but baselines such as RD routinely delete useless edges).
 
         Cost is proportional to the killed instances times their arity — the
-        sibling-edge counters are decremented here so all later gain queries
-        stay O(1).
+        sibling-edge counters are decremented here (one vectorised gather +
+        scatter-add over the membership positions of the killed instances) so
+        all later gain queries stay O(1).
         """
         edge = canonical_edge(*edge)
         self._deleted_edges.append(edge)
         index = self._index
         edge_id = index._indexed.find_edge_id(*edge)
-        if edge_id is None or self._gain[edge_id] == 0:
+        if edge_id is None or self._gain_mv[edge_id] == 0:
             return {}
+        start = index._edge_indptr[edge_id]
+        stop = index._edge_indptr[edge_id + 1]
+        if stop - start <= _SCALAR_KILL_THRESHOLD:
+            return self._delete_scalar(edge_id, start, stop)
         alive = self._alive
-        gain = self._gain
-        et_count = self._et_count
-        inst_slot = index._inst_slot
+        row = index._edge_inst_ids[start:stop]
+        killed = row[alive[row] != 0]
+        if not len(killed):
+            return {}
+        alive[killed] = 0
+        self._alive_total -= len(killed)
+        broken = np.bincount(
+            index._inst_target_idx[killed], minlength=len(index._targets)
+        )
+        self._alive_by_tidx -= broken
+        # decrement every sibling edge of every killed instance (including
+        # the deleted edge itself, whose counters reach exactly zero): both
+        # the per-edge total and the (edge, target) matrix entry
+        starts = index._inst_indptr[killed]
+        arities = index._inst_indptr[killed + 1] - starts
+        positions = _flat_ranges(starts, arities)
+        np.subtract.at(self._gain, index._inst_edge_ids[positions], 1)
+        np.subtract.at(self._et_count, index._inst_slot[positions], 1)
+        targets = index.targets
+        return {
+            targets[tidx]: int(broken[tidx])
+            for tidx in np.flatnonzero(broken).tolist()
+        }
+
+    def _delete_scalar(self, edge_id: int, start: int, stop: int) -> Dict[Edge, int]:
+        """Element-wise kill walk for edges in few instances.
+
+        Identical bookkeeping to the vectorised path; for a handful of
+        memberships the fixed cost of the numpy gathers outweighs the loop,
+        and the greedy endgame (and CT's per-target deletions) is dominated
+        by exactly such small kills.
+        """
+        index = self._index
+        alive = self._alive_mv
+        gain = self._gain_mv
+        et_count = self._et_count_mv
+        alive_by_tidx = self._alive_by_tidx_mv
+        inst_ids = index._edge_inst_ids[start:stop].tolist()
+        inst_indptr = index._inst_indptr
         broken_by_tidx: Dict[int, int] = {}
-        for position in range(
-            index._edge_indptr[edge_id], index._edge_indptr[edge_id + 1]
-        ):
-            instance_id = index._edge_inst_ids[position]
+        for instance_id in inst_ids:
             if not alive[instance_id]:
                 continue
             alive[instance_id] = 0
-            tidx = index._inst_target_idx[instance_id]
+            tidx = int(index._inst_target_idx[instance_id])
             broken_by_tidx[tidx] = broken_by_tidx.get(tidx, 0) + 1
-            self._alive_by_tidx[tidx] -= 1
+            alive_by_tidx[tidx] -= 1
             self._alive_total -= 1
-            # decrement every sibling edge of the killed instance (including
-            # the deleted edge itself, whose counters reach exactly zero):
-            # both the per-edge total and the (edge, target) matrix entry
-            for sibling_position in range(
-                index._inst_indptr[instance_id], index._inst_indptr[instance_id + 1]
-            ):
-                gain[index._inst_edge_ids[sibling_position]] -= 1
-                et_count[inst_slot[sibling_position]] -= 1
+            lo = inst_indptr[instance_id]
+            hi = inst_indptr[instance_id + 1]
+            for sibling in index._inst_edge_ids[lo:hi].tolist():
+                gain[sibling] -= 1
+            for slot in index._inst_slot[lo:hi].tolist():
+                et_count[slot] -= 1
         targets = index.targets
         return {
             targets[tidx]: count for tidx, count in sorted(broken_by_tidx.items())
@@ -704,11 +1076,15 @@ class CoverageState:
         """Return an independent copy of this state (same underlying index)."""
         clone = CoverageState.__new__(CoverageState)
         clone._index = self._index
-        clone._alive = bytearray(self._alive)
+        clone._alive = self._alive.copy()
         clone._alive_total = self._alive_total
-        clone._alive_by_tidx = array("l", self._alive_by_tidx)
-        clone._gain = array("l", self._gain)
-        clone._et_count = array("l", self._et_count)
+        clone._alive_by_tidx = self._alive_by_tidx.copy()
+        clone._gain = self._gain.copy()
+        clone._et_count = self._et_count.copy()
+        clone._gain_mv = memoryview(clone._gain)
+        clone._et_count_mv = memoryview(clone._et_count)
+        clone._alive_mv = memoryview(clone._alive)
+        clone._alive_by_tidx_mv = memoryview(clone._alive_by_tidx)
         clone._deleted_edges = list(self._deleted_edges)
         # stale entries are safe: gains only decrease, pops re-validate
         clone._heap = list(self._heap) if self._heap is not None else None
@@ -717,6 +1093,20 @@ class CoverageState:
         }
         clone._pair_constant = self._pair_constant
         return clone
+
+    # memoryviews do not pickle; drop them and rebuild over the copied buffers
+    def __getstate__(self) -> Dict[str, object]:
+        state = self.__dict__.copy()
+        for view in ("_gain_mv", "_et_count_mv", "_alive_mv", "_alive_by_tidx_mv"):
+            del state[view]
+        return state
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        self.__dict__.update(state)
+        self._gain_mv = memoryview(self._gain)
+        self._et_count_mv = memoryview(self._et_count)
+        self._alive_mv = memoryview(self._alive)
+        self._alive_by_tidx_mv = memoryview(self._alive_by_tidx)
 
 
 class SetCoverageState:

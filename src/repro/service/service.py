@@ -77,6 +77,13 @@ class ProtectionService:
         How many target-subset sub-sessions to keep (least-recently-used
         eviction; each caches a full enumerated index).  ``None`` means
         unbounded.
+    build_workers:
+        ``None``/``0``/``1`` builds the index serially; ``N > 1`` fans the
+        per-target enumeration (pass 1) out over ``N`` worker processes —
+        bit-identical index for every worker count.  Inherited by subset
+        sub-session builds.  Worth it once enumeration dominates the build
+        (many targets on a large graph); a small session pays pool spin-up
+        for nothing.
 
     Notes
     -----
@@ -94,6 +101,7 @@ class ProtectionService:
         motif: Union[str, MotifPattern] = "triangle",
         constant: Optional[int] = None,
         max_cached_subsets: Optional[int] = 32,
+        build_workers: Optional[int] = None,
     ) -> None:
         if max_cached_subsets is not None and max_cached_subsets < 1:
             raise ExperimentError(
@@ -109,7 +117,10 @@ class ProtectionService:
                 )
             problem = TPPProblem(graph_or_problem, targets, motif=motif, constant=constant)
         self._problem = problem
-        self._index: TargetSubgraphIndex = problem.build_index()
+        self._build_workers = build_workers
+        self._index: TargetSubgraphIndex = problem.build_index(
+            build_workers=build_workers
+        )
         self._prototype = self._index.new_state()
         self._build_seconds = stopwatch.elapsed()
         self._set_prototype: Optional[SetCoverageState] = None
@@ -143,6 +154,11 @@ class ProtectionService:
     def build_seconds(self) -> float:
         """Wall-clock cost of the one-time build (index + prototype)."""
         return self._build_seconds
+
+    @property
+    def build_workers(self) -> Optional[int]:
+        """The pass-1 fan-out the session was configured with (None = serial)."""
+        return self._build_workers
 
     @property
     def queries_served(self) -> int:
@@ -356,6 +372,7 @@ class ProtectionService:
                     motif=self._problem.motif,
                     constant=self._problem.constant,
                     max_cached_subsets=self._max_cached_subsets,
+                    build_workers=self._build_workers,
                 )
                 with self._lock:
                     self._subsessions[subset] = session
@@ -386,7 +403,10 @@ class ProtectionService:
 
 # ----------------------------------------------------------------------
 # process-mode plumbing: one session per worker, rebuilt from the problem
-# (whose flat-array index pickles with it) exactly once per worker process
+# exactly once per worker process.  The problem pickles with its built
+# flat-array index, so the worker's build_index() returns the cached arrays
+# and the prototype state is a memcpy of the index's pristine counters —
+# nothing is enumerated or re-derived inside a worker.
 # ----------------------------------------------------------------------
 _WORKER_SERVICE: Optional[ProtectionService] = None
 

@@ -75,6 +75,44 @@ class TestCSR:
                 )
 
 
+class TestAssemblyModes:
+    """The vectorised and the seed (python) CSR assembly are byte-identical."""
+
+    @staticmethod
+    def _assert_identical(graph):
+        vectorized = IndexedGraph(graph, assembly="numpy")
+        reference = IndexedGraph(graph, assembly="python")
+        assert vectorized.nodes == reference.nodes
+        assert vectorized.edges == reference.edges
+        assert vectorized._indptr == reference._indptr
+        assert vectorized._neighbors == reference._neighbors
+        assert vectorized._incident_edges == reference._incident_edges
+
+    def test_small_graph(self, graph):
+        self._assert_identical(graph)
+
+    def test_random_graphs(self):
+        for seed in range(15):
+            self._assert_identical(erdos_renyi_graph(25, 0.25, seed=seed))
+
+    def test_string_labels_where_str_order_differs_from_value_order(self):
+        # nodes 2 and 10: value order (2 < 10) disagrees with str order
+        # ("10" < "2"), which is exactly the case the lexsort trick must get
+        # right for edge ids to keep matching edge_sort_key
+        graph = Graph(edges=[(2, 10), (10, 3), (2, 3), (1, 2)])
+        self._assert_identical(graph)
+        mixed = Graph(edges=[("b", "a10"), ("a2", "a10"), ("b", "a2"), ("c", "a10")])
+        self._assert_identical(mixed)
+
+    def test_empty_and_edgeless_graphs(self):
+        self._assert_identical(Graph())
+        self._assert_identical(Graph(nodes=[3, 1, 2]))
+
+    def test_unknown_assembly_rejected(self, graph):
+        with pytest.raises(ValueError):
+            IndexedGraph(graph, assembly="fortran")
+
+
 class TestRoundTrip:
     def test_to_graph_round_trip(self, graph):
         assert IndexedGraph(graph).to_graph() == graph

@@ -1,0 +1,208 @@
+"""Property tests: every index-construction strategy builds the same index.
+
+The vectorised assembly (``assembly="numpy"``), the seed's element-wise
+loops (``assembly="python"``) and the parallel pass-1 fan-out
+(``build_workers=N``) must all produce **bit-identical** flat arrays — and
+therefore identical initial similarities, candidate orders and full greedy
+traces — on every instance.  The edge-id order is load-bearing for the
+greedy tie-breaking, so these tests compare the arrays by bytes, not just by
+value.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.model import TPPProblem
+from repro.graphs.graph import Graph, canonical_edge
+from repro.motifs.base import MotifPattern
+from repro.motifs.enumeration import INDEX_ARRAY_FIELDS, TargetSubgraphIndex
+from repro.service import ProtectionRequest, ProtectionService
+
+MOTIFS = ("triangle", "rectangle", "rectri")
+
+GREEDY_METHODS = ("SGB-Greedy", "CT-Greedy:TBD", "WT-Greedy:TBD")
+
+
+def fingerprint(index):
+    arrays = tuple(getattr(index, name).tobytes() for name in INDEX_ARRAY_FIELDS)
+    return arrays + (index._target_ranges, index._candidate_ids)
+
+
+def random_instance(seed, max_nodes=16):
+    """Return ``(graph, targets)`` with the targets still present as edges."""
+    rng = random.Random(seed)
+    n = rng.randint(6, max_nodes)
+    graph = Graph(nodes=range(n))
+    for u in range(n):
+        for v in range(u + 1, n):
+            if rng.random() < rng.uniform(0.25, 0.5):
+                graph.add_edge(u, v)
+    edges = sorted(graph.edges())
+    if len(edges) < 4:
+        return None, None
+    targets = rng.sample(edges, rng.randint(1, min(4, len(edges) - 2)))
+    return graph, [canonical_edge(*target) for target in targets]
+
+
+def phase1(graph, targets):
+    return graph.without_edges(targets)
+
+
+@given(
+    st.integers(min_value=0, max_value=10_000),
+    st.integers(min_value=0, max_value=len(MOTIFS) - 1),
+)
+@settings(max_examples=40, deadline=None)
+def test_numpy_assembly_matches_seed_assembly(seed, motif_index):
+    graph, targets = random_instance(seed)
+    if graph is None:
+        return
+    motif = MOTIFS[motif_index]
+    removed = phase1(graph, targets)
+    vectorized = TargetSubgraphIndex(removed, targets, motif)
+    reference = TargetSubgraphIndex(removed, targets, motif, assembly="python")
+    assert fingerprint(vectorized) == fingerprint(reference)
+    for target in targets:
+        assert vectorized.initial_similarity(target) == reference.initial_similarity(
+            target
+        )
+    assert vectorized.candidate_edge_list() == reference.candidate_edge_list()
+
+
+def greedy_traces(graph, targets, motif, index, budget):
+    """Run the three greedy methods on the given prebuilt index."""
+    problem = TPPProblem(graph, targets, motif=motif)
+    problem.adopt_index(index)
+    service = ProtectionService(problem)
+    traces = {}
+    for method in GREEDY_METHODS:
+        result = service.solve(ProtectionRequest(method, budget))
+        traces[method] = (result.protectors, result.similarity_trace)
+    return traces
+
+
+def test_parallel_build_bit_identical_and_greedy_traces_agree():
+    checked = 0
+    for seed in range(12):
+        graph, targets = random_instance(seed)
+        if graph is None:
+            continue
+        motif = MOTIFS[seed % len(MOTIFS)]
+        removed = phase1(graph, targets)
+        serial = TargetSubgraphIndex(removed, targets, motif)
+        if serial.number_of_instances() == 0:
+            continue
+        reference = fingerprint(serial)
+        budget = max(1, serial.number_of_instances() // 2)
+        reference_traces = greedy_traces(graph, targets, motif, serial, budget)
+        for workers in (1, 2, 4):
+            parallel = TargetSubgraphIndex(
+                removed, targets, motif, build_workers=workers
+            )
+            assert fingerprint(parallel) == reference, (seed, motif, workers)
+            assert (
+                greedy_traces(graph, targets, motif, parallel, budget)
+                == reference_traces
+            ), (seed, motif, workers)
+        checked += 1
+        if checked >= 4:
+            break
+    assert checked >= 2, "not enough non-trivial random instances"
+
+
+def test_parallel_build_with_python_assembly_matches_too():
+    graph, targets = random_instance(3)
+    removed = phase1(graph, targets)
+    serial = TargetSubgraphIndex(removed, targets, "triangle", assembly="python")
+    parallel = TargetSubgraphIndex(
+        removed, targets, "triangle", build_workers=2, assembly="python"
+    )
+    assert fingerprint(parallel) == fingerprint(serial)
+
+
+class TupleOnlyRectangle(MotifPattern):
+    """A custom motif with no id-space override: the parallel dispatcher must
+    route it through the same tuple-enumeration fallback as the serial build."""
+
+    name = "tuple-only-rectangle"
+
+    def enumerate_instances(self, graph, target):
+        u, v = target
+        if not (graph.has_node(u) and graph.has_node(v)):
+            return
+        neighbors_v = graph.neighbors(v)
+        for a in graph.neighbors(u):
+            if a == v or a == u:
+                continue
+            for b in graph.neighbors(a):
+                if b == u or b == v or b == a:
+                    continue
+                if b in neighbors_v:
+                    yield frozenset(
+                        (
+                            self._canonical(u, a),
+                            self._canonical(a, b),
+                            self._canonical(b, v),
+                        )
+                    )
+
+
+class EmptyInstanceTriangle(MotifPattern):
+    """Yields triangle instances plus one pathological zero-arity instance."""
+
+    name = "empty-instance-triangle"
+
+    def enumerate_instances(self, graph, target):
+        u, v = target
+        if not (graph.has_node(u) and graph.has_node(v)):
+            return
+        yield frozenset()  # an instance with no protector edges
+        for w in graph.common_neighbors(u, v):
+            yield frozenset((self._canonical(u, w), self._canonical(w, v)))
+
+
+def test_zero_arity_instances_survive_the_vectorized_kernel():
+    """A zero-arity instance has no memberships: it counts toward similarity,
+    can never be broken, and must not corrupt the vectorized gain passes
+    (the seed's element-wise loops skipped it implicitly)."""
+    graph, targets = random_instance(7)
+    removed = phase1(graph, targets)
+    index = TargetSubgraphIndex(removed, targets, EmptyInstanceTriangle())
+    reference = TargetSubgraphIndex(
+        removed, targets, EmptyInstanceTriangle(), assembly="python"
+    )
+    assert fingerprint(index) == fingerprint(reference)
+    state = index.new_state()
+    set_state = index.new_set_state()
+    for target in targets:
+        assert state.gains_for_target(target) == {
+            edge: set_state.gain_for_target(edge, target)
+            for edge in set_state.candidate_edges()
+            if set_state.gain_for_target(edge, target) > 0
+        }
+    for edge in state.candidate_edge_list():
+        assert state.delete_edge(edge) == set_state.delete_edge(edge)
+        assert state.total_similarity() == set_state.total_similarity()
+    # the empty instances are exactly the unbreakable remainder
+    assert state.total_similarity() == sum(
+        1 for _ in targets
+    )
+
+
+def test_custom_tuple_motif_parallel_build_matches_serial():
+    for seed in (1, 5, 9):
+        graph, targets = random_instance(seed)
+        if graph is None:
+            continue
+        removed = phase1(graph, targets)
+        serial = TargetSubgraphIndex(removed, targets, TupleOnlyRectangle())
+        parallel = TargetSubgraphIndex(
+            removed, targets, TupleOnlyRectangle(), build_workers=2
+        )
+        assert fingerprint(parallel) == fingerprint(serial)
+        # and the fallback agrees with the built-in CSR enumeration
+        builtin = TargetSubgraphIndex(removed, targets, "rectangle")
+        assert serial.number_of_instances() == builtin.number_of_instances()
+        assert serial.candidate_edge_list() == builtin.candidate_edge_list()
