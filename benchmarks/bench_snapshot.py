@@ -1,0 +1,207 @@
+"""Index-snapshot cold-start benchmark (emits ``BENCH_snapshot.json``).
+
+A :class:`~repro.service.ProtectionService` session pays its entire startup
+cost in target-subgraph enumeration; a snapshot written by
+``TPPProblem.save_index`` / ``repro-tpp build-index`` turns that into a file
+read.  This benchmark measures, per built-in motif, the time to a **first
+answered query** along both cold-start paths::
+
+    build   ProtectionService(graph, targets, motif)   (enumerate)  + solve
+    load    ProtectionService.from_snapshot(path)      (file read)  + solve
+
+and verifies that the restored index is **bit identical** to the built one
+(all ten flat arrays compared by bytes) and that SGB greedy runs on both
+sessions produce identical protector traces — the benchmark doubles as a
+differential test and exits non-zero on any mismatch.
+
+Acceptance target: loading the snapshot is >= 5x faster than building, on
+the overall (summed across motifs) ratio — per-motif builds take ~0.1-0.3s
+where single-run noise swings a ratio by 20%+; the sum is stable enough for
+CI.  The ``cold_start_speedup_met`` flag is enforced by
+``check_bench_regression.py`` once committed true.
+
+Run with::
+
+    PYTHONPATH=src python benchmarks/bench_snapshot.py                  # committed scale
+    PYTHONPATH=src python benchmarks/bench_snapshot.py --nodes 2000 --targets 20 --repeats 1
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import Dict, List
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.datasets.targets import sample_degree_weighted_targets  # noqa: E402
+from repro.graphs.generators import powerlaw_cluster_graph  # noqa: E402
+from repro.graphs.graph import canonical_edge  # noqa: E402
+from repro.motifs.enumeration import INDEX_ARRAY_FIELDS, TargetSubgraphIndex  # noqa: E402
+from repro.service import ProtectionRequest, ProtectionService  # noqa: E402
+
+#: Acceptance bar for the load-vs-build cold-start speedup.
+COLD_START_SPEEDUP_TARGET = 5.0
+
+
+def _fingerprint(index: TargetSubgraphIndex) -> tuple:
+    arrays = tuple(getattr(index, name).tobytes() for name in INDEX_ARRAY_FIELDS)
+    return arrays + (index._target_ranges, index._candidate_ids)
+
+
+def _trace(result) -> tuple:
+    return result.protectors, result.similarity_trace
+
+
+def run(args: argparse.Namespace) -> dict:
+    graph = powerlaw_cluster_graph(args.nodes, args.attach, 0.4, seed=args.seed)
+    targets = [
+        canonical_edge(*target)
+        for target in sample_degree_weighted_targets(graph, args.targets, seed=args.seed)
+    ]
+    workdir = Path(tempfile.mkdtemp(prefix="bench_snapshot_"))
+
+    per_motif: Dict[str, dict] = {}
+    all_identical = True
+    traces_agree = True
+    total_build_seconds = 0.0
+    total_load_seconds = 0.0
+    speedups: List[float] = []
+
+    for motif in args.motifs:
+        # -- build path: enumerate, then answer one query ------------------
+        build_seconds = float("inf")
+        service = None
+        built_result = None
+        for _ in range(args.repeats):
+            started = time.perf_counter()
+            candidate = ProtectionService(graph, targets, motif=motif)
+            budget = max(1, candidate.index.number_of_instances() // 4)
+            request = ProtectionRequest("SGB-Greedy", budget)
+            result = candidate.solve(request)
+            build_seconds = min(build_seconds, time.perf_counter() - started)
+            service, built_result = candidate, result
+        budget = max(1, service.index.number_of_instances() // 4)
+        request = ProtectionRequest("SGB-Greedy", budget)
+
+        # -- snapshot: save once, then cold-start repeatedly ---------------
+        path = workdir / f"{motif}.tppsnap"
+        started = time.perf_counter()
+        service.problem.save_index(path)
+        save_seconds = time.perf_counter() - started
+
+        load_seconds = float("inf")
+        cold = None
+        cold_result = None
+        for _ in range(args.repeats):
+            started = time.perf_counter()
+            candidate = ProtectionService.from_snapshot(path)
+            result = candidate.solve(request)
+            load_seconds = min(load_seconds, time.perf_counter() - started)
+            cold, cold_result = candidate, result
+
+        identical = _fingerprint(cold.index) == _fingerprint(service.index)
+        motif_traces_agree = _trace(cold_result) == _trace(built_result) and (
+            cold_result.initial_similarity == built_result.initial_similarity
+        )
+        speedup = build_seconds / load_seconds if load_seconds > 0 else float("inf")
+
+        all_identical = all_identical and identical
+        traces_agree = traces_agree and motif_traces_agree
+        total_build_seconds += build_seconds
+        total_load_seconds += load_seconds
+        speedups.append(speedup)
+        per_motif[motif] = {
+            "instances": service.index.number_of_instances(),
+            "candidate_edges": service.index.number_of_candidate_edges(),
+            "budget": budget,
+            "build_seconds": round(build_seconds, 6),
+            "save_seconds": round(save_seconds, 6),
+            "load_seconds": round(load_seconds, 6),
+            "snapshot_bytes": path.stat().st_size,
+            "cold_start_speedup": round(speedup, 2),
+            "identical": identical,
+            "greedy_trace_agrees": motif_traces_agree,
+        }
+
+    overall = (
+        total_build_seconds / total_load_seconds
+        if total_load_seconds > 0
+        else float("inf")
+    )
+    return {
+        "kind": "snapshot",
+        "config": {
+            "nodes": graph.number_of_nodes(),
+            "edges": graph.number_of_edges(),
+            "targets": len(targets),
+            "seed": args.seed,
+            "repeats": args.repeats,
+            "motifs": list(args.motifs),
+        },
+        "motifs": per_motif,
+        "min_cold_start_speedup": round(min(speedups), 2),
+        "overall_cold_start_speedup": round(overall, 2),
+        "cold_start_speedup_target": COLD_START_SPEEDUP_TARGET,
+        "cold_start_speedup_met": overall >= COLD_START_SPEEDUP_TARGET,
+        "snapshots_identical": all_identical,
+        "greedy_traces_agree": traces_agree,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--nodes", type=int, default=12_000)
+    parser.add_argument("--attach", type=int, default=5, help="edges per new node")
+    parser.add_argument("--targets", type=int, default=100)
+    parser.add_argument(
+        "--motifs",
+        nargs="+",
+        default=["triangle", "rectangle", "rectri"],
+        help="motifs to benchmark (each measured separately)",
+    )
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--repeats", type=int, default=5, help="min-of-N timing")
+    parser.add_argument(
+        "--output",
+        default=str(REPO_ROOT / "BENCH_snapshot.json"),
+        help="where to write the JSON report",
+    )
+    args = parser.parse_args(argv)
+
+    report = run(args)
+    Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
+
+    config = report["config"]
+    print(
+        f"snapshot cold start at n={config['nodes']}, m={config['edges']}, "
+        f"|T|={config['targets']}:"
+    )
+    for motif, row in report["motifs"].items():
+        print(
+            f"  {motif:>10}: build+solve {row['build_seconds']:6.3f}s  "
+            f"load+solve {row['load_seconds']:6.3f}s "
+            f"({row['cold_start_speedup']:.2f}x)  save {row['save_seconds']:.3f}s "
+            f"{row['snapshot_bytes']} bytes  identical={row['identical']} "
+            f"trace={row['greedy_trace_agrees']}"
+        )
+    print(
+        f"  cold-start speedup: overall {report['overall_cold_start_speedup']:.2f}x, "
+        f"per-motif min {report['min_cold_start_speedup']:.2f}x "
+        f"(target >= {report['cold_start_speedup_target']}x overall, "
+        f"met={report['cold_start_speedup_met']})"
+    )
+    print(f"report written to {args.output}")
+    ok = report["snapshots_identical"] and report["greedy_traces_agree"]
+    if not ok:
+        print("ERROR: snapshot round trip disagrees — see the report", file=sys.stderr)
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,8 +12,16 @@ freshly emitted JSON against the report checked into the repository::
     PYTHONPATH=src python benchmarks/bench_index_build.py --output fresh.json
     python benchmarks/check_bench_regression.py fresh.json BENCH_index_build.json
 
+    PYTHONPATH=src python benchmarks/bench_snapshot.py --output fresh.json
+    python benchmarks/check_bench_regression.py fresh.json BENCH_snapshot.json
+
 The report kind is read from the committed JSON (``"kind"``; missing means
-the engine-kernel report).  For the index-build report the check fails if
+the engine-kernel report).  For the snapshot report the check fails if the
+restored index stopped being bit-identical to the built one (or the greedy
+traces diverged), if the overall load-vs-build cold-start speedup dropped
+more than ``--max-regression`` below the committed value, or if the
+``cold_start_speedup_met`` acceptance flag regressed from the committed
+report.  For the index-build report the check fails if
 the builds stopped being bit-identical (or their greedy traces diverged), if
 the overall vectorized-vs-seed build speedup dropped more than
 ``--max-regression`` below the committed value, or if an acceptance flag
@@ -95,6 +103,32 @@ def compare_index_build(fresh: dict, committed: dict, max_regression: float) -> 
     return failures
 
 
+def compare_snapshot(fresh: dict, committed: dict, max_regression: float) -> list:
+    """Return the failure list for a ``snapshot`` report pair."""
+    failures = []
+    if not fresh.get("snapshots_identical", False):
+        failures.append(
+            "fresh run: restored snapshots are no longer bit-identical to "
+            "the built indexes"
+        )
+    if not fresh.get("greedy_traces_agree", False):
+        failures.append(
+            "fresh run: greedy traces diverge between built and "
+            "snapshot-restored sessions"
+        )
+    committed_speedup = committed.get("overall_cold_start_speedup", 0.0)
+    fresh_speedup = fresh.get("overall_cold_start_speedup", 0.0)
+    floor = committed_speedup * (1.0 - max_regression)
+    if fresh_speedup < floor:
+        failures.append(
+            f"overall_cold_start_speedup {fresh_speedup:.2f}x fell more than "
+            f"{max_regression:.0%} below the committed {committed_speedup:.2f}x "
+            f"(floor {floor:.2f}x)"
+        )
+    failures.extend(_check_flags(fresh, committed, ("cold_start_speedup_met",)))
+    return failures
+
+
 def compare_service(fresh: dict, committed: dict, max_regression: float) -> list:
     """Return the failure list for a ``service_throughput`` report pair."""
     failures = []
@@ -124,6 +158,8 @@ def compare(fresh: dict, committed: dict, max_regression: float) -> list:
         return compare_service(fresh, committed, max_regression)
     if committed.get("kind") == "index_build":
         return compare_index_build(fresh, committed, max_regression)
+    if committed.get("kind") == "snapshot":
+        return compare_snapshot(fresh, committed, max_regression)
     failures = []
     if not fresh.get("all_protectors_agree", False):
         failures.append("fresh run: engines disagree on a protector sequence")
@@ -169,7 +205,15 @@ def main(argv=None) -> int:
     fresh = json.loads(Path(args.fresh).read_text())
     committed = json.loads(Path(args.committed).read_text())
     failures = compare(fresh, committed, args.max_regression)
-    if committed.get("kind") == "index_build":
+    if committed.get("kind") == "snapshot":
+        print(
+            f"overall_cold_start_speedup: committed "
+            f"{committed.get('overall_cold_start_speedup')}x, fresh "
+            f"{fresh.get('overall_cold_start_speedup')}x; bit-identical restores: "
+            f"{fresh.get('snapshots_identical')}; greedy traces agree: "
+            f"{fresh.get('greedy_traces_agree')}"
+        )
+    elif committed.get("kind") == "index_build":
         print(
             f"overall_vectorized_speedup: committed "
             f"{committed.get('overall_vectorized_speedup')}x, fresh "

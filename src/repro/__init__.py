@@ -24,8 +24,13 @@ fans batches out over workers (``service.solve_many(requests, workers=4)``).
 
 The top-level package re-exports the most frequently used names; the
 subpackages (:mod:`repro.graphs`, :mod:`repro.motifs`, :mod:`repro.core`,
-:mod:`repro.service`, :mod:`repro.prediction`, :mod:`repro.utility`,
-:mod:`repro.datasets`, :mod:`repro.experiments`) contain the full API.
+:mod:`repro.service`, :mod:`repro.persistence`, :mod:`repro.prediction`,
+:mod:`repro.utility`, :mod:`repro.datasets`, :mod:`repro.experiments`)
+contain the full API.
+
+Built indexes persist: ``problem.save_index("g.tppsnap")`` writes a
+versioned snapshot and ``ProtectionService.from_snapshot("g.tppsnap")``
+cold-starts a session from it without enumerating (bit-identical traces).
 """
 
 from repro.core import (
@@ -43,6 +48,12 @@ from repro.core import (
 from repro.exceptions import ReproError
 from repro.graphs import Graph, canonical_edge
 from repro.motifs import available_motifs, get_motif
+from repro.persistence import (
+    IndexSnapshot,
+    load_snapshot,
+    save_snapshot,
+    snapshot_content_hash,
+)
 from repro.prediction import AttackSimulator
 from repro.service import (
     ProtectionRequest,
@@ -52,7 +63,7 @@ from repro.service import (
 )
 from repro.utility import compare_graphs
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "__version__",
@@ -74,6 +85,10 @@ __all__ = [
     "critical_budget",
     "get_motif",
     "available_motifs",
+    "IndexSnapshot",
+    "save_snapshot",
+    "load_snapshot",
+    "snapshot_content_hash",
     "AttackSimulator",
     "compare_graphs",
     "ReproError",

@@ -1,11 +1,15 @@
 """Command-line interface.
 
-Two sub-commands cover the common workflows:
+Three sub-commands cover the common workflows:
 
 * ``repro-tpp protect`` — run one or more protection queries on an edge-list
   file (or a named dataset) through a shared-index
   :class:`~repro.service.ProtectionService` session and write the released
-  graph, and
+  graph,
+* ``repro-tpp build-index`` — enumerate the target-subgraph index once and
+  persist it as a snapshot file that later ``protect --index-file`` runs
+  (or :meth:`ProtectionService.from_snapshot`) cold-start from without
+  enumerating, and
 * ``repro-tpp experiment`` — regenerate one of the paper's figures/tables and
   print its rows/series.
 
@@ -21,6 +25,13 @@ Sweep three budgets from one session, four queries in flight, JSON out::
     repro-tpp protect --dataset arenas-email --budget 10 20 30 \
         --workers 4 --json results.json
 
+Build the index once, then serve queries from the snapshot (no
+enumeration at startup)::
+
+    repro-tpp build-index --dataset arenas-email --targets 10 \
+        --output arenas.tppsnap
+    repro-tpp protect --index-file arenas.tppsnap --budget 30
+
 Regenerate Fig. 3 at quick scale::
 
     repro-tpp experiment fig3 --scale quick
@@ -30,9 +41,11 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import List, Optional
 
 from repro.core.engines import ENGINE_NAMES
+from repro.core.model import TPPProblem
 from repro.datasets.loaders import load_edge_list_dataset
 from repro.datasets.registry import available_datasets, load_dataset
 from repro.datasets.targets import sample_random_targets
@@ -122,6 +135,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="fan the index build (per-target enumeration) out over this "
         "many worker processes; the index is bit-identical for every count",
     )
+    protect.add_argument(
+        "--index-file",
+        help="cold-start the session from a snapshot written by build-index "
+        "(skips dataset loading, target sampling and enumeration; "
+        "--dataset/--edge-list/--targets/--motif are ignored)",
+    )
     protect.add_argument("--output", help="write the released graph to this edge list")
     protect.add_argument(
         "--json",
@@ -130,6 +149,44 @@ def build_parser() -> argparse.ArgumentParser:
     )
     protect.add_argument(
         "--utility", action="store_true", help="also report the utility loss"
+    )
+
+    build_index = subparsers.add_parser(
+        "build-index",
+        help="enumerate the target-subgraph index once and save it as a "
+        "snapshot for later cold starts",
+    )
+    build_index.add_argument(
+        "--dataset",
+        default="arenas-email",
+        help=f"named dataset ({', '.join(available_datasets())}) or ignored if --edge-list given",
+    )
+    build_index.add_argument(
+        "--edge-list", help="path to an edge-list file to index"
+    )
+    build_index.add_argument(
+        "--targets", type=int, default=10, help="number of random targets"
+    )
+    build_index.add_argument(
+        "--motif", default="triangle", choices=sorted(available_motifs())
+    )
+    build_index.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="target-sampling seed (use the same seed as the later protect "
+        "run so both describe the same instance)",
+    )
+    build_index.add_argument(
+        "--build-workers",
+        type=int,
+        default=1,
+        help="fan the enumeration out over this many worker processes",
+    )
+    build_index.add_argument(
+        "--output",
+        required=True,
+        help="snapshot file to write (conventionally *.tppsnap)",
     )
 
     experiment = subparsers.add_parser(
@@ -165,16 +222,32 @@ def _format_result(result) -> str:
     return str(result)
 
 
-def _command_protect(args: argparse.Namespace) -> int:
+def _load_instance(args: argparse.Namespace):
+    """Load the graph named by ``--edge-list``/``--dataset`` and sample targets."""
     if args.edge_list:
         graph = load_edge_list_dataset(args.edge_list)
     else:
         graph = load_dataset(args.dataset)
     targets = sample_random_targets(graph, args.targets, seed=args.seed)
+    return graph, targets
 
-    service = ProtectionService(
-        graph, targets, motif=args.motif, build_workers=args.build_workers
-    )
+
+def _command_protect(args: argparse.Namespace) -> int:
+    if args.index_file:
+        service = ProtectionService.from_snapshot(
+            args.index_file, build_workers=args.build_workers
+        )
+        print(
+            f"session cold-started from {args.index_file} "
+            f"(motif {service.problem.motif.name}, "
+            f"{len(service.targets)} targets, "
+            f"{service.index.number_of_instances()} target subgraphs)"
+        )
+    else:
+        graph, targets = _load_instance(args)
+        service = ProtectionService(
+            graph, targets, motif=args.motif, build_workers=args.build_workers
+        )
     requests = [
         ProtectionRequest(args.method, budget, engine=args.engine, seed=args.seed)
         for budget in args.budget
@@ -201,13 +274,36 @@ def _command_protect(args: argparse.Namespace) -> int:
     if best is not None:
         released = best.released_graph(problem)
         if args.utility:
-            report = compare_graphs(graph, released, path_length_sample=100)
+            # problem.graph materialises lazily on a cold-started session;
+            # only the utility comparison actually needs the original graph
+            report = compare_graphs(problem.graph, released, path_length_sample=100)
             print(report.summary())
             for metric, original, new, loss in report.as_rows():
                 print(f"  {metric:>6}: {original:.4f} -> {new:.4f} (loss {100 * loss:.2f}%)")
         if args.output:
             write_edge_list(released, args.output, header=f"released by {best.algorithm}")
             print(f"released graph written to {args.output}")
+    return 0
+
+
+def _command_build_index(args: argparse.Namespace) -> int:
+    graph, targets = _load_instance(args)
+    problem = TPPProblem(graph, targets, motif=args.motif)
+    stopwatch_start = time.perf_counter()
+    path = problem.save_index(args.output, build_workers=args.build_workers)
+    elapsed = time.perf_counter() - stopwatch_start
+    index = problem.build_index()  # cached — returns the just-built index
+    size = path.stat().st_size
+    print(
+        f"indexed {graph.number_of_nodes()} nodes / {graph.number_of_edges()} "
+        f"edges, {len(targets)} targets, motif {args.motif}: "
+        f"{index.number_of_instances()} target subgraphs, "
+        f"{index.number_of_candidate_edges()} candidate edges"
+    )
+    print(
+        f"snapshot written to {path} ({size} bytes, built+saved in {elapsed:.3f}s); "
+        f"serve it with: repro-tpp protect --index-file {path}"
+    )
     return 0
 
 
@@ -246,6 +342,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     if args.command == "protect":
         return _command_protect(args)
+    if args.command == "build-index":
+        return _command_build_index(args)
     if args.command == "experiment":
         return _command_experiment(args)
     parser.error(f"unknown command {args.command!r}")

@@ -14,6 +14,7 @@ multi-local-budget variants) and how long the selection took.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Dict, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.exceptions import InvalidTargetError
@@ -41,11 +42,18 @@ class TPPProblem:
     constant:
         The constant ``C`` of the dissimilarity ``f(P, T) = C - s(P, T)``.
         Defaults to the initial similarity ``s(∅, T)`` so ``f(∅, T) = 0``.
+    index:
+        Optional prebuilt :class:`TargetSubgraphIndex` for this exact
+        instance (e.g. restored from a snapshot).  Adopted via
+        :meth:`adopt_index` before the initial similarity is computed, so
+        construction runs **no enumeration** — this is the cold-start path
+        :meth:`from_snapshot` uses.
 
     Raises
     ------
     InvalidTargetError
-        If any target is not an edge of ``graph`` or targets are duplicated.
+        If any target is not an edge of ``graph``, targets are duplicated,
+        or a supplied ``index`` was built for a different instance.
     """
 
     def __init__(
@@ -54,6 +62,7 @@ class TPPProblem:
         targets: Sequence[Edge],
         motif: Union[str, MotifPattern] = "triangle",
         constant: Optional[int] = None,
+        index: Optional[TargetSubgraphIndex] = None,
     ) -> None:
         self._graph = graph
         self._motif = coerce_motif(motif)
@@ -76,6 +85,8 @@ class TPPProblem:
 
         self._phase1_graph = graph.without_edges(self._targets)
         self._index: Optional[TargetSubgraphIndex] = None
+        if index is not None:
+            self.adopt_index(index)
 
         initial = self.initial_similarity()
         if constant is None:
@@ -91,7 +102,16 @@ class TPPProblem:
     # ------------------------------------------------------------------
     @property
     def graph(self) -> Graph:
-        """The original graph (targets included)."""
+        """The original graph (targets included).
+
+        Snapshot-restored problems materialise it lazily (phase-1 graph
+        plus the target links) on first access — serving queries from the
+        kernel never needs it, so a cold start does not pay for it.
+        """
+        if self._graph is None:
+            graph = self.phase1_graph.copy()
+            graph.add_edges_from(self._targets)
+            self._graph = graph
         return self._graph
 
     @property
@@ -111,7 +131,13 @@ class TPPProblem:
 
     @property
     def phase1_graph(self) -> Graph:
-        """The graph after phase 1 (all targets deleted).  Do not mutate."""
+        """The graph after phase 1 (all targets deleted).  Do not mutate.
+
+        Snapshot-restored problems materialise it lazily from the restored
+        :class:`~repro.graphs.indexed.IndexedGraph` on first access.
+        """
+        if self._phase1_graph is None:
+            self._phase1_graph = self._index.indexed_graph.to_graph()
         return self._phase1_graph
 
     def target_set(self) -> frozenset:
@@ -156,12 +182,97 @@ class TPPProblem:
                 f"adopted index was built for motif {index.motif.name!r}, "
                 f"problem uses {self._motif.name!r}"
             )
-        if index.indexed_graph.number_of_edges() != self._phase1_graph.number_of_edges():
+        if index.indexed_graph.number_of_edges() != self.phase1_graph.number_of_edges():
             raise InvalidTargetError(
                 "adopted index was built on a different phase-1 graph"
             )
         self._index = index
         return index
+
+    def save_index(
+        self,
+        path: Union[str, "Path"],
+        build_workers: Optional[int] = None,
+    ) -> "Path":
+        """Persist this problem's built index as a snapshot file.
+
+        Builds the index first if it is not cached yet (``build_workers``
+        fans that build out, exactly like :meth:`build_index`), then writes
+        a versioned snapshot — flat arrays, motif identity, targets,
+        constant ``C`` and content hash — that
+        :meth:`from_snapshot` / :meth:`ProtectionService.from_snapshot
+        <repro.service.ProtectionService.from_snapshot>` can cold-start
+        from without enumerating.
+
+        Parameters
+        ----------
+        path:
+            Destination snapshot file (conventionally ``*.tppsnap``).
+        build_workers:
+            Worker-process fan-out for the build, if one still has to run.
+
+        Returns
+        -------
+        pathlib.Path
+            The written path.
+        """
+        from repro.persistence.snapshot import save_snapshot
+
+        index = self.build_index(build_workers=build_workers)
+        return save_snapshot(path, index, self._constant)
+
+    @classmethod
+    def from_snapshot(
+        cls, path: Union[str, "Path"], allow_pickle: bool = True
+    ) -> "TPPProblem":
+        """Reconstruct a problem — index included — from a snapshot file.
+
+        The phase-1 graph is materialised from the snapshot's
+        :class:`~repro.graphs.indexed.IndexedGraph`, the original graph is
+        that plus the target links, and the restored index is adopted
+        before any similarity is computed — so **no motif enumeration runs**
+        and every greedy trace matches the session that saved the snapshot
+        byte for byte.
+
+        Parameters
+        ----------
+        path:
+            A file written by :meth:`save_index` (or
+            :func:`repro.persistence.save_snapshot`).
+        allow_pickle:
+            Forwarded to :func:`repro.persistence.load_snapshot`; refuse
+            snapshots with pickled sections (custom motifs, exotic node
+            labels) when ``False``.
+
+        Returns
+        -------
+        TPPProblem
+            With the snapshot's targets, motif, constant and built index.
+
+        Raises
+        ------
+        repro.exceptions.SnapshotFormatError
+            If the file is unreadable, truncated, corrupted or from an
+            incompatible format version / platform.
+        """
+        from repro.persistence.snapshot import load_snapshot
+
+        snapshot = load_snapshot(path, allow_pickle=allow_pickle)
+        index = snapshot.index
+        # fast restore path: the snapshot's IndexedGraph *is* the phase-1
+        # graph, so both Graph views stay lazy (see the ``graph`` /
+        # ``phase1_graph`` properties) and nothing per-edge runs here.  The
+        # skipped __init__ validation (targets are edges, C >= s(∅, T))
+        # held when the snapshot was saved and is preserved verbatim by the
+        # hash-checked file.
+        problem = cls.__new__(cls)
+        problem._graph = None
+        problem._motif = index.motif
+        problem._targets = index.targets
+        problem._phase1_graph = None
+        problem._index = index
+        problem._constant = snapshot.constant
+        return problem
 
     @property
     def has_cached_index(self) -> bool:
@@ -177,7 +288,7 @@ class TPPProblem:
         """Return ``s(∅, T)`` on the phase-1 graph."""
         if self._index is not None:
             return self._index.initial_total_similarity()
-        return total_similarity(self._phase1_graph, self._targets, self._motif)
+        return total_similarity(self.phase1_graph, self._targets, self._motif)
 
     def initial_similarity_by_target(self) -> Dict[Edge, int]:
         """Return ``s(∅, t)`` for every target."""
@@ -186,17 +297,23 @@ class TPPProblem:
 
     def dissimilarity_of(self, protectors: Sequence[Edge]) -> int:
         """Return ``f(P, T)`` for an explicit protector set (recounted)."""
-        released = self._phase1_graph.without_edges(protectors)
+        released = self.phase1_graph.without_edges(protectors)
         return self._constant - total_similarity(released, self._targets, self._motif)
 
     def released_graph(self, protectors: Sequence[Edge]) -> Graph:
         """Return the released graph: phase-1 graph minus the protector set."""
-        return self._phase1_graph.without_edges(protectors)
+        return self.phase1_graph.without_edges(protectors)
 
     def __repr__(self) -> str:
+        if self._graph is None:  # snapshot-restored, graph not materialised
+            indexed = self._index.indexed_graph
+            n = indexed.number_of_nodes()
+            m = indexed.number_of_edges() + len(self._targets)
+        else:
+            n = self._graph.number_of_nodes()
+            m = self._graph.number_of_edges()
         return (
-            f"TPPProblem(n={self._graph.number_of_nodes()}, "
-            f"m={self._graph.number_of_edges()}, targets={len(self._targets)}, "
+            f"TPPProblem(n={n}, m={m}, targets={len(self._targets)}, "
             f"motif={self._motif.name!r})"
         )
 

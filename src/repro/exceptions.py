@@ -75,5 +75,29 @@ class DatasetError(ReproError):
     """Base class for dataset loading / generation errors."""
 
 
+class PersistenceError(ReproError):
+    """Base class for index-snapshot persistence errors."""
+
+
+class SnapshotFormatError(PersistenceError, ValueError):
+    """A snapshot file could not be read back.
+
+    Raised on a bad magic marker, an unsupported format version, a
+    truncated or corrupted payload, or inconsistent flat arrays — anything
+    that means the bytes on disk cannot be trusted to reproduce the index
+    that was saved.
+    """
+
+
+class SnapshotMismatchError(PersistenceError, ValueError):
+    """A snapshot does not describe the given ``(graph, targets, motif)``.
+
+    Raised when a loaded snapshot's content hash disagrees with the live
+    objects it is checked against — a stale snapshot (the graph, targets,
+    motif or constant changed since it was written) must never silently
+    serve wrong gains.
+    """
+
+
 class ExperimentError(ReproError):
     """Base class for experiment-harness errors."""

@@ -82,6 +82,9 @@ class IndexedGraph:
         "_indptr",
         "_neighbors",
         "_incident_edges",
+        # snapshot restores defer the edge-tuple table: endpoint-id pairs
+        # (an (2m,) ndarray) until the first edge-object lookup needs them
+        "_lazy_edge_ids",
     )
 
     def __init__(self, graph: Graph, assembly: str = "numpy") -> None:
@@ -94,10 +97,62 @@ class IndexedGraph:
         self._node_id: Dict[Node, int] = {
             node: index for index, node in enumerate(self._nodes)
         }
+        self._lazy_edge_ids: Optional[np.ndarray] = None
         if assembly == "python":
             self._assemble_python(graph)
         else:
             self._assemble_numpy(graph)
+
+    @classmethod
+    def _restore(
+        cls,
+        nodes: Sequence[Node],
+        edge_endpoint_ids: np.ndarray,
+        indptr: array,
+        neighbors: array,
+        incident_edges: array,
+    ) -> "IndexedGraph":
+        """Rebuild an :class:`IndexedGraph` from previously frozen storage.
+
+        This is the deserialisation hook of :mod:`repro.persistence`: the
+        caller supplies the node tuple (in id order), the canonical edges as
+        a flat ``(2m,)`` endpoint-id array (pairs in edge-id order, each
+        pair in canonical tuple order) and the three CSR arrays exactly as
+        a built snapshot stored them, and gets back an index whose arrays
+        are byte-identical to the one that was saved — no sorting, no CSR
+        assembly.  The edge-*object* tables (tuple list + reverse dict) are
+        materialised lazily on the first lookup that needs them, keeping
+        the snapshot cold-start path free of per-edge Python work.  Inputs
+        are trusted to be mutually consistent; the persistence layer
+        validates shapes before calling.
+        """
+        self = cls.__new__(cls)
+        self._nodes = tuple(nodes)
+        self._node_id = {node: index for index, node in enumerate(self._nodes)}
+        self._edges = None
+        self._edge_id = None
+        # array("l") so element reads in the lazy edge_at yield plain ints
+        self._lazy_edge_ids = _as_long_array(
+            np.ascontiguousarray(edge_endpoint_ids, dtype=NP_LONG)
+        )
+        self._indptr = indptr
+        self._neighbors = neighbors
+        self._incident_edges = incident_edges
+        return self
+
+    def _materialise_edges(self) -> None:
+        """Build the deferred edge-object tables of a restored snapshot.
+
+        Pairs were stored from already-canonical tuples in tuple order, so
+        positional reconstruction reproduces the canonical edges verbatim.
+        Only bulk access (the :attr:`edges` property) pays this; the scalar
+        lookups answer straight from the pair array / CSR instead.
+        """
+        nodes = self._nodes
+        flat = iter(self._lazy_edge_ids.tolist())
+        self._edges = tuple((nodes[a], nodes[b]) for a, b in zip(flat, flat))
+        self._edge_id = {edge: index for index, edge in enumerate(self._edges)}
+        self._lazy_edge_ids = None
 
     def _assemble_numpy(self, graph: Graph) -> None:
         """Vectorised edge ordering + CSR assembly.
@@ -183,6 +238,8 @@ class IndexedGraph:
 
     def number_of_edges(self) -> int:
         """Return ``|E|``."""
+        if self._edges is None:
+            return len(self._lazy_edge_ids) // 2
         return len(self._edges)
 
     # ------------------------------------------------------------------
@@ -220,6 +277,8 @@ class IndexedGraph:
     @property
     def edges(self) -> Tuple[Edge, ...]:
         """All canonical edges, in id (``edge_sort_key``) order."""
+        if self._edges is None:
+            self._materialise_edges()
         return self._edges
 
     def edge_id(self, u: Node, v: Node) -> int:
@@ -230,6 +289,11 @@ class IndexedGraph:
         EdgeNotFoundError
             If the edge was not part of the snapshotted graph.
         """
+        if self._edge_id is None:
+            found = self.find_edge_id(u, v)
+            if found is None:
+                raise EdgeNotFoundError((u, v))
+            return found
         try:
             return self._edge_id[canonical_edge(u, v)]
         except KeyError:
@@ -237,15 +301,29 @@ class IndexedGraph:
 
     def find_edge_id(self, u: Node, v: Node) -> Optional[int]:
         """Return the dense id of ``(u, v)``, or ``None`` if absent."""
+        if self._edge_id is None:
+            # deferred tables: answer from the CSR (O(log deg) bisect)
+            # without paying the full per-edge dict build
+            u_id = self._node_id.get(u)
+            v_id = self._node_id.get(v)
+            if u_id is None or v_id is None:
+                return None
+            return self.edge_id_between(u_id, v_id)
         return self._edge_id.get(canonical_edge(u, v))
 
     def edge_at(self, edge_id: int) -> Edge:
         """Return the canonical edge with dense id ``edge_id``."""
+        if self._edges is None:
+            # deferred tables: positional pair lookup reproduces the
+            # canonical tuple verbatim (pairs stored in tuple order)
+            base = 2 * edge_id
+            ids = self._lazy_edge_ids
+            return (self._nodes[ids[base]], self._nodes[ids[base + 1]])
         return self._edges[edge_id]
 
     def has_edge(self, u: Node, v: Node) -> bool:
         """Return whether the snapshot contains the undirected edge ``(u, v)``."""
-        return canonical_edge(u, v) in self._edge_id
+        return self.find_edge_id(u, v) is not None
 
     # ------------------------------------------------------------------
     # CSR adjacency
@@ -317,8 +395,22 @@ class IndexedGraph:
     # round-trip
     # ------------------------------------------------------------------
     def to_graph(self) -> Graph:
-        """Materialise the snapshot back into a mutable :class:`Graph`."""
-        return Graph(edges=self._edges, nodes=self._nodes)
+        """Materialise the snapshot back into a mutable :class:`Graph`.
+
+        Builds the adjacency sets straight from the CSR rows (one set per
+        node) instead of replaying per-edge insertions — the rows already
+        encode a symmetric simple graph, and this path is on the snapshot
+        cold-start critical path.
+        """
+        graph = Graph()
+        adj = graph._adj  # same-package fast fill; invariants hold by CSR shape
+        indptr, neighbors, nodes = self._indptr, self._neighbors, self._nodes
+        start = indptr[0]
+        for u_id, u in enumerate(nodes):
+            end = indptr[u_id + 1]
+            adj[u] = {nodes[v_id] for v_id in neighbors[start:end]}
+            start = end
+        return graph
 
     def __iter__(self) -> Iterator[Node]:
         return iter(self._nodes)

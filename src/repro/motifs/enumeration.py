@@ -367,7 +367,15 @@ class TargetSubgraphIndex:
             self._assemble_python(edge_buffer, arity_buffer, counts)
         else:
             self._assemble_numpy(edge_buffer, arity_buffer, counts)
+        self._finalize_derived()
 
+    def _finalize_derived(self) -> None:
+        """Derive the query-side helpers from the assembled flat arrays.
+
+        Shared tail of a fresh build and a snapshot restore: everything set
+        here is a pure function of the :data:`INDEX_ARRAY_FIELDS` arrays, so
+        the two paths cannot drift apart.
+        """
         #: Candidate edge ids (edges in >= 1 instance), ascending == sorted
         #: by ``edge_sort_key`` thanks to the IndexedGraph id order.  Held
         #: both as python ints (heap building iterates them) and as an array
@@ -390,6 +398,48 @@ class TargetSubgraphIndex:
         # kernel reads the CSR directly), but once built it must be O(1) per
         # lookup so the set state keeps the seed implementation's cost profile
         self._edge_to_instances: Optional[Dict[Edge, FrozenSet[InstanceId]]] = None
+
+    @classmethod
+    def _restore(
+        cls,
+        indexed: IndexedGraph,
+        targets: Sequence[Edge],
+        motif: Union[str, MotifPattern],
+        arrays: Dict[str, np.ndarray],
+    ) -> "TargetSubgraphIndex":
+        """Rebuild an index from previously frozen flat arrays.
+
+        This is the deserialisation hook of :mod:`repro.persistence`:
+        ``arrays`` maps every name in :data:`INDEX_ARRAY_FIELDS` to the
+        stored buffer, and the restored index is bit-identical to the one
+        that was saved — enumeration (pass 1) never runs.  The per-target
+        instance ranges are re-derived from ``_inst_target_idx`` (instance
+        ids are contiguous per target) and everything else derived comes out
+        of :meth:`_finalize_derived`, so a restored index answers every
+        query exactly like the freshly built original.  Inputs are trusted
+        to be mutually consistent; the persistence layer validates shapes
+        before calling.
+        """
+        self = cls.__new__(cls)
+        self._motif = coerce_motif(motif)
+        self._targets = tuple(canonical_edge(*target) for target in targets)
+        self._target_index = {
+            target: position for position, target in enumerate(self._targets)
+        }
+        self._indexed = indexed
+        for name in INDEX_ARRAY_FIELDS:
+            setattr(self, name, arrays[name])
+        counts = np.bincount(
+            self._inst_target_idx, minlength=len(self._targets)
+        ).tolist()
+        ranges: List[Tuple[int, int]] = []
+        cursor = 0
+        for count in counts:
+            ranges.append((cursor, cursor + count))
+            cursor += count
+        self._target_ranges = tuple(ranges)
+        self._finalize_derived()
+        return self
 
     def _assemble_numpy(
         self, edge_buffer: array, arity_buffer: array, counts: List[int]

@@ -131,6 +131,59 @@ class ProtectionService:
         self._max_cached_subsets = max_cached_subsets
         self._lock = threading.Lock()
         self._queries_served = 0
+        #: Where the session's index came from: "built" (enumerated in this
+        #: process) or "snapshot" (restored by :meth:`from_snapshot`).
+        self._index_source = "built"
+
+    @classmethod
+    def from_snapshot(
+        cls,
+        path,
+        allow_pickle: bool = True,
+        max_cached_subsets: Optional[int] = 32,
+        build_workers: Optional[int] = None,
+    ) -> "ProtectionService":
+        """Cold-start a session from a snapshot file — no enumeration.
+
+        Restores the problem and its built index via
+        :meth:`TPPProblem.from_snapshot
+        <repro.core.model.TPPProblem.from_snapshot>` and opens the session
+        on it; the one-time cost drops from motif enumeration to file I/O
+        plus array memcpys (the ``bench_snapshot`` benchmark gates this at
+        >= 5x faster).  Results served by such a session record
+        ``index_source: "snapshot"`` in their ``extra["service"]``
+        metadata; traces are byte-identical to a freshly built session's.
+
+        Parameters
+        ----------
+        path:
+            A file written by :meth:`TPPProblem.save_index
+            <repro.core.model.TPPProblem.save_index>` or the
+            ``repro-tpp build-index`` command.
+        allow_pickle:
+            Refuse snapshots with pickled sections (custom motifs, exotic
+            node labels) when ``False``.
+        max_cached_subsets:
+            As in the constructor (subset sub-sessions still enumerate —
+            they cover a different instance set than the snapshot).
+        build_workers:
+            As in the constructor; only subset sub-session builds can
+            trigger it, the snapshot itself never re-enumerates.
+
+        Raises
+        ------
+        repro.exceptions.SnapshotFormatError
+            If the file is unreadable, truncated, corrupted or from an
+            incompatible format version / platform.
+        """
+        problem = TPPProblem.from_snapshot(path, allow_pickle=allow_pickle)
+        service = cls(
+            problem,
+            max_cached_subsets=max_cached_subsets,
+            build_workers=build_workers,
+        )
+        service._index_source = "snapshot"
+        return service
 
     # ------------------------------------------------------------------
     # accessors
@@ -165,6 +218,16 @@ class ProtectionService:
         """How many :meth:`solve` calls this session has answered."""
         return self._queries_served
 
+    @property
+    def index_source(self) -> str:
+        """``"built"`` (enumerated here) or ``"snapshot"`` (cold-started).
+
+        Echoed as ``index_source`` in every result's ``extra["service"]``
+        metadata, so downstream consumers can tell a cold-started answer
+        from a freshly enumerated one.
+        """
+        return self._index_source
+
     def pristine_similarity(self) -> int:
         """Return ``s(∅, T)`` as seen by the untouched prototype state."""
         return self._prototype.total_similarity()
@@ -188,7 +251,8 @@ class ProtectionService:
         metadata under ``extra["service"]``: the request echo, whether the
         shared index was reused (false for recount queries and for the first
         query on a fresh target subset, which enumerates its sub-session),
-        and the build/solve timing split.
+        where the answering session's index came from (``index_source``:
+        ``"built"`` or ``"snapshot"``), and the build/solve timing split.
         """
         request.validate()
         if request.targets is not None and set(request.targets) != set(
@@ -233,6 +297,7 @@ class ProtectionService:
         metadata = {
             "request": request.to_dict(),
             "reused_index": engine_name != "recount",
+            "index_source": self._index_source,
             "build_seconds": round(self._build_seconds, 6),
             "solve_seconds": round(solve_seconds, 6),
         }
@@ -280,7 +345,7 @@ class ProtectionService:
         with ProcessPoolExecutor(
             max_workers=workers,
             initializer=_process_worker_init,
-            initargs=(self._problem,),
+            initargs=(self._problem, self._index_source),
         ) as executor:
             return list(executor.map(_process_worker_solve, requests))
 
@@ -411,9 +476,13 @@ class ProtectionService:
 _WORKER_SERVICE: Optional[ProtectionService] = None
 
 
-def _process_worker_init(problem: TPPProblem) -> None:
+def _process_worker_init(problem: TPPProblem, index_source: str = "built") -> None:
     global _WORKER_SERVICE
     _WORKER_SERVICE = ProtectionService(problem)
+    # the worker session serves the parent's (pickled, already-built) index,
+    # so results must echo the parent's provenance tag — a snapshot-restored
+    # session stays "snapshot" across the process fan-out
+    _WORKER_SERVICE._index_source = index_source
 
 
 def _process_worker_solve(request: ProtectionRequest) -> ProtectionResult:

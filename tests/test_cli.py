@@ -151,6 +151,72 @@ class TestProtectSweepAndJson:
         assert payload["budget"] == 6
 
 
+class TestBuildIndexCommand:
+    def test_build_index_then_protect_from_snapshot(self, tmp_path, capsys):
+        snapshot_path = tmp_path / "small.tppsnap"
+        exit_code = main(
+            [
+                "build-index",
+                "--dataset",
+                "small-social",
+                "--targets",
+                "4",
+                "--seed",
+                "1",
+                "--output",
+                str(snapshot_path),
+            ]
+        )
+        assert exit_code == 0
+        assert snapshot_path.exists()
+        output = capsys.readouterr().out
+        assert "snapshot written to" in output
+        assert "target subgraphs" in output
+
+        exit_code = main(
+            ["protect", "--index-file", str(snapshot_path), "--budget", "10"]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "cold-started" in output
+        assert "fully protected" in output
+
+    def test_snapshot_protect_matches_direct_protect(self, tmp_path, capsys):
+        """The cold-started run selects the same protectors as a direct run
+        on the same dataset/seed — the snapshot captures the whole instance."""
+        snapshot_path = tmp_path / "same.tppsnap"
+        common = ["--dataset", "small-social", "--targets", "4", "--seed", "7"]
+        assert main(["build-index", *common, "--output", str(snapshot_path)]) == 0
+        capsys.readouterr()
+
+        direct_json = tmp_path / "direct.json"
+        snap_json = tmp_path / "snap.json"
+        assert main(
+            ["protect", *common, "--budget", "8", "--json", str(direct_json)]
+        ) == 0
+        assert main(
+            [
+                "protect",
+                "--index-file",
+                str(snapshot_path),
+                "--budget",
+                "8",
+                "--json",
+                str(snap_json),
+            ]
+        ) == 0
+        direct = json.loads(direct_json.read_text())
+        cold = json.loads(snap_json.read_text())
+        assert cold["protectors"] == direct["protectors"]
+        assert cold["similarity_trace"] == direct["similarity_trace"]
+        assert cold["extra"]["service"]["index_source"] == "snapshot"
+        assert direct["extra"]["service"]["index_source"] == "built"
+
+    def test_build_index_requires_output(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["build-index"])
+
+
 class TestExperimentCommand:
     def test_experiment_table5_with_json(self, tmp_path, capsys):
         json_path = tmp_path / "result.json"

@@ -1,0 +1,125 @@
+"""Fail CI when README code drifts from the library it documents.
+
+Two checks, no mocking:
+
+1. **Python blocks run.**  Every fenced ```python block in README.md is
+   executed in its own subprocess (with ``src`` on ``PYTHONPATH``); a
+   non-zero exit fails the check.  The quickstart and snapshot snippets are
+   therefore guaranteed to stay runnable exactly as readers will paste
+   them.
+2. **CLI claims exist.**  Every ``repro-tpp <subcommand> --flag ...`` line
+   inside fenced ```bash blocks is parsed and checked against the real
+   argument parser: the subcommand must exist and every ``--flag`` must be
+   a registered option of that subcommand.  Renaming a CLI flag without
+   updating README fails the build.
+
+Run with::
+
+    python tools/check_readme.py            # from the repository root
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+README = REPO_ROOT / "README.md"
+
+_FENCE = re.compile(r"```(\w+)\n(.*?)```", re.DOTALL)
+
+
+def extract_blocks(markdown: str):
+    """Yield ``(language, code)`` for every fenced code block."""
+    for match in _FENCE.finditer(markdown):
+        yield match.group(1).lower(), match.group(2)
+
+
+def run_python_blocks(blocks) -> list:
+    failures = []
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    for number, code in enumerate(blocks, start=1):
+        completed = subprocess.run(
+            [sys.executable, "-"],
+            input=code,
+            text=True,
+            capture_output=True,
+            cwd=REPO_ROOT,
+            env=env,
+        )
+        if completed.returncode != 0:
+            failures.append(
+                f"python block #{number} exited {completed.returncode}:\n"
+                f"{completed.stderr.strip()}"
+            )
+        else:
+            print(f"python block #{number}: OK")
+    return failures
+
+
+def check_cli_lines(bash_blocks) -> list:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    from repro.cli import build_parser
+
+    parser = build_parser()
+    subparsers = next(
+        action.choices
+        for action in parser._actions
+        if hasattr(action, "choices") and isinstance(action.choices, dict)
+    )
+
+    failures = []
+    checked = 0
+    for code in bash_blocks:
+        # join shell line continuations, then inspect repro-tpp invocations
+        joined = code.replace("\\\n", " ")
+        for line in joined.splitlines():
+            line = line.strip()
+            if not line.startswith("repro-tpp"):
+                continue
+            checked += 1
+            tokens = line.split()
+            if len(tokens) < 2 or tokens[1] not in subparsers:
+                failures.append(
+                    f"README names unknown subcommand in: {line!r} "
+                    f"(known: {', '.join(sorted(subparsers))})"
+                )
+                continue
+            options = set(subparsers[tokens[1]]._option_string_actions)
+            for token in tokens[2:]:
+                if token.startswith("--") and token not in options:
+                    failures.append(
+                        f"README uses flag {token!r} unknown to "
+                        f"'repro-tpp {tokens[1]}' in: {line!r}"
+                    )
+    print(f"checked {checked} repro-tpp invocations against the live parser")
+    return failures
+
+
+def main() -> int:
+    markdown = README.read_text(encoding="utf-8")
+    blocks = list(extract_blocks(markdown))
+    python_blocks = [code for language, code in blocks if language == "python"]
+    bash_blocks = [code for language, code in blocks if language in ("bash", "sh")]
+    if not python_blocks:
+        print("ERROR: README.md has no python blocks to check", file=sys.stderr)
+        return 1
+
+    failures = run_python_blocks(python_blocks)
+    failures += check_cli_lines(bash_blocks)
+    if failures:
+        for failure in failures:
+            print(f"README DRIFT: {failure}", file=sys.stderr)
+        return 1
+    print("README code blocks match the library")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
