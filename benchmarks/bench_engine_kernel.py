@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 from pathlib import Path
@@ -81,6 +82,7 @@ def run(args: argparse.Namespace) -> dict:
             "repeats": args.repeats,
             "instances": index.number_of_instances(),
             "candidate_edges": index.number_of_candidate_edges(),
+            "cpu_count": os.cpu_count(),
         },
         "enumeration_seconds": round(enumeration_seconds, 6),
         "sgb_speedup_target": SGB_SPEEDUP_TARGET,

@@ -168,6 +168,7 @@ def run(args: argparse.Namespace) -> dict:
             "repeats": args.repeats,
             "motifs": list(args.motifs),
             "worker_counts": worker_counts,
+            "cpu_count": os.cpu_count(),
         },
         "available_cpus": cpus,
         "motifs": per_motif,

@@ -1,0 +1,265 @@
+"""Incremental index-update benchmark (emits ``BENCH_index_update.json``).
+
+A live serving session sees its graph change a few edges at a time;
+rebuilding the whole :class:`~repro.motifs.enumeration.TargetSubgraphIndex`
+for every update re-enumerates every target.  ``apply_delta``
+(:mod:`repro.motifs.updates`) splices only the motif instances incident to
+the changed edges.  This benchmark measures, per built-in motif and per
+delta size (1, 10 and 100 edges, half deletions / half insertions)::
+
+    rebuild   TargetSubgraphIndex(updated_phase1_graph, targets, motif)
+    delta     index.apply_delta(delta)
+
+and verifies the applied index is **bit identical** to the rebuild (all ten
+flat arrays, the per-target ranges and the candidate list compared by
+bytes) and that SGB greedy runs on a delta-updated session and a
+rebuilt-from-scratch session produce identical protector traces — the
+benchmark doubles as a differential test and exits non-zero on any
+mismatch.
+
+Acceptance target: delta application is >= 10x faster than a full rebuild
+for every delta of <= 10 edges (the ``delta_speedup_met`` flag, enforced
+by ``check_bench_regression.py`` once committed true).  Large deltas (100
+edges) are reported but not gated — they approach the rebuild's cost by
+design as the touched fraction grows.
+
+Run with::
+
+    PYTHONPATH=src python benchmarks/bench_index_update.py                   # committed scale
+    PYTHONPATH=src python benchmarks/bench_index_update.py --nodes 2000 --targets 20 --repeats 2
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import random
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core.model import TPPProblem  # noqa: E402
+from repro.datasets.targets import sample_degree_weighted_targets  # noqa: E402
+from repro.graphs.generators import powerlaw_cluster_graph  # noqa: E402
+from repro.graphs.graph import canonical_edge  # noqa: E402
+from repro.motifs.enumeration import INDEX_ARRAY_FIELDS, TargetSubgraphIndex  # noqa: E402
+from repro.motifs.updates import EdgeDelta  # noqa: E402
+from repro.service import ProtectionRequest, ProtectionService  # noqa: E402
+
+#: Acceptance bar: delta-apply vs full rebuild for deltas of <= this many edges.
+DELTA_SPEEDUP_TARGET = 10.0
+SMALL_DELTA_EDGES = 10
+
+
+def _fingerprint(index: TargetSubgraphIndex) -> tuple:
+    arrays = tuple(getattr(index, name).tobytes() for name in INDEX_ARRAY_FIELDS)
+    return arrays + (index._target_ranges, index._candidate_ids)
+
+
+def _trace(result) -> tuple:
+    return result.protectors, result.similarity_trace
+
+
+def _make_delta(phase1, targets, size: int, rng: random.Random) -> EdgeDelta:
+    """Build a mixed delta: ``size // 2`` deletions + the rest insertions."""
+    target_set = {canonical_edge(*target) for target in targets}
+    candidates = [
+        edge for edge in phase1.edges() if canonical_edge(*edge) not in target_set
+    ]
+    deletions = rng.sample(candidates, size // 2)
+    nodes = list(phase1.nodes())
+    insertions: List[tuple] = []
+    taken = set(deletions)
+    while len(insertions) < size - size // 2:
+        u, v = rng.sample(nodes, 2)
+        edge = canonical_edge(u, v)
+        if edge in target_set or edge in taken or phase1.has_edge(*edge):
+            continue
+        taken.add(edge)
+        insertions.append(edge)
+    return EdgeDelta.from_edges(insert=insertions, delete=deletions)
+
+
+def run(args: argparse.Namespace) -> dict:
+    graph = powerlaw_cluster_graph(args.nodes, args.attach, 0.4, seed=args.seed)
+    targets = [
+        canonical_edge(*target)
+        for target in sample_degree_weighted_targets(graph, args.targets, seed=args.seed)
+    ]
+
+    per_motif: Dict[str, dict] = {}
+    all_identical = True
+    traces_agree = True
+    speedups: List[float] = []
+    small_speedups: List[float] = []
+
+    for motif in args.motifs:
+        problem = TPPProblem(graph, targets, motif=motif)
+        index = problem.build_index()
+        rows: Dict[str, dict] = {}
+        for size in args.delta_sizes:
+            rng = random.Random(args.seed * 1_000 + size)
+            delta = _make_delta(problem.phase1_graph, targets, size, rng)
+
+            # the updated phase-1 graph, built once outside both timed paths
+            updated_phase1 = problem.phase1_graph.copy()
+            for u, v in delta.deleted:
+                updated_phase1.remove_edge(u, v)
+            for u, v in delta.inserted:
+                updated_phase1.add_edge(u, v)
+
+            delta_seconds = float("inf")
+            outcome = None
+            for _ in range(args.repeats):
+                started = time.perf_counter()
+                outcome = index.apply_delta(delta)
+                delta_seconds = min(delta_seconds, time.perf_counter() - started)
+
+            rebuild_seconds = float("inf")
+            rebuilt = None
+            for _ in range(args.rebuild_repeats):
+                started = time.perf_counter()
+                rebuilt = TargetSubgraphIndex(updated_phase1, targets, motif)
+                rebuild_seconds = min(
+                    rebuild_seconds, time.perf_counter() - started
+                )
+
+            identical = _fingerprint(outcome.index) == _fingerprint(rebuilt)
+
+            # greedy differential: a delta-updated session vs a session built
+            # from scratch on the updated graph must answer identically
+            applied_problem, _ = problem.apply_delta(delta)
+            applied_service = ProtectionService(applied_problem)
+            updated_graph = updated_phase1.copy()
+            updated_graph.add_edges_from(targets)
+            rebuilt_service = ProtectionService(
+                TPPProblem(
+                    updated_graph,
+                    targets,
+                    motif=motif,
+                    constant=applied_problem.constant,
+                )
+            )
+            budget = max(1, outcome.index.number_of_instances() // 4)
+            request = ProtectionRequest("SGB-Greedy", budget)
+            trace_agrees = _trace(applied_service.solve(request)) == _trace(
+                rebuilt_service.solve(request)
+            )
+
+            speedup = (
+                rebuild_seconds / delta_seconds if delta_seconds > 0 else float("inf")
+            )
+            all_identical = all_identical and identical
+            traces_agree = traces_agree and trace_agrees
+            speedups.append(speedup)
+            if size <= SMALL_DELTA_EDGES:
+                small_speedups.append(speedup)
+            rows[str(size)] = {
+                "inserts": len(delta.inserted),
+                "deletes": len(delta.deleted),
+                "instances_before": index.number_of_instances(),
+                "instances_after": outcome.index.number_of_instances(),
+                "changed_targets": len(outcome.changed_targets),
+                "targets_reenumerated": outcome.targets_reenumerated,
+                "delta_seconds": round(delta_seconds, 6),
+                "rebuild_seconds": round(rebuild_seconds, 6),
+                "delta_speedup": round(speedup, 2),
+                "identical": identical,
+                "greedy_trace_agrees": trace_agrees,
+            }
+        per_motif[motif] = rows
+
+    min_small = min(small_speedups) if small_speedups else 0.0
+    return {
+        "kind": "index_update",
+        "config": {
+            "nodes": graph.number_of_nodes(),
+            "edges": graph.number_of_edges(),
+            "targets": len(targets),
+            "seed": args.seed,
+            "repeats": args.repeats,
+            "rebuild_repeats": args.rebuild_repeats,
+            "delta_sizes": list(args.delta_sizes),
+            "motifs": list(args.motifs),
+            "cpu_count": os.cpu_count(),
+        },
+        "motifs": per_motif,
+        "min_delta_speedup": round(min(speedups), 2) if speedups else 0.0,
+        "min_small_delta_speedup": round(min_small, 2),
+        "small_delta_edges": SMALL_DELTA_EDGES,
+        "delta_speedup_target": DELTA_SPEEDUP_TARGET,
+        "delta_speedup_met": min_small >= DELTA_SPEEDUP_TARGET,
+        "deltas_identical": all_identical,
+        "greedy_traces_agree": traces_agree,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--nodes", type=int, default=20_000)
+    parser.add_argument("--attach", type=int, default=5, help="edges per new node")
+    parser.add_argument("--targets", type=int, default=100)
+    parser.add_argument(
+        "--delta-sizes",
+        type=int,
+        nargs="+",
+        default=[1, 10, 100],
+        help="edges per delta (half deletions, half insertions)",
+    )
+    parser.add_argument(
+        "--motifs",
+        nargs="+",
+        default=["triangle", "rectangle", "rectri"],
+        help="motifs to benchmark (each measured separately)",
+    )
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--repeats", type=int, default=5, help="min-of-N delta timing")
+    parser.add_argument(
+        "--rebuild-repeats",
+        type=int,
+        default=2,
+        help="min-of-N full-rebuild timing (rebuilds are the slow side)",
+    )
+    parser.add_argument(
+        "--output",
+        default=str(REPO_ROOT / "BENCH_index_update.json"),
+        help="where to write the JSON report",
+    )
+    args = parser.parse_args(argv)
+
+    report = run(args)
+    Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
+
+    config = report["config"]
+    print(
+        f"index update at n={config['nodes']}, m={config['edges']}, "
+        f"|T|={config['targets']}:"
+    )
+    for motif, rows in report["motifs"].items():
+        for size, row in rows.items():
+            print(
+                f"  {motif:>10} x{size:>4}: delta {row['delta_seconds']:8.5f}s  "
+                f"rebuild {row['rebuild_seconds']:8.5f}s "
+                f"({row['delta_speedup']:.1f}x)  reenum={row['targets_reenumerated']} "
+                f"identical={row['identical']} trace={row['greedy_trace_agrees']}"
+            )
+    print(
+        f"  small-delta (<= {report['small_delta_edges']} edges) speedup min "
+        f"{report['min_small_delta_speedup']:.1f}x "
+        f"(target >= {report['delta_speedup_target']}x, "
+        f"met={report['delta_speedup_met']})"
+    )
+    print(f"report written to {args.output}")
+    ok = report["deltas_identical"] and report["greedy_traces_agree"]
+    if not ok:
+        print("ERROR: delta application disagrees with a rebuild — see the report", file=sys.stderr)
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

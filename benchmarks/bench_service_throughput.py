@@ -167,6 +167,7 @@ def run(args: argparse.Namespace) -> dict:
             "num_requests": n,
             "methods": list(method_names()),
             "workers": args.workers,
+            "cpu_count": os.cpu_count(),
         },
         "available_cpus": cpus,
         "index_build_seconds": round(build_seconds, 6),

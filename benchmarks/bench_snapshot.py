@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import tempfile
 import time
@@ -143,6 +144,7 @@ def run(args: argparse.Namespace) -> dict:
             "seed": args.seed,
             "repeats": args.repeats,
             "motifs": list(args.motifs),
+            "cpu_count": os.cpu_count(),
         },
         "motifs": per_motif,
         "min_cold_start_speedup": round(min(speedups), 2),

@@ -15,8 +15,16 @@ freshly emitted JSON against the report checked into the repository::
     PYTHONPATH=src python benchmarks/bench_snapshot.py --output fresh.json
     python benchmarks/check_bench_regression.py fresh.json BENCH_snapshot.json
 
+    PYTHONPATH=src python benchmarks/bench_index_update.py --output fresh.json
+    python benchmarks/check_bench_regression.py fresh.json BENCH_index_update.json
+
 The report kind is read from the committed JSON (``"kind"``; missing means
-the engine-kernel report).  For the snapshot report the check fails if the
+the engine-kernel report).  For the index-update report the check fails if
+delta application stopped being bit-identical to a from-scratch rebuild (or
+the greedy traces diverged), if the worst small-delta apply-vs-rebuild
+speedup dropped more than ``--max-regression`` below the committed value,
+or if the ``delta_speedup_met`` acceptance flag regressed from the
+committed report.  For the snapshot report the check fails if the
 restored index stopped being bit-identical to the built one (or the greedy
 traces diverged), if the overall load-vs-build cold-start speedup dropped
 more than ``--max-regression`` below the committed value, or if the
@@ -129,6 +137,32 @@ def compare_snapshot(fresh: dict, committed: dict, max_regression: float) -> lis
     return failures
 
 
+def compare_index_update(fresh: dict, committed: dict, max_regression: float) -> list:
+    """Return the failure list for an ``index_update`` report pair."""
+    failures = []
+    if not fresh.get("deltas_identical", False):
+        failures.append(
+            "fresh run: delta-applied indexes are no longer bit-identical to "
+            "a from-scratch rebuild"
+        )
+    if not fresh.get("greedy_traces_agree", False):
+        failures.append(
+            "fresh run: greedy traces diverge between delta-updated and "
+            "rebuilt sessions"
+        )
+    committed_speedup = committed.get("min_small_delta_speedup", 0.0)
+    fresh_speedup = fresh.get("min_small_delta_speedup", 0.0)
+    floor = committed_speedup * (1.0 - max_regression)
+    if fresh_speedup < floor:
+        failures.append(
+            f"min_small_delta_speedup {fresh_speedup:.2f}x fell more than "
+            f"{max_regression:.0%} below the committed {committed_speedup:.2f}x "
+            f"(floor {floor:.2f}x)"
+        )
+    failures.extend(_check_flags(fresh, committed, ("delta_speedup_met",)))
+    return failures
+
+
 def compare_service(fresh: dict, committed: dict, max_regression: float) -> list:
     """Return the failure list for a ``service_throughput`` report pair."""
     failures = []
@@ -160,6 +194,8 @@ def compare(fresh: dict, committed: dict, max_regression: float) -> list:
         return compare_index_build(fresh, committed, max_regression)
     if committed.get("kind") == "snapshot":
         return compare_snapshot(fresh, committed, max_regression)
+    if committed.get("kind") == "index_update":
+        return compare_index_update(fresh, committed, max_regression)
     failures = []
     if not fresh.get("all_protectors_agree", False):
         failures.append("fresh run: engines disagree on a protector sequence")
@@ -219,6 +255,14 @@ def main(argv=None) -> int:
             f"{committed.get('overall_vectorized_speedup')}x, fresh "
             f"{fresh.get('overall_vectorized_speedup')}x; bit-identical builds: "
             f"{fresh.get('parallel_identical')}; greedy traces agree: "
+            f"{fresh.get('greedy_traces_agree')}"
+        )
+    elif committed.get("kind") == "index_update":
+        print(
+            f"min_small_delta_speedup: committed "
+            f"{committed.get('min_small_delta_speedup')}x, fresh "
+            f"{fresh.get('min_small_delta_speedup')}x; bit-identical deltas: "
+            f"{fresh.get('deltas_identical')}; greedy traces agree: "
             f"{fresh.get('greedy_traces_agree')}"
         )
     elif committed.get("kind") == "service_throughput":

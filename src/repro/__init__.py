@@ -31,6 +31,11 @@ contain the full API.
 Built indexes persist: ``problem.save_index("g.tppsnap")`` writes a
 versioned snapshot and ``ProtectionService.from_snapshot("g.tppsnap")``
 cold-starts a session from it without enumerating (bit-identical traces).
+
+Live graphs update in place: ``service.apply_delta(EdgeDelta.from_edges(
+insert=[(1, 9)], delete=[(2, 3)]))`` splices the change into the running
+index — bit-identical to a from-scratch rebuild, at the cost of only the
+motif instances the edges touch — and keeps serving queries throughout.
 """
 
 from repro.core import (
@@ -47,12 +52,17 @@ from repro.core import (
 )
 from repro.exceptions import ReproError
 from repro.graphs import Graph, canonical_edge
-from repro.motifs import available_motifs, get_motif
+from repro.motifs import DeltaOutcome, EdgeDelta, available_motifs, get_motif
 from repro.persistence import (
+    DeltaSnapshot,
     IndexSnapshot,
+    index_content_hash,
+    load_delta_snapshot,
     load_snapshot,
+    save_delta_snapshot,
     save_snapshot,
     snapshot_content_hash,
+    verify_snapshot_file,
 )
 from repro.prediction import AttackSimulator
 from repro.service import (
@@ -63,7 +73,7 @@ from repro.service import (
 )
 from repro.utility import compare_graphs
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "__version__",
@@ -89,6 +99,13 @@ __all__ = [
     "save_snapshot",
     "load_snapshot",
     "snapshot_content_hash",
+    "index_content_hash",
+    "EdgeDelta",
+    "DeltaOutcome",
+    "DeltaSnapshot",
+    "save_delta_snapshot",
+    "load_delta_snapshot",
+    "verify_snapshot_file",
     "AttackSimulator",
     "compare_graphs",
     "ReproError",

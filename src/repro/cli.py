@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Three sub-commands cover the common workflows:
+Five sub-commands cover the common workflows:
 
 * ``repro-tpp protect`` — run one or more protection queries on an edge-list
   file (or a named dataset) through a shared-index
@@ -9,7 +9,13 @@ Three sub-commands cover the common workflows:
 * ``repro-tpp build-index`` — enumerate the target-subgraph index once and
   persist it as a snapshot file that later ``protect --index-file`` runs
   (or :meth:`ProtectionService.from_snapshot`) cold-start from without
-  enumerating, and
+  enumerating,
+* ``repro-tpp apply-delta`` — splice edge insertions/deletions into a saved
+  index incrementally (bit-identical to rebuilding on the updated graph)
+  and write the updated snapshot, optionally recording the change as a
+  small ``*.tppdelta`` diff file,
+* ``repro-tpp verify-index`` — validate snapshot / delta files (hashes,
+  format version) without constructing an index, and
 * ``repro-tpp experiment`` — regenerate one of the paper's figures/tables and
   print its rows/series.
 
@@ -31,6 +37,13 @@ enumeration at startup)::
     repro-tpp build-index --dataset arenas-email --targets 10 \
         --output arenas.tppsnap
     repro-tpp protect --index-file arenas.tppsnap --budget 30
+
+Splice a graph update into the saved index and keep serving::
+
+    repro-tpp apply-delta --index-file arenas.tppsnap \
+        --insert 12 873 --delete 40 61 --output arenas-v2.tppsnap \
+        --save-delta update-0001.tppdelta
+    repro-tpp verify-index arenas-v2.tppsnap update-0001.tppdelta
 
 Regenerate Fig. 3 at quick scale::
 
@@ -189,6 +202,63 @@ def build_parser() -> argparse.ArgumentParser:
         help="snapshot file to write (conventionally *.tppsnap)",
     )
 
+    apply_delta = subparsers.add_parser(
+        "apply-delta",
+        help="apply edge insertions/deletions to a saved index incrementally "
+        "and write the updated snapshot (no re-enumeration of the world)",
+    )
+    apply_delta.add_argument(
+        "--index-file",
+        required=True,
+        help="snapshot to update (written by build-index or a previous apply-delta)",
+    )
+    apply_delta.add_argument(
+        "--delta-file",
+        help="apply the operations of this delta snapshot (*.tppdelta); its "
+        "parent content hash must match the index file",
+    )
+    apply_delta.add_argument(
+        "--insert",
+        nargs=2,
+        action="append",
+        default=[],
+        metavar=("U", "V"),
+        help="insert the edge (U, V); repeatable",
+    )
+    apply_delta.add_argument(
+        "--delete",
+        nargs=2,
+        action="append",
+        default=[],
+        metavar=("U", "V"),
+        help="delete the edge (U, V); repeatable (deletions apply before insertions)",
+    )
+    apply_delta.add_argument(
+        "--constant",
+        type=int,
+        help="dissimilarity constant C of the updated problem (default: keep, "
+        "auto-bumped if insertions raise the initial similarity above it)",
+    )
+    apply_delta.add_argument(
+        "--output",
+        required=True,
+        help="snapshot file to write the updated index to",
+    )
+    apply_delta.add_argument(
+        "--save-delta",
+        help="also record the applied delta as a delta-snapshot file "
+        "(conventionally *.tppdelta) tied to the input snapshot's content hash",
+    )
+
+    verify_index = subparsers.add_parser(
+        "verify-index",
+        help="validate snapshot / delta-snapshot files (hashes, format "
+        "version) without constructing an index",
+    )
+    verify_index.add_argument(
+        "files", nargs="+", help="snapshot (*.tppsnap) or delta (*.tppdelta) files"
+    )
+
     experiment = subparsers.add_parser(
         "experiment", help="regenerate one of the paper's figures or tables"
     )
@@ -307,6 +377,113 @@ def _command_build_index(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_delta_node(token: str, indexed):
+    """Parse a CLI node token with the edge-list loader's convention.
+
+    Integer-looking tokens become ``int`` (the SNAP / KONECT convention the
+    loaders apply), except when the graph actually holds the *string* form
+    of the label — then the live labels win, so deltas address the same
+    nodes the file did.
+    """
+    try:
+        as_int = int(token)
+    except ValueError:
+        return token
+    if not indexed.has_node(as_int) and indexed.has_node(token):
+        return token
+    return as_int
+
+
+def _command_apply_delta(args: argparse.Namespace) -> int:
+    from repro.motifs.updates import EdgeDelta
+    from repro.persistence import load_delta_snapshot, save_delta_snapshot
+
+    if args.delta_file and (args.insert or args.delete):
+        print(
+            "apply-delta: use either --delta-file or --insert/--delete, not both",
+            file=sys.stderr,
+        )
+        return 2
+    if not args.delta_file and not args.insert and not args.delete:
+        print(
+            "apply-delta: nothing to apply — pass --delta-file or at least "
+            "one --insert/--delete",
+            file=sys.stderr,
+        )
+        return 2
+
+    from repro.exceptions import DeltaError, PersistenceError
+
+    try:
+        problem = TPPProblem.from_snapshot(args.index_file)
+        index = problem.build_index()  # restored — no enumeration runs
+        if args.delta_file:
+            # verifies the parent content hash before anything is touched
+            delta = load_delta_snapshot(args.delta_file).delta_for(index)
+        else:
+            indexed = index.indexed_graph
+            parse = lambda pair: tuple(
+                _parse_delta_node(tok, indexed) for tok in pair
+            )
+            delta = EdgeDelta.from_edges(
+                insert=[parse(pair) for pair in args.insert],
+                delete=[parse(pair) for pair in args.delete],
+            )
+
+        start = time.perf_counter()
+        updated, outcome = problem.apply_delta(delta, constant=args.constant)
+        elapsed = time.perf_counter() - start
+    except (DeltaError, PersistenceError) as error:
+        print(f"apply-delta: {error}", file=sys.stderr)
+        return 1
+    from repro.persistence import save_snapshot
+
+    path = save_snapshot(args.output, outcome.index, updated.constant)
+    print(
+        f"applied {outcome.edges_inserted} insert(s) / "
+        f"{outcome.edges_deleted} delete(s) in {elapsed:.3f}s: "
+        f"{outcome.instances_added} target subgraph(s) created, "
+        f"{outcome.instances_removed} destroyed, "
+        f"{len(outcome.changed_targets)} of {len(index.targets)} targets "
+        f"changed ({outcome.targets_reenumerated} re-enumerated)"
+    )
+    print(f"updated snapshot written to {path} ({path.stat().st_size} bytes)")
+    if args.save_delta:
+        delta_path = save_delta_snapshot(
+            args.save_delta, delta, index, outcome.index
+        )
+        print(f"delta recorded to {delta_path} ({delta_path.stat().st_size} bytes)")
+    return 0
+
+
+def _command_verify_index(args: argparse.Namespace) -> int:
+    from repro.exceptions import PersistenceError
+    from repro.persistence import verify_snapshot_file
+
+    failures = 0
+    for file in args.files:
+        try:
+            info = verify_snapshot_file(file)
+        except PersistenceError as error:
+            failures += 1
+            print(f"{file}: INVALID — {error}", file=sys.stderr)
+            continue
+        counts = ", ".join(f"{k}={v}" for k, v in info["counts"].items())
+        if info["kind"] == "snapshot":
+            print(
+                f"{file}: OK snapshot v{info['format_version']} "
+                f"motif={info['motif'].get('name')} ({counts}) "
+                f"content={info['content_hash'][:12]}…"
+            )
+        else:
+            print(
+                f"{file}: OK delta v{info['format_version']} ({counts}) "
+                f"parent={info['parent_content_hash'][:12]}… "
+                f"result={info['result_content_hash'][:12]}…"
+            )
+    return 1 if failures else 0
+
+
 def _command_experiment(args: argparse.Namespace) -> int:
     runner = EXPERIMENT_RUNNERS[args.name]
     if args.name in _PARALLEL_EXPERIMENTS and (
@@ -344,6 +521,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _command_protect(args)
     if args.command == "build-index":
         return _command_build_index(args)
+    if args.command == "apply-delta":
+        return _command_apply_delta(args)
+    if args.command == "verify-index":
+        return _command_verify_index(args)
     if args.command == "experiment":
         return _command_experiment(args)
     parser.error(f"unknown command {args.command!r}")

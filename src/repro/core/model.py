@@ -274,6 +274,57 @@ class TPPProblem:
         problem._constant = snapshot.constant
         return problem
 
+    def apply_delta(
+        self, delta, constant: Optional[int] = None
+    ) -> Tuple["TPPProblem", "repro.motifs.updates.DeltaOutcome"]:
+        """Apply an :class:`~repro.motifs.updates.EdgeDelta` to the graph.
+
+        Returns ``(updated_problem, outcome)``: a **new** problem over the
+        updated graph whose index was maintained incrementally (bit-identical
+        to rebuilding on the updated phase-1 graph — see
+        :mod:`repro.motifs.updates`), and the
+        :class:`~repro.motifs.updates.DeltaOutcome` describing what changed.
+        This problem is untouched and keeps answering for the pre-delta
+        graph.
+
+        Parameters
+        ----------
+        delta:
+            The ordered edge insertions/deletions.  Target links cannot be
+            touched (they are not edges of the phase-1 graph the delta
+            applies to; inserting one raises
+            :class:`~repro.exceptions.DeltaError`).
+        constant:
+            The dissimilarity constant ``C`` of the updated problem.  By
+            default the current constant is kept, auto-bumped to the new
+            initial similarity if insertions pushed ``s(∅, T)`` above it
+            (``f(∅, T) = 0`` again, matching the default of a fresh
+            problem).  An explicit value below the new initial similarity
+            raises :class:`~repro.exceptions.DeltaError`.
+        """
+        from repro.exceptions import DeltaError
+
+        outcome = self.build_index().apply_delta(delta)
+        initial = outcome.index.initial_total_similarity()
+        if constant is None:
+            constant = max(self._constant, initial)
+        elif constant < initial:
+            raise DeltaError(
+                f"constant C={constant} is below the post-delta initial "
+                f"similarity {initial}"
+            )
+        # same lazy-graph construction as from_snapshot: the updated index
+        # carries the spliced phase-1 graph, both Graph views materialise on
+        # demand
+        problem = type(self).__new__(type(self))
+        problem._graph = None
+        problem._motif = self._motif
+        problem._targets = self._targets
+        problem._phase1_graph = None
+        problem._index = outcome.index
+        problem._constant = constant
+        return problem, outcome
+
     @property
     def has_cached_index(self) -> bool:
         """Whether the target-subgraph index has already been built.

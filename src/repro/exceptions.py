@@ -63,6 +63,16 @@ class BudgetError(TPPError, ValueError):
     """A budget or budget division is invalid (negative, inconsistent...)."""
 
 
+class DeltaError(TPPError, ValueError):
+    """An edge delta cannot be applied to the live index.
+
+    Raised when a batch of graph updates is inconsistent with the state it
+    is applied to: inserting an edge that already exists (or a self-loop,
+    or a hidden target link), deleting an edge that is absent, or shrinking
+    the dissimilarity constant ``C`` below the post-delta similarity.
+    """
+
+
 class PredictionError(ReproError):
     """Base class for link-prediction / attack-simulation errors."""
 

@@ -85,6 +85,9 @@ class IndexedGraph:
         # snapshot restores defer the edge-tuple table: endpoint-id pairs
         # (an (2m,) ndarray) until the first edge-object lookup needs them
         "_lazy_edge_ids",
+        # flat (2m,) endpoint-id pairs in edge-id order, kept by every
+        # assembly path so _endpoint_id_pairs never loops over edge tuples
+        "_pair_ids",
     )
 
     def __init__(self, graph: Graph, assembly: str = "numpy") -> None:
@@ -98,6 +101,7 @@ class IndexedGraph:
             node: index for index, node in enumerate(self._nodes)
         }
         self._lazy_edge_ids: Optional[np.ndarray] = None
+        self._pair_ids: Optional[array] = None
         if assembly == "python":
             self._assemble_python(graph)
         else:
@@ -135,10 +139,168 @@ class IndexedGraph:
         self._lazy_edge_ids = _as_long_array(
             np.ascontiguousarray(edge_endpoint_ids, dtype=NP_LONG)
         )
+        self._pair_ids = self._lazy_edge_ids
         self._indptr = indptr
         self._neighbors = neighbors
         self._incident_edges = incident_edges
         return self
+
+    def _endpoint_id_pairs(self) -> np.ndarray:
+        """Return the ``(m, 2)`` endpoint-id pairs, one row per edge id.
+
+        Rows are in edge-id order with each pair in canonical tuple order —
+        exactly the layout a snapshot stores.  Every assembly path keeps the
+        flat pair array (``_pair_ids``), so this is a zero-copy reshape; the
+        slow tuple-table walk remains only for the seed's python assembly,
+        which caches its result on first use.
+        """
+        if self._pair_ids is not None:
+            return np.frombuffer(self._pair_ids, dtype=NP_LONG).reshape(-1, 2)
+        node_id = self._node_id
+        flat = array("l")
+        append = flat.append
+        for u, v in self._edges:
+            append(node_id[u])
+            append(node_id[v])
+        self._pair_ids = flat
+        return np.frombuffer(flat, dtype=NP_LONG).reshape(-1, 2)
+
+    def _apply_edge_delta(
+        self,
+        deleted_edge_ids: Sequence[int],
+        inserted_edges: Sequence[Edge],
+    ) -> Tuple["IndexedGraph", np.ndarray, Optional[np.ndarray]]:
+        """Splice a batch of edge deletions/insertions into a new snapshot.
+
+        The result is byte-identical to ``IndexedGraph(updated_graph)`` —
+        same node order, same edge-id order, same CSR rows — but built by
+        merging the existing sorted storage with the (tiny) delta instead
+        of re-sorting the world: node ids stay monotone under insertion of
+        new labels, so every surviving edge and CSR entry keeps its relative
+        order and one ``searchsorted`` merge per array places the new
+        entries.
+
+        Parameters
+        ----------
+        deleted_edge_ids:
+            Edge ids (of *this* snapshot) to remove.
+        inserted_edges:
+            New canonical edge tuples to add; endpoints may be brand-new
+            nodes.  Callers guarantee the two sets are disjoint from each
+            other and consistent with the current edge set.
+
+        Returns
+        -------
+        (spliced, edge_id_map, node_id_map)
+            The new snapshot; an ``(m,)`` array mapping old edge ids to new
+            (``-1`` for deleted edges); and an ``(n,)`` old-to-new node-id
+            map, or ``None`` when no new nodes appeared (ids unchanged).
+        """
+        n = len(self._nodes)
+        m = self.number_of_edges()
+        pairs = self._endpoint_id_pairs()
+
+        # --- node table: merge brand-new endpoint labels in str order ----
+        fresh_labels = sorted(
+            {x for edge in inserted_edges for x in edge if x not in self._node_id},
+            key=str,
+        )
+        if fresh_labels:
+            new_nodes = tuple(sorted(self._nodes + tuple(fresh_labels), key=str))
+            new_node_id = {node: i for i, node in enumerate(new_nodes)}
+            node_id_map: Optional[np.ndarray] = np.fromiter(
+                (new_node_id[node] for node in self._nodes),
+                dtype=NP_LONG,
+                count=n,
+            )
+        else:
+            new_nodes = self._nodes
+            new_node_id = self._node_id  # immutable after construction: share
+            node_id_map = None
+        nn = len(new_nodes)
+        width = max(nn, 1)
+
+        # --- edge table: drop deleted rows, merge inserted pairs ---------
+        keep_edge = np.ones(m, dtype=bool)
+        if len(deleted_edge_ids):
+            keep_edge[np.asarray(deleted_edge_ids, dtype=NP_LONG)] = False
+        surviving = pairs[keep_edge]
+        if node_id_map is not None:
+            surviving = node_id_map[surviving]
+        inserted = np.empty((len(inserted_edges), 2), dtype=NP_LONG)
+        for position, (u, v) in enumerate(inserted_edges):
+            inserted[position, 0] = new_node_id[u]
+            inserted[position, 1] = new_node_id[v]
+        # composite (head, tail) keys: pairs are unique, so plain argsort /
+        # searchsorted merges are deterministic with no tie-breaking needed
+        inserted = inserted[np.argsort(inserted[:, 0] * width + inserted[:, 1])]
+        surviving_keys = surviving[:, 0] * width + surviving[:, 1]
+        inserted_keys = inserted[:, 0] * width + inserted[:, 1]
+        new_pos_surviving = (
+            np.arange(len(surviving_keys), dtype=NP_LONG)
+            + np.searchsorted(inserted_keys, surviving_keys)
+        )
+        new_pos_inserted = (
+            np.arange(len(inserted_keys), dtype=NP_LONG)
+            + np.searchsorted(surviving_keys, inserted_keys)
+        )
+        edge_id_map = np.full(m, -1, dtype=NP_LONG)
+        edge_id_map[keep_edge] = new_pos_surviving
+        new_pairs = np.empty((len(surviving) + len(inserted), 2), dtype=NP_LONG)
+        new_pairs[new_pos_surviving] = surviving
+        new_pairs[new_pos_inserted] = inserted
+
+        # --- CSR rows: one more sorted merge over the directed entries ---
+        old_indptr = np.frombuffer(self._indptr, dtype=NP_LONG)
+        old_neighbors = np.frombuffer(self._neighbors, dtype=NP_LONG)
+        old_incident = np.frombuffer(self._incident_edges, dtype=NP_LONG)
+        src = np.repeat(np.arange(n, dtype=NP_LONG), np.diff(old_indptr))
+        keep_entry = keep_edge[old_incident]
+        kept_src = src[keep_entry]
+        kept_dst = old_neighbors[keep_entry]
+        kept_eid = edge_id_map[old_incident[keep_entry]]
+        if node_id_map is not None:
+            kept_src = node_id_map[kept_src]
+            kept_dst = node_id_map[kept_dst]
+        new_src = np.concatenate((inserted[:, 0], inserted[:, 1]))
+        new_dst = np.concatenate((inserted[:, 1], inserted[:, 0]))
+        new_eid = np.concatenate((new_pos_inserted, new_pos_inserted))
+        entry_order = np.lexsort((new_dst, new_src))
+        new_src = new_src[entry_order]
+        new_dst = new_dst[entry_order]
+        new_eid = new_eid[entry_order]
+        kept_keys = kept_src * width + kept_dst
+        new_keys = new_src * width + new_dst
+        pos_kept = np.arange(len(kept_keys), dtype=NP_LONG) + np.searchsorted(
+            new_keys, kept_keys
+        )
+        pos_new = np.arange(len(new_keys), dtype=NP_LONG) + np.searchsorted(
+            kept_keys, new_keys
+        )
+        total = len(kept_keys) + len(new_keys)
+        neighbors = np.empty(total, dtype=NP_LONG)
+        incident = np.empty(total, dtype=NP_LONG)
+        rows = np.empty(total, dtype=NP_LONG)
+        neighbors[pos_kept] = kept_dst
+        neighbors[pos_new] = new_dst
+        incident[pos_kept] = kept_eid
+        incident[pos_new] = new_eid
+        rows[pos_kept] = kept_src
+        rows[pos_new] = new_src
+        indptr = np.zeros(nn + 1, dtype=NP_LONG)
+        np.cumsum(np.bincount(rows, minlength=nn), out=indptr[1:])
+
+        spliced = IndexedGraph.__new__(IndexedGraph)
+        spliced._nodes = new_nodes
+        spliced._node_id = new_node_id
+        spliced._edges = None
+        spliced._edge_id = None
+        spliced._lazy_edge_ids = _as_long_array(new_pairs.reshape(-1))
+        spliced._pair_ids = spliced._lazy_edge_ids
+        spliced._indptr = _as_long_array(indptr)
+        spliced._neighbors = _as_long_array(neighbors)
+        spliced._incident_edges = _as_long_array(incident)
+        return spliced, edge_id_map, node_id_map
 
     def _materialise_edges(self) -> None:
         """Build the deferred edge-object tables of a restored snapshot.
@@ -192,6 +354,9 @@ class IndexedGraph:
         self._edge_id = {edge: index for index, edge in enumerate(self._edges)}
         heads = endpoint_ids[order, 0]
         tails = endpoint_ids[order, 1]
+        self._pair_ids = _as_long_array(
+            np.ascontiguousarray(endpoint_ids[order]).reshape(-1)
+        )
 
         src = np.concatenate((heads, tails))
         dst = np.concatenate((tails, heads))

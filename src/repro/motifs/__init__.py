@@ -25,8 +25,12 @@ from repro.motifs.similarity import (
     total_similarity,
 )
 from repro.motifs.triangle import TriangleMotif
+from repro.motifs.updates import DeltaOutcome, EdgeDelta, apply_delta
 
 __all__ = [
+    "EdgeDelta",
+    "DeltaOutcome",
+    "apply_delta",
     "MotifPattern",
     "MotifInstance",
     "register_motif",

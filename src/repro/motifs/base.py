@@ -15,7 +15,7 @@ phase-1 graph).
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Dict, FrozenSet, Iterator, List, Sequence, Tuple, Type, Union
+from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Tuple, Type, Union
 
 from repro.exceptions import UnknownMotifError
 from repro.graphs.graph import Edge, Graph, canonical_edge
@@ -43,6 +43,24 @@ class MotifPattern(ABC):
 
     #: Registry key; subclasses must override.
     name: str = "abstract"
+
+    #: Locality bound for incremental delta application (see
+    #: :mod:`repro.motifs.updates`): every node of every instance of a
+    #: target ``(u, v)`` lies within this many phase-1-graph hops of ``u``
+    #: or ``v``.  Edge insertions then only re-enumerate targets with an
+    #: endpoint inside the radius ball around the changed edges.  ``None``
+    #: (the default) means "unknown": inserts conservatively re-enumerate
+    #: every target, while deletions stay incremental either way (destroyed
+    #: instances are read off the index, no enumeration at all).
+    delta_radius: Optional[int] = None
+
+    #: Whether :meth:`enumerate_instance_edge_ids` reads its ``graph``
+    #: argument.  ``True`` (the default, and true of the inherited tuple
+    #: fallback) makes the delta path materialise a ``Graph`` view of the
+    #: updated snapshot before re-enumerating; the built-in motifs walk the
+    #: CSR only and opt out, which keeps small-delta application free of the
+    #: O(n + m) adjacency rebuild.
+    needs_graph: bool = True
 
     @abstractmethod
     def enumerate_instances(self, graph: Graph, target: Edge) -> Iterator[MotifInstance]:

@@ -400,6 +400,58 @@ class TargetSubgraphIndex:
         self._edge_to_instances: Optional[Dict[Edge, FrozenSet[InstanceId]]] = None
 
     @classmethod
+    def _from_buffers(
+        cls,
+        indexed: IndexedGraph,
+        targets: Sequence[Edge],
+        motif: MotifPattern,
+        edge_buffer,
+        arity_buffer,
+        counts: List[int],
+    ) -> "TargetSubgraphIndex":
+        """Assemble an index from pre-collected pass-1 buffers.
+
+        This is the splice hook of :mod:`repro.motifs.updates`: the caller
+        supplies buffers exactly equal to what ``_enumerate_buffers`` would
+        produce for ``(indexed, targets, motif)`` — e.g. surviving instance
+        rows spliced together with freshly re-enumerated ones — and the
+        assembled arrays are then bit-identical to a from-scratch build by
+        construction (same vectorised passes 2-3, same inputs).  Targets
+        must already be canonical.
+        """
+        self = cls.__new__(cls)
+        self._motif = motif
+        self._targets = tuple(targets)
+        self._target_index = {
+            target: position for position, target in enumerate(self._targets)
+        }
+        self._indexed = indexed
+        ranges: List[Tuple[int, int]] = []
+        cursor = 0
+        for count in counts:
+            ranges.append((cursor, cursor + count))
+            cursor += count
+        self._target_ranges = tuple(ranges)
+        self._assemble_numpy(edge_buffer, arity_buffer, counts)
+        self._finalize_derived()
+        return self
+
+    def apply_delta(self, delta) -> "repro.motifs.updates.DeltaOutcome":
+        """Apply an :class:`~repro.motifs.updates.EdgeDelta` incrementally.
+
+        Returns a :class:`~repro.motifs.updates.DeltaOutcome` whose
+        ``index`` is a **new** :class:`TargetSubgraphIndex` over the updated
+        phase-1 graph, bit-identical to a from-scratch rebuild — this index
+        is immutable and keeps serving untouched.  Cost is proportional to
+        the motif instances touching the changed edges (plus array
+        splices), not to a full re-enumeration; see
+        :mod:`repro.motifs.updates` for the algorithm and its invariants.
+        """
+        from repro.motifs.updates import apply_delta
+
+        return apply_delta(self, delta)
+
+    @classmethod
     def _restore(
         cls,
         indexed: IndexedGraph,

@@ -35,10 +35,15 @@ class PathMotif(MotifPattern):
 
     name = "path"
 
+    needs_graph = False  # enumerate_instance_edge_ids walks the CSR only
+
     def __init__(self, length: int = 4) -> None:
         if length < 2:
             raise ValueError(f"path length must be >= 2, got {length}")
         self.length = length
+        # node i hops along the path is length - i hops from the far end,
+        # so every path node is within length // 2 hops of some endpoint
+        self.delta_radius = length // 2
 
     def enumerate_instances(self, graph: Graph, target: Edge) -> Iterator[MotifInstance]:
         u, v = target
@@ -119,6 +124,10 @@ class CliqueMotif(MotifPattern):
     """
 
     name = "clique"
+
+    # every clique node is a common neighbor of both target endpoints
+    delta_radius = 1
+    needs_graph = False  # enumerate_instance_edge_ids walks the CSR only
 
     def __init__(self, size: int = 4) -> None:
         if size < 3:

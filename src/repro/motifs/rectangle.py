@@ -25,6 +25,10 @@ class RectangleMotif(MotifPattern):
 
     name = "rectangle"
 
+    # path u-a-b-v: a is adjacent to u and b is adjacent to v
+    delta_radius = 1
+    needs_graph = False  # enumerate_instance_edge_ids walks the CSR only
+
     def enumerate_instances(self, graph: Graph, target: Edge) -> Iterator[MotifInstance]:
         u, v = target
         if not (graph.has_node(u) and graph.has_node(v)):

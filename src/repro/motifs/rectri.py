@@ -31,6 +31,10 @@ class RecTriMotif(MotifPattern):
 
     name = "rectri"
 
+    # every instance node is a neighbor of one of the target endpoints
+    delta_radius = 1
+    needs_graph = False  # enumerate_instance_edge_ids walks the CSR only
+
     def enumerate_instances(self, graph: Graph, target: Edge) -> Iterator[MotifInstance]:
         u, v = target
         if not (graph.has_node(u) and graph.has_node(v)):

@@ -24,6 +24,10 @@ class TriangleMotif(MotifPattern):
 
     name = "triangle"
 
+    # the common neighbor w is adjacent to both endpoints of the target
+    delta_radius = 1
+    needs_graph = False  # enumerate_instance_edge_ids walks the CSR only
+
     def enumerate_instances(self, graph: Graph, target: Edge) -> Iterator[MotifInstance]:
         u, v = target
         if not (graph.has_node(u) and graph.has_node(v)):

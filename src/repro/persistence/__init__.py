@@ -13,12 +13,27 @@ The convenient entry points sit one layer up:
 :meth:`repro.service.ProtectionService.from_snapshot`, and the
 ``repro-tpp build-index`` / ``repro-tpp protect --index-file`` CLI
 commands.
+
+Graph updates persist too: :func:`save_delta_snapshot` writes an ordered
+edge delta as a small diff file tied to its parent state's content hash
+(:mod:`repro.persistence.delta`), and :func:`verify_snapshot_file`
+validates either kind of file — hashes and format version — without
+constructing an index (``repro-tpp verify-index``).
 """
 
+from repro.persistence.delta import (
+    DELTA_MAGIC,
+    DELTA_VERSION,
+    DeltaSnapshot,
+    load_delta_snapshot,
+    save_delta_snapshot,
+    verify_snapshot_file,
+)
 from repro.persistence.snapshot import (
     SNAPSHOT_MAGIC,
     SNAPSHOT_VERSION,
     IndexSnapshot,
+    index_content_hash,
     load_snapshot,
     save_snapshot,
     snapshot_content_hash,
@@ -31,4 +46,11 @@ __all__ = [
     "load_snapshot",
     "save_snapshot",
     "snapshot_content_hash",
+    "index_content_hash",
+    "DELTA_MAGIC",
+    "DELTA_VERSION",
+    "DeltaSnapshot",
+    "save_delta_snapshot",
+    "load_delta_snapshot",
+    "verify_snapshot_file",
 ]

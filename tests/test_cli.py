@@ -229,3 +229,253 @@ class TestExperimentCommand:
         assert payload["kind"] == "utility_loss"
         output = capsys.readouterr().out
         assert "utility loss" in output
+
+
+class TestApplyDeltaCommand:
+    @pytest.fixture
+    def snapshot_path(self, tmp_path, capsys):
+        path = tmp_path / "base.tppsnap"
+        assert main(
+            [
+                "build-index",
+                "--dataset",
+                "small-social",
+                "--targets",
+                "4",
+                "--seed",
+                "1",
+                "--output",
+                str(path),
+            ]
+        ) == 0
+        capsys.readouterr()
+        return path
+
+    @staticmethod
+    def pick_edges(snapshot_path):
+        """A deletable phase-1 edge and an insertable non-edge of the snapshot."""
+        from repro.core.model import TPPProblem
+        from repro.graphs.graph import canonical_edge
+
+        problem = TPPProblem.from_snapshot(snapshot_path)
+        phase1 = problem.phase1_graph
+        target_set = {canonical_edge(*target) for target in problem.targets}
+        deletion = next(
+            edge
+            for edge in sorted(phase1.edges())
+            if canonical_edge(*edge) not in target_set
+        )
+        nodes = sorted(phase1.nodes())
+        insertion = next(
+            (u, v)
+            for u in nodes
+            for v in nodes[::-1]
+            if u != v
+            and canonical_edge(u, v) not in target_set
+            and not phase1.has_edge(u, v)
+        )
+        return deletion, insertion
+
+    def test_inline_ops_update_and_record_a_delta(
+        self, tmp_path, snapshot_path, capsys
+    ):
+        deletion, insertion = self.pick_edges(snapshot_path)
+        updated_path = tmp_path / "updated.tppsnap"
+        delta_path = tmp_path / "update.tppdelta"
+        exit_code = main(
+            [
+                "apply-delta",
+                "--index-file",
+                str(snapshot_path),
+                "--delete",
+                str(deletion[0]),
+                str(deletion[1]),
+                "--insert",
+                str(insertion[0]),
+                str(insertion[1]),
+                "--output",
+                str(updated_path),
+                "--save-delta",
+                str(delta_path),
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "applied 1 insert(s) / 1 delete(s)" in output
+        assert "updated snapshot written to" in output
+        assert "delta recorded to" in output
+        assert updated_path.exists() and delta_path.exists()
+
+        # the recorded delta replays onto the base snapshot bit-identically
+        from repro.persistence import verify_snapshot_file
+
+        replay_path = tmp_path / "replayed.tppsnap"
+        assert main(
+            [
+                "apply-delta",
+                "--index-file",
+                str(snapshot_path),
+                "--delta-file",
+                str(delta_path),
+                "--output",
+                str(replay_path),
+            ]
+        ) == 0
+        capsys.readouterr()
+        assert (
+            verify_snapshot_file(replay_path)["content_hash"]
+            == verify_snapshot_file(updated_path)["content_hash"]
+        )
+
+    def test_stale_delta_file_is_refused(self, tmp_path, snapshot_path, capsys):
+        deletion, insertion = self.pick_edges(snapshot_path)
+        updated_path = tmp_path / "updated.tppsnap"
+        delta_path = tmp_path / "update.tppdelta"
+        assert main(
+            [
+                "apply-delta",
+                "--index-file",
+                str(snapshot_path),
+                "--insert",
+                str(insertion[0]),
+                str(insertion[1]),
+                "--output",
+                str(updated_path),
+                "--save-delta",
+                str(delta_path),
+            ]
+        ) == 0
+        capsys.readouterr()
+        # replaying against the *updated* snapshot: wrong parent state
+        exit_code = main(
+            [
+                "apply-delta",
+                "--index-file",
+                str(updated_path),
+                "--delta-file",
+                str(delta_path),
+                "--output",
+                str(tmp_path / "never.tppsnap"),
+            ]
+        )
+        assert exit_code == 1
+        assert "apply-delta:" in capsys.readouterr().err
+        assert not (tmp_path / "never.tppsnap").exists()
+
+    def test_deleting_a_missing_edge_is_refused(
+        self, tmp_path, snapshot_path, capsys
+    ):
+        _, insertion = self.pick_edges(snapshot_path)
+        exit_code = main(
+            [
+                "apply-delta",
+                "--index-file",
+                str(snapshot_path),
+                "--delete",
+                str(insertion[0]),
+                str(insertion[1]),
+                "--output",
+                str(tmp_path / "never.tppsnap"),
+            ]
+        )
+        assert exit_code == 1
+        assert "apply-delta:" in capsys.readouterr().err
+
+    def test_delta_file_and_inline_ops_are_exclusive(
+        self, tmp_path, snapshot_path, capsys
+    ):
+        exit_code = main(
+            [
+                "apply-delta",
+                "--index-file",
+                str(snapshot_path),
+                "--delta-file",
+                str(tmp_path / "whatever.tppdelta"),
+                "--insert",
+                "1",
+                "2",
+                "--output",
+                str(tmp_path / "never.tppsnap"),
+            ]
+        )
+        assert exit_code == 2
+        assert "not both" in capsys.readouterr().err
+
+    def test_empty_delta_is_refused(self, tmp_path, snapshot_path, capsys):
+        exit_code = main(
+            [
+                "apply-delta",
+                "--index-file",
+                str(snapshot_path),
+                "--output",
+                str(tmp_path / "never.tppsnap"),
+            ]
+        )
+        assert exit_code == 2
+        assert "nothing to apply" in capsys.readouterr().err
+
+
+class TestVerifyIndexCommand:
+    def test_reports_snapshot_and_delta_files(self, tmp_path, capsys):
+        snapshot_path = tmp_path / "base.tppsnap"
+        assert main(
+            [
+                "build-index",
+                "--dataset",
+                "small-social",
+                "--targets",
+                "4",
+                "--seed",
+                "1",
+                "--output",
+                str(snapshot_path),
+            ]
+        ) == 0
+        deletion, _ = TestApplyDeltaCommand.pick_edges(snapshot_path)
+        delta_path = tmp_path / "update.tppdelta"
+        assert main(
+            [
+                "apply-delta",
+                "--index-file",
+                str(snapshot_path),
+                "--delete",
+                str(deletion[0]),
+                str(deletion[1]),
+                "--output",
+                str(tmp_path / "updated.tppsnap"),
+                "--save-delta",
+                str(delta_path),
+            ]
+        ) == 0
+        capsys.readouterr()
+        exit_code = main(
+            ["verify-index", str(snapshot_path), str(delta_path)]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "OK snapshot" in output
+        assert "OK delta" in output
+
+    def test_invalid_file_fails_the_command(self, tmp_path, capsys):
+        good = tmp_path / "good.tppsnap"
+        assert main(
+            [
+                "build-index",
+                "--dataset",
+                "small-social",
+                "--targets",
+                "4",
+                "--seed",
+                "1",
+                "--output",
+                str(good),
+            ]
+        ) == 0
+        capsys.readouterr()
+        bad = tmp_path / "bad.tppdelta"
+        bad.write_bytes(b"definitely not a snapshot")
+        exit_code = main(["verify-index", str(good), str(bad)])
+        assert exit_code == 1
+        captured = capsys.readouterr()
+        assert "OK snapshot" in captured.out
+        assert "INVALID" in captured.err
