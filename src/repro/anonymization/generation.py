@@ -24,6 +24,7 @@ import random
 from typing import List, Union
 
 from repro.anonymization.perturbation import AnonymizationResult, random_switching
+from repro.exceptions import PerturbationError
 from repro.graphs.graph import Edge, Graph, canonical_edge
 
 __all__ = ["configuration_model_release", "degree_preserving_rewire_release"]
@@ -90,7 +91,7 @@ def degree_preserving_rewire_release(
     largely randomised while every node keeps its degree.
     """
     if switches_per_edge < 0:
-        raise ValueError(
+        raise PerturbationError(
             f"switches_per_edge must be >= 0, got {switches_per_edge}"
         )
     switches = int(switches_per_edge * graph.number_of_edges())

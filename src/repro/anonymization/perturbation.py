@@ -20,6 +20,7 @@ import random
 from dataclasses import dataclass
 from typing import List, Tuple, Union
 
+from repro.exceptions import PerturbationError
 from repro.graphs.graph import Edge, Graph, canonical_edge
 
 __all__ = [
@@ -161,7 +162,7 @@ def randomized_response(
     full O(n^2) non-edge set.
     """
     if not 0.0 <= flip_probability <= 1.0:
-        raise ValueError(
+        raise PerturbationError(
             f"flip_probability must be in [0, 1], got {flip_probability}"
         )
     rng = _rng(seed)

@@ -45,6 +45,7 @@ from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.core.model import TPPProblem
 from repro.core.selection import argmax_edge, edge_sort_key
+from repro.exceptions import EngineError
 from repro.graphs.graph import Edge, Graph, canonical_edge
 from repro.motifs.base import MotifPattern
 from repro.motifs.enumeration import CoverageState, SetCoverageState
@@ -125,6 +126,7 @@ class MarginalGainEngine(ABC):
             return []
         scored = [
             (edge, gain)
+            # reprolint: disable=R1-set-iteration(scored is fully re-sorted below by the total key (-gain, edge_sort_key), which erases the set's hash order)
             for edge in self.candidate_edges()
             if (gain := self.total_gain(edge)) > 0
         ]
@@ -230,7 +232,7 @@ class CoverageEngine(MarginalGainEngine):
         self._restrict = restrict_candidates
         if isinstance(state, (CoverageState, SetCoverageState)):
             if state.index is not problem.build_index():
-                raise ValueError(
+                raise EngineError(
                     "prepared coverage state is layered on a different "
                     "TargetSubgraphIndex than the problem's"
                 )
@@ -239,7 +241,7 @@ class CoverageEngine(MarginalGainEngine):
             self._deleted = set(state.deleted_edges)
         else:
             if state not in ("array", "set"):
-                raise ValueError(
+                raise EngineError(
                     f"unknown state kind {state!r}; expected 'array' or 'set'"
                 )
             index = problem.build_index()
@@ -425,4 +427,4 @@ def make_engine(problem: TPPProblem, engine: EngineLike = "coverage") -> Margina
         return CoverageEngine(problem, state="set")
     if name == "recount":
         return RecountEngine(problem)
-    raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINE_NAMES}")
+    raise EngineError(f"unknown engine {engine!r}; expected one of {ENGINE_NAMES}")

@@ -15,13 +15,16 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Mapping, Optional, Sequence, Tuple, Union
+from typing import TYPE_CHECKING, Dict, Mapping, Optional, Sequence, Tuple, Union
 
-from repro.exceptions import InvalidTargetError
+from repro.exceptions import BudgetError, InvalidTargetError
 from repro.graphs.graph import Edge, Graph, canonical_edge
 from repro.motifs.base import MotifPattern, coerce_motif
 from repro.motifs.enumeration import TargetSubgraphIndex
 from repro.motifs.similarity import total_similarity
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    import repro.motifs.updates
 
 __all__ = ["TPPProblem", "ProtectionResult"]
 
@@ -275,7 +278,7 @@ class TPPProblem:
         return problem
 
     def apply_delta(
-        self, delta, constant: Optional[int] = None
+        self, delta: "repro.motifs.updates.EdgeDelta", constant: Optional[int] = None
     ) -> Tuple["TPPProblem", "repro.motifs.updates.DeltaOutcome"]:
         """Apply an :class:`~repro.motifs.updates.EdgeDelta` to the graph.
 
@@ -438,7 +441,7 @@ class ProtectionResult:
         makes plotting different methods over a common budget axis easy.
         """
         if deletions < 0:
-            raise ValueError("deletions must be >= 0")
+            raise BudgetError("deletions must be >= 0")
         if deletions < len(self.similarity_trace):
             return self.similarity_trace[deletions]
         return self.final_similarity

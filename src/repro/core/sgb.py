@@ -30,7 +30,7 @@ from typing import List, Optional, Tuple
 from repro.core.engines import CoverageEngine, EngineLike, MarginalGainEngine, make_engine
 from repro.core.model import ProtectionResult, TPPProblem
 from repro.core.selection import Stopwatch, argmax_edge, edge_sort_key
-from repro.exceptions import BudgetError
+from repro.exceptions import BudgetError, EngineError
 from repro.graphs.graph import Edge
 
 __all__ = ["sgb_greedy"]
@@ -81,7 +81,7 @@ def sgb_greedy(
     if lazy is None:
         lazy = isinstance(gain_engine, CoverageEngine)
     if lazy and not isinstance(gain_engine, CoverageEngine):
-        raise ValueError("lazy evaluation requires the coverage engine")
+        raise EngineError("lazy evaluation requires the coverage engine")
 
     protectors: List[Edge] = []
     trace: List[int] = [gain_engine.total_similarity()]
@@ -133,6 +133,7 @@ def _celf_selection(
     """
     protectors: List[Edge] = []
     heap = []
+    # reprolint: disable=R1-set-iteration(heap entries carry the total key (-gain, edge_sort_key, edge), so pop order is independent of push order)
     for edge in engine.candidate_edges():
         gain = engine.total_gain(edge)
         if gain > 0:

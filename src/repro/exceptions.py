@@ -7,6 +7,8 @@ swallowing programming errors such as ``TypeError``.
 
 from __future__ import annotations
 
+from typing import Iterable
+
 
 class ReproError(Exception):
     """Base class for all errors raised by the ``repro`` package."""
@@ -19,7 +21,7 @@ class GraphError(ReproError):
 class NodeNotFoundError(GraphError, KeyError):
     """A node referenced by the caller is not present in the graph."""
 
-    def __init__(self, node):
+    def __init__(self, node: object) -> None:
         super().__init__(f"node {node!r} is not in the graph")
         self.node = node
 
@@ -27,13 +29,25 @@ class NodeNotFoundError(GraphError, KeyError):
 class EdgeNotFoundError(GraphError, KeyError):
     """An edge referenced by the caller is not present in the graph."""
 
-    def __init__(self, edge):
+    def __init__(self, edge: object) -> None:
         super().__init__(f"edge {edge!r} is not in the graph")
         self.edge = edge
 
 
 class GraphFormatError(GraphError, ValueError):
     """An edge-list file or serialized graph could not be parsed."""
+
+
+class SelfLoopError(GraphError, ValueError):
+    """A self-loop ``(u, u)`` was passed where a proper edge is required."""
+
+
+class GraphGenerationError(GraphError, ValueError):
+    """A synthetic-graph generator was called with invalid parameters."""
+
+
+class AssemblyModeError(GraphError, ValueError):
+    """An unknown CSR assembly mode was requested for ``IndexedGraph``."""
 
 
 class MotifError(ReproError):
@@ -43,7 +57,7 @@ class MotifError(ReproError):
 class UnknownMotifError(MotifError, KeyError):
     """A motif name was requested that is not in the registry."""
 
-    def __init__(self, name, known):
+    def __init__(self, name: object, known: Iterable[str]) -> None:
         super().__init__(
             f"unknown motif {name!r}; known motifs: {sorted(known)}"
         )
@@ -51,8 +65,20 @@ class UnknownMotifError(MotifError, KeyError):
         self.known = tuple(sorted(known))
 
 
+class MotifDefinitionError(MotifError, ValueError):
+    """A parametrised motif was constructed with invalid parameters."""
+
+
 class TPPError(ReproError):
     """Base class for errors in the TPP core (problem setup / solving)."""
+
+
+class EngineError(TPPError, ValueError):
+    """A gain engine was selected or configured inconsistently."""
+
+
+class ConstantError(TPPError, ValueError):
+    """The dissimilarity constant ``C`` violates ``C >= s(∅, T)``."""
 
 
 class InvalidTargetError(TPPError, ValueError):
@@ -75,6 +101,18 @@ class DeltaError(TPPError, ValueError):
 
 class PredictionError(ReproError):
     """Base class for link-prediction / attack-simulation errors."""
+
+
+class PredictorConfigError(PredictionError, ValueError):
+    """A link predictor was constructed with invalid parameters."""
+
+
+class AnonymizationError(ReproError):
+    """Base class for anonymization-baseline errors."""
+
+
+class PerturbationError(AnonymizationError, ValueError):
+    """An anonymization perturbation was configured with invalid parameters."""
 
 
 class UtilityError(ReproError):

@@ -17,6 +17,7 @@ from __future__ import annotations
 import random
 from typing import List, Optional, Sequence, Union
 
+from repro.exceptions import GraphGenerationError
 from repro.graphs.graph import Graph
 
 __all__ = [
@@ -78,7 +79,7 @@ def star_graph(n: int) -> Graph:
 def erdos_renyi_graph(n: int, p: float, seed: RandomLike = None) -> Graph:
     """Return a G(n, p) Erdős–Rényi random graph."""
     if not 0.0 <= p <= 1.0:
-        raise ValueError(f"edge probability must be in [0, 1], got {p}")
+        raise GraphGenerationError(f"edge probability must be in [0, 1], got {p}")
     rng = _rng(seed)
     graph = Graph(nodes=range(n))
     for u in range(n):
@@ -99,7 +100,7 @@ def barabasi_albert_graph(n: int, m: int, seed: RandomLike = None) -> Graph:
         Number of edges attached from every new node to existing nodes.
     """
     if m < 1 or m >= n:
-        raise ValueError(f"m must satisfy 1 <= m < n, got m={m}, n={n}")
+        raise GraphGenerationError(f"m must satisfy 1 <= m < n, got m={m}, n={n}")
     rng = _rng(seed)
     graph = Graph(nodes=range(n))
     # seed clique-ish core: connect the first m+1 nodes as a path to bootstrap
@@ -110,7 +111,9 @@ def barabasi_albert_graph(n: int, m: int, seed: RandomLike = None) -> Graph:
         for target in targets:
             if target != new_node:
                 chosen.add(target)
-        for target in chosen:
+        # sorted: set iteration order is a CPython implementation detail;
+        # the edge order feeds repeated_nodes and hence rng.choice below.
+        for target in sorted(chosen):
             graph.add_edge(new_node, target)
             repeated_nodes.extend((new_node, target))
         # sample next targets proportionally to degree
@@ -128,7 +131,9 @@ def _sample_distinct(population: Sequence[int], k: int, rng: random.Random) -> L
     while len(chosen) < k and attempts < limit:
         chosen.add(rng.choice(population))
         attempts += 1
-    return list(chosen)
+    # sorted: callers consume the sample in order, so returning the set's
+    # hash order would leak CPython set internals into generated graphs.
+    return sorted(chosen)
 
 
 def watts_strogatz_graph(n: int, k: int, p: float, seed: RandomLike = None) -> Graph:
@@ -139,9 +144,9 @@ def watts_strogatz_graph(n: int, k: int, p: float, seed: RandomLike = None) -> G
     ``p``.
     """
     if k % 2 != 0:
-        raise ValueError(f"k must be even, got {k}")
+        raise GraphGenerationError(f"k must be even, got {k}")
     if k >= n:
-        raise ValueError(f"k must be < n, got k={k}, n={n}")
+        raise GraphGenerationError(f"k must be < n, got k={k}, n={n}")
     rng = _rng(seed)
     graph = Graph(nodes=range(n))
     for node in range(n):
@@ -175,9 +180,9 @@ def powerlaw_cluster_graph(
     graphs (Arenas-email, DBLP) used in the paper's evaluation.
     """
     if m < 1 or m >= n:
-        raise ValueError(f"m must satisfy 1 <= m < n, got m={m}, n={n}")
+        raise GraphGenerationError(f"m must satisfy 1 <= m < n, got m={m}, n={n}")
     if not 0.0 <= triangle_probability <= 1.0:
-        raise ValueError(
+        raise GraphGenerationError(
             f"triangle_probability must be in [0, 1], got {triangle_probability}"
         )
     rng = _rng(seed)
@@ -230,7 +235,7 @@ def planted_partition_graph(
     """
     for p in (p_in, p_out):
         if not 0.0 <= p <= 1.0:
-            raise ValueError(f"probabilities must be in [0, 1], got {p}")
+            raise GraphGenerationError(f"probabilities must be in [0, 1], got {p}")
     rng = _rng(seed)
     n = sum(community_sizes)
     graph = Graph(nodes=range(n))

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from typing import Dict, Hashable, Iterable, Iterator, Set, Tuple
 
-from repro.exceptions import EdgeNotFoundError, NodeNotFoundError
+from repro.exceptions import EdgeNotFoundError, NodeNotFoundError, SelfLoopError
 
 Node = Hashable
 Edge = Tuple[Node, Node]
@@ -97,11 +97,11 @@ class Graph:
 
         Raises
         ------
-        ValueError
+        SelfLoopError
             If ``u == v`` (self-loops are not allowed).
         """
         if u == v:
-            raise ValueError(f"self-loops are not allowed: ({u!r}, {v!r})")
+            raise SelfLoopError(f"self-loops are not allowed: ({u!r}, {v!r})")
         self.add_node(u)
         self.add_node(v)
         self._adj[u].add(v)
@@ -236,8 +236,11 @@ class Graph:
     def subgraph(self, nodes: Iterable[Node]) -> "Graph":
         """Return the subgraph induced by ``nodes`` (unknown nodes ignored)."""
         keep = {node for node in nodes if node in self._adj}
-        sub = Graph(nodes=keep)
-        for u in keep:
+        # Follow this graph's (insertion-ordered) node order rather than the
+        # set's hash order so the subgraph's node iteration is deterministic.
+        ordered = [node for node in self._adj if node in keep]
+        sub = Graph(nodes=ordered)
+        for u in ordered:
             for v in self._adj[u]:
                 if v in keep:
                     sub.add_edge(u, v)

@@ -40,7 +40,7 @@ from typing import Dict, Iterator, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.exceptions import EdgeNotFoundError, NodeNotFoundError
+from repro.exceptions import AssemblyModeError, EdgeNotFoundError, NodeNotFoundError
 from repro.graphs.graph import Edge, Graph, Node, canonical_edge, edge_sort_key
 
 __all__ = ["IndexedGraph"]
@@ -92,7 +92,7 @@ class IndexedGraph:
 
     def __init__(self, graph: Graph, assembly: str = "numpy") -> None:
         if assembly not in ASSEMBLY_MODES:
-            raise ValueError(
+            raise AssemblyModeError(
                 f"assembly must be one of {ASSEMBLY_MODES}, got {assembly!r}"
             )
         # -- node ids: deterministic str order --------------------------------

@@ -1295,6 +1295,7 @@ class SetCoverageState:
         """Return undeleted edges that still break at least one alive instance."""
         candidates: Set[Edge] = set()
         deleted = set(self._deleted_edges)
+        # reprolint: disable=R1-set-iteration(loop only accumulates into the candidates set; set construction is order-insensitive)
         for edge in self._index.candidate_edges():
             if edge not in deleted and self.gain(edge) > 0:
                 candidates.add(edge)

@@ -18,6 +18,7 @@ from bisect import bisect_left
 from itertools import combinations
 from typing import Iterator, List, Sequence
 
+from repro.exceptions import MotifDefinitionError
 from repro.graphs.graph import Edge, Graph
 from repro.graphs.indexed import IndexedGraph
 from repro.motifs.base import MotifInstance, MotifPattern, register_motif
@@ -39,7 +40,7 @@ class PathMotif(MotifPattern):
 
     def __init__(self, length: int = 4) -> None:
         if length < 2:
-            raise ValueError(f"path length must be >= 2, got {length}")
+            raise MotifDefinitionError(f"path length must be >= 2, got {length}")
         self.length = length
         # node i hops along the path is length - i hops from the far end,
         # so every path node is within length // 2 hops of some endpoint
@@ -131,7 +132,7 @@ class CliqueMotif(MotifPattern):
 
     def __init__(self, size: int = 4) -> None:
         if size < 3:
-            raise ValueError(f"clique size must be >= 3, got {size}")
+            raise MotifDefinitionError(f"clique size must be >= 3, got {size}")
         self.size = size
 
     def enumerate_instances(self, graph: Graph, target: Edge) -> Iterator[MotifInstance]:

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, Sequence, Union
 
+from repro.exceptions import ConstantError
 from repro.graphs.graph import Edge, Graph, canonical_edge
 from repro.motifs.base import MotifPattern, coerce_motif
 
@@ -74,7 +75,7 @@ def dissimilarity(
     """
     current = total_similarity(graph, targets, motif)
     if constant < current:
-        raise ValueError(
+        raise ConstantError(
             f"constant C={constant} is smaller than the total similarity {current}"
         )
     return constant - current

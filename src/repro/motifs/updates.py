@@ -238,6 +238,7 @@ def _radius_ball(
     frontier = set(ball)
     for _ in range(radius):
         reached: Set[int] = set()
+        # reprolint: disable=R1-set-iteration(BFS frontier only unions neighbor ranges into a set; the union is order-insensitive)
         for node in frontier:
             reached.update(neighbors[indptr[node] : indptr[node + 1]])
         frontier = reached - ball

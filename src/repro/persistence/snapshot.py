@@ -149,7 +149,7 @@ def _decode_nodes(codec: str, blob: bytes, allow_pickle: bool) -> Tuple[Node, ..
     raise SnapshotFormatError(f"unknown node codec {codec!r}")
 
 
-def _long_bytes(values) -> bytes:
+def _long_bytes(values: Union[array, np.ndarray]) -> bytes:
     """Serialise a C-long buffer (``array('l')`` or NP_LONG ndarray) to bytes."""
     if isinstance(values, array):
         return values.tobytes()

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import Dict
 
+from repro.exceptions import PredictorConfigError
 from repro.graphs.graph import Graph, Node
 from repro.prediction.base import LinkPredictor, register_predictor
 
@@ -70,9 +71,9 @@ class KatzPredictor(LinkPredictor):
 
     def __init__(self, beta: float = 0.05, max_length: int = 4) -> None:
         if beta <= 0:
-            raise ValueError(f"beta must be > 0, got {beta}")
+            raise PredictorConfigError(f"beta must be > 0, got {beta}")
         if max_length < 2:
-            raise ValueError(f"max_length must be >= 2, got {max_length}")
+            raise PredictorConfigError(f"max_length must be >= 2, got {max_length}")
         self.beta = beta
         self.max_length = max_length
 

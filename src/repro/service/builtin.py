@@ -21,7 +21,7 @@ session-served runs trace deletions on the shared index.
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from typing import Any, Optional, Union
 
 from repro.core.baselines import random_deletion, random_target_subgraph_deletion
 from repro.core.ct import ct_greedy
@@ -51,7 +51,7 @@ def _prepared_state(
     description="single global budget greedy (Algorithm 1)",
 )
 def _run_sgb(
-    problem: TPPProblem, budget: int, engine: EngineLike, seed: int, **options
+    problem: TPPProblem, budget: int, engine: EngineLike, seed: int, **options: Any
 ) -> ProtectionResult:
     return sgb_greedy(problem, budget, engine=engine, lazy=options.get("lazy"))
 
@@ -63,7 +63,7 @@ def _run_sgb(
     description="cross-target greedy, degree-product budget division",
 )
 def _run_ct_dbd(
-    problem: TPPProblem, budget: int, engine: EngineLike, seed: int, **options
+    problem: TPPProblem, budget: int, engine: EngineLike, seed: int, **options: Any
 ) -> ProtectionResult:
     division = options.get("budget_division") or "dbd"
     return ct_greedy(problem, budget, budget_division=division, engine=engine)
@@ -76,7 +76,7 @@ def _run_ct_dbd(
     description="within-target greedy, degree-product budget division",
 )
 def _run_wt_dbd(
-    problem: TPPProblem, budget: int, engine: EngineLike, seed: int, **options
+    problem: TPPProblem, budget: int, engine: EngineLike, seed: int, **options: Any
 ) -> ProtectionResult:
     division = options.get("budget_division") or "dbd"
     return wt_greedy(problem, budget, budget_division=division, engine=engine)
@@ -89,7 +89,7 @@ def _run_wt_dbd(
     description="cross-target greedy, target-subgraph budget division",
 )
 def _run_ct_tbd(
-    problem: TPPProblem, budget: int, engine: EngineLike, seed: int, **options
+    problem: TPPProblem, budget: int, engine: EngineLike, seed: int, **options: Any
 ) -> ProtectionResult:
     division = options.get("budget_division") or "tbd"
     return ct_greedy(problem, budget, budget_division=division, engine=engine)
@@ -102,7 +102,7 @@ def _run_ct_tbd(
     description="within-target greedy, target-subgraph budget division",
 )
 def _run_wt_tbd(
-    problem: TPPProblem, budget: int, engine: EngineLike, seed: int, **options
+    problem: TPPProblem, budget: int, engine: EngineLike, seed: int, **options: Any
 ) -> ProtectionResult:
     division = options.get("budget_division") or "tbd"
     return wt_greedy(problem, budget, budget_division=division, engine=engine)
@@ -115,7 +115,7 @@ def _run_wt_tbd(
     description="uniform random deletion from the phase-1 edge set",
 )
 def _run_rd(
-    problem: TPPProblem, budget: int, engine: EngineLike, seed: int, **options
+    problem: TPPProblem, budget: int, engine: EngineLike, seed: int, **options: Any
 ) -> ProtectionResult:
     return random_deletion(problem, budget, seed=seed, state=_prepared_state(engine))
 
@@ -127,7 +127,7 @@ def _run_rd(
     description="uniform random deletion from target-subgraph edges",
 )
 def _run_rdt(
-    problem: TPPProblem, budget: int, engine: EngineLike, seed: int, **options
+    problem: TPPProblem, budget: int, engine: EngineLike, seed: int, **options: Any
 ) -> ProtectionResult:
     return random_target_subgraph_deletion(
         problem, budget, seed=seed, state=_prepared_state(engine)

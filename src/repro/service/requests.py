@@ -11,7 +11,7 @@ dataclasses — hashable, picklable (they cross process boundaries in
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Dict, Mapping, Optional, Tuple, Union
+from typing import Any, Dict, Mapping, Optional, Tuple, Union
 
 from repro.core.engines import ENGINE_NAMES
 from repro.exceptions import ExperimentError
@@ -118,7 +118,7 @@ class ProtectionRequest:
             options["lazy"] = self.lazy
         return options
 
-    def with_overrides(self, **changes) -> "ProtectionRequest":
+    def with_overrides(self, **changes: Any) -> "ProtectionRequest":
         """Return a copy with the given fields replaced."""
         return replace(self, **changes)
 

@@ -39,7 +39,8 @@ import threading
 from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import replace
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from pathlib import Path
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.engines import CoverageEngine, MarginalGainEngine
 from repro.core.model import ProtectionResult, TPPProblem
@@ -47,10 +48,13 @@ from repro.core.selection import Stopwatch
 from repro.exceptions import ExperimentError
 from repro.graphs.graph import Edge, Graph, canonical_edge, edge_sort_key
 from repro.motifs.base import MotifPattern
-from repro.motifs.enumeration import SetCoverageState, TargetSubgraphIndex
+from repro.motifs.enumeration import CoverageState, SetCoverageState, TargetSubgraphIndex
 from repro.service import builtin  # noqa: F401  (registers the built-in methods)
 from repro.service.registry import get_method
 from repro.service.requests import ProtectionRequest
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.motifs.updates import DeltaOutcome, EdgeDelta
 
 __all__ = ["ProtectionService"]
 
@@ -116,34 +120,36 @@ class ProtectionService:
                     "ProtectionService needs the target links when built from a graph"
                 )
             problem = TPPProblem(graph_or_problem, targets, motif=motif, constant=constant)
-        self._problem = problem
+        self._problem = problem  # reprolint: guarded-by(_lock)
         self._build_workers = build_workers
+        # reprolint: guarded-by(_lock)
         self._index: TargetSubgraphIndex = problem.build_index(
             build_workers=build_workers
         )
-        self._prototype = self._index.new_state()
-        self._build_seconds = stopwatch.elapsed()
-        self._set_prototype: Optional[SetCoverageState] = None
+        self._prototype = self._index.new_state()  # reprolint: guarded-by(_lock)
+        self._build_seconds = stopwatch.elapsed()  # reprolint: guarded-by(_lock)
+        self._set_prototype: Optional[SetCoverageState] = None  # reprolint: guarded-by(_lock)
+        # reprolint: guarded-by(_lock)
         self._subsessions: "OrderedDict[Tuple[Edge, ...], ProtectionService]" = (
             OrderedDict()
         )
-        self._subset_builders: Dict[Tuple[Edge, ...], threading.Lock] = {}
+        self._subset_builders: Dict[Tuple[Edge, ...], threading.Lock] = {}  # reprolint: guarded-by(_lock)
         self._max_cached_subsets = max_cached_subsets
         self._lock = threading.Lock()
-        self._queries_served = 0
+        self._queries_served = 0  # reprolint: guarded-by(_lock)
         #: Serialises writers: one delta application at a time.  Readers
         #: never take it — they capture a consistent state under ``_lock``
         #: and keep serving the pre-delta arrays (copy-on-write swap).
         self._delta_lock = threading.Lock()
-        self._deltas_applied = 0
+        self._deltas_applied = 0  # reprolint: guarded-by(_lock)
         #: Where the session's index came from: "built" (enumerated in this
         #: process) or "snapshot" (restored by :meth:`from_snapshot`).
-        self._index_source = "built"
+        self._index_source = "built"  # reprolint: guarded-by(_lock)
 
     @classmethod
     def from_snapshot(
         cls,
-        path,
+        path: Union[str, Path],
         allow_pickle: bool = True,
         max_cached_subsets: Optional[int] = 32,
         build_workers: Optional[int] = None,
@@ -376,7 +382,9 @@ class ProtectionService:
     # ------------------------------------------------------------------
     # live updates
     # ------------------------------------------------------------------
-    def apply_delta(self, delta, constant: Optional[int] = None):
+    def apply_delta(
+        self, delta: "EdgeDelta", constant: Optional[int] = None
+    ) -> "DeltaOutcome":
         """Apply a graph update to the live session without a rebuild.
 
         ``delta`` is an :class:`~repro.motifs.updates.EdgeDelta` (or a
@@ -448,7 +456,7 @@ class ProtectionService:
         self,
         engine: str,
         problem: TPPProblem,
-        prototype,
+        prototype: Union[CoverageState, SetCoverageState],
         index: TargetSubgraphIndex,
     ) -> MarginalGainEngine:
         if engine == "coverage":

@@ -8,6 +8,7 @@ from repro.anonymization.generation import (
 )
 from repro.datasets.synthetic import small_social_graph
 from repro.graphs.algorithms import average_clustering
+from repro.exceptions import PerturbationError
 
 
 @pytest.fixture
@@ -66,7 +67,7 @@ class TestDegreePreservingRewire:
         assert result.graph == graph
 
     def test_negative_rate_rejected(self, graph):
-        with pytest.raises(ValueError):
+        with pytest.raises(PerturbationError):
             degree_preserving_rewire_release(graph, switches_per_edge=-1.0)
 
     def test_mechanism_label(self, graph):

@@ -8,6 +8,7 @@ from repro.anonymization.perturbation import (
     randomized_response,
 )
 from repro.datasets.synthetic import small_social_graph
+from repro.exceptions import PerturbationError
 
 
 @pytest.fixture
@@ -65,7 +66,7 @@ class TestRandomSwitching:
 
 class TestRandomizedResponse:
     def test_flip_probability_validation(self, graph):
-        with pytest.raises(ValueError):
+        with pytest.raises(PerturbationError):
             randomized_response(graph, flip_probability=1.5)
 
     def test_zero_probability_is_identity_on_edges(self, graph):

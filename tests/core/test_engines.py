@@ -5,6 +5,7 @@ import pytest
 from repro.core.engines import CoverageEngine, RecountEngine, make_engine
 from repro.core.model import TPPProblem
 from repro.graphs.graph import Graph
+from repro.exceptions import EngineError
 
 
 @pytest.fixture
@@ -39,9 +40,9 @@ class TestMakeEngine:
         assert make_engine(problem, "coverage").supports_fast_top
 
     def test_unknown_engine(self, problem):
-        with pytest.raises(ValueError):
+        with pytest.raises(EngineError):
             make_engine(problem, "magic")
-        with pytest.raises(ValueError):
+        with pytest.raises(EngineError):
             CoverageEngine(problem, state="magic")
 
 

@@ -5,6 +5,7 @@ import pytest
 from repro.core.model import ProtectionResult, TPPProblem
 from repro.exceptions import InvalidTargetError
 from repro.graphs.graph import Graph
+from repro.exceptions import BudgetError
 
 
 @pytest.fixture
@@ -108,7 +109,7 @@ class TestProtectionResult:
         assert result.similarity_at(0) == 3
         assert result.similarity_at(1) == 2
         assert result.similarity_at(10) == 0
-        with pytest.raises(ValueError):
+        with pytest.raises(BudgetError):
             result.similarity_at(-1)
 
     def test_empty_trace_falls_back_to_initial(self):

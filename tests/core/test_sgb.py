@@ -7,6 +7,7 @@ from repro.core.sgb import sgb_greedy
 from repro.core.verification import verify_result
 from repro.exceptions import BudgetError
 from repro.graphs.graph import Graph
+from repro.exceptions import EngineError
 
 
 @pytest.fixture
@@ -96,7 +97,7 @@ class TestLazySGB:
         assert lazy.budget_used == plain.budget_used
 
     def test_lazy_requires_coverage_engine(self, shared_protector_problem):
-        with pytest.raises(ValueError):
+        with pytest.raises(EngineError):
             sgb_greedy(shared_protector_problem, budget=2, engine="recount", lazy=True)
 
     def test_lazy_on_larger_graph(self, small_problem):

@@ -4,6 +4,7 @@ import pytest
 
 from repro.exceptions import EdgeNotFoundError, NodeNotFoundError
 from repro.graphs.graph import Graph, canonical_edge
+from repro.exceptions import SelfLoopError
 
 
 class TestCanonicalEdge:
@@ -38,7 +39,7 @@ class TestConstruction:
         assert graph.number_of_edges() == 1
 
     def test_self_loop_rejected(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(SelfLoopError):
             Graph(edges=[(1, 1)])
 
 
@@ -153,3 +154,23 @@ class TestCopiesAndViews:
         graph = Graph(edges=[(1, 2)])
         assert "n=2" in repr(graph)
         assert "m=1" in repr(graph)
+
+
+class TestSubgraphDeterminism:
+    """Pinned regression: ``subgraph`` used to iterate its ``keep`` set in
+    hash order, so the induced graph's node iteration order (and hence
+    every downstream insertion-ordered walk) varied with PYTHONHASHSEED
+    for string nodes.  It now follows the parent graph's insertion order."""
+
+    def test_subgraph_preserves_parent_node_order(self):
+        graph = Graph(edges=[("d", "c"), ("c", "b"), ("b", "a"), ("a", "e")])
+        sub = graph.subgraph(["e", "a", "b", "d"])
+        # parent insertion order is d, c, b, a, e; c is not kept
+        assert list(sub.nodes()) == ["d", "b", "a", "e"]
+
+    def test_subgraph_order_independent_of_request_order(self):
+        graph = Graph(edges=[(1, 2), (2, 3), (3, 4), (4, 1)])
+        forward = graph.subgraph([1, 2, 3])
+        backward = graph.subgraph([3, 2, 1])
+        assert list(forward.nodes()) == list(backward.nodes())
+        assert forward == backward

@@ -6,6 +6,7 @@ from repro.exceptions import EdgeNotFoundError, NodeNotFoundError
 from repro.graphs.generators import erdos_renyi_graph
 from repro.graphs.graph import Graph, canonical_edge
 from repro.graphs.indexed import IndexedGraph
+from repro.exceptions import AssemblyModeError
 
 
 @pytest.fixture
@@ -109,7 +110,7 @@ class TestAssemblyModes:
         self._assert_identical(Graph(nodes=[3, 1, 2]))
 
     def test_unknown_assembly_rejected(self, graph):
-        with pytest.raises(ValueError):
+        with pytest.raises(AssemblyModeError):
             IndexedGraph(graph, assembly="fortran")
 
 

@@ -8,6 +8,7 @@ from repro.motifs.base import get_motif
 from repro.motifs.extra import CliqueMotif, PathMotif
 from repro.motifs.rectangle import RectangleMotif
 from repro.motifs.triangle import TriangleMotif
+from repro.exceptions import MotifDefinitionError
 
 
 class TestPathMotif:
@@ -40,7 +41,7 @@ class TestPathMotif:
             assert len(nodes) == 5
 
     def test_invalid_length(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(MotifDefinitionError):
             PathMotif(length=1)
 
     def test_registered_path4(self):
@@ -76,7 +77,7 @@ class TestCliqueMotif:
         assert len(instances[0]) == 5  # K4 has 6 edges, minus the target
 
     def test_invalid_size(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(MotifDefinitionError):
             CliqueMotif(size=2)
 
     def test_registered_clique4(self):

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.exceptions import ConstantError
 from repro.graphs.graph import Graph
 from repro.motifs.similarity import (
     default_constant,
@@ -54,7 +55,7 @@ class TestDissimilarity:
         assert dissimilarity(reduced, TARGETS, "triangle", constant) == 1
 
     def test_constant_too_small_raises(self, graph):
-        with pytest.raises(ValueError):
+        with pytest.raises(ConstantError):
             dissimilarity(graph, TARGETS, "triangle", constant=1)
 
     def test_larger_constant_shifts_value(self, graph):

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.exceptions import PredictorConfigError
 from repro.graphs.generators import cycle_graph, path_graph
 from repro.graphs.graph import Graph
 from repro.prediction.paths import (
@@ -49,9 +50,9 @@ class TestKatz:
         assert katz_index(graph, 0, 3, beta=0.1, max_length=4) == 0.0
 
     def test_beta_validation(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(PredictorConfigError):
             KatzPredictor(beta=0.0)
-        with pytest.raises(ValueError):
+        with pytest.raises(PredictorConfigError):
             KatzPredictor(max_length=1)
 
     def test_predictor_matches_function(self):

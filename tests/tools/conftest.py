@@ -1,0 +1,14 @@
+"""Make the repository root importable so ``tools.reprolint`` resolves.
+
+The library tests run with ``PYTHONPATH=src``; the linter lives next to
+``src`` at the repository root, so these tests add that root explicitly.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+if str(REPO_ROOT) not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT))

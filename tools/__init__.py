@@ -1,0 +1,1 @@
+"""Repository tooling: docs drift checks (`check_readme`) and `reprolint`."""

@@ -12,6 +12,14 @@ Two checks, no mocking:
    argument parser: the subcommand must exist and every ``--flag`` must be
    a registered option of that subcommand.  Renaming a CLI flag without
    updating README fails the build.
+3. **Lint commands run.**  Every ``python -m tools.reprolint ...`` line in
+   a bash block is executed from the repository root and must exit 0, so
+   the documented linter invocation is guaranteed runnable and the library
+   is guaranteed lint-clean as documented.
+4. **The mypy file list matches pyproject.**  The ``mypy <paths>`` command
+   in README must name existing paths, and the set of modules it covers
+   must equal the strict-override module list in ``[tool.mypy]`` — the
+   README and the CI contract cannot silently diverge.
 
 Run with::
 
@@ -102,6 +110,104 @@ def check_cli_lines(bash_blocks) -> list:
     return failures
 
 
+def check_lint_lines(bash_blocks) -> list:
+    """Run every documented ``python -m tools.reprolint`` command."""
+    failures = []
+    checked = 0
+    for code in bash_blocks:
+        joined = code.replace("\\\n", " ")
+        for line in joined.splitlines():
+            line = line.strip()
+            if not line.startswith("python -m tools.reprolint"):
+                continue
+            checked += 1
+            argv = [sys.executable] + line.split()[1:]
+            completed = subprocess.run(
+                argv, capture_output=True, text=True, cwd=REPO_ROOT
+            )
+            if completed.returncode != 0:
+                failures.append(
+                    f"documented lint command exited {completed.returncode}: "
+                    f"{line!r}\n{completed.stdout.strip()}"
+                )
+            else:
+                print(f"lint command OK: {line}")
+    if checked == 0:
+        failures.append("README documents no 'python -m tools.reprolint' command")
+    return failures
+
+
+def _strict_mypy_modules() -> set:
+    """Module patterns held to disallow-untyped-defs in pyproject.toml."""
+    import tomllib
+
+    with open(REPO_ROOT / "pyproject.toml", "rb") as handle:
+        config = tomllib.load(handle)
+    modules = set()
+    for override in config.get("tool", {}).get("mypy", {}).get("overrides", []):
+        if override.get("disallow_untyped_defs"):
+            listed = override.get("module", [])
+            modules.update([listed] if isinstance(listed, str) else listed)
+    return modules
+
+
+def _path_to_module_pattern(token: str) -> str:
+    """Map a README mypy path to the pyproject override pattern covering it."""
+    path = Path(token)
+    parts = list(path.parts)
+    if parts and parts[0] == "src":
+        parts = parts[1:]
+    if (REPO_ROOT / token).is_dir():
+        return ".".join(parts) + ".*"
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][: -len(".py")]
+    return ".".join(parts)
+
+
+def check_mypy_file_list(bash_blocks) -> list:
+    failures = []
+    mypy_lines = []
+    for code in bash_blocks:
+        joined = code.replace("\\\n", " ")
+        mypy_lines.extend(
+            line.strip()
+            for line in joined.splitlines()
+            if line.strip().startswith("mypy ")
+        )
+    if not mypy_lines:
+        return ["README documents no 'mypy <paths>' command"]
+
+    strict = _strict_mypy_modules()
+    documented = set()
+    for line in mypy_lines:
+        for token in line.split()[1:]:
+            if token.startswith("-"):
+                continue
+            if not (REPO_ROOT / token).exists():
+                failures.append(f"README mypy command names missing path {token!r}")
+                continue
+            documented.add(_path_to_module_pattern(token))
+    if not failures and documented != strict:
+        only_readme = sorted(documented - strict)
+        only_pyproject = sorted(strict - documented)
+        if only_readme:
+            failures.append(
+                "README mypy command covers modules not in the pyproject "
+                f"strict list: {', '.join(only_readme)}"
+            )
+        if only_pyproject:
+            failures.append(
+                "pyproject strict-override modules missing from the README "
+                f"mypy command: {', '.join(only_pyproject)}"
+            )
+    if not failures:
+        print(
+            f"mypy file list matches the {len(strict)} strict-override "
+            "modules in pyproject.toml"
+        )
+    return failures
+
+
 def main() -> int:
     markdown = README.read_text(encoding="utf-8")
     blocks = list(extract_blocks(markdown))
@@ -113,6 +219,8 @@ def main() -> int:
 
     failures = run_python_blocks(python_blocks)
     failures += check_cli_lines(bash_blocks)
+    failures += check_lint_lines(bash_blocks)
+    failures += check_mypy_file_list(bash_blocks)
     if failures:
         for failure in failures:
             print(f"README DRIFT: {failure}", file=sys.stderr)

@@ -1,0 +1,32 @@
+"""reprolint: repo-specific static analysis for the TPP reproduction.
+
+Six rule families encode the invariants every PR so far proved
+dynamically with differential tests, so future changes fail fast at lint
+time instead of breaking bit-identity at runtime:
+
+* **R1 determinism** — no hash-ordered set iteration, no global RNG.
+* **R2 numpy-boundary** — no numpy scalars escaping public returns.
+* **R3 lock-discipline** — ``guarded-by(LOCK)`` attributes written only
+  under ``with self.LOCK:``.
+* **R4 pickle-safety** — nothing unpicklable submitted to a process pool.
+* **R5 exception-taxonomy** — typed ``repro.exceptions``, not bare
+  ``ValueError``.
+* **R6 bench-schema** — committed BENCH reports / emitting scripts carry
+  every key the CI regression gate reads.
+
+Run ``python -m tools.reprolint src/repro``; suppress a finding with
+``# reprolint: disable=RULE(reason)`` — the reason is mandatory.
+"""
+
+from tools.reprolint.driver import lint_paths, lint_source, main
+from tools.reprolint.findings import Finding
+from tools.reprolint.rules import ALL_RULES, RULES_BY_FAMILY
+
+__all__ = [
+    "ALL_RULES",
+    "RULES_BY_FAMILY",
+    "Finding",
+    "lint_paths",
+    "lint_source",
+    "main",
+]

@@ -1,0 +1,60 @@
+"""Per-module analysis context shared by all AST rules."""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from tools.reprolint.directives import Directives
+
+
+@dataclass
+class ModuleContext:
+    """Everything a rule needs to check one module."""
+
+    path: str
+    source: str
+    tree: ast.Module
+    directives: Directives
+    #: ``src/repro``-style relative path fragment used for path-scoped
+    #: exemptions (e.g. R1's seeded-randomness carve-out for ``datasets/``).
+    relpath: str
+
+    _public_names: Optional[frozenset] = field(default=None, repr=False)
+
+    @property
+    def declares_public_surface(self) -> bool:
+        """Whether the module declares ``__all__`` (R2 only runs if so)."""
+        return self.public_names is not None
+
+    @property
+    def public_names(self) -> Optional[frozenset]:
+        """The module's ``__all__`` as a frozenset, or ``None``."""
+        if self._public_names is None:
+            self._public_names = _extract_all(self.tree)
+        return None if self._public_names == _MISSING else self._public_names
+
+
+_MISSING = frozenset({"\0reprolint-no-__all__"})
+
+
+def _extract_all(tree: ast.Module) -> frozenset:
+    for node in tree.body:
+        targets: List[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets = [node.target]
+        for target in targets:
+            if isinstance(target, ast.Name) and target.id == "__all__":
+                value = node.value
+                if isinstance(value, (ast.List, ast.Tuple, ast.Set)):
+                    names = [
+                        element.value
+                        for element in value.elts
+                        if isinstance(element, ast.Constant)
+                        and isinstance(element.value, str)
+                    ]
+                    return frozenset(names)
+    return _MISSING

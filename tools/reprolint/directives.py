@@ -1,0 +1,210 @@
+"""Comment directives: suppressions and ``guarded-by`` lock annotations.
+
+Two comment forms steer the linter:
+
+``# reprolint: disable=RULE(reason)[,RULE2(reason2)...]``
+    Suppresses findings of ``RULE`` (a full code like ``R1-set-iteration``
+    or a family like ``R1``) on the same line, or — when the comment is the
+    only thing on its line — on the next code line.  The parenthesised
+    reason is **mandatory**: a suppression without one is itself reported
+    as an ``R0-suppression`` finding and fails the lint, so every silenced
+    rule documents why silencing it is sound.
+
+``# reprolint: guarded-by(LOCK)``
+    Declares, on an attribute assignment such as ``self._count = 0``, that
+    every later write to that attribute must happen inside
+    ``with self.LOCK:``.  Consumed by the R3 lock-discipline rule.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from tools.reprolint.findings import Finding
+
+_DIRECTIVE = re.compile(r"#\s*reprolint:\s*(?P<body>.+?)\s*$")
+_DISABLE = re.compile(r"disable\s*=\s*(?P<rules>.+)$")
+_GUARDED = re.compile(r"guarded-by\s*\(\s*(?P<lock>[A-Za-z_][A-Za-z0-9_]*)\s*\)")
+# the RULE name of one RULE(reason) entry; the reason is scanned manually
+# so it may itself contain balanced parentheses.
+_ENTRY_RULE = re.compile(r"\s*(?P<rule>[A-Za-z0-9_-]+)\s*")
+
+
+@dataclass(frozen=True)
+class Suppression:
+    rule: str
+    reason: Optional[str]
+    line: int
+    #: True when the directive comment has code before it on the same line,
+    #: in which case it applies to that line; otherwise to the next line.
+    inline: bool
+
+
+@dataclass(frozen=True)
+class GuardDirective:
+    lock: str
+    line: int
+
+
+def _comment_tokens(source: str) -> List[Tuple[int, int, str, bool]]:
+    """Return ``(line, col, text, inline)`` for every comment in ``source``.
+
+    ``inline`` is True when code precedes the comment on its line.  Falls
+    back to a line-based scan if tokenisation fails (the caller reports the
+    syntax error separately).
+    """
+    comments = []
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        for number, text in enumerate(source.splitlines(), start=1):
+            stripped = text.lstrip()
+            position = text.find("#")
+            if position >= 0:
+                comments.append(
+                    (number, position, text[position:], not stripped.startswith("#"))
+                )
+        return comments
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        line_text = token.line[: token.start[1]]
+        comments.append(
+            (token.start[0], token.start[1], token.string, bool(line_text.strip()))
+        )
+    return comments
+
+
+def _parse_disable_entries(body: str) -> Optional[List[Tuple[str, Optional[str]]]]:
+    """Split ``R1(reason),R2-foo(why)`` into ``[(rule, reason-or-None)...]``.
+
+    Reasons may contain balanced parentheses (e.g. a tuple spelled out in
+    prose), so the reason is scanned by paren depth rather than by regex.
+    """
+    entries: List[Tuple[str, Optional[str]]] = []
+    rest = body
+    while rest.strip():
+        match = _ENTRY_RULE.match(rest)
+        if not match:
+            return None
+        rule = match.group("rule")
+        rest = rest[match.end():]
+        reason: Optional[str] = None
+        if rest.startswith("("):
+            depth = 0
+            for position, character in enumerate(rest):
+                if character == "(":
+                    depth += 1
+                elif character == ")":
+                    depth -= 1
+                    if depth == 0:
+                        reason = rest[1:position].strip() or None
+                        rest = rest[position + 1:]
+                        break
+            else:
+                return None  # unbalanced parentheses
+        entries.append((rule, reason))
+        rest = rest.lstrip()
+        if rest.startswith(","):
+            rest = rest[1:]
+        elif rest.strip():
+            return None
+    return entries or None
+
+
+@dataclass
+class Directives:
+    """All parsed directive comments of one module."""
+
+    suppressions: List[Suppression]
+    guards: Dict[int, GuardDirective]
+    #: Malformed / reason-less directives, reported as findings.
+    errors: List[Finding]
+
+    def suppression_for(self, finding: Finding) -> Optional[Suppression]:
+        """Return the suppression covering ``finding``, if any.
+
+        A suppression on line ``L`` covers findings on ``L`` when inline,
+        and findings on ``L + 1`` when it stands alone on its line.
+        """
+        for suppression in self.suppressions:
+            target = suppression.line if suppression.inline else suppression.line + 1
+            if target != finding.line:
+                continue
+            if suppression.rule in (finding.rule, finding.family):
+                return suppression
+        return None
+
+
+def parse_directives(source: str, path: str) -> Directives:
+    """Extract every reprolint directive comment from ``source``."""
+    suppressions: List[Suppression] = []
+    guards: Dict[int, GuardDirective] = {}
+    errors: List[Finding] = []
+    for line, col, text, inline in _comment_tokens(source):
+        directive = _DIRECTIVE.search(text)
+        if directive is None:
+            if "reprolint" in text:
+                errors.append(
+                    Finding(
+                        "R0-suppression",
+                        path,
+                        line,
+                        col,
+                        f"unparseable reprolint directive: {text.strip()!r}",
+                    )
+                )
+            continue
+        body = directive.group("body")
+        guarded = _GUARDED.search(body)
+        if guarded is not None:
+            # inline: the directive annotates its own line; standalone: the
+            # assignment starting on the next line (mirrors suppressions).
+            guards[line if inline else line + 1] = GuardDirective(
+                guarded.group("lock"), line
+            )
+            continue
+        disable = _DISABLE.match(body)
+        if disable is None:
+            errors.append(
+                Finding(
+                    "R0-suppression",
+                    path,
+                    line,
+                    col,
+                    f"unknown reprolint directive: {body!r} "
+                    "(expected disable=RULE(reason) or guarded-by(LOCK))",
+                )
+            )
+            continue
+        entries = _parse_disable_entries(disable.group("rules"))
+        if entries is None:
+            errors.append(
+                Finding(
+                    "R0-suppression",
+                    path,
+                    line,
+                    col,
+                    f"malformed disable directive: {disable.group('rules')!r}",
+                )
+            )
+            continue
+        for rule, reason in entries:
+            if not reason:
+                errors.append(
+                    Finding(
+                        "R0-suppression",
+                        path,
+                        line,
+                        col,
+                        f"suppression of {rule} has no reason; write "
+                        f"# reprolint: disable={rule}(why this is sound)",
+                    )
+                )
+                continue
+            suppressions.append(Suppression(rule, reason, line, inline))
+    return Directives(suppressions, guards, errors)

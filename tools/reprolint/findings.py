@@ -1,0 +1,62 @@
+"""The unit of reprolint output: one rule violation at one location."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation.
+
+    Attributes
+    ----------
+    rule:
+        Full rule code, e.g. ``"R1-set-iteration"``.  The leading
+        ``R<n>`` segment is the rule *family*; suppressions may name
+        either the full code or the family.
+    path:
+        File the finding is anchored in (as given to the linter).
+    line / col:
+        1-based line and 0-based column of the offending node.
+    message:
+        Human-readable description with the expected fix.
+    """
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    @property
+    def family(self) -> str:
+        """The rule family prefix (``"R1"`` for ``"R1-set-iteration"``)."""
+        return self.rule.split("-", 1)[0]
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+
+@dataclass
+class LintStats:
+    """Aggregate counters for one lint run."""
+
+    files: int = 0
+    findings: int = 0
+    suppressed: int = 0
+    by_rule: Dict[str, int] = field(default_factory=dict)
+
+    def count(self, finding: Finding) -> None:
+        self.findings += 1
+        self.by_rule[finding.rule] = self.by_rule.get(finding.rule, 0) + 1

@@ -1,0 +1,493 @@
+"""R1 — determinism: no order-sensitive iteration over hash-ordered sets,
+no global (unseeded) randomness in library code.
+
+The repo's correctness story is *bit-identity*: every engine, build path
+and snapshot restore must reproduce the same protector trace byte for
+byte.  Two language features silently break that:
+
+* **Set iteration order** is derived from hash values and insertion
+  history; iterating a ``set``/``frozenset`` (or calling ``set.pop()``)
+  without an explicit ``sorted(...)`` — by convention keyed with
+  ``edge_sort_key`` for edges — makes traces differ across processes,
+  platforms and PYTHONHASHSEED values.  Dict iteration is exempt: CPython
+  dicts are insertion-ordered, so a dict built deterministically iterates
+  deterministically.
+* **Global RNG state** (``random.random``, ``np.random.rand``,
+  ``default_rng()`` with no seed) makes results depend on call order
+  across the whole process.  Dataset synthesis under ``datasets/`` is the
+  designated entropy boundary (its generators take explicit seeds) and is
+  exempt.
+
+Codes: ``R1-set-iteration``, ``R1-set-pop``, ``R1-unseeded-random``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Set
+
+from tools.reprolint.context import ModuleContext
+from tools.reprolint.findings import Finding
+from tools.reprolint.rules.base import Rule
+
+#: Methods that return a new set (used to propagate "set-typed" through
+#: expressions) — stdlib set algebra plus this repo's set-returning APIs.
+SET_RETURNING_METHODS = frozenset(
+    {
+        "intersection",
+        "union",
+        "difference",
+        "symmetric_difference",
+        "edge_set",
+        "target_set",
+        "candidate_edges",
+    }
+)
+
+#: Builtins whose consumption of an iterable is order-insensitive.  ``sum``
+#: is deliberately *not* here: float addition is not associative, so even a
+#: reduction can be hash-order dependent at the bit level.
+ORDER_INSENSITIVE_CONSUMERS = frozenset(
+    {"sorted", "len", "min", "max", "any", "all", "set", "frozenset"}
+)
+
+#: Set-typed annotation heads.
+_SET_ANNOTATIONS = frozenset({"Set", "FrozenSet", "set", "frozenset", "AbstractSet", "MutableSet"})
+
+#: Draws from the module-level (global-state) stdlib RNG.
+GLOBAL_RANDOM_FUNCS = frozenset(
+    {
+        "random",
+        "randint",
+        "randrange",
+        "getrandbits",
+        "choice",
+        "choices",
+        "shuffle",
+        "sample",
+        "uniform",
+        "triangular",
+        "gauss",
+        "normalvariate",
+        "expovariate",
+        "betavariate",
+        "paretovariate",
+        "vonmisesvariate",
+        "weibullvariate",
+        "lognormvariate",
+    }
+)
+
+#: Draws from the legacy global numpy RNG (``np.random.*``).
+GLOBAL_NP_RANDOM_FUNCS = frozenset(
+    {
+        "rand",
+        "randn",
+        "randint",
+        "random",
+        "random_sample",
+        "ranf",
+        "sample",
+        "choice",
+        "shuffle",
+        "permutation",
+        "normal",
+        "uniform",
+        "binomial",
+        "poisson",
+        "exponential",
+        "beta",
+        "gamma",
+        "standard_normal",
+        "bytes",
+        "seed",
+    }
+)
+
+#: Path fragments where entropy is part of the contract (explicitly-seeded
+#: synthesis lives here; the generators take a ``seed`` argument).
+ENTROPY_ALLOWED_FRAGMENTS = ("datasets/",)
+
+
+def _annotation_is_set(annotation: Optional[ast.expr]) -> bool:
+    if annotation is None:
+        return False
+    head = annotation
+    if isinstance(head, ast.Subscript):
+        head = head.value
+    if isinstance(head, ast.Attribute):
+        return head.attr in _SET_ANNOTATIONS
+    return isinstance(head, ast.Name) and head.id in _SET_ANNOTATIONS
+
+
+class _Scope:
+    """One lexical function (or module) scope with set-typed name inference.
+
+    A name counts as set-typed when it is annotated as a set anywhere in
+    the scope, or when **every** assignment to it in the scope produces a
+    set (flow-insensitive: ``x = set(); ...; x = sorted(x)`` stays clean,
+    which trades a missed finding before the re-assignment for not
+    flagging the standard determinise-then-iterate idiom).
+    """
+
+    def __init__(self) -> None:
+        self.set_assigned: Dict[str, int] = {}
+        self.other_assigned: Set[str] = set()
+        self.annotated: Set[str] = set()
+
+    def is_set_name(self, name: str) -> bool:
+        if name in self.annotated:
+            return True
+        return name in self.set_assigned and name not in self.other_assigned
+
+
+class DeterminismRule(Rule):
+    family = "R1"
+    name = "determinism"
+    description = (
+        "unsorted set/frozenset iteration and unseeded global randomness "
+        "break bit-identical traces"
+    )
+
+    def check_module(self, ctx: ModuleContext) -> List[Finding]:
+        findings: List[Finding] = []
+        random_aliases, np_aliases = _module_aliases(ctx.tree)
+        entropy_ok = any(
+            fragment in ctx.relpath.replace("\\", "/")
+            for fragment in ENTROPY_ALLOWED_FRAGMENTS
+        )
+
+        for scope_node, body in _iter_scopes(ctx.tree):
+            scope = _collect_scope(scope_node, body)
+            checker = _ScopeChecker(
+                ctx, scope, random_aliases, np_aliases, entropy_ok, findings
+            )
+            for statement in body:
+                checker.visit(statement)
+        return findings
+
+
+def _module_aliases(tree: ast.Module):
+    """Map local names to the ``random`` / ``numpy`` modules they denote."""
+    random_aliases: Set[str] = set()
+    np_aliases: Set[str] = set()
+    np_random_aliases: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".")[0]
+                if alias.name == "random":
+                    random_aliases.add(local)
+                elif alias.name in ("numpy", "numpy.random"):
+                    if alias.name == "numpy.random" and alias.asname:
+                        np_random_aliases.add(alias.asname)
+                    else:
+                        np_aliases.add(local)
+        elif isinstance(node, ast.ImportFrom):
+            if node.module == "numpy":
+                for alias in node.names:
+                    if alias.name == "random":
+                        np_random_aliases.add(alias.asname or "random")
+    return random_aliases, (np_aliases, np_random_aliases)
+
+
+def _iter_scopes(tree: ast.Module):
+    """Yield ``(scope node, its immediate body)`` for the module and every
+    function, without descending into nested scopes from the parent."""
+    yield tree, _body_without_nested_functions(tree.body)
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node, _body_without_nested_functions(node.body)
+
+
+def _body_without_nested_functions(body):
+    return list(body)
+
+
+class _NonRecursingVisitor(ast.NodeVisitor):
+    """Visitor that does not descend into nested function/class scopes."""
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        pass
+
+    visit_AsyncFunctionDef = visit_FunctionDef
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        # class bodies are their own scope for assignments, but statements
+        # inside methods are visited when _iter_scopes reaches the method
+        pass
+
+
+class _AssignmentCollector(_NonRecursingVisitor):
+    def __init__(self, scope: _Scope) -> None:
+        self.scope = scope
+
+    def _record(self, target: ast.expr, is_set: bool) -> None:
+        if isinstance(target, ast.Name):
+            if is_set:
+                self.scope.set_assigned[target.id] = (
+                    self.scope.set_assigned.get(target.id, 0) + 1
+                )
+            else:
+                self.scope.other_assigned.add(target.id)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._record(element, False)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        is_set = _is_set_expr(node.value, self.scope)
+        for target in node.targets:
+            self._record(target, is_set)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if isinstance(node.target, ast.Name) and _annotation_is_set(node.annotation):
+            self.scope.annotated.add(node.target.id)
+        elif node.value is not None:
+            self._record(node.target, _is_set_expr(node.value, self.scope))
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        # ``s |= other`` keeps a set a set; anything else is unknown
+        if not isinstance(node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)):
+            self._record(node.target, False)
+        self.generic_visit(node)
+
+    def visit_For(self, node: ast.For) -> None:
+        self._record(node.target, False)
+        self.generic_visit(node)
+
+
+def _collect_scope(scope_node, body) -> _Scope:
+    scope = _Scope()
+    # parameter annotations participate in the inference
+    if isinstance(scope_node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        arguments = scope_node.args
+        for arg in (
+            list(arguments.posonlyargs)
+            + list(arguments.args)
+            + list(arguments.kwonlyargs)
+            + ([arguments.vararg] if arguments.vararg else [])
+            + ([arguments.kwarg] if arguments.kwarg else [])
+        ):
+            if _annotation_is_set(arg.annotation):
+                scope.annotated.add(arg.arg)
+    collector = _AssignmentCollector(scope)
+    # two passes: names assigned from other set names late in the scope
+    # still count (e.g. ``a = set(); b = a``)
+    for _ in range(2):
+        for statement in body:
+            collector.visit(statement)
+    return scope
+
+
+def _is_set_expr(node: ast.expr, scope: _Scope) -> bool:
+    """Whether ``node`` statically evaluates to a set/frozenset."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Name):
+        return scope.is_set_name(node.id)
+    if isinstance(node, ast.Call):
+        function = node.func
+        if isinstance(function, ast.Name) and function.id in ("set", "frozenset"):
+            return True
+        if isinstance(function, ast.Attribute):
+            if function.attr in SET_RETURNING_METHODS:
+                return True
+            if function.attr == "copy" and _is_set_expr(function.value, scope):
+                return True
+        return False
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+    ):
+        return _is_set_expr(node.left, scope) or _is_set_expr(node.right, scope)
+    if isinstance(node, ast.IfExp):
+        return _is_set_expr(node.body, scope) and _is_set_expr(node.orelse, scope)
+    return False
+
+
+class _ScopeChecker(_NonRecursingVisitor):
+    """Flags order-sensitive consumption of set-typed expressions and
+    global-RNG draws inside one scope."""
+
+    def __init__(
+        self,
+        ctx: ModuleContext,
+        scope: _Scope,
+        random_aliases: Set[str],
+        np_aliases,
+        entropy_ok: bool,
+        findings: List[Finding],
+    ) -> None:
+        self.ctx = ctx
+        self.scope = scope
+        self.random_aliases = random_aliases
+        self.np_module_aliases, self.np_random_aliases = np_aliases
+        self.entropy_ok = entropy_ok
+        self.findings = findings
+        #: iter expressions absorbed by an order-insensitive consumer
+        #: (``sorted(x for x in s)`` is deterministic regardless of s's order)
+        self._exempt_iters: Set[int] = set()
+
+    # -- helpers -------------------------------------------------------
+    def _flag(self, node: ast.AST, code: str, message: str) -> None:
+        self.findings.append(
+            Finding(
+                code,
+                self.ctx.path,
+                getattr(node, "lineno", 1),
+                getattr(node, "col_offset", 0),
+                message,
+            )
+        )
+
+    def _check_iteration(self, iterable: ast.expr, what: str) -> None:
+        if id(iterable) in self._exempt_iters:
+            return
+        if _is_set_expr(iterable, self.scope):
+            self._flag(
+                iterable,
+                "R1-set-iteration",
+                f"{what} iterates a set/frozenset in hash order; wrap it in "
+                "sorted(...) (use edge_sort_key for edges) to keep traces "
+                "bit-identical",
+            )
+
+    # -- iteration contexts -------------------------------------------
+    def visit_For(self, node: ast.For) -> None:
+        self._check_iteration(node.iter, "for loop")
+        self.generic_visit(node)
+
+    def visit_AsyncFor(self, node: ast.AsyncFor) -> None:
+        self._check_iteration(node.iter, "async for loop")
+        self.generic_visit(node)
+
+    def _visit_comprehension(self, node) -> None:
+        for generator in node.generators:
+            self._check_iteration(generator.iter, "comprehension")
+        self.generic_visit(node)
+
+    visit_ListComp = _visit_comprehension
+    visit_SetComp = _visit_comprehension
+    visit_DictComp = _visit_comprehension
+    visit_GeneratorExp = _visit_comprehension
+
+    def visit_Starred(self, node: ast.Starred) -> None:
+        self._check_iteration(node.value, "starred unpacking")
+        self.generic_visit(node)
+
+    def visit_YieldFrom(self, node: ast.YieldFrom) -> None:
+        self._check_iteration(node.value, "yield from")
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        function = node.func
+        # list(s) / tuple(s) / enumerate(s) / iter(s) materialise hash order;
+        # sum(s) is a reduction, but float addition is not associative, so a
+        # sum over hash order is not bit-identical either
+        if isinstance(function, ast.Name):
+            if function.id in ("list", "tuple", "enumerate", "iter", "reversed", "sum"):
+                for arg in node.args[:1]:
+                    self._check_iteration(arg, f"{function.id}()")
+            elif function.id in ORDER_INSENSITIVE_CONSUMERS:
+                # min/max resolve ties toward the first element seen, so a
+                # key= function over a set is still hash-order dependent
+                has_key = any(keyword.arg == "key" for keyword in node.keywords)
+                if function.id in ("min", "max") and has_key:
+                    for arg in node.args[:1]:
+                        self._check_iteration(arg, f"{function.id}(key=...)")
+                # consume the arguments without flagging iteration that this
+                # order-insensitive call absorbs (incl. a directly-passed
+                # comprehension's own generators); nested consumers inside
+                # the element expressions are still visited and flagged
+                for arg in node.args:
+                    if isinstance(
+                        arg, (ast.GeneratorExp, ast.ListComp, ast.SetComp)
+                    ):
+                        for generator in arg.generators:
+                            self._exempt_iters.add(id(generator.iter))
+                    if not isinstance(arg, ast.Name):
+                        self.visit(arg)
+                for keyword in node.keywords:
+                    self.visit(keyword.value)
+                self._check_random_call(node)
+                return
+        if isinstance(function, ast.Attribute):
+            if function.attr == "pop" and not node.args and _is_set_expr(
+                function.value, self.scope
+            ):
+                self._flag(
+                    node,
+                    "R1-set-pop",
+                    "set.pop() removes a hash-order-dependent element; pop "
+                    "from a sorted structure instead",
+                )
+            elif function.attr in ("join", "extend", "update") and node.args:
+                # str.join(set) / list.extend(set) materialise hash order;
+                # dict/set .update is order-insensitive for sets, but
+                # list.extend is not — flag only join/extend
+                if function.attr in ("join", "extend"):
+                    self._check_iteration(node.args[0], f".{function.attr}()")
+        self._check_random_call(node)
+        self.generic_visit(node)
+
+    # -- randomness ----------------------------------------------------
+    def _check_random_call(self, node: ast.Call) -> None:
+        if self.entropy_ok:
+            return
+        function = node.func
+        if not isinstance(function, ast.Attribute):
+            # bare Random() / default_rng() constructors are handled below
+            if (
+                isinstance(function, ast.Name)
+                and function.id == "default_rng"
+                and not node.args
+                and not node.keywords
+            ):
+                self._flag(
+                    node,
+                    "R1-unseeded-random",
+                    "default_rng() without a seed draws OS entropy; pass an "
+                    "explicit seed",
+                )
+            return
+        receiver = function.value
+        # random.X(...)
+        if (
+            isinstance(receiver, ast.Name)
+            and receiver.id in self.random_aliases
+            and function.attr in GLOBAL_RANDOM_FUNCS
+        ):
+            self._flag(
+                node,
+                "R1-unseeded-random",
+                f"random.{function.attr}() uses the process-global RNG; use "
+                "an explicitly seeded random.Random(seed) instance",
+            )
+            return
+        # np.random.X(...) or (import numpy.random as npr) npr.X(...)
+        is_np_random = (
+            isinstance(receiver, ast.Attribute)
+            and receiver.attr == "random"
+            and isinstance(receiver.value, ast.Name)
+            and receiver.value.id in self.np_module_aliases
+        ) or (
+            isinstance(receiver, ast.Name) and receiver.id in self.np_random_aliases
+        )
+        if is_np_random:
+            if function.attr in GLOBAL_NP_RANDOM_FUNCS:
+                self._flag(
+                    node,
+                    "R1-unseeded-random",
+                    f"np.random.{function.attr}() uses the global numpy RNG; "
+                    "use np.random.default_rng(seed)",
+                )
+            elif function.attr in ("default_rng", "RandomState") and not (
+                node.args or node.keywords
+            ):
+                self._flag(
+                    node,
+                    "R1-unseeded-random",
+                    f"np.random.{function.attr}() without a seed draws OS "
+                    "entropy; pass an explicit seed",
+                )

@@ -1,0 +1,84 @@
+"""R5 — exception-taxonomy: library errors raise typed ``repro.exceptions``.
+
+``repro.exceptions`` gives every layer a typed error base (``GraphError``,
+``MotifError``, ``TPPError``, ``PredictionError``, ``DatasetError``,
+``PersistenceError``, ``ExperimentError``...), all derived from
+``ReproError`` so callers can catch library failures without swallowing
+programming errors.  A bare ``raise ValueError(...)`` punches a hole in
+that contract: the caller either misses it or is forced back to catching
+builtins.
+
+The rule flags ``raise`` of the generic builtins (``Exception``,
+``ValueError``, ``RuntimeError``...) anywhere except the taxonomy module
+itself.  ``TypeError`` is deliberately exempt: a wrong *type* passed by
+the programmer is a programming error, which the taxonomy's docstring
+explicitly leaves to the builtins.  Re-raises (``raise`` with no
+expression) and raises of anything user-defined pass.
+
+Code: ``R5-untyped-raise``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional
+
+from tools.reprolint.context import ModuleContext
+from tools.reprolint.findings import Finding
+from tools.reprolint.rules.base import Rule
+
+#: Generic builtins that a library layer must not raise directly.
+GENERIC_EXCEPTIONS = frozenset(
+    {
+        "Exception",
+        "BaseException",
+        "ValueError",
+        "RuntimeError",
+        "ArithmeticError",
+        "LookupError",
+        "EnvironmentError",
+        "OSError",
+    }
+)
+
+#: Module basenames exempt from the rule (the taxonomy itself).
+EXEMPT_MODULES = ("exceptions.py",)
+
+
+class ExceptionTaxonomyRule(Rule):
+    family = "R5"
+    name = "exception-taxonomy"
+    description = (
+        "raise typed repro.exceptions classes, not generic builtins"
+    )
+
+    def check_module(self, ctx: ModuleContext) -> List[Finding]:
+        normalized = ctx.relpath.replace("\\", "/")
+        if any(normalized.endswith(module) for module in EXEMPT_MODULES):
+            return []
+        findings: List[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Raise) or node.exc is None:
+                continue
+            name = _raised_name(node.exc)
+            if name in GENERIC_EXCEPTIONS:
+                findings.append(
+                    Finding(
+                        "R5-untyped-raise",
+                        ctx.path,
+                        node.lineno,
+                        node.col_offset,
+                        f"raise of bare {name}; use the matching "
+                        "repro.exceptions class for this layer (subclassing "
+                        f"{name} keeps existing handlers working)",
+                    )
+                )
+        return findings
+
+
+def _raised_name(exc: ast.expr) -> Optional[str]:
+    if isinstance(exc, ast.Call):
+        exc = exc.func
+    if isinstance(exc, ast.Name):
+        return exc.id
+    return None

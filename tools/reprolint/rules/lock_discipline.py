@@ -1,0 +1,172 @@
+"""R3 — lock-discipline: guarded attributes are only written under their lock.
+
+``ProtectionService`` serves concurrent readers while ``apply_delta``
+performs writer-locked copy-on-write swaps: every shared attribute must be
+re-bound only inside ``with self._lock:`` so a reader never observes a
+half-swapped session.  The invariant is declared where the attribute is
+born::
+
+    self._queries_served = 0  # reprolint: guarded-by(_lock)
+
+and this rule then flags any write to that attribute — plain assignment,
+augmented assignment, subscript store or ``del`` — outside a ``with
+self._lock:`` block (any method except the declaring ``__init__``, where
+the object is not shared yet).
+
+The check is lexical: a write in a helper called *from* a locked region is
+not visible to it (document such helpers with a suppression naming the
+caller's lock).  Reads are never checked — the repo's pattern is
+copy-on-write, where readers capture a consistent snapshot under the lock
+themselves or tolerate a stale-but-consistent view.
+
+Code: ``R3-unlocked-write``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Tuple
+
+from tools.reprolint.context import ModuleContext
+from tools.reprolint.findings import Finding
+from tools.reprolint.rules.base import Rule
+
+
+class LockDisciplineRule(Rule):
+    family = "R3"
+    name = "lock-discipline"
+    description = (
+        "attributes declared guarded-by(LOCK) are only written inside "
+        "`with self.LOCK:`"
+    )
+
+    def check_module(self, ctx: ModuleContext) -> List[Finding]:
+        if not ctx.directives.guards:
+            return []
+        findings: List[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ClassDef):
+                _check_class(ctx, node, findings)
+        return findings
+
+
+def _check_class(
+    ctx: ModuleContext, class_node: ast.ClassDef, findings: List[Finding]
+) -> None:
+    guarded = _guarded_attributes(ctx, class_node)
+    if not guarded:
+        return
+    for method in class_node.body:
+        if not isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if method.name == "__init__":
+            continue
+        _check_method(ctx, method, guarded, findings)
+
+
+def _guarded_attributes(
+    ctx: ModuleContext, class_node: ast.ClassDef
+) -> Dict[str, str]:
+    """Collect ``{attribute: lock}`` from guarded-by comments on
+    ``self.<attribute> = ...`` lines anywhere in the class body."""
+    guarded: Dict[str, str] = {}
+    for node in ast.walk(class_node):
+        if not isinstance(node, (ast.Assign, ast.AnnAssign)):
+            continue
+        directive = None
+        for line in range(node.lineno, getattr(node, "end_lineno", node.lineno) + 1):
+            directive = ctx.directives.guards.get(line)
+            if directive is not None:
+                break
+        if directive is None:
+            continue
+        targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+        for target in targets:
+            attribute = _self_attribute(target)
+            if attribute is not None:
+                guarded[attribute] = directive.lock
+    return guarded
+
+
+def _self_attribute(node: ast.expr) -> Optional[str]:
+    """``self.X`` -> ``"X"``; anything else -> None."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def _written_attribute(node: ast.expr) -> Optional[str]:
+    """The guarded attribute a store-target touches.
+
+    Covers ``self.X`` (re-binding) and ``self.X[...]`` (container store);
+    deeper mutation through method calls is out of scope.
+    """
+    direct = _self_attribute(node)
+    if direct is not None:
+        return direct
+    if isinstance(node, ast.Subscript):
+        return _self_attribute(node.value)
+    return None
+
+
+def _check_method(
+    ctx: ModuleContext,
+    method: ast.FunctionDef,
+    guarded: Dict[str, str],
+    findings: List[Finding],
+) -> None:
+    for statement, lock_stack in _walk_with_locks(method.body, ()):
+        targets: List[Tuple[ast.expr, ast.AST]] = []
+        if isinstance(statement, ast.Assign):
+            targets = [(target, statement) for target in statement.targets]
+        elif isinstance(statement, (ast.AugAssign, ast.AnnAssign)):
+            targets = [(statement.target, statement)]
+        elif isinstance(statement, ast.Delete):
+            targets = [(target, statement) for target in statement.targets]
+        for target, anchor in targets:
+            attribute = _written_attribute(target)
+            if attribute is None or attribute not in guarded:
+                continue
+            lock = guarded[attribute]
+            if lock in lock_stack:
+                continue
+            findings.append(
+                Finding(
+                    "R3-unlocked-write",
+                    ctx.path,
+                    anchor.lineno,
+                    anchor.col_offset,
+                    f"write to self.{attribute} (guarded-by({lock})) outside "
+                    f"`with self.{lock}:` in {method.name}()",
+                )
+            )
+
+
+def _walk_with_locks(body, lock_stack: Tuple[str, ...]):
+    """Yield every statement with the tuple of ``self.<lock>`` context
+    managers lexically surrounding it."""
+    for statement in body:
+        yield statement, lock_stack
+        if isinstance(statement, (ast.With, ast.AsyncWith)):
+            held = list(lock_stack)
+            for item in statement.items:
+                lock = _self_attribute(item.context_expr)
+                if lock is not None:
+                    held.append(lock)
+            yield from _walk_with_locks(statement.body, tuple(held))
+        elif isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # a nested function runs later, possibly without the lock
+            yield from _walk_with_locks(statement.body, ())
+        elif isinstance(statement, (ast.If, ast.While, ast.For, ast.AsyncFor)):
+            yield from _walk_with_locks(statement.body, lock_stack)
+            yield from _walk_with_locks(statement.orelse, lock_stack)
+        elif isinstance(statement, ast.Try):
+            yield from _walk_with_locks(statement.body, lock_stack)
+            for handler in statement.handlers:
+                yield from _walk_with_locks(handler.body, lock_stack)
+            yield from _walk_with_locks(statement.orelse, lock_stack)
+            yield from _walk_with_locks(statement.finalbody, lock_stack)

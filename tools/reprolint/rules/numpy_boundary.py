@@ -1,0 +1,350 @@
+"""R2 — numpy-boundary: numpy scalars must not escape public returns.
+
+The kernel stores counters in numpy arrays; reading one element back
+yields an ``np.int64``, not an ``int``.  That scalar compares and prints
+like an int, then breaks at the JSON/API boundary: ``json.dumps`` raises
+``TypeError``, pickled payloads bloat, and snapshot content hashes differ
+between platforms with different default widths.  The repo's convention —
+enforced by every ``to_dict`` and kernel accessor so far — is an ``int()``
+(or ``.item()`` / ``.tolist()``) conversion at the boundary.
+
+The rule walks the return expressions of non-underscore functions and
+methods (plus ``to_dict``, public by convention) in modules that declare a
+public surface (``__all__``) and flags expressions that statically look
+like numpy *scalars*:
+
+* ``np.sum(...)`` / ``np.max(...)`` and friends with no ``axis=``,
+* the same aggregator methods on numpy-tainted names (``counts.sum()``),
+* scalar subscripts of numpy-tainted names (``row[i]``),
+* names assigned from any of the above,
+* the values of dict/tuple displays built from any of the above.
+
+Whole-array returns are deliberately not flagged: returning an
+``np.ndarray`` is a legitimate public contract (``IndexedGraph.csr()``);
+the hazard is the *scalar* that masquerades as an int.
+
+Code: ``R2-numpy-return``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Set
+
+from tools.reprolint.context import ModuleContext
+from tools.reprolint.findings import Finding
+from tools.reprolint.rules.base import Rule
+
+#: numpy module-level reductions that yield a scalar when called with no
+#: ``axis=`` keyword.
+NP_SCALAR_FUNCS = frozenset(
+    {
+        "sum",
+        "prod",
+        "max",
+        "min",
+        "amax",
+        "amin",
+        "mean",
+        "median",
+        "std",
+        "var",
+        "ptp",
+        "trace",
+        "dot",
+        "vdot",
+        "inner",
+        "argmax",
+        "argmin",
+        "count_nonzero",
+        "searchsorted",
+        "int64",
+        "int32",
+        "intp",
+        "float64",
+        "float32",
+        "bool_",
+    }
+)
+
+#: the same reductions as ndarray methods.
+NDARRAY_SCALAR_METHODS = frozenset(
+    {
+        "sum",
+        "prod",
+        "max",
+        "min",
+        "mean",
+        "std",
+        "var",
+        "ptp",
+        "trace",
+        "dot",
+        "argmax",
+        "argmin",
+    }
+)
+
+#: calls/wrappers that convert back to native Python types.
+SAFE_CONVERTERS = frozenset(
+    {"int", "float", "bool", "str", "len", "round", "range", "repr"}
+)
+SAFE_METHODS = frozenset({"item", "tolist"})
+
+#: ndarray-returning methods that keep a name numpy-tainted.
+_TAINT_PRESERVING_METHODS = frozenset(
+    {"astype", "copy", "reshape", "ravel", "flatten", "cumsum", "clip", "take"}
+)
+
+#: annotation heads that mark a parameter as a numpy array.
+_NDARRAY_ANNOTATIONS = frozenset({"ndarray", "NDArray"})
+
+
+def _numpy_aliases(tree: ast.Module) -> Set[str]:
+    aliases: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "numpy":
+                    aliases.add(alias.asname or "numpy")
+    return aliases
+
+
+def _annotation_is_ndarray(annotation: Optional[ast.expr]) -> bool:
+    if annotation is None:
+        return False
+    head = annotation
+    if isinstance(head, ast.Subscript):
+        head = head.value
+    if isinstance(head, ast.Attribute):
+        return head.attr in _NDARRAY_ANNOTATIONS
+    if isinstance(head, ast.Name):
+        return head.id in _NDARRAY_ANNOTATIONS
+    if isinstance(head, ast.Constant) and isinstance(head.value, str):
+        text = head.value
+        return any(marker in text for marker in _NDARRAY_ANNOTATIONS)
+    return False
+
+
+class NumpyBoundaryRule(Rule):
+    family = "R2"
+    name = "numpy-boundary"
+    description = (
+        "public functions must int()-convert numpy scalars before returning"
+    )
+
+    def check_module(self, ctx: ModuleContext) -> List[Finding]:
+        if not ctx.declares_public_surface:
+            return []
+        np_aliases = _numpy_aliases(ctx.tree)
+        findings: List[Finding] = []
+        for function in _public_functions(ctx.tree):
+            _check_function(ctx, function, np_aliases, findings)
+        return findings
+
+
+def _public_functions(tree: ast.Module):
+    """Yield every non-underscore function/method (dunders excluded,
+    ``to_dict`` always included)."""
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        name = node.name
+        if name == "to_dict":
+            yield node
+        elif not name.startswith("_"):
+            yield node
+
+
+def _check_function(
+    ctx: ModuleContext,
+    function: ast.FunctionDef,
+    np_aliases: Set[str],
+    findings: List[Finding],
+) -> None:
+    tainted = _tainted_names(function, np_aliases)
+    scalar_names = _scalar_tainted_names(function, tainted, np_aliases)
+    for node in ast.walk(function):
+        if not isinstance(node, ast.Return) or node.value is None:
+            continue
+        for expression, why in _scalar_leaks(
+            node.value, tainted, np_aliases, scalar_names
+        ):
+            findings.append(
+                Finding(
+                    "R2-numpy-return",
+                    ctx.path,
+                    expression.lineno,
+                    expression.col_offset,
+                    f"public return of {why} may leak a numpy scalar across "
+                    f"the API/JSON boundary in {function.name}(); wrap it in "
+                    "int()/float() or call .item()",
+                )
+            )
+
+
+def _tainted_names(function: ast.FunctionDef, np_aliases: Set[str]) -> Set[str]:
+    """Names in ``function`` that statically hold numpy arrays or scalars."""
+    tainted: Set[str] = set()
+    arguments = function.args
+    for arg in (
+        list(arguments.posonlyargs) + list(arguments.args) + list(arguments.kwonlyargs)
+    ):
+        if _annotation_is_ndarray(arg.annotation):
+            tainted.add(arg.arg)
+    # flow-insensitive fixpoint over simple assignments
+    for _ in range(2):
+        for node in ast.walk(function):
+            if isinstance(node, ast.Assign):
+                value_tainted = _is_numpy_expr(node.value, tainted, np_aliases)
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        if value_tainted:
+                            tainted.add(target.id)
+                        else:
+                            tainted.discard(target.id)
+            elif isinstance(node, ast.AnnAssign) and isinstance(
+                node.target, ast.Name
+            ):
+                if _annotation_is_ndarray(node.annotation) or (
+                    node.value is not None
+                    and _is_numpy_expr(node.value, tainted, np_aliases)
+                ):
+                    tainted.add(node.target.id)
+    return tainted
+
+
+def _scalar_tainted_names(
+    function: ast.FunctionDef, tainted: Set[str], np_aliases: Set[str]
+) -> Set[str]:
+    """Names bound to a numpy-scalar-shaped expression (``total = row.sum()``).
+
+    Flow-insensitive like the array taint: a later re-binding to a safe
+    expression (``total = int(total)``) clears the name.
+    """
+    scalar_names: Set[str] = set()
+    for _ in range(2):
+        for node in ast.walk(function):
+            if not isinstance(node, ast.Assign):
+                continue
+            shape = _scalar_shape(node.value, tainted, np_aliases, scalar_names)
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    if shape is not None:
+                        scalar_names.add(target.id)
+                    else:
+                        scalar_names.discard(target.id)
+    return scalar_names
+
+
+def _is_numpy_expr(node: ast.expr, tainted: Set[str], np_aliases: Set[str]) -> bool:
+    """Whether ``node`` evaluates to a numpy array or scalar."""
+    if isinstance(node, ast.Name):
+        return node.id in tainted
+    if isinstance(node, ast.Call):
+        function = node.func
+        if isinstance(function, ast.Attribute):
+            if (
+                isinstance(function.value, ast.Name)
+                and function.value.id in np_aliases
+            ):
+                return True  # any np.* call produces numpy data
+            if function.attr in _TAINT_PRESERVING_METHODS | NDARRAY_SCALAR_METHODS:
+                return _is_numpy_expr(function.value, tainted, np_aliases)
+        return False
+    if isinstance(node, ast.Subscript):
+        return _is_numpy_expr(node.value, tainted, np_aliases)
+    if isinstance(node, ast.BinOp):
+        return _is_numpy_expr(node.left, tainted, np_aliases) or _is_numpy_expr(
+            node.right, tainted, np_aliases
+        )
+    if isinstance(node, ast.UnaryOp):
+        return _is_numpy_expr(node.operand, tainted, np_aliases)
+    return False
+
+
+def _has_axis_kwarg(node: ast.Call) -> bool:
+    return any(keyword.arg == "axis" for keyword in node.keywords)
+
+
+def _scalar_leaks(
+    node: ast.expr,
+    tainted: Set[str],
+    np_aliases: Set[str],
+    scalar_names: Set[str],
+):
+    """Yield ``(expression, description)`` for numpy-scalar-shaped
+    sub-expressions of a return value."""
+    # containers: check the element/value positions
+    if isinstance(node, ast.Dict):
+        for value in node.values:
+            if value is not None:
+                yield from _scalar_leaks(value, tainted, np_aliases, scalar_names)
+        return
+    if isinstance(node, (ast.Tuple, ast.List)):
+        for element in node.elts:
+            yield from _scalar_leaks(element, tainted, np_aliases, scalar_names)
+        return
+    if isinstance(node, ast.DictComp):
+        yield from _scalar_leaks(node.value, tainted, np_aliases, scalar_names)
+        return
+    if isinstance(node, (ast.ListComp, ast.GeneratorExp, ast.SetComp)):
+        yield from _scalar_leaks(node.elt, tainted, np_aliases, scalar_names)
+        return
+    if isinstance(node, ast.IfExp):
+        yield from _scalar_leaks(node.body, tainted, np_aliases, scalar_names)
+        yield from _scalar_leaks(node.orelse, tainted, np_aliases, scalar_names)
+        return
+    description = _scalar_shape(node, tainted, np_aliases, scalar_names)
+    if description is not None:
+        yield node, description
+
+
+def _scalar_shape(
+    node: ast.expr,
+    tainted: Set[str],
+    np_aliases: Set[str],
+    scalar_names: Set[str] = frozenset(),
+) -> Optional[str]:
+    """Describe ``node`` if it is numpy-scalar shaped, else ``None``."""
+    if isinstance(node, ast.Call):
+        function = node.func
+        # int(...) / float(...) / x.item() are the sanctioned conversions
+        if isinstance(function, ast.Name) and function.id in SAFE_CONVERTERS:
+            return None
+        if isinstance(function, ast.Attribute) and function.attr in SAFE_METHODS:
+            return None
+        if (
+            isinstance(function, ast.Attribute)
+            and isinstance(function.value, ast.Name)
+            and function.value.id in np_aliases
+        ):
+            if function.attr in NP_SCALAR_FUNCS and not _has_axis_kwarg(node):
+                return f"np.{function.attr}(...)"
+            return None
+        if (
+            isinstance(function, ast.Attribute)
+            and function.attr in NDARRAY_SCALAR_METHODS
+            and not _has_axis_kwarg(node)
+            and _is_numpy_expr(function.value, tainted, np_aliases)
+        ):
+            return f"<array>.{function.attr}()"
+        return None
+    if isinstance(node, ast.Subscript):
+        if isinstance(node.slice, ast.Slice):
+            return None  # a slice of an array is an array, not a scalar
+        if _is_numpy_expr(node.value, tainted, np_aliases):
+            return "an element read from a numpy array"
+        return None
+    if isinstance(node, ast.Name):
+        if node.id in scalar_names:
+            return f"name {node.id!r} (bound to a numpy scalar)"
+        # a merely array-tainted name could be an array, which is a
+        # legitimate public contract — stay quiet
+        return None
+    if isinstance(node, ast.BinOp):
+        left = _scalar_shape(node.left, tainted, np_aliases, scalar_names)
+        if left is not None:
+            return left
+        return _scalar_shape(node.right, tainted, np_aliases, scalar_names)
+    return None
