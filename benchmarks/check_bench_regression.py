@@ -18,8 +18,16 @@ freshly emitted JSON against the report checked into the repository::
     PYTHONPATH=src python benchmarks/bench_index_update.py --output fresh.json
     python benchmarks/check_bench_regression.py fresh.json BENCH_index_update.json
 
+    PYTHONPATH=src python benchmarks/bench_service_http.py --output fresh.json
+    python benchmarks/check_bench_regression.py fresh.json BENCH_service_http.json
+
 The report kind is read from the committed JSON (``"kind"``; missing means
-the engine-kernel report).  For the index-update report the check fails if
+the engine-kernel report).  For the service-http report the check fails if
+the HTTP-served traces stopped matching direct in-process solves, if the
+coalesced duplicate burst stopped returning byte-identical payloads, if the
+coalesce speedup dropped more than ``--max-regression`` below the committed
+value, or if the ``coalesce_speedup_met`` / ``coalesced_single_solve``
+acceptance flags regressed from the committed report.  For the index-update report the check fails if
 delta application stopped being bit-identical to a from-scratch rebuild (or
 the greedy traces diverged), if the worst small-delta apply-vs-rebuild
 speedup dropped more than ``--max-regression`` below the committed value,
@@ -186,10 +194,42 @@ def compare_service(fresh: dict, committed: dict, max_regression: float) -> list
     return failures
 
 
+def compare_service_http(fresh: dict, committed: dict, max_regression: float) -> list:
+    """Return the failure list for a ``service_http`` report pair."""
+    failures = []
+    if not fresh.get("traces_agree", False):
+        failures.append(
+            "fresh run: HTTP-served protector traces no longer agree with "
+            "direct in-process solves"
+        )
+    if not fresh.get("responses_identical", False):
+        failures.append(
+            "fresh run: coalesced duplicate responses are no longer "
+            "byte-identical"
+        )
+    committed_speedup = committed.get("coalesce_speedup", 0.0)
+    fresh_speedup = fresh.get("coalesce_speedup", 0.0)
+    floor = committed_speedup * (1.0 - max_regression)
+    if fresh_speedup < floor:
+        failures.append(
+            f"coalesce_speedup {fresh_speedup:.2f}x fell more than "
+            f"{max_regression:.0%} below the committed {committed_speedup:.2f}x "
+            f"(floor {floor:.2f}x)"
+        )
+    failures.extend(
+        _check_flags(
+            fresh, committed, ("coalesce_speedup_met", "coalesced_single_solve")
+        )
+    )
+    return failures
+
+
 def compare(fresh: dict, committed: dict, max_regression: float) -> list:
     """Return a list of human-readable failures (empty == pass)."""
     if committed.get("kind") == "service_throughput":
         return compare_service(fresh, committed, max_regression)
+    if committed.get("kind") == "service_http":
+        return compare_service_http(fresh, committed, max_regression)
     if committed.get("kind") == "index_build":
         return compare_index_build(fresh, committed, max_regression)
     if committed.get("kind") == "snapshot":
@@ -272,6 +312,15 @@ def main(argv=None) -> int:
             f"{fresh.get('shared_vs_rebuild_speedup')}x; workers_speedup: "
             f"committed {committed.get('workers_speedup')}x, fresh "
             f"{fresh.get('workers_speedup')}x"
+        )
+    elif committed.get("kind") == "service_http":
+        print(
+            f"coalesce_speedup: committed {committed.get('coalesce_speedup')}x, "
+            f"fresh {fresh.get('coalesce_speedup')}x; serial p50: committed "
+            f"{committed.get('serial_p50_ms')}ms, fresh "
+            f"{fresh.get('serial_p50_ms')}ms; responses identical: "
+            f"{fresh.get('responses_identical')}; single solve: "
+            f"{fresh.get('coalesced_single_solve')}"
         )
     else:
         for method in sorted(committed.get("methods", {})):

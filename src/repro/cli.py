@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Five sub-commands cover the common workflows:
+Seven sub-commands cover the common workflows:
 
 * ``repro-tpp protect`` — run one or more protection queries on an edge-list
   file (or a named dataset) through a shared-index
@@ -15,7 +15,11 @@ Five sub-commands cover the common workflows:
   and write the updated snapshot, optionally recording the change as a
   small ``*.tppdelta`` diff file,
 * ``repro-tpp verify-index`` — validate snapshot / delta files (hashes,
-  format version) without constructing an index, and
+  format version) without constructing an index,
+* ``repro-tpp serve`` — expose a session over HTTP (solve, health/stats,
+  graceful hot-reload, artifact endpoints; see :mod:`repro.server`),
+* ``repro-tpp publish`` — verify snapshot / delta files and publish them
+  content-hash-addressed to a store directory or a running server, and
 * ``repro-tpp experiment`` — regenerate one of the paper's figures/tables and
   print its rows/series.
 
@@ -44,6 +48,12 @@ Splice a graph update into the saved index and keep serving::
         --insert 12 873 --delete 40 61 --output arenas-v2.tppsnap \
         --save-delta update-0001.tppdelta
     repro-tpp verify-index arenas-v2.tppsnap update-0001.tppdelta
+
+Serve the index over HTTP and publish it for replicas::
+
+    repro-tpp serve --index-file arenas.tppsnap --port 8035 \
+        --artifact-dir /var/tpp/store
+    repro-tpp publish arenas.tppsnap --store /var/tpp/store --set-latest
 
 Regenerate Fig. 3 at quick scale::
 
@@ -257,6 +267,88 @@ def build_parser() -> argparse.ArgumentParser:
     )
     verify_index.add_argument(
         "files", nargs="+", help="snapshot (*.tppsnap) or delta (*.tppdelta) files"
+    )
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="serve protection queries over HTTP from a shared-index session "
+        "(solve, health/stats, hot-reload and artifact endpoints)",
+    )
+    serve.add_argument(
+        "--dataset",
+        default="arenas-email",
+        help=f"named dataset ({', '.join(available_datasets())}) or ignored if --edge-list given",
+    )
+    serve.add_argument("--edge-list", help="path to an edge-list file to serve")
+    serve.add_argument(
+        "--targets", type=int, default=10, help="number of random targets"
+    )
+    serve.add_argument(
+        "--motif", default="triangle", choices=sorted(available_motifs())
+    )
+    serve.add_argument("--seed", type=int, default=0, help="target-sampling seed")
+    serve.add_argument(
+        "--index-file",
+        help="cold-start the session from a snapshot (*.tppsnap) or session "
+        "bundle (*.tppsess); --dataset/--edge-list/--targets/--motif are ignored",
+    )
+    serve.add_argument(
+        "--build-workers",
+        type=int,
+        default=1,
+        help="fan the index build out over this many worker processes",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port", type=int, default=8035, help="bind port (0 picks a free port)"
+    )
+    serve.add_argument(
+        "--artifact-dir",
+        help="attach a content-hash artifact store at this directory "
+        "(enables the /artifacts endpoints and hash-addressed /reload)",
+    )
+    serve.add_argument(
+        "--max-pending",
+        type=int,
+        default=64,
+        help="bound on queued solves; beyond it new requests get 429",
+    )
+    serve.add_argument(
+        "--solver-threads",
+        type=int,
+        default=4,
+        help="executor width for concurrent solves",
+    )
+    serve.add_argument(
+        "--follow-store",
+        type=float,
+        metavar="SECONDS",
+        help="poll the artifact store's 'latest' pointer at this interval and "
+        "converge on it (deltas apply incrementally, snapshots swap in)",
+    )
+
+    publish = subparsers.add_parser(
+        "publish",
+        help="verify snapshot / delta files and publish them content-hash-"
+        "addressed, to a store directory or a running server",
+    )
+    publish.add_argument(
+        "files", nargs="+", help="snapshot (*.tppsnap) or delta (*.tppdelta) files"
+    )
+    publish.add_argument(
+        "--store",
+        help="publish into this artifact-store directory (shared with "
+        "'repro-tpp serve --artifact-dir')",
+    )
+    publish.add_argument(
+        "--url",
+        help="publish over HTTP to a running server (e.g. http://127.0.0.1:8035)",
+    )
+    publish.add_argument(
+        "--set-latest",
+        action="store_true",
+        help="after publishing, point the store's 'latest' pointer at the "
+        "last published artifact (what '--follow-store' replicas converge on)",
     )
 
     experiment = subparsers.add_parser(
@@ -484,6 +576,125 @@ def _command_verify_index(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def _serve_session(args: argparse.Namespace) -> ProtectionService:
+    """Open the session ``repro-tpp serve`` will put behind HTTP."""
+    import zipfile
+
+    if args.index_file:
+        if zipfile.is_zipfile(args.index_file):
+            service = ProtectionService.from_session(
+                args.index_file, build_workers=args.build_workers
+            )
+            print(
+                f"session cold-started from bundle {args.index_file} "
+                f"({len(service.cached_subset_sessions())} subset "
+                "sub-session(s) restored)"
+            )
+        else:
+            service = ProtectionService.from_snapshot(
+                args.index_file, build_workers=args.build_workers
+            )
+            print(f"session cold-started from {args.index_file}")
+        return service
+    graph, targets = _load_instance(args)
+    service = ProtectionService(
+        graph, targets, motif=args.motif, build_workers=args.build_workers
+    )
+    print(
+        f"session built: {graph.number_of_nodes()} nodes, "
+        f"{len(targets)} targets, motif {args.motif} "
+        f"({service.build_seconds:.3f}s)"
+    )
+    return service
+
+
+def _command_serve(args: argparse.Namespace) -> int:
+    from repro.server import ArtifactStore, ProtectionServer, serve_in_background
+
+    service = _serve_session(args)
+    store = ArtifactStore(args.artifact_dir) if args.artifact_dir else None
+    server = ProtectionServer(
+        service,
+        store=store,
+        max_pending=args.max_pending,
+        solver_threads=args.solver_threads,
+        poll_interval=args.follow_store,
+    )
+    handle = serve_in_background(server, host=args.host, port=args.port)
+    print(
+        f"serving {len(service.targets)} targets at {handle.url} "
+        f"(content hash {server.content_hash()[:12]}…); endpoints: "
+        "POST /solve, GET /healthz, GET /stats, POST /reload"
+        + (", /artifacts" if store is not None else "")
+    )
+    print("Ctrl-C stops the server (in-flight queries drain first)")
+    try:
+        while True:
+            time.sleep(1.0)
+    except KeyboardInterrupt:
+        print("draining...", file=sys.stderr)
+        handle.stop()
+        stats = server.stats()
+        print(
+            f"served {stats['queries_served']} queries "
+            f"({stats['coalesced_hits']} coalesced, "
+            f"{stats['rejected']} rejected, {stats['reloads']} reloads)"
+        )
+    return 0
+
+
+def _command_publish(args: argparse.Namespace) -> int:
+    from repro.exceptions import PersistenceError, ServerError
+
+    if bool(args.store) == bool(args.url):
+        print(
+            "publish: pass exactly one destination — --store DIR or --url URL",
+            file=sys.stderr,
+        )
+        return 2
+    failures = 0
+    published: List[dict] = []
+    if args.store:
+        from repro.server import ArtifactStore
+
+        store = ArtifactStore(args.store)
+        for file in args.files:
+            try:
+                record = store.publish_file(file)
+            except (PersistenceError, OSError) as error:
+                failures += 1
+                print(f"{file}: REFUSED — {error}", file=sys.stderr)
+                continue
+            published.append(record.to_dict())
+            print(
+                f"{file}: published {record.kind} "
+                f"{record.content_hash[:12]}… ({record.size} bytes)"
+            )
+        if args.set_latest and published:
+            latest = store.set_latest(str(published[-1]["content_hash"]))
+            print(f"latest -> {latest.content_hash[:12]}…")
+    else:
+        from repro.server import ServingClient
+
+        client = ServingClient(args.url)
+        for file in args.files:
+            try:
+                record = client.publish_file(file)
+            except (ServerError, OSError) as error:
+                failures += 1
+                print(f"{file}: REFUSED — {error}", file=sys.stderr)
+                continue
+            published.append(dict(record))
+            print(
+                f"{file}: published {record['kind']} "
+                f"{str(record['content_hash'])[:12]}… to {client.base_url}"
+            )
+        if args.set_latest and published:
+            latest_record = client.set_latest(str(published[-1]["content_hash"]))
+            print(f"latest -> {str(latest_record['content_hash'])[:12]}…")
+    return 1 if failures else 0
+
+
 def _command_experiment(args: argparse.Namespace) -> int:
     runner = EXPERIMENT_RUNNERS[args.name]
     if args.name in _PARALLEL_EXPERIMENTS and (
@@ -525,6 +736,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _command_apply_delta(args)
     if args.command == "verify-index":
         return _command_verify_index(args)
+    if args.command == "serve":
+        return _command_serve(args)
+    if args.command == "publish":
+        return _command_publish(args)
     if args.command == "experiment":
         return _command_experiment(args)
     parser.error(f"unknown command {args.command!r}")

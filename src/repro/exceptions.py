@@ -147,5 +147,44 @@ class SnapshotMismatchError(PersistenceError, ValueError):
     """
 
 
+class ServerError(ReproError):
+    """Base class for HTTP serving-layer errors (:mod:`repro.server`)."""
+
+
+class ServerProtocolError(ServerError, ValueError):
+    """An HTTP request or response violates the wire protocol.
+
+    Raised while parsing a malformed request line, header block or body —
+    anything the minimal HTTP/1.1 front cannot interpret.  The server
+    answers such requests with ``400 Bad Request``.
+    """
+
+
+class ServerOverloadedError(ServerError):
+    """The serving front refused a request under backpressure.
+
+    Raised client-side on a ``429 Too Many Requests`` (the bounded
+    admission queue is full) or ``503 Service Unavailable`` (the server is
+    draining before shutdown) response.  Carries the HTTP ``status`` and
+    the server's suggested ``retry_after`` seconds, so callers can back
+    off instead of hammering a saturated replica.
+    """
+
+    def __init__(self, status: int, reason: str, retry_after: float = 1.0) -> None:
+        super().__init__(f"server refused the request ({status}): {reason}")
+        self.status = status
+        self.retry_after = retry_after
+
+
+class ArtifactNotFoundError(ServerError, KeyError):
+    """A content hash does not name any published artifact in the store."""
+
+    def __init__(self, content_hash: object) -> None:
+        super().__init__(
+            f"no published artifact with content hash {content_hash!r}"
+        )
+        self.content_hash = content_hash
+
+
 class ExperimentError(ReproError):
     """Base class for experiment-harness errors."""

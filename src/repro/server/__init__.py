@@ -1,0 +1,33 @@
+"""HTTP serving front and snapshot distribution for replica fleets.
+
+The in-process session API (:mod:`repro.service`) serves many concurrent
+queries off one frozen index; this package puts that behind the network
+boundary a deployment needs, on stdlib :mod:`asyncio` only:
+
+* :class:`ProtectionServer` (:mod:`repro.server.app`) — the HTTP front:
+  ``POST /solve`` with bounded admission (429/503 backpressure) and
+  request coalescing, ``GET /healthz`` / ``GET /stats``, graceful
+  ``POST /reload`` hot-swaps riding the session's copy-on-write delta
+  machinery, and the ``/artifacts`` endpoints.
+* :class:`ArtifactStore` (:mod:`repro.server.artifacts`) — published
+  snapshots and deltas addressed by their content hashes, with a mutable
+  ``latest`` pointer replicas converge on.
+* :class:`ServingClient` (:mod:`repro.server.client`) — the caller side,
+  including :meth:`~ServingClient.cold_start`: fetch a published hash,
+  verify it, and open a local replica session on it.
+
+CLI entry points: ``repro-tpp serve`` / ``repro-tpp publish``.
+"""
+
+from repro.server.app import ProtectionServer, ServerHandle, serve_in_background
+from repro.server.artifacts import ArtifactRecord, ArtifactStore
+from repro.server.client import ServingClient
+
+__all__ = [
+    "ProtectionServer",
+    "ServerHandle",
+    "serve_in_background",
+    "ArtifactRecord",
+    "ArtifactStore",
+    "ServingClient",
+]

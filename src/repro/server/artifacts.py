@@ -1,0 +1,243 @@
+"""Content-hash-addressed artifact store for snapshots and deltas.
+
+The distribution model behind a replica fleet: one process builds (or
+updates) an index, publishes the snapshot / delta file to a store, and
+every replica cold-starts or catches up from the published *content hash*
+— never from a mutable filename.  The store is a directory of verified
+files named by their own hashes (the CDN stand-in), so a publish is
+idempotent, a fetch is immutable, and a corrupted upload can never
+shadow a good artifact:
+
+* snapshots (``*.tppsnap``) are addressed by their ``content_hash`` — the
+  hash over (graph + targets + motif) that
+  :func:`repro.persistence.snapshot_content_hash` computes and
+  :meth:`IndexSnapshot.verify <repro.persistence.IndexSnapshot.verify>`
+  enforces;
+* deltas (``*.tppdelta``) are addressed by their ``result_content_hash``
+  (the state they produce) and additionally record the
+  ``parent_content_hash`` they apply to, so a replica can look up "the
+  delta that takes me from my current hash forward";
+* a single mutable ``latest`` pointer names the hash replicas should
+  converge on (the artifact-store poll in :mod:`repro.server.app`
+  follows it).
+
+Every publish runs :func:`repro.persistence.verify_snapshot_file` before
+anything is stored — garbage bytes are refused with the persistence
+layer's own :class:`~repro.exceptions.SnapshotFormatError`.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.exceptions import ArtifactNotFoundError, SnapshotFormatError
+from repro.persistence import verify_snapshot_file
+
+__all__ = ["ArtifactRecord", "ArtifactStore"]
+
+_LATEST_NAME = "latest"
+_SUFFIXES = {"snapshot": ".tppsnap", "delta": ".tppdelta"}
+
+
+@dataclass(frozen=True)
+class ArtifactRecord:
+    """One published artifact, as listed by :meth:`ArtifactStore.records`.
+
+    Attributes
+    ----------
+    content_hash:
+        The hash the artifact is addressed by (a snapshot's
+        ``content_hash``; a delta's ``result_content_hash``).
+    kind:
+        ``"snapshot"`` or ``"delta"``.
+    parent_content_hash:
+        For deltas, the state the delta applies to; ``None`` for snapshots.
+    path:
+        The stored file.
+    size:
+        Stored size in bytes.
+    """
+
+    content_hash: str
+    kind: str
+    parent_content_hash: Optional[str]
+    path: Path
+    size: int
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-friendly form (used by the ``GET /artifacts`` endpoint)."""
+        return {
+            "content_hash": self.content_hash,
+            "kind": self.kind,
+            "parent_content_hash": self.parent_content_hash,
+            "file": self.path.name,
+            "size": self.size,
+        }
+
+
+class ArtifactStore:
+    """A directory of content-hash-addressed snapshot / delta artifacts.
+
+    Parameters
+    ----------
+    root:
+        The store directory (created if missing).  Layout: one
+        ``<hash><suffix>`` file per artifact plus an optional ``latest``
+        pointer file holding a single hash.
+
+    The store keeps no in-memory state — every operation re-reads the
+    directory — so multiple processes (a publisher CLI and a serving
+    process, say) can share one store without coordination beyond the
+    filesystem's atomic rename.
+    """
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    # publish
+    # ------------------------------------------------------------------
+    def publish_file(self, path: Union[str, Path]) -> ArtifactRecord:
+        """Verify and store the snapshot / delta file at ``path``.
+
+        The file is validated with
+        :func:`repro.persistence.verify_snapshot_file` (magic, format
+        version, hashes) and stored under its own content hash.
+        Re-publishing an already-stored artifact is a no-op returning the
+        existing record.
+
+        Raises
+        ------
+        repro.exceptions.SnapshotFormatError
+            If the bytes are not a valid snapshot or delta file.
+        """
+        return self.publish_bytes(Path(path).read_bytes())
+
+    def publish_bytes(self, blob: bytes) -> ArtifactRecord:
+        """Verify and store raw snapshot / delta bytes (the HTTP upload path)."""
+        with tempfile.NamedTemporaryFile(
+            dir=self.root, prefix=".incoming-", delete=False
+        ) as handle:
+            staging = Path(handle.name)
+            handle.write(blob)
+        try:
+            info = verify_snapshot_file(staging)
+            kind = str(info["kind"])
+            if kind == "snapshot":
+                content_hash = str(info["content_hash"])
+            else:
+                content_hash = str(info["result_content_hash"])
+            target = self.root / f"{content_hash}{_SUFFIXES[kind]}"
+            if target.exists():
+                staging.unlink()
+            else:
+                # rename is atomic on one filesystem: a concurrent reader
+                # sees either no artifact or the complete verified one
+                os.replace(staging, target)
+        except Exception:
+            staging.unlink(missing_ok=True)
+            raise
+        return self._record(target)
+
+    # ------------------------------------------------------------------
+    # fetch
+    # ------------------------------------------------------------------
+    def resolve(self, content_hash: str) -> ArtifactRecord:
+        """Return the record for ``content_hash``.
+
+        Raises
+        ------
+        repro.exceptions.ArtifactNotFoundError
+            If no stored artifact carries that hash.
+        """
+        for suffix in _SUFFIXES.values():
+            candidate = self.root / f"{content_hash}{suffix}"
+            if candidate.exists():
+                return self._record(candidate)
+        raise ArtifactNotFoundError(content_hash)
+
+    def fetch_bytes(self, content_hash: str) -> bytes:
+        """Return the stored artifact's raw bytes."""
+        return self.resolve(content_hash).path.read_bytes()
+
+    def records(self) -> List[ArtifactRecord]:
+        """Every stored artifact, sorted by hash (deterministic listing)."""
+        found = []
+        for suffix in _SUFFIXES.values():
+            found.extend(self.root.glob(f"*{suffix}"))
+        return [self._record(path) for path in sorted(found)]
+
+    def delta_from(self, parent_content_hash: str) -> Optional[ArtifactRecord]:
+        """The published delta applying to ``parent_content_hash``, if any.
+
+        This is the replica catch-up lookup: "my session's hash is X —
+        is there a delta that moves X forward?".  Returns ``None`` when no
+        stored delta names that parent.
+        """
+        for record in self.records():
+            if (
+                record.kind == "delta"
+                and record.parent_content_hash == parent_content_hash
+            ):
+                return record
+        return None
+
+    # ------------------------------------------------------------------
+    # the mutable "serve this" pointer
+    # ------------------------------------------------------------------
+    def latest(self) -> Optional[str]:
+        """The hash the ``latest`` pointer names (``None`` when unset)."""
+        pointer = self.root / _LATEST_NAME
+        if not pointer.exists():
+            return None
+        return pointer.read_text(encoding="utf-8").strip() or None
+
+    def set_latest(self, content_hash: str) -> ArtifactRecord:
+        """Point ``latest`` at a stored artifact (must already be published)."""
+        record = self.resolve(content_hash)  # refuse dangling pointers
+        with tempfile.NamedTemporaryFile(
+            dir=self.root, prefix=".latest-", delete=False, mode="w", encoding="utf-8"
+        ) as handle:
+            staging = Path(handle.name)
+            handle.write(record.content_hash + "\n")
+        os.replace(staging, self.root / _LATEST_NAME)
+        return record
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _record(self, path: Path) -> ArtifactRecord:
+        info = verify_snapshot_file(path)
+        kind = str(info["kind"])
+        if kind == "snapshot":
+            content_hash = str(info["content_hash"])
+            parent: Optional[str] = None
+        else:
+            content_hash = str(info["result_content_hash"])
+            parent = str(info["parent_content_hash"])
+        if path.name != f"{content_hash}{_SUFFIXES[kind]}":
+            raise SnapshotFormatError(
+                f"stored artifact {path.name!r} does not match its own "
+                f"content hash {content_hash[:12]}… — the store was tampered "
+                "with; delete the file and re-publish"
+            )
+        return ArtifactRecord(
+            content_hash=content_hash,
+            kind=kind,
+            parent_content_hash=parent,
+            path=path,
+            size=path.stat().st_size,
+        )
+
+    def describe(self) -> Dict[str, object]:
+        """JSON-friendly listing (the ``GET /artifacts`` response body)."""
+        return {
+            "root": str(self.root),
+            "latest": self.latest(),
+            "artifacts": [record.to_dict() for record in self.records()],
+        }

@@ -1,0 +1,241 @@
+"""Minimal HTTP/1.1 framing over :mod:`asyncio` streams.
+
+The serving front (:mod:`repro.server.app`) speaks just enough HTTP for
+its JSON endpoints and artifact transfers: request line + headers +
+``Content-Length`` body in, status line + headers + body out, with
+keep-alive connections.  No chunked encoding, no multipart, no TLS — a
+deliberate stdlib-only stand-in for the real edge, small enough to audit.
+
+Parsing failures raise :class:`~repro.exceptions.ServerProtocolError`; the
+server answers them with ``400 Bad Request`` and closes the connection.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Tuple
+from urllib.parse import parse_qsl, urlsplit
+
+from repro.exceptions import ServerProtocolError
+
+__all__ = [
+    "HttpRequest",
+    "read_request",
+    "response_bytes",
+    "json_response",
+    "STATUS_REASONS",
+]
+
+#: The subset of HTTP status codes the serving front emits.
+STATUS_REASONS: Mapping[int, str] = {
+    200: "OK",
+    201: "Created",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+#: Bound on the request line + header block (a parser, not a proxy).
+MAX_HEADER_BYTES = 32 * 1024
+
+#: Bound on request bodies; snapshots published over HTTP fit comfortably.
+MAX_BODY_BYTES = 256 * 1024 * 1024
+
+_CRLF = b"\r\n"
+
+
+@dataclass
+class HttpRequest:
+    """One parsed HTTP request.
+
+    Attributes
+    ----------
+    method:
+        Upper-cased HTTP method (``GET``, ``POST``, ...).
+    target:
+        The raw request target as sent (path plus optional query string).
+    path:
+        The decoded path component (no query string).
+    query:
+        Decoded query parameters (last value wins for repeated keys).
+    headers:
+        Header mapping with lower-cased names.
+    body:
+        The request body (empty for bodyless requests).
+    keep_alive:
+        Whether the connection may serve another request afterwards.
+    """
+
+    method: str
+    target: str
+    path: str
+    query: Dict[str, str] = field(default_factory=dict)
+    headers: Dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+    keep_alive: bool = True
+
+    def json(self) -> object:
+        """Decode the body as JSON (400-worthy errors become protocol errors)."""
+        if not self.body:
+            return {}
+        try:
+            return json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise ServerProtocolError(f"request body is not valid JSON: {error}")
+
+
+async def _read_line(reader: asyncio.StreamReader, budget: int) -> bytes:
+    try:
+        line = await reader.readuntil(_CRLF)
+    except asyncio.IncompleteReadError as error:
+        if not error.partial:
+            return b""
+        raise ServerProtocolError("connection closed mid-request") from None
+    except asyncio.LimitOverrunError:
+        raise ServerProtocolError("request line or header exceeds the limit") from None
+    if len(line) > budget:
+        raise ServerProtocolError(
+            f"request head exceeds {MAX_HEADER_BYTES} bytes"
+        )
+    return line
+
+
+async def read_request(
+    reader: asyncio.StreamReader,
+    max_body_bytes: int = MAX_BODY_BYTES,
+) -> Optional[HttpRequest]:
+    """Read one request off ``reader``; ``None`` on a clean end-of-stream.
+
+    Raises
+    ------
+    repro.exceptions.ServerProtocolError
+        On a malformed request line, header block, unsupported HTTP
+        version, bad ``Content-Length``, or a body exceeding
+        ``max_body_bytes``.
+    """
+    request_line = await _read_line(reader, MAX_HEADER_BYTES)
+    if not request_line:
+        return None
+    parts = request_line.decode("latin-1").strip().split()
+    if len(parts) != 3:
+        raise ServerProtocolError(f"malformed request line {request_line!r}")
+    method, target, version = parts
+    if version not in ("HTTP/1.1", "HTTP/1.0"):
+        raise ServerProtocolError(f"unsupported HTTP version {version!r}")
+
+    headers: Dict[str, str] = {}
+    consumed = len(request_line)
+    while True:
+        line = await _read_line(reader, MAX_HEADER_BYTES)
+        consumed += len(line)
+        if consumed > MAX_HEADER_BYTES:
+            raise ServerProtocolError(
+                f"request head exceeds {MAX_HEADER_BYTES} bytes"
+            )
+        if line in (_CRLF, b""):
+            if line == b"":
+                raise ServerProtocolError("connection closed inside the header block")
+            break
+        name, separator, value = line.decode("latin-1").partition(":")
+        if not separator:
+            raise ServerProtocolError(f"malformed header line {line!r}")
+        headers[name.strip().lower()] = value.strip()
+
+    length_header = headers.get("content-length", "0")
+    try:
+        content_length = int(length_header)
+    except ValueError:
+        raise ServerProtocolError(
+            f"bad Content-Length {length_header!r}"
+        ) from None
+    if content_length < 0:
+        raise ServerProtocolError(f"bad Content-Length {length_header!r}")
+    if content_length > max_body_bytes:
+        raise ServerProtocolError(
+            f"request body of {content_length} bytes exceeds the "
+            f"{max_body_bytes}-byte limit"
+        )
+    body = b""
+    if content_length:
+        try:
+            body = await reader.readexactly(content_length)
+        except asyncio.IncompleteReadError:
+            raise ServerProtocolError("connection closed mid-body") from None
+
+    split = urlsplit(target)
+    connection = headers.get("connection", "").lower()
+    keep_alive = (
+        connection != "close"
+        if version == "HTTP/1.1"
+        else connection == "keep-alive"
+    )
+    return HttpRequest(
+        method=method.upper(),
+        target=target,
+        path=split.path,
+        query=dict(parse_qsl(split.query)),
+        headers=headers,
+        body=body,
+        keep_alive=keep_alive,
+    )
+
+
+def response_bytes(
+    status: int,
+    body: bytes,
+    content_type: str = "application/json",
+    keep_alive: bool = True,
+    extra_headers: Optional[Mapping[str, str]] = None,
+) -> bytes:
+    """Serialise one HTTP response (status line, headers, body) to bytes."""
+    reason = STATUS_REASONS.get(status, "Unknown")
+    lines = [
+        f"HTTP/1.1 {status} {reason}",
+        f"Content-Type: {content_type}",
+        f"Content-Length: {len(body)}",
+        f"Connection: {'keep-alive' if keep_alive else 'close'}",
+    ]
+    if extra_headers:
+        lines.extend(f"{name}: {value}" for name, value in extra_headers.items())
+    head = "\r\n".join(lines).encode("latin-1") + _CRLF + _CRLF
+    return head + body
+
+
+def json_response(
+    status: int,
+    payload: object,
+    keep_alive: bool = True,
+    extra_headers: Optional[Mapping[str, str]] = None,
+) -> bytes:
+    """Serialise ``payload`` as a canonical (sorted-key) JSON response."""
+    body = json.dumps(payload, sort_keys=True).encode("utf-8")
+    return response_bytes(
+        status, body, keep_alive=keep_alive, extra_headers=extra_headers
+    )
+
+
+def parse_response_head(head: bytes) -> Tuple[int, Dict[str, str]]:
+    """Parse a response's status line + headers (the test-suite helper side).
+
+    Returns ``(status_code, headers)`` with lower-cased header names.
+    """
+    try:
+        status_line, _, rest = head.partition(_CRLF)
+        status = int(status_line.split()[1])
+    except (IndexError, ValueError):
+        raise ServerProtocolError(f"malformed status line in {head[:64]!r}") from None
+    headers: Dict[str, str] = {}
+    for line in rest.split(_CRLF):
+        if not line:
+            continue
+        name, separator, value = line.decode("latin-1").partition(":")
+        if separator:
+            headers[name.strip().lower()] = value.strip()
+    return status, headers

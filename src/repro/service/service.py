@@ -196,6 +196,39 @@ class ProtectionService:
         service._index_source = "snapshot"
         return service
 
+    @classmethod
+    def from_session(
+        cls,
+        path: Union[str, Path],
+        allow_pickle: bool = True,
+        max_cached_subsets: Optional[int] = 32,
+        build_workers: Optional[int] = None,
+    ) -> "ProtectionService":
+        """Cold-start a session *bundle* written by :meth:`save_session`.
+
+        Like :meth:`from_snapshot`, but the bundle also carries the subset
+        sub-session indexes that were cached when it was saved, so a
+        restored replica answers subset queries without re-enumeration
+        (their first query reports ``reused_index: true``).  Delegates to
+        :func:`repro.persistence.load_session`.
+        """
+        from repro.persistence.session import load_session
+
+        return load_session(
+            path,
+            allow_pickle=allow_pickle,
+            max_cached_subsets=max_cached_subsets,
+            build_workers=build_workers,
+        )
+
+    def save_session(self, path: Union[str, Path]) -> Path:
+        """Write this session — parent index plus cached subset sub-session
+        indexes — as a ``.tppsess`` bundle (see
+        :func:`repro.persistence.save_session`)."""
+        from repro.persistence.session import save_session
+
+        return save_session(path, self)
+
     # ------------------------------------------------------------------
     # accessors
     # ------------------------------------------------------------------
@@ -267,6 +300,17 @@ class ProtectionService:
         ``"built"`` or ``"snapshot"``), and the build/solve timing split.
         """
         request.validate()
+        result = self._answer(request)
+        # the single accounting site: every answered query — full-target,
+        # subset (which also bumps its sub-session's own counter), any
+        # engine — lands here exactly once, and a failed query (exception
+        # above) is never counted.  The HTTP stats endpoint reads this.
+        with self._lock:
+            self._queries_served += 1
+        return result
+
+    def _answer(self, request: ProtectionRequest) -> ProtectionResult:
+        """Compute one (validated) query's result without touching counters."""
         # one consistent view of the session: a concurrent apply_delta swaps
         # problem/index/prototype together under the same lock, so a query
         # runs either entirely before or entirely after a delta — never on a
@@ -283,8 +327,6 @@ class ProtectionService:
         ):
             session, was_cached = self._subset_session(request.targets)
             result = session.solve(request.with_overrides(targets=None))
-            with self._lock:
-                self._queries_served += 1
             # the sub-session answered a full-target query; restore the
             # caller's view: echo the original (subset) request and only
             # report index reuse when the sub-session pre-existed
@@ -317,8 +359,6 @@ class ProtectionService:
             problem, request.budget, engine, request.seed, **request.options()
         )
         solve_seconds = stopwatch.elapsed()
-        with self._lock:
-            self._queries_served += 1
         metadata = {
             "request": request.to_dict(),
             "reused_index": engine_name != "recount",
@@ -575,6 +615,49 @@ class ProtectionService:
             if session is not None:
                 self._subsessions.move_to_end(subset)
             return session
+
+    def cached_subset_sessions(
+        self,
+    ) -> "OrderedDict[Tuple[Edge, ...], ProtectionService]":
+        """A least-recently-used-first copy of the subset sub-session cache.
+
+        The returned mapping is a point-in-time copy — iterating it does
+        not refresh LRU slots or block concurrent queries.  Session bundles
+        (:meth:`save_session`) persist these sub-sessions so a restored
+        replica serves subset queries without re-enumeration.
+        """
+        with self._lock:
+            return OrderedDict(self._subsessions)
+
+    def _adopt_subsession(self, session: "ProtectionService") -> None:
+        """Wire a restored sub-session into the subset cache.
+
+        Used by the session-bundle restore path
+        (:func:`repro.persistence.load_session`): the sub-session arrives
+        with its index already built (from its snapshot section), so later
+        subset queries on its targets reuse it instead of enumerating.  The
+        cache key is recomputed with the library-wide ordering and the LRU
+        bound is enforced exactly as for a built sub-session.
+        """
+        subset = tuple(
+            sorted(
+                (canonical_edge(*target) for target in session.targets),
+                key=edge_sort_key,
+            )
+        )
+        known = set(self._problem.targets)
+        unknown = [target for target in subset if target not in known]
+        if unknown:
+            raise ExperimentError(
+                f"sub-session targets {unknown!r} are not targets of this session"
+            )
+        with self._lock:
+            self._subsessions[subset] = session
+            while (
+                self._max_cached_subsets is not None
+                and len(self._subsessions) > self._max_cached_subsets
+            ):
+                self._subsessions.popitem(last=False)
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,190 @@
+"""Tests for ``.tppsess`` session bundles (parent index + subset caches)."""
+
+import json
+import zipfile
+
+import pytest
+
+from repro.core.model import TPPProblem
+from repro.datasets.targets import sample_random_targets
+from repro.exceptions import SnapshotFormatError, SnapshotMismatchError
+from repro.graphs.generators import powerlaw_cluster_graph
+from repro.persistence import load_session, save_session
+from repro.service import ProtectionRequest, ProtectionService
+
+
+@pytest.fixture(scope="module")
+def problem():
+    graph = powerlaw_cluster_graph(180, 3, 0.5, seed=3)
+    targets = sample_random_targets(graph, 6, seed=1)
+    built = TPPProblem(graph, targets, motif="triangle")
+    built.build_index()
+    return built
+
+
+def trace(result):
+    return (result.protectors, result.similarity_trace)
+
+
+def warm_service(problem, subset_sizes=(3, 4)):
+    """A session whose subset cache holds one sub-session per size."""
+    service = ProtectionService(problem)
+    for size in subset_sizes:
+        service.solve(
+            ProtectionRequest("SGB-Greedy", 3, targets=tuple(problem.targets[:size]))
+        )
+    return service
+
+
+class TestRoundTrip:
+    def test_subset_caches_survive(self, problem, tmp_path):
+        service = warm_service(problem)
+        assert len(service.cached_subset_sessions()) == 2
+        bundle = service.save_session(tmp_path / "warm.tppsess")
+
+        restored = ProtectionService.from_session(bundle)
+        assert restored.index_source == "snapshot"
+        restored_subsets = restored.cached_subset_sessions()
+        assert list(restored_subsets) == list(service.cached_subset_sessions())
+        for subsession in restored_subsets.values():
+            assert subsession.index_source == "snapshot"
+
+        # the very first subset query on the replica reuses the shipped
+        # sub-session index instead of re-enumerating
+        request = ProtectionRequest("SGB-Greedy", 3, targets=tuple(problem.targets[:3]))
+        answer = restored.solve(request)
+        assert answer.extra["service"]["reused_index"] is True
+        assert trace(answer) == trace(service.solve(request))
+
+    def test_full_target_queries_byte_identical(self, problem, tmp_path):
+        service = warm_service(problem)
+        restored = ProtectionService.from_session(
+            service.save_session(tmp_path / "warm.tppsess")
+        )
+        for request in (
+            ProtectionRequest("SGB-Greedy", 5),
+            ProtectionRequest("CT-Greedy:TBD", 4),
+            ProtectionRequest("RD", 5, seed=7),
+        ):
+            assert trace(restored.solve(request)) == trace(service.solve(request))
+
+    def test_empty_cache_round_trips(self, problem, tmp_path):
+        service = ProtectionService(problem)
+        restored = ProtectionService.from_session(
+            service.save_session(tmp_path / "cold.tppsess")
+        )
+        assert restored.cached_subset_sessions() == {}
+        request = ProtectionRequest("SGB-Greedy", 4)
+        assert trace(restored.solve(request)) == trace(service.solve(request))
+
+    def test_resave_is_byte_identical(self, problem, tmp_path):
+        service = warm_service(problem)
+        first = service.save_session(tmp_path / "one.tppsess")
+        second = service.save_session(tmp_path / "two.tppsess")
+        assert first.read_bytes() == second.read_bytes()
+
+    def test_module_level_functions_match_methods(self, problem, tmp_path):
+        service = warm_service(problem, subset_sizes=(3,))
+        via_function = save_session(tmp_path / "fn.tppsess", service)
+        via_method = service.save_session(tmp_path / "method.tppsess")
+        assert via_function.read_bytes() == via_method.read_bytes()
+        restored = load_session(via_function)
+        assert len(restored.cached_subset_sessions()) == 1
+
+
+class TestCacheBounds:
+    def test_restore_respects_smaller_lru_bound(self, problem, tmp_path):
+        service = warm_service(problem, subset_sizes=(3, 4, 5))
+        bundle = service.save_session(tmp_path / "three.tppsess")
+        restored = ProtectionService.from_session(bundle, max_cached_subsets=1)
+        kept = restored.cached_subset_sessions()
+        # LRU: adopting in least-recent-first order leaves the most recent
+        assert list(kept) == [list(service.cached_subset_sessions())[-1]]
+
+    def test_unbounded_restore_keeps_everything(self, problem, tmp_path):
+        service = warm_service(problem, subset_sizes=(3, 4, 5))
+        bundle = service.save_session(tmp_path / "three.tppsess")
+        restored = ProtectionService.from_session(bundle, max_cached_subsets=None)
+        assert len(restored.cached_subset_sessions()) == 3
+
+
+class TestRefusals:
+    def test_not_a_zip(self, tmp_path):
+        garbage = tmp_path / "nope.tppsess"
+        garbage.write_bytes(b"this is not a session bundle")
+        with pytest.raises(SnapshotFormatError):
+            load_session(garbage)
+
+    def test_missing_manifest(self, tmp_path):
+        bundle = tmp_path / "no-manifest.tppsess"
+        with zipfile.ZipFile(bundle, "w") as archive:
+            archive.writestr("parent.tppsnap", b"whatever")
+        with pytest.raises(SnapshotFormatError):
+            load_session(bundle)
+
+    def test_wrong_kind_refused(self, problem, tmp_path):
+        bundle = ProtectionService(problem).save_session(tmp_path / "a.tppsess")
+        tampered = tmp_path / "tampered.tppsess"
+        _rewrite_manifest(bundle, tampered, lambda m: {**m, "kind": "other"})
+        with pytest.raises(SnapshotFormatError):
+            load_session(tampered)
+
+    def test_tampered_content_hash_refused(self, problem, tmp_path):
+        bundle = ProtectionService(problem).save_session(tmp_path / "a.tppsess")
+        tampered = tmp_path / "tampered.tppsess"
+        _rewrite_manifest(
+            bundle, tampered, lambda m: {**m, "content_hash": "0" * 64}
+        )
+        with pytest.raises(SnapshotMismatchError):
+            load_session(tampered)
+
+    def test_zip_slip_member_name_refused(self, problem, tmp_path):
+        bundle = ProtectionService(problem).save_session(tmp_path / "a.tppsess")
+        tampered = tmp_path / "sneaky.tppsess"
+        _rewrite_manifest(
+            bundle,
+            tampered,
+            lambda m: {**m, "subsets": ["../outside.tppsnap"]},
+        )
+        with pytest.raises(SnapshotFormatError):
+            load_session(tampered)
+
+    def test_foreign_subset_refused(self, problem, tmp_path):
+        """A subset member whose targets are not a subset of the parent's."""
+        bundle = warm_service(problem, subset_sizes=(3,)).save_session(
+            tmp_path / "a.tppsess"
+        )
+        foreign_graph = powerlaw_cluster_graph(120, 3, 0.5, seed=17)
+        foreign = TPPProblem(
+            foreign_graph,
+            sample_random_targets(foreign_graph, 3, seed=5),
+            motif="triangle",
+        )
+        foreign_file = foreign.save_index(tmp_path / "foreign.tppsnap")
+        tampered = tmp_path / "foreign.tppsess"
+        _replace_member(bundle, tampered, "subset-0000.tppsnap", foreign_file.read_bytes())
+        with pytest.raises(SnapshotFormatError):
+            load_session(tampered)
+
+
+def _rewrite_manifest(source, destination, transform):
+    _rewrite_bundle(source, destination, manifest_transform=transform)
+
+
+def _replace_member(source, destination, member_name, payload):
+    _rewrite_bundle(source, destination, replacements={member_name: payload})
+
+
+def _rewrite_bundle(source, destination, manifest_transform=None, replacements=None):
+    replacements = replacements or {}
+    with zipfile.ZipFile(source) as archive:
+        members = {name: archive.read(name) for name in archive.namelist()}
+    if manifest_transform is not None:
+        manifest = json.loads(members["manifest.json"].decode("utf-8"))
+        members["manifest.json"] = json.dumps(
+            manifest_transform(manifest), indent=2, sort_keys=True
+        ).encode("utf-8")
+    members.update(replacements)
+    with zipfile.ZipFile(destination, "w") as archive:
+        for name, data in members.items():
+            archive.writestr(name, data)

@@ -1,0 +1,111 @@
+"""Tests for the content-hash-addressed artifact store."""
+
+import pytest
+
+from repro.core.model import TPPProblem
+from repro.datasets.targets import sample_random_targets
+from repro.exceptions import ArtifactNotFoundError, SnapshotFormatError
+from repro.graphs.generators import powerlaw_cluster_graph
+from repro.motifs.updates import EdgeDelta
+from repro.persistence import index_content_hash, save_delta_snapshot
+from repro.server import ArtifactStore
+
+
+@pytest.fixture
+def problem():
+    graph = powerlaw_cluster_graph(180, 3, 0.5, seed=3)
+    targets = sample_random_targets(graph, 5, seed=1)
+    return TPPProblem(graph, targets, motif="triangle")
+
+
+@pytest.fixture
+def snapshot_file(problem, tmp_path):
+    return problem.save_index(tmp_path / "index.tppsnap")
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ArtifactStore(tmp_path / "store")
+
+
+def make_delta(problem, count=2):
+    """Delete ``count`` non-target phase-1 edges (a small, valid update)."""
+    from repro.graphs.graph import canonical_edge
+
+    phase1 = problem.phase1_graph
+    target_set = {canonical_edge(*target) for target in problem.targets}
+    deletions = [
+        canonical_edge(*edge)
+        for edge in sorted(phase1.edges())
+        if canonical_edge(*edge) not in target_set
+    ][:count]
+    return EdgeDelta.from_edges(delete=deletions)
+
+
+class TestPublish:
+    def test_snapshot_addressed_by_content_hash(self, store, snapshot_file, problem):
+        record = store.publish_file(snapshot_file)
+        assert record.kind == "snapshot"
+        assert record.content_hash == index_content_hash(problem.build_index())
+        assert record.path.name == f"{record.content_hash}.tppsnap"
+        assert record.path.read_bytes() == snapshot_file.read_bytes()
+
+    def test_republish_is_idempotent(self, store, snapshot_file):
+        first = store.publish_file(snapshot_file)
+        second = store.publish_file(snapshot_file)
+        assert first.content_hash == second.content_hash
+        assert len(store.records()) == 1
+
+    def test_garbage_bytes_refused(self, store):
+        with pytest.raises(SnapshotFormatError):
+            store.publish_bytes(b"this is not a snapshot")
+        assert store.records() == []
+        # no staging debris left behind either
+        assert list(store.root.glob(".incoming-*")) == []
+
+    def test_delta_addressed_by_result_hash(self, store, problem, tmp_path):
+        index = problem.build_index()
+        delta = make_delta(problem)
+        _, outcome = problem.apply_delta(delta)
+        delta_file = save_delta_snapshot(
+            tmp_path / "step.tppdelta", delta, index, outcome.index
+        )
+        record = store.publish_file(delta_file)
+        assert record.kind == "delta"
+        assert record.content_hash == index_content_hash(outcome.index)
+        assert record.parent_content_hash == index_content_hash(index)
+        assert store.delta_from(record.parent_content_hash) is not None
+        assert store.delta_from("no-such-parent") is None
+
+
+class TestFetch:
+    def test_resolve_and_fetch(self, store, snapshot_file):
+        record = store.publish_file(snapshot_file)
+        assert store.resolve(record.content_hash).path == record.path
+        assert store.fetch_bytes(record.content_hash) == snapshot_file.read_bytes()
+
+    def test_unknown_hash(self, store):
+        with pytest.raises(ArtifactNotFoundError):
+            store.resolve("deadbeef" * 8)
+
+    def test_mislabelled_file_refused(self, store, snapshot_file):
+        record = store.publish_file(snapshot_file)
+        wrong = store.root / ("0" * 64 + ".tppsnap")
+        record.path.rename(wrong)
+        with pytest.raises(SnapshotFormatError, match="tampered"):
+            store.resolve("0" * 64)
+
+
+class TestLatestPointer:
+    def test_unset_by_default(self, store):
+        assert store.latest() is None
+
+    def test_set_and_read(self, store, snapshot_file):
+        record = store.publish_file(snapshot_file)
+        store.set_latest(record.content_hash)
+        assert store.latest() == record.content_hash
+        assert store.describe()["latest"] == record.content_hash
+
+    def test_dangling_pointer_refused(self, store):
+        with pytest.raises(ArtifactNotFoundError):
+            store.set_latest("deadbeef" * 8)
