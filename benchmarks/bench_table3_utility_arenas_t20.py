@@ -5,15 +5,25 @@ protection budget) on the benchmark-scale Arenas-like graph and records the
 per-cell percentages in ``extra_info``.  The paper-shape assertions: every
 loss stays in the low single-digit percent range, and the Rectangle motif
 (which needs the most deletions) costs at least as much as the Triangle.
+
+A second benchmark demonstrates the ``SGB-Greedy+BB`` extension on the same
+graph: under a *fixed* budget the branch-and-bound tail refinement is never
+worse than plain SGB-Greedy on any cell and strictly better on at least one
+(less residual similarity for the same number of deletions = less utility
+spent per broken subgraph).
 """
 
 from __future__ import annotations
 
+from repro.core.model import TPPProblem
+from repro.datasets.targets import sample_random_targets
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.utility_loss import run_utility_loss
+from repro.service import ProtectionRequest, ProtectionService
 
 METHODS = (
     "SGB-Greedy",
+    "SGB-Greedy+BB",
     "CT-Greedy:DBD",
     "CT-Greedy:TBD",
     "WT-Greedy:DBD",
@@ -51,4 +61,42 @@ def test_table3_utility_loss_full_protection(benchmark, arenas_graph):
     assert (
         table.values["rectangle"]["SGB-Greedy"]
         >= table.values["triangle"]["SGB-Greedy"] - 1e-9
+    )
+    # at full protection the greedy stops on its own, so the branch-and-bound
+    # refinement is a no-op and the +BB column must reproduce SGB exactly
+    for motif, row in table.values.items():
+        assert abs(row["SGB-Greedy+BB"] - row["SGB-Greedy"]) <= 1e-9, motif
+
+
+def test_table3_bb_refinement_beats_sgb(benchmark, arenas_graph):
+    """Fixed-budget cells: +BB never loses to SGB and strictly wins one cell."""
+    targets = sample_random_targets(arenas_graph, 10, seed=2)
+    cells = [
+        (motif, budget)
+        for motif in ("triangle", "rectangle", "rectri")
+        for budget in (3, 5)
+    ]
+
+    def run():
+        outcomes = {}
+        for motif, budget in cells:
+            service = ProtectionService(TPPProblem(arenas_graph, targets, motif=motif))
+            sgb = service.solve(ProtectionRequest("SGB-Greedy", budget))
+            bb = service.solve(ProtectionRequest("SGB-Greedy+BB", budget))
+            outcomes[f"{motif}/k={budget}"] = (
+                sgb.final_similarity,
+                bb.final_similarity,
+            )
+        return outcomes
+
+    outcomes = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["final_similarity_sgb_vs_bb"] = {
+        cell: {"sgb": sgb_final, "bb": bb_final}
+        for cell, (sgb_final, bb_final) in outcomes.items()
+    }
+
+    for cell, (sgb_final, bb_final) in outcomes.items():
+        assert bb_final <= sgb_final, f"{cell}: +BB worse than SGB"
+    assert any(bb < sgb for sgb, bb in outcomes.values()), (
+        "expected at least one strict +BB improvement over SGB-Greedy"
     )

@@ -47,8 +47,15 @@ for ``workers_beat_serial`` as the service report.  For the kernel report
 the check fails (exit 1)
 if any method's kernel-vs-set *speedup* dropped by more than
 ``--max-regression`` (default 30%, absorbing CI machine noise), if a method
-disappeared, if the engines stopped agreeing on protectors, or if a speedup
-acceptance target recorded in the committed report is no longer met.  For
+disappeared, if the engines stopped agreeing on protectors, if the native
+and numpy kernels stopped agreeing on a hot-loop similarity, or if a speedup
+acceptance target recorded in the committed report is no longer met.  The
+native-vs-numpy loop speedups get the same per-loop floors, and the
+``native_speedup_met`` flag the same noise tolerance (fail only when the
+fresh minimum misses the 5x *target* by more than ``--max-regression``);
+all native and end-to-end speedup floors are skipped when the fresh run
+records ``native_available: false`` (no C toolchain is machine shape, not a
+regression — agreement checks still apply).  For
 the service-throughput report it fails if the traces stopped agreeing, if
 the shared-vs-rebuild speedup dropped more than ``--max-regression`` below
 the committed value, or if an acceptance flag that was true in the committed
@@ -239,6 +246,25 @@ def compare(fresh: dict, committed: dict, max_regression: float) -> list:
     failures = []
     if not fresh.get("all_protectors_agree", False):
         failures.append("fresh run: engines disagree on a protector sequence")
+    if fresh.get("native_available") and not fresh.get("native_loops_agree", True):
+        failures.append(
+            "fresh run: native and numpy kernels disagree on a hot-loop "
+            "similarity"
+        )
+    # The committed speedups were measured with the native kernel powering
+    # the default engine.  A runner with no C toolchain falls back to numpy,
+    # which is machine shape (like workers_beat_serial on a 1-CPU box), not
+    # a regression — skip the speedup floors there but keep the agreement
+    # checks above.
+    native_skipped = committed.get("native_available", False) and not fresh.get(
+        "native_available", True
+    )
+    if native_skipped:
+        print(
+            "native speedup floors skipped: fresh runner reports "
+            "native_available=false (no C toolchain or REPRO_NATIVE=0)"
+        )
+        return failures
     for method, committed_row in committed.get("methods", {}).items():
         fresh_row = fresh.get("methods", {}).get(method)
         if fresh_row is None:
@@ -262,6 +288,43 @@ def compare(fresh: dict, committed: dict, max_regression: float) -> list:
                 f"{flag.split('_')[0].upper()} speedup target "
                 f"(>= {committed.get(target_key)}x) no longer met: "
                 f"fresh {fresh.get(target_key.replace('_target', ''))}x"
+            )
+    committed_loops = committed.get("native", {}).get("loops", {})
+    fresh_loops = fresh.get("native", {}).get("loops", {})
+    for loop, committed_loop in committed_loops.items():
+        fresh_loop = fresh_loops.get(loop)
+        if fresh_loop is None:
+            failures.append(f"native {loop}: missing from the fresh report")
+            continue
+        committed_speedup = committed_loop.get("native_speedup", 0.0)
+        fresh_speedup = fresh_loop.get("native_speedup", 0.0)
+        floor = committed_speedup * (1.0 - max_regression)
+        if fresh_speedup < floor:
+            failures.append(
+                f"native {loop}: speedup {fresh_speedup:.2f}x fell more than "
+                f"{max_regression:.0%} below the committed "
+                f"{committed_speedup:.2f}x (floor {floor:.2f}x)"
+            )
+    if committed.get("native_speedup_met") and not fresh.get(
+        "native_speedup_met", False
+    ):
+        # The 5x bar sits close to the measured minima, so grant the flag the
+        # same noise tolerance as the per-loop floors: only fail when the
+        # fresh minimum misses the *target* by more than max_regression.
+        target = committed.get("native", {}).get("native_speedup_target", 0.0)
+        fresh_min = fresh.get("min_native_speedup", 0.0)
+        tolerated_floor = target * (1.0 - max_regression)
+        if fresh_min < tolerated_floor:
+            failures.append(
+                f"native speedup target (>= {target}x) no longer met: fresh "
+                f"minimum {fresh_min}x is below the tolerated floor "
+                f"{tolerated_floor:.2f}x"
+            )
+        else:
+            print(
+                f"native_speedup_met tolerated: fresh minimum {fresh_min}x is "
+                f"within {max_regression:.0%} of the {target}x target "
+                "(runner noise)"
             )
     return failures
 
@@ -327,6 +390,20 @@ def main(argv=None) -> int:
             fresh_speedup = fresh.get("methods", {}).get(method, {}).get("speedup")
             committed_speedup = committed["methods"][method].get("speedup")
             print(f"{method:>18}: committed {committed_speedup}x, fresh {fresh_speedup}x")
+        for loop in sorted(committed.get("native", {}).get("loops", {})):
+            fresh_speedup = (
+                fresh.get("native", {})
+                .get("loops", {})
+                .get(loop, {})
+                .get("native_speedup")
+            )
+            committed_speedup = committed["native"]["loops"][loop].get(
+                "native_speedup"
+            )
+            print(
+                f"{'native ' + loop:>18}: committed {committed_speedup}x, "
+                f"fresh {fresh_speedup}x"
+            )
     if failures:
         for failure in failures:
             print(f"REGRESSION: {failure}", file=sys.stderr)

@@ -2,9 +2,23 @@
 
 Package metadata lives in ``pyproject.toml``; this file exists so that
 ``pip install -e .`` works with older setuptools/pip combinations that lack
-PEP 660 editable-install support (legacy ``setup.py develop`` fallback).
+PEP 660 editable-install support (legacy ``setup.py develop`` fallback),
+and to declare the *optional* native coverage-kernel extension: with a C
+toolchain present the kernel is compiled at install time and
+``repro._native`` loads the prebuilt artifact via ``ctypes``; without one
+the install succeeds anyway and the kernel is compiled on first use into
+the per-user cache (or the numpy fallback runs — bit-identical either
+way).
 """
 
-from setuptools import setup
+from setuptools import Extension, setup
 
-setup()
+setup(
+    ext_modules=[
+        Extension(
+            "repro._native._coverage_kernel",
+            sources=["src/repro/_native/coverage_kernel.c"],
+            optional=True,
+        )
+    ]
+)

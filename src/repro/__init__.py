@@ -47,6 +47,7 @@ from repro.core import (
     random_deletion,
     random_target_subgraph_deletion,
     sgb_greedy,
+    sgb_greedy_bb,
     verify_result,
     wt_greedy,
 )
@@ -86,6 +87,7 @@ __all__ = [
     "register_method",
     "method_names",
     "sgb_greedy",
+    "sgb_greedy_bb",
     "ct_greedy",
     "wt_greedy",
     "random_deletion",

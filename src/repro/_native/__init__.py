@@ -1,0 +1,37 @@
+"""Native (C) implementation of the coverage-kernel hot loops.
+
+The package ships one hand-written C file (``coverage_kernel.c``) and a
+:mod:`ctypes` loader (:mod:`repro._native.build`) that compiles it on
+demand into a per-user cache keyed by the source SHA-256 — or reuses the
+optional setuptools extension artifact when one was built at install
+time.  :class:`~repro.motifs.coverage.CoverageState` dispatches to the
+loaded kernel when ``kernel="native"`` resolves; the numpy path remains
+the executable reference and the automatic fallback
+(``REPRO_NATIVE=0`` forces it).
+"""
+
+from repro._native.build import (
+    KERNEL_NAMES,
+    NativeKernel,
+    build_library,
+    find_compiler,
+    kernel_cache_dir,
+    kernel_source_path,
+    load_kernel,
+    native_available,
+    native_disabled,
+    resolve_kernel,
+)
+
+__all__ = [
+    "KERNEL_NAMES",
+    "NativeKernel",
+    "build_library",
+    "find_compiler",
+    "kernel_cache_dir",
+    "kernel_source_path",
+    "load_kernel",
+    "native_available",
+    "native_disabled",
+    "resolve_kernel",
+]

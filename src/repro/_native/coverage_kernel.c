@@ -1,0 +1,349 @@
+/* Native coverage kernel: the three hot loops of CoverageState.
+ *
+ * This file is deliberately dependency-free C99 over the exact flat
+ * buffers the Python kernel already owns (C `long` == numpy NP_LONG,
+ * `unsigned char` == the uint8 alive bitmask), so the Python and native
+ * paths share one memory layout and can be differential-tested for
+ * bit-identical behaviour.
+ *
+ * Heap representation: a binary min-heap over parallel (keys, ids)
+ * arrays ordered lexicographically by (key, id) — exactly the total
+ * order Python's heapq applies to its (-gain, edge_id) tuples.  Because
+ * every (key, id) pair is distinct (ids are unique within a heap), the
+ * validated pop sequence depends only on the heap *contents*, never on
+ * the internal array layout, which is what makes this implementation
+ * observably identical to heapq.
+ *
+ * Compiled on demand by repro._native.build (ctypes, per-user cache
+ * keyed by the SHA-256 of this source) or ahead of time as the optional
+ * setuptools extension; both load paths bind the same symbols.
+ */
+
+#if defined(_WIN32)
+#define REPRO_EXPORT __declspec(dllexport)
+#else
+#define REPRO_EXPORT __attribute__((visibility("default")))
+#endif
+
+/* PyInit shim so the file can double as an "extension module" for the
+ * optional setuptools build: the resulting artifact is still loaded via
+ * ctypes (never imported), the entry point only has to exist so wheel
+ * builds do not reject the module. */
+REPRO_EXPORT void *PyInit__coverage_kernel(void) { return 0; }
+
+/* ------------------------------------------------------------------ */
+/* kill walk                                                           */
+/* ------------------------------------------------------------------ */
+
+/* Delete `edge_id`: kill every alive instance containing it, decrement
+ * the per-edge and per-(edge, target) live counters of every sibling
+ * membership, maintain the per-target alive counts, and accumulate the
+ * per-target broken counts into `broken`.  The caller keeps `broken`
+ * all-zero between calls (it re-zeroes exactly the touched entries), so
+ * no O(n_targets) clear happens here; the indices of the touched
+ * entries come back through `touched` (touched[0] = count, then the
+ * target indices in ascending order).  Returns the total number of
+ * instances killed.
+ *
+ * The buffer addresses arrive packed in `ctx` (one pointer argument
+ * instead of twelve: per-argument ctypes conversion is measurable at
+ * this call rate).  Layout:
+ *   ctx[0] edge_indptr   ctx[1] edge_inst_ids  ctx[2] inst_indptr
+ *   ctx[3] inst_edge_ids ctx[4] inst_slot      ctx[5] inst_target_idx
+ *   ctx[6] alive         ctx[7] gain           ctx[8] et_count
+ *   ctx[9] alive_by_tidx ctx[10] broken        ctx[11] touched */
+REPRO_EXPORT long repro_kill_instances(const long *ctx, long edge_id)
+{
+    const long *edge_indptr = (const long *) ctx[0];
+    const long *edge_inst_ids = (const long *) ctx[1];
+    const long *inst_indptr = (const long *) ctx[2];
+    const long *inst_edge_ids = (const long *) ctx[3];
+    const long *inst_slot = (const long *) ctx[4];
+    const long *inst_target_idx = (const long *) ctx[5];
+    unsigned char *alive = (unsigned char *) ctx[6];
+    long *gain = (long *) ctx[7];
+    long *et_count = (long *) ctx[8];
+    long *alive_by_tidx = (long *) ctx[9];
+    long *broken = (long *) ctx[10];
+    long *touched = (long *) ctx[11];
+    long killed = 0;
+    long n_touched = 0;
+    long position, stop, i;
+
+    stop = edge_indptr[edge_id + 1];
+    for (position = edge_indptr[edge_id]; position < stop; position++) {
+        long instance_id = edge_inst_ids[position];
+        long tidx, lo, hi, member;
+        if (!alive[instance_id])
+            continue;
+        alive[instance_id] = 0;
+        tidx = inst_target_idx[instance_id];
+        if (broken[tidx] == 0)
+            touched[1 + n_touched++] = tidx;
+        broken[tidx] += 1;
+        alive_by_tidx[tidx] -= 1;
+        killed += 1;
+        lo = inst_indptr[instance_id];
+        hi = inst_indptr[instance_id + 1];
+        for (member = lo; member < hi; member++) {
+            gain[inst_edge_ids[member]] -= 1;
+            et_count[inst_slot[member]] -= 1;
+        }
+    }
+    /* ascending target order (insertion sort: the list is tiny and
+     * near-sorted, instances are stored grouped by target) */
+    for (i = 2; i <= n_touched; i++) {
+        long value = touched[i];
+        long j = i - 1;
+        while (j >= 1 && touched[j] > value) {
+            touched[j + 1] = touched[j];
+            j--;
+        }
+        touched[j + 1] = value;
+    }
+    touched[0] = n_touched;
+    return killed;
+}
+
+/* ------------------------------------------------------------------ */
+/* lexicographic (key, id) binary min-heap helpers                     */
+/* ------------------------------------------------------------------ */
+
+static int heap_less(const long *keys, const long *ids, long a, long b)
+{
+    if (keys[a] != keys[b])
+        return keys[a] < keys[b];
+    return ids[a] < ids[b];
+}
+
+static void heap_swap(long *keys, long *ids, long a, long b)
+{
+    long key = keys[a], id = ids[a];
+    keys[a] = keys[b];
+    ids[a] = ids[b];
+    keys[b] = key;
+    ids[b] = id;
+}
+
+static void heap_sift_down(long *keys, long *ids, long size, long root)
+{
+    for (;;) {
+        long child = 2 * root + 1;
+        if (child >= size)
+            return;
+        if (child + 1 < size && heap_less(keys, ids, child + 1, child))
+            child += 1;
+        if (!heap_less(keys, ids, child, root))
+            return;
+        heap_swap(keys, ids, root, child);
+        root = child;
+    }
+}
+
+static void heap_sift_up(long *keys, long *ids, long node)
+{
+    while (node > 0) {
+        long parent = (node - 1) / 2;
+        if (!heap_less(keys, ids, node, parent))
+            return;
+        heap_swap(keys, ids, node, parent);
+        node = parent;
+    }
+}
+
+/* Floyd heap construction over `size` (key, id) pairs. */
+REPRO_EXPORT void repro_heap_init(long *keys, long *ids, long size)
+{
+    long root;
+    for (root = size / 2 - 1; root >= 0; root--)
+        heap_sift_down(keys, ids, size, root);
+}
+
+/* Pop the root (caller reads keys[0]/ids[0] first); returns the new size. */
+REPRO_EXPORT long repro_heap_pop(long *keys, long *ids, long size)
+{
+    size -= 1;
+    if (size > 0) {
+        keys[0] = keys[size];
+        ids[0] = ids[size];
+        heap_sift_down(keys, ids, size, 0);
+    }
+    return size;
+}
+
+/* Push one (key, id); the caller guarantees capacity.  Returns the new
+ * size. */
+REPRO_EXPORT long repro_heap_push(long *keys, long *ids, long size,
+                                  long key, long id)
+{
+    keys[size] = key;
+    ids[size] = id;
+    heap_sift_up(keys, ids, size);
+    return size + 1;
+}
+
+/* ------------------------------------------------------------------ */
+/* lazy-heap validation loops                                          */
+/* ------------------------------------------------------------------ */
+
+/* Validate the top of the global max-gain heap (keys hold -gain, so the
+ * min-heap root is the max-gain candidate).  Pops dead entries, repairs
+ * stale keys in place (sound: gains only ever decrease), and stops at
+ * the first root whose key matches the live counter.  Writes the
+ * validated edge id and its gain into out[0]/out[1] (out[0] = -1 when
+ * the heap runs empty) and returns the new heap size. */
+REPRO_EXPORT long repro_top_validate(long *keys, long *ids, long size,
+                                     const long *gain, long *out)
+{
+    while (size > 0) {
+        long edge_id = ids[0];
+        long current = gain[edge_id];
+        if (current <= 0) {
+            size = repro_heap_pop(keys, ids, size);
+        } else if (-keys[0] != current) {
+            keys[0] = -current;
+            heap_sift_down(keys, ids, size, 0);
+        } else {
+            out[0] = edge_id;
+            out[1] = current;
+            return size;
+        }
+    }
+    out[0] = -1;
+    out[1] = 0;
+    return 0;
+}
+
+/* Live own-gain of (edge_id, tidx): one scan of the edge's row of the
+ * per-(edge, target) counter matrix; rows are tidx-ascending so the
+ * scan stops early.  Mirrors CoverageState._own_gain exactly. */
+static long own_gain(const long *et_indptr, const long *et_tidx,
+                     const long *et_count, long edge_id, long tidx)
+{
+    long slot, stop = et_indptr[edge_id + 1];
+    for (slot = et_indptr[edge_id]; slot < stop; slot++) {
+        long entry = et_tidx[slot];
+        if (entry == tidx)
+            return et_count[slot];
+        if (entry > tidx)
+            break;
+    }
+    return 0;
+}
+
+/* Build one target's best_scored_pair heap: count the live own-gain of
+ * every edge appearing in the target's alive instances (`start..stop` is
+ * the target's instance-id range; instance ids are grouped by target),
+ * then heapify (key, id) = (-(own * weight + total), edge id) in place.
+ *
+ * `counts` is an all-zero n_edges scratch the caller reuses across
+ * builds; it is re-zeroed on the way out.  `ids` doubles as the
+ * first-touch edge list during counting, so only the used prefix is
+ * written.  Heap *contents* are what the validation order depends on,
+ * so the first-touch insertion order is immaterial.  Returns the heap
+ * size. */
+REPRO_EXPORT long repro_pair_heap_build(
+    const long *inst_indptr, const long *inst_edge_ids,
+    const unsigned char *alive, long start, long stop,
+    const long *gain, long weight, long *counts, long *keys, long *ids)
+{
+    long n = 0;
+    long inst, member, i;
+    for (inst = start; inst < stop; inst++) {
+        long lo, hi;
+        if (!alive[inst])
+            continue;
+        lo = inst_indptr[inst];
+        hi = inst_indptr[inst + 1];
+        for (member = lo; member < hi; member++) {
+            long edge_id = inst_edge_ids[member];
+            if (counts[edge_id] == 0)
+                ids[n++] = edge_id;
+            counts[edge_id] += 1;
+        }
+    }
+    for (i = 0; i < n; i++) {
+        long edge_id = ids[i];
+        keys[i] = -(counts[edge_id] * weight + gain[edge_id]);
+        counts[edge_id] = 0;
+    }
+    repro_heap_init(keys, ids, n);
+    return n;
+}
+
+/* Validate the best_scored_pair heaps of the `n` queried targets and
+ * return the arg-max pair across all of them in one call (this is the
+ * CT/WT greedy inner loop: per-target ctypes round-trips would dominate
+ * the walltime otherwise).
+ *
+ * `keys_tab`/`ids_tab`/`sizes` are tables indexed by target index; the
+ * query lists the target indices to visit in `tidxs[0..n)`.  Each heap
+ * holds keys of -(own * weight + total) with weight = constant - 1;
+ * entries whose own gain dropped to zero are popped, stale keys are
+ * recomputed from the live counters and sifted back (keys only ever
+ * decrease), and the first exact match is the current arg-max pair for
+ * that target.  New heap sizes are written back into `sizes`.
+ *
+ * Across targets the best pair wins by the highest key, ties toward the
+ * smallest edge id and then the earliest query position — identical to
+ * the numpy path's left-to-right strict-improvement sweep.  Writes
+ * out[0] = key, out[1] = edge id, out[2] = query position and returns
+ * the winning query position (-1 when every queried heap ran empty).
+ *
+ * Like the kill walk, the buffer addresses arrive packed in `ctx`:
+ *   ctx[0] keys_tab  ctx[1] ids_tab  ctx[2] sizes      ctx[3] tidxs
+ *   ctx[4] gain      ctx[5] et_indptr ctx[6] et_tidx   ctx[7] et_count
+ *   ctx[8] out */
+REPRO_EXPORT long repro_pair_validate_many(const long *ctx, long n,
+                                           long weight)
+{
+    long **keys_tab = (long **) ctx[0];
+    long **ids_tab = (long **) ctx[1];
+    long *sizes = (long *) ctx[2];
+    const long *tidxs = (const long *) ctx[3];
+    const long *gain = (const long *) ctx[4];
+    const long *et_indptr = (const long *) ctx[5];
+    const long *et_tidx = (const long *) ctx[6];
+    const long *et_count = (const long *) ctx[7];
+    long *out = (long *) ctx[8];
+    long best_key = -1, best_id = -1, best_pos = -1;
+    long i;
+
+    for (i = 0; i < n; i++) {
+        long tidx = tidxs[i];
+        long *keys = keys_tab[tidx];
+        long *ids = ids_tab[tidx];
+        long size = sizes[tidx];
+        long top_key = -1, top_id = -1;
+        while (size > 0) {
+            long edge_id = ids[0];
+            long own = own_gain(et_indptr, et_tidx, et_count, edge_id, tidx);
+            long key;
+            if (own <= 0) {
+                size = repro_heap_pop(keys, ids, size);
+                continue;
+            }
+            key = own * weight + gain[edge_id];
+            if (-keys[0] == key) {
+                top_key = key;
+                top_id = edge_id;
+                break;
+            }
+            keys[0] = -key;
+            heap_sift_down(keys, ids, size, 0);
+        }
+        sizes[tidx] = size;
+        if (top_key < 0)
+            continue;
+        if (best_pos < 0 || top_key > best_key ||
+            (top_key == best_key && top_id < best_id)) {
+            best_key = top_key;
+            best_id = top_id;
+            best_pos = i;
+        }
+    }
+    out[0] = best_key;
+    out[1] = best_id;
+    out[2] = best_pos;
+    return best_pos;
+}

@@ -83,6 +83,7 @@ from repro.experiments.runtime import RuntimeComparison
 from repro.experiments.similarity_evolution import SimilarityEvolution
 from repro.experiments.utility_loss import UtilityLossTable
 from repro.graphs.io import write_edge_list
+from repro._native import KERNEL_NAMES
 from repro.motifs.base import available_motifs
 from repro.service import ProtectionRequest, ProtectionService, method_names
 from repro.utility.loss import compare_graphs
@@ -163,6 +164,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="cold-start the session from a snapshot written by build-index "
         "(skips dataset loading, target sampling and enumeration; "
         "--dataset/--edge-list/--targets/--motif are ignored)",
+    )
+    protect.add_argument(
+        "--kernel",
+        default="auto",
+        choices=KERNEL_NAMES,
+        help="coverage-state hot-loop kernel: 'auto' compiles/loads the "
+        "native C kernel when possible and falls back to numpy; 'native' "
+        "and 'numpy' force one side (bit-identical results either way)",
     )
     protect.add_argument("--output", help="write the released graph to this edge list")
     protect.add_argument(
@@ -298,6 +307,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="fan the index build out over this many worker processes",
     )
+    serve.add_argument(
+        "--kernel",
+        default="auto",
+        choices=KERNEL_NAMES,
+        help="coverage-state hot-loop kernel for the served session "
+        "('auto' / 'native' / 'numpy'; bit-identical results either way)",
+    )
     serve.add_argument("--host", default="127.0.0.1", help="bind address")
     serve.add_argument(
         "--port", type=int, default=8035, help="bind port (0 picks a free port)"
@@ -397,7 +413,7 @@ def _load_instance(args: argparse.Namespace):
 def _command_protect(args: argparse.Namespace) -> int:
     if args.index_file:
         service = ProtectionService.from_snapshot(
-            args.index_file, build_workers=args.build_workers
+            args.index_file, build_workers=args.build_workers, kernel=args.kernel
         )
         print(
             f"session cold-started from {args.index_file} "
@@ -408,7 +424,11 @@ def _command_protect(args: argparse.Namespace) -> int:
     else:
         graph, targets = _load_instance(args)
         service = ProtectionService(
-            graph, targets, motif=args.motif, build_workers=args.build_workers
+            graph,
+            targets,
+            motif=args.motif,
+            build_workers=args.build_workers,
+            kernel=args.kernel,
         )
     requests = [
         ProtectionRequest(args.method, budget, engine=args.engine, seed=args.seed)
@@ -583,7 +603,9 @@ def _serve_session(args: argparse.Namespace) -> ProtectionService:
     if args.index_file:
         if zipfile.is_zipfile(args.index_file):
             service = ProtectionService.from_session(
-                args.index_file, build_workers=args.build_workers
+                args.index_file,
+                build_workers=args.build_workers,
+                kernel=args.kernel,
             )
             print(
                 f"session cold-started from bundle {args.index_file} "
@@ -592,13 +614,19 @@ def _serve_session(args: argparse.Namespace) -> ProtectionService:
             )
         else:
             service = ProtectionService.from_snapshot(
-                args.index_file, build_workers=args.build_workers
+                args.index_file,
+                build_workers=args.build_workers,
+                kernel=args.kernel,
             )
             print(f"session cold-started from {args.index_file}")
         return service
     graph, targets = _load_instance(args)
     service = ProtectionService(
-        graph, targets, motif=args.motif, build_workers=args.build_workers
+        graph,
+        targets,
+        motif=args.motif,
+        build_workers=args.build_workers,
+        kernel=args.kernel,
     )
     print(
         f"session built: {graph.number_of_nodes()} nodes, "

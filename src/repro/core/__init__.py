@@ -31,6 +31,7 @@ from repro.core.node_protection import (
     protect_target_nodes,
 )
 from repro.core.optimal import greedy_optimality_gap, optimal_protectors
+from repro.core.refine import sgb_greedy_bb
 from repro.core.sgb import sgb_greedy
 from repro.core.verification import (
     critical_budget,
@@ -44,6 +45,7 @@ __all__ = [
     "TPPProblem",
     "ProtectionResult",
     "sgb_greedy",
+    "sgb_greedy_bb",
     "ct_greedy",
     "wt_greedy",
     "random_deletion",

@@ -77,6 +77,16 @@ class EngineError(TPPError, ValueError):
     """A gain engine was selected or configured inconsistently."""
 
 
+class NativeKernelError(TPPError, RuntimeError):
+    """The native coverage kernel was requested but cannot be provided.
+
+    Raised only when ``kernel="native"`` is selected *explicitly* and the
+    shared library can neither be found prebuilt nor compiled (no C
+    compiler, compilation failure).  The default ``kernel="auto"`` never
+    raises — it falls back to the numpy kernel with a one-time log line.
+    """
+
+
 class ConstantError(TPPError, ValueError):
     """The dissimilarity constant ``C`` violates ``C >= s(∅, T)``."""
 

@@ -1,0 +1,1004 @@
+"""The mutable coverage states layered on a :class:`TargetSubgraphIndex`.
+
+Split out of :mod:`repro.motifs.enumeration` so the kernel dispatch is
+explicit: :class:`CoverageState` owns the flat live counters (alive
+bitmask, per-edge gains, per-(edge, target) counter matrix) and runs its
+three hot loops — the kill walk of :meth:`CoverageState.delete_edge`,
+the heap validation of :meth:`CoverageState.top_gain_edge`, and the
+per-target pair validation behind
+:meth:`CoverageState.best_scored_pair` — through one of two kernels:
+
+``numpy``
+    The pure numpy/memoryview implementation (the executable reference,
+    and the automatic fallback on installs without a C toolchain).
+``native``
+    The compiled C implementation from :mod:`repro._native`, operating
+    in place on the *same* flat buffers.  Observably **bit-identical**
+    to the numpy kernel: same protectors, same traces, same
+    ``edge_sort_key`` tie-breaks.  Heaps are (key, id) pairs under the
+    same total order heapq applies to its tuples, and every pair is
+    distinct, so the validated pop sequence depends only on heap
+    contents — never on the internal array layout.
+
+The selector is resolved at construction (``kernel="auto"`` prefers
+native when loadable; ``REPRO_NATIVE=0`` forces the fallback; an
+explicit ``kernel="native"`` raises
+:class:`~repro.exceptions.NativeKernelError` when unsatisfiable) and the
+differential property tests pin both kernels against each other and
+against :class:`SetCoverageState`, the original hash-set formulation.
+
+Native states ``copy()`` and pickle like numpy ones: the ctypes handle,
+cached buffer pointers and native heaps are process-local runtime, so
+``__getstate__`` drops them and ``__setstate__`` re-resolves — a worker
+process without the toolchain transparently degrades to the numpy
+kernel (heaps are pure derived caches; rebuilding them lazily yields
+the same validated tops).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import TYPE_CHECKING, Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro._native import load_kernel, resolve_kernel
+from repro.graphs.graph import Edge, canonical_edge
+from repro.graphs.indexed import NP_LONG
+
+if TYPE_CHECKING:
+    from repro.motifs.enumeration import TargetSubgraphIndex
+
+__all__ = [
+    "CoverageState",
+    "SetCoverageState",
+    "InstanceId",
+]
+
+#: Opaque identifier of one enumerated target subgraph.
+InstanceId = int
+
+#: Instance-row size below which the numpy kill walk stays element-wise —
+#: a few memberships cost less to walk than the fixed setup of the numpy
+#: gathers.  (The native kill walk is element-wise at every size.)
+_SCALAR_KILL_THRESHOLD = 32
+
+#: Process-local attributes of :class:`CoverageState` that never pickle:
+#: memoryviews, the ctypes kernel handle, cached buffer pointers,
+#: scratch arrays and the native heap arrays.  ``__setstate__`` rebuilds
+#: them all via ``_init_runtime``.
+_RUNTIME_ATTRS = (
+    "_gain_mv",
+    "_et_count_mv",
+    "_alive_mv",
+    "_alive_by_tidx_mv",
+    "_native",
+    "_nheap",
+    "_npair_heaps",
+    "_gain_ptr",
+    "_et_indptr_ptr",
+    "_et_tidx_ptr",
+    "_et_count_ptr",
+    "_out_scratch",
+    "_out_mv",
+    "_out_ptr",
+    "_broken_scratch",
+    "_broken_mv",
+    "_touched_scratch",
+    "_touched_mv",
+    "_tidx_scratch",
+    "_tidx_mv",
+    "_tidx_ptr",
+    "_npair_keys_tab",
+    "_npair_ids_tab",
+    "_npair_sizes",
+    "_npair_sizes_mv",
+    "_npair_keys_tab_ptr",
+    "_npair_ids_tab_ptr",
+    "_npair_sizes_ptr",
+    "_pair_build_scratch",
+    "_edge_id_memo",
+    "_kill_ctx",
+    "_kill_ctx_ptr",
+    "_pair_ctx",
+    "_pair_ctx_ptr",
+)
+
+
+def _flat_ranges(starts: np.ndarray, lengths: np.ndarray) -> np.ndarray:
+    """Return ``concatenate([arange(s, s + l) for s, l in zip(starts, lengths)])``
+    without a Python loop.
+
+    Every ``lengths[i]`` must be >= 1 (the cumsum trick writes one boundary
+    marker per range; zero-length ranges would collide on one position —
+    callers filter them out first).  Empty inputs return an empty array.
+    """
+    if not len(starts):
+        return np.empty(0, dtype=NP_LONG)
+    total = int(lengths.sum())
+    out = np.ones(total, dtype=NP_LONG)
+    out[0] = starts[0]
+    if len(starts) > 1:
+        ends = np.cumsum(lengths[:-1])
+        out[ends] = starts[1:] - (starts[:-1] + lengths[:-1]) + 1
+    return np.cumsum(out, out=out)
+
+
+class CoverageState:
+    """Array-backed mutable view tracking which target subgraphs are alive.
+
+    Deleting an edge kills every alive instance containing it and eagerly
+    decrements the live-gain counter of each sibling edge, so marginal-gain
+    queries are O(1) counter reads and :meth:`top_gain_edge` pops an exact
+    maximum from a lazily-repaired heap (gains are monotone non-increasing,
+    which makes stale heap entries safe to re-validate on pop).
+
+    Parameters
+    ----------
+    index:
+        The immutable :class:`TargetSubgraphIndex` to layer on.
+    kernel:
+        ``"auto"`` (default, = ``None``) runs the compiled C kernel when
+        it is loadable and the numpy kernel otherwise; ``"native"`` and
+        ``"numpy"`` force one side (``"native"`` raises
+        :class:`~repro.exceptions.NativeKernelError` when no compiler or
+        prebuilt artifact is available — unless ``REPRO_NATIVE=0``
+        globally forces the fallback).  Both kernels are observably
+        bit-identical.
+    """
+
+    def __init__(self, index: "TargetSubgraphIndex", kernel: Optional[str] = None) -> None:
+        self._index = index
+        n_instances = index.number_of_instances()
+        self._alive = np.ones(n_instances, dtype=np.uint8)
+        self._alive_total = n_instances
+        self._alive_by_tidx = np.fromiter(
+            (end - start for start, end in index._target_ranges),
+            dtype=NP_LONG,
+            count=len(index._target_ranges),
+        )
+        # live-gain counters: gain[edge_id] == alive instances containing it
+        # (a pure memcpy of the index's precomputed pristine counters)
+        self._gain = index._initial_gain.copy()
+        # per-(edge, target) live counters: entry s of the index's counter
+        # matrix currently counts the alive instances of target _et_tidx[s]
+        # containing the row's edge
+        self._et_count = index._et_initial_count.copy()
+        self._deleted_edges: List[Edge] = []
+        # lazy max-heap of (-gain, edge_id); built on first top-gain query
+        self._heap: Optional[List[Tuple[int, int]]] = None
+        # per-target lazy max-heaps of (-score key, edge_id) for
+        # best_scored_pair, built on first use and keyed to one constant C
+        self._pair_heaps: Dict[int, List[Tuple[int, int]]] = {}
+        self._pair_constant: Optional[int] = None
+        self._kernel = resolve_kernel(kernel)
+        self._init_runtime()
+
+    def _init_runtime(self) -> None:
+        """(Re)build the process-local runtime over the owned buffers.
+
+        Called from ``__init__``, ``copy`` and ``__setstate__``:
+        memoryviews over the live counters (scalar reads in the numpy
+        heap-validation loops yield plain ints, no numpy boxing), and —
+        when the resolved kernel is native — the ctypes handle, the
+        scratch arrays and the cached ``ndarray.ctypes.data`` pointers
+        (the buffers never reallocate, so the raw addresses are stable
+        for the lifetime of this state).
+        """
+        self._gain_mv = memoryview(self._gain)
+        self._et_count_mv = memoryview(self._et_count)
+        self._alive_mv = memoryview(self._alive)
+        self._alive_by_tidx_mv = memoryview(self._alive_by_tidx)
+        # (edge, dense id) of the last validated query result: the greedy
+        # loops always delete the edge they just queried, so delete_edge
+        # skips the canonicalise + dict lookup on a memo hit (ids are an
+        # immutable property of the index — the memo can never go stale)
+        self._edge_id_memo: Optional[Tuple[Edge, int]] = None
+        # native heap arrays: [keys, ids, keys_ptr, ids_ptr, size]
+        self._nheap: Optional[List[object]] = None
+        # per-target (keys, ids) array pairs; the raw pointers and live
+        # sizes live in the tidx-indexed tables below so one C call can
+        # validate many targets
+        self._npair_heaps: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
+        if self._kernel != "native":
+            self._native = None
+            return
+        self._native = load_kernel()
+        if self._native is None:
+            # only reachable on unpickle in a toolchain-less process (the
+            # constructor resolves availability up front): degrade quietly,
+            # the numpy kernel is observably identical
+            self._kernel = "numpy"
+            return
+        index = self._index
+        n_targets = len(index._targets)
+        self._gain_ptr = self._gain.ctypes.data
+        self._et_indptr_ptr = index._et_indptr.ctypes.data
+        self._et_tidx_ptr = index._et_tidx.ctypes.data
+        self._et_count_ptr = self._et_count.ctypes.data
+        self._out_scratch = np.zeros(3, dtype=NP_LONG)
+        self._out_mv = memoryview(self._out_scratch)
+        self._out_ptr = self._out_scratch.ctypes.data
+        # kill-walk scratch: `broken` is kept all-zero between calls (the
+        # delete path re-zeroes exactly the touched entries); `touched`
+        # carries the touched target indices back (slot 0 is the count)
+        self._broken_scratch = np.zeros(n_targets, dtype=NP_LONG)
+        self._broken_mv = memoryview(self._broken_scratch)
+        self._touched_scratch = np.zeros(n_targets + 1, dtype=NP_LONG)
+        self._touched_mv = memoryview(self._touched_scratch)
+        # query scratch + per-target heap tables for pair_validate_many:
+        # raw data pointers stored as integers (long holds a pointer on
+        # every platform this loads on), size -1 marks "heap not built"
+        self._tidx_scratch = np.zeros(n_targets, dtype=NP_LONG)
+        self._tidx_mv = memoryview(self._tidx_scratch)
+        self._tidx_ptr = self._tidx_scratch.ctypes.data
+        self._npair_keys_tab = np.zeros(n_targets, dtype=NP_LONG)
+        self._npair_ids_tab = np.zeros(n_targets, dtype=NP_LONG)
+        self._npair_sizes = np.full(n_targets, -1, dtype=NP_LONG)
+        self._npair_sizes_mv = memoryview(self._npair_sizes)
+        self._npair_keys_tab_ptr = self._npair_keys_tab.ctypes.data
+        self._npair_ids_tab_ptr = self._npair_ids_tab.ctypes.data
+        self._npair_sizes_ptr = self._npair_sizes.ctypes.data
+        # (counts, keys, ids) staging arrays for the C heap builder;
+        # allocated on the first build — most states never query pairs
+        self._pair_build_scratch = None
+        # packed pointer contexts (one ctypes argument per hot call; the
+        # layouts are documented next to the C entry points)
+        self._kill_ctx = np.array(
+            [
+                index._edge_indptr.ctypes.data,
+                index._edge_inst_ids.ctypes.data,
+                index._inst_indptr.ctypes.data,
+                index._inst_edge_ids.ctypes.data,
+                index._inst_slot.ctypes.data,
+                index._inst_target_idx.ctypes.data,
+                self._alive.ctypes.data,
+                self._gain_ptr,
+                self._et_count_ptr,
+                self._alive_by_tidx.ctypes.data,
+                self._broken_scratch.ctypes.data,
+                self._touched_scratch.ctypes.data,
+            ],
+            dtype=NP_LONG,
+        )
+        self._kill_ctx_ptr = self._kill_ctx.ctypes.data
+        self._pair_ctx = np.array(
+            [
+                self._npair_keys_tab_ptr,
+                self._npair_ids_tab_ptr,
+                self._npair_sizes_ptr,
+                self._tidx_ptr,
+                self._gain_ptr,
+                self._et_indptr_ptr,
+                self._et_tidx_ptr,
+                self._et_count_ptr,
+                self._out_ptr,
+            ],
+            dtype=NP_LONG,
+        )
+        self._pair_ctx_ptr = self._pair_ctx.ctypes.data
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def index(self) -> "TargetSubgraphIndex":
+        """The immutable index this state is layered on."""
+        return self._index
+
+    @property
+    def kernel(self) -> str:
+        """The resolved hot-loop kernel: ``"native"`` or ``"numpy"``."""
+        return self._kernel
+
+    @property
+    def deleted_edges(self) -> Tuple[Edge, ...]:
+        """Edges deleted so far, in deletion order."""
+        return tuple(self._deleted_edges)
+
+    def total_similarity(self) -> int:
+        """Return the current ``s(P, T)`` (alive instances)."""
+        return self._alive_total
+
+    def similarity_of(self, target: Edge) -> int:
+        """Return the current ``s(P, t)`` for ``target``."""
+        return int(self._alive_by_tidx[self._index._target_position(target)])
+
+    def similarity_by_target(self) -> Dict[Edge, int]:
+        """Return the current per-target similarities."""
+        by_tidx = self._alive_by_tidx.tolist()
+        return {
+            target: by_tidx[position]
+            for position, target in enumerate(self._index.targets)
+        }
+
+    def is_fully_protected(self) -> bool:
+        """Return whether every target subgraph has been broken."""
+        return self._alive_total == 0
+
+    def gain(self, edge: Edge) -> int:
+        """Return how many alive instances deleting ``edge`` would break.
+
+        O(1): reads the incrementally maintained live-gain counter.
+        """
+        edge_id = self._index._indexed.find_edge_id(*edge)
+        if edge_id is None:
+            return 0
+        return self._gain_mv[edge_id]
+
+    def gain_by_target(self, edge: Edge) -> Dict[Edge, int]:
+        """Return per-target counts of alive instances ``edge`` would break.
+
+        O(#targets touching the edge): one row of the per-(edge, target)
+        counter matrix, no instance rescan.  Targets are listed in target
+        index (problem) order, matching the other engines.
+        """
+        edge_id = self._index._indexed.find_edge_id(*edge)
+        if edge_id is None or self._gain[edge_id] == 0:
+            return {}
+        index = self._index
+        targets = index.targets
+        start, stop = index._et_indptr[edge_id], index._et_indptr[edge_id + 1]
+        row_tidx = index._et_tidx[start:stop].tolist()
+        row_count = self._et_count[start:stop].tolist()
+        return {
+            targets[tidx]: count
+            for tidx, count in zip(row_tidx, row_count)
+            if count > 0
+        }
+
+    def gain_for_target(self, edge: Edge, target: Edge) -> int:
+        """Return alive instances of ``target`` that deleting ``edge`` breaks.
+
+        O(#targets touching the edge): a counter-matrix row scan.
+        """
+        edge_id = self._index._indexed.find_edge_id(*edge)
+        if edge_id is None or self._gain[edge_id] == 0:
+            return 0
+        return self._own_gain(edge_id, self._index._target_position(target))
+
+    def _own_gain(self, edge_id: int, tidx: int) -> int:
+        """Return the live (edge, target) counter; rows are tidx-ascending."""
+        index = self._index
+        et_tidx = index._et_tidx_l
+        indptr = index._et_indptr_l
+        for slot in range(indptr[edge_id], indptr[edge_id + 1]):
+            entry = et_tidx[slot]
+            if entry == tidx:
+                return self._et_count_mv[slot]
+            if entry > tidx:
+                break
+        return 0
+
+    def candidate_edges(self) -> Set[Edge]:
+        """Return undeleted edges that still break at least one alive instance.
+
+        O(|candidate edges|): a deleted or dead edge has a zero counter, so no
+        per-edge instance rescan is needed.
+        """
+        edge_at = self._index._indexed.edge_at
+        return {edge_at(edge_id) for edge_id in self._live_candidate_ids()}
+
+    def candidate_edge_list(self) -> List[Edge]:
+        """Return the live candidates in deterministic ``edge_sort_key`` order."""
+        edge_at = self._index._indexed.edge_at
+        return [edge_at(edge_id) for edge_id in self._live_candidate_ids()]
+
+    def _live_candidate_ids(self) -> List[int]:
+        """Candidate edge ids with a positive live gain, ascending (one gather)."""
+        index = self._index
+        candidates = index._candidate_id_array
+        return candidates[self._gain[candidates] > 0].tolist()
+
+    def iter_positive_gains(self) -> Iterator[Tuple[Edge, int]]:
+        """Yield ``(edge, live gain)`` for every live candidate, in
+        deterministic ``edge_sort_key`` order.
+
+        Mirrors the generic engine sweep exactly: the candidate list is
+        snapshotted before the first yield, but each gain is read live and
+        candidates that died mid-iteration are skipped — so callers that
+        delete edges while iterating observe the same sequence on every
+        engine.
+        """
+        edge_at = self._index._indexed.edge_at
+        gain = self._gain_mv
+        snapshot = self._live_candidate_ids()
+        for edge_id in snapshot:
+            value = gain[edge_id]
+            if value > 0:
+                yield edge_at(edge_id), value
+
+    def gains_for_target(self, target: Edge) -> Dict[Edge, int]:
+        """Return ``{edge: alive instances of target it breaks}`` for every
+        edge with a positive own-gain for ``target``.
+
+        One pass over the target's alive instances — the within-target greedy
+        uses this instead of probing every graph edge.  Keys are emitted in
+        deterministic ``edge_sort_key`` order.
+        """
+        index = self._index
+        counts = self._own_gains_by_edge_id(index._target_position(target))
+        edge_at = index._indexed.edge_at
+        return {edge_at(edge_id): count for edge_id, count in sorted(counts.items())}
+
+    def _own_gains_by_edge_id(self, tidx: int) -> Dict[int, int]:
+        """One pass over a target's alive instances: ``{edge id: own gain}``
+        with keys ascending (the counting sort yields them sorted)."""
+        index = self._index
+        start, end = index._target_ranges[tidx]
+        live = np.flatnonzero(self._alive[start:end])
+        if not len(live):
+            return {}
+        live += start
+        starts = index._inst_indptr[live]
+        arities = index._inst_indptr[live + 1] - starts
+        positive = arities > 0  # zero-arity instances have no memberships
+        positions = _flat_ranges(starts[positive], arities[positive])
+        if not len(positions):
+            return {}
+        edge_ids, counts = np.unique(
+            index._inst_edge_ids[positions], return_counts=True
+        )
+        return dict(zip(edge_ids.tolist(), counts.tolist()))
+
+    def best_scored_pair(
+        self, targets: Sequence[Edge], constant: int
+    ) -> Optional[Tuple[int, Edge, Edge]]:
+        """Return ``(key, target, edge)`` maximising the MLBT score over the
+        given targets and the live candidate edges, or ``None`` if no pair
+        has a positive own-gain.
+
+        The integer key is ``own * (constant - 1) + total``; dividing by
+        ``constant`` gives the paper's ``Δ_t^p = own + (total - own) / C``,
+        so maximising the key maximises the score with exact integer
+        arithmetic.  Ties break toward the smallest edge id (== smallest
+        ``edge_sort_key``) and then toward the earliest target in
+        ``targets`` — identical to a deterministic edge-major sweep over
+        ``gain_by_target`` rows.
+
+        Amortised sublinear in the candidate count: each queried target
+        keeps a lazy max-heap of stale keys over its own-gain edges (sound
+        because own-gains and totals only ever decrease, so a stale key is
+        an upper bound), and a query validates heap tops only.  Both
+        kernels validate through the same algorithm; the native one runs
+        it in C over flat (key, id) arrays.
+        """
+        if constant != self._pair_constant:
+            self._pair_heaps = {}
+            if self._npair_heaps:
+                self._npair_heaps = {}
+                self._npair_sizes.fill(-1)
+            self._pair_constant = constant
+        if self._native is not None:
+            return self._best_scored_pair_native(targets, constant - 1)
+        index = self._index
+        best: Optional[Tuple[int, int, Edge]] = None  # (key, edge_id, target)
+        for target in targets:
+            tidx = index._target_position(target)
+            top = self._pair_heap_top(tidx, constant)
+            if top is None:
+                continue
+            key, edge_id = top
+            if best is None or key > best[0] or (key == best[0] and edge_id < best[1]):
+                best = (key, edge_id, target)
+        if best is None:
+            return None
+        edge = index._indexed.edge_at(best[1])
+        self._edge_id_memo = (edge, best[1])
+        return best[0], best[2], edge
+
+    def _pair_heap_top(self, tidx: int, constant: int) -> Optional[Tuple[int, int]]:
+        """Return the validated ``(key, edge id)`` top of one target's heap."""
+        heap = self._pair_heaps.get(tidx)
+        weight = constant - 1
+        gain = self._gain
+        if heap is None:
+            own_gains = self._own_gains_by_edge_id(tidx)  # keys ascending
+            if own_gains:
+                edge_ids = np.fromiter(
+                    own_gains.keys(), dtype=NP_LONG, count=len(own_gains)
+                )
+                totals = gain[edge_ids].tolist()
+            else:
+                totals = []
+            heap = [
+                (-(own * weight + total), edge_id)
+                for (edge_id, own), total in zip(own_gains.items(), totals)
+            ]
+            heapq.heapify(heap)
+            self._pair_heaps[tidx] = heap
+        gain_mv = self._gain_mv
+        while heap:
+            negative, edge_id = heap[0]
+            own = self._own_gain(edge_id, tidx)
+            if own <= 0:
+                heapq.heappop(heap)
+                continue
+            key = own * weight + gain_mv[edge_id]
+            if -negative == key:
+                return key, edge_id
+            heapq.heapreplace(heap, (-key, edge_id))
+        return None
+
+    def _best_scored_pair_native(
+        self, targets: Sequence[Edge], weight: int
+    ) -> Optional[Tuple[int, Edge, Edge]]:
+        """Native twin of the pair sweep: every queried heap is validated and
+        the cross-target arg-max selected in a single C call."""
+        index = self._index
+        position = index._target_position
+        if len(targets) > len(self._tidx_scratch):  # duplicated query targets
+            self._tidx_scratch = np.zeros(len(targets), dtype=NP_LONG)
+            self._tidx_mv = memoryview(self._tidx_scratch)
+            self._tidx_ptr = self._tidx_scratch.ctypes.data
+            self._pair_ctx[3] = self._tidx_ptr
+        sizes = self._npair_sizes_mv
+        tidx_mv = self._tidx_mv
+        n = 0
+        for target in targets:
+            tidx = position(target)
+            if sizes[tidx] < 0:
+                self._build_pair_heap_native(tidx, weight)
+            tidx_mv[n] = tidx
+            n += 1
+        self._native.pair_validate_many(self._pair_ctx_ptr, n, weight)
+        out = self._out_mv
+        if out[2] < 0:
+            return None
+        edge_id = out[1]
+        edge = index._indexed.edge_at(edge_id)
+        self._edge_id_memo = (edge, edge_id)
+        return out[0], targets[out[2]], edge
+
+    def _build_pair_heap_native(self, tidx: int, weight: int) -> None:
+        """Build one target's native pair heap and register it in the
+        tidx-indexed pointer/size tables.
+
+        The own-gain counting walk and the heapify both run in C over a
+        reused scratch triple (an all-zero per-edge counter plus key/id
+        staging arrays); only the used prefix is copied out.  The heap
+        holds the same (key, id) multiset the numpy path builds, which is
+        all the validated pop order depends on.
+        """
+        index = self._index
+        start, end = index._target_ranges[tidx]
+        scratch = self._pair_build_scratch
+        if scratch is None:
+            n_edges = len(self._gain)
+            scratch = (
+                np.zeros(n_edges, dtype=NP_LONG),
+                np.empty(n_edges, dtype=NP_LONG),
+                np.empty(n_edges, dtype=NP_LONG),
+            )
+            self._pair_build_scratch = scratch
+        counts, keys_scratch, ids_scratch = scratch
+        size = self._native.pair_heap_build(
+            index._inst_indptr.ctypes.data,
+            index._inst_edge_ids.ctypes.data,
+            self._alive.ctypes.data,
+            int(start),
+            int(end),
+            self._gain_ptr,
+            weight,
+            counts.ctypes.data,
+            keys_scratch.ctypes.data,
+            ids_scratch.ctypes.data,
+        )
+        keys = keys_scratch[:size].copy()
+        ids = ids_scratch[:size].copy()
+        self._npair_heaps[tidx] = (keys, ids)
+        self._npair_keys_tab[tidx] = keys.ctypes.data
+        self._npair_ids_tab[tidx] = ids.ctypes.data
+        self._npair_sizes[tidx] = size
+
+    def top_gain_edge(self) -> Optional[Tuple[Edge, int]]:
+        """Return the ``(edge, gain)`` with maximal live gain, or ``None``.
+
+        Ties break toward the smallest ``edge_sort_key`` (identical to the
+        full-scan ``argmax_edge`` the plain greedy uses).  Amortised O(log m):
+        the max-heap is repaired lazily, which is sound because live gains
+        only ever decrease.
+        """
+        if self._native is not None:
+            return self._top_gain_edge_native()
+        heap = self._heap
+        if heap is None:
+            candidates = self._index._candidate_id_array
+            gains = self._gain[candidates]
+            mask = gains > 0
+            heap = [
+                (-value, edge_id)
+                for value, edge_id in zip(
+                    gains[mask].tolist(), candidates[mask].tolist()
+                )
+            ]
+            heapq.heapify(heap)
+            self._heap = heap
+        gain = self._gain_mv
+        while heap:
+            negative, edge_id = heap[0]
+            current = gain[edge_id]
+            if current <= 0:
+                heapq.heappop(heap)
+            elif -negative != current:
+                heapq.heapreplace(heap, (-current, edge_id))
+            else:
+                edge = self._index._indexed.edge_at(edge_id)
+                self._edge_id_memo = (edge, edge_id)
+                return edge, current
+        return None
+
+    def _top_gain_edge_native(self) -> Optional[Tuple[Edge, int]]:
+        """Native twin of the numpy :meth:`top_gain_edge` validation loop."""
+        heap = self._nheap
+        native = self._native
+        if heap is None:
+            candidates = self._index._candidate_id_array
+            gains = self._gain[candidates]
+            mask = gains > 0
+            keys = -gains[mask]
+            ids = candidates[mask]
+            size = len(ids)
+            keys_ptr = keys.ctypes.data
+            ids_ptr = ids.ctypes.data
+            native.heap_init(keys_ptr, ids_ptr, size)
+            heap = [keys, ids, keys_ptr, ids_ptr, size]
+            self._nheap = heap
+        heap[4] = native.top_validate(
+            heap[2], heap[3], heap[4], self._gain_ptr, self._out_ptr
+        )
+        out = self._out_mv
+        if out[0] < 0:
+            return None
+        edge_id = out[0]
+        edge = self._index._indexed.edge_at(edge_id)
+        self._edge_id_memo = (edge, edge_id)
+        return edge, out[1]
+
+    def top_gain_edges(self, k: int) -> List[Tuple[Edge, int]]:
+        """Return up to ``k`` distinct edges with the highest live gains.
+
+        Ordered by descending gain, ties toward the smallest
+        ``edge_sort_key``.  Note the gains are *individual* live gains; they
+        overlap, so this is a candidate shortlist, not a batch selection.
+        """
+        if k <= 0:
+            return []
+        if self._native is not None:
+            return self._top_gain_edges_native(k)
+        popped: List[Tuple[int, int]] = []
+        result: List[Tuple[Edge, int]] = []
+        # force heap construction via top_gain_edge, which also repairs the top
+        while len(result) < k and self.top_gain_edge() is not None:
+            entry = heapq.heappop(self._heap)  # validated by top_gain_edge
+            popped.append(entry)
+            result.append((self._index._indexed.edge_at(entry[1]), -entry[0]))
+        for entry in popped:
+            heapq.heappush(self._heap, entry)
+        return result
+
+    def _top_gain_edges_native(self, k: int) -> List[Tuple[Edge, int]]:
+        """Native twin of :meth:`top_gain_edges`: pop validated tops, push back.
+
+        Pushing back exactly what was popped keeps the heap size within
+        its allocated capacity, and preserves the heap contents as a
+        multiset — so the next validated pop sequence is unchanged.
+        """
+        native = self._native
+        popped: List[Tuple[int, int]] = []
+        result: List[Tuple[Edge, int]] = []
+        out = self._out_mv
+        while len(result) < k:
+            top = self._top_gain_edge_native()  # validates the root
+            if top is None:
+                break
+            edge, value = top
+            edge_id = out[0]
+            heap = self._nheap
+            heap[4] = native.heap_pop(heap[2], heap[3], heap[4])
+            popped.append((-value, edge_id))
+            result.append((edge, value))
+        heap = self._nheap
+        if heap is not None:
+            for key, edge_id in popped:
+                heap[4] = native.heap_push(heap[2], heap[3], heap[4], key, edge_id)
+        return result
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def delete_edge(self, edge: Edge) -> Dict[Edge, int]:
+        """Delete ``edge`` and return the per-target counts of broken instances.
+
+        Deleting an edge that touches no alive instance is allowed and
+        returns an empty mapping (the greedy algorithms stop before doing
+        this, but baselines such as RD routinely delete useless edges).
+
+        Cost is proportional to the killed instances times their arity — the
+        sibling-edge counters are decremented here (one compiled walk on the
+        native kernel; one vectorised gather + scatter-add, or an
+        element-wise walk for small rows, on the numpy kernel) so all later
+        gain queries stay O(1).
+        """
+        index = self._index
+        memo = self._edge_id_memo
+        if memo is not None and memo[0] == edge:
+            edge_id: Optional[int] = memo[1]  # memo edges are canonical
+        else:
+            edge = canonical_edge(*edge)
+            edge_id = index._indexed.find_edge_id(*edge)
+        self._deleted_edges.append(edge)
+        if edge_id is None or self._gain_mv[edge_id] == 0:
+            return {}
+        if self._native is not None:
+            return self._delete_edge_native(edge_id)
+        start = index._edge_indptr[edge_id]
+        stop = index._edge_indptr[edge_id + 1]
+        if stop - start <= _SCALAR_KILL_THRESHOLD:
+            return self._delete_scalar(edge_id, start, stop)
+        alive = self._alive
+        row = index._edge_inst_ids[start:stop]
+        killed = row[alive[row] != 0]
+        if not len(killed):
+            return {}
+        alive[killed] = 0
+        self._alive_total -= len(killed)
+        broken = np.bincount(
+            index._inst_target_idx[killed], minlength=len(index._targets)
+        )
+        self._alive_by_tidx -= broken
+        # decrement every sibling edge of every killed instance (including
+        # the deleted edge itself, whose counters reach exactly zero): both
+        # the per-edge total and the (edge, target) matrix entry
+        starts = index._inst_indptr[killed]
+        arities = index._inst_indptr[killed + 1] - starts
+        positions = _flat_ranges(starts, arities)
+        np.subtract.at(self._gain, index._inst_edge_ids[positions], 1)
+        np.subtract.at(self._et_count, index._inst_slot[positions], 1)
+        targets = index.targets
+        return {
+            targets[tidx]: int(broken[tidx])
+            for tidx in np.flatnonzero(broken).tolist()
+        }
+
+    def _delete_edge_native(self, edge_id: int) -> Dict[Edge, int]:
+        """Compiled kill walk: one C call over the cached buffer pointers.
+
+        The per-target broken counts come back through the scratch array
+        and the list of touched target indices (ascending, so the mapping
+        matches both numpy paths); the touched entries are re-zeroed on
+        the way out, which is the all-zero invariant the C walk relies on
+        instead of clearing ``n_targets`` slots per call.
+        """
+        killed = self._native.kill_instances(self._kill_ctx_ptr, edge_id)
+        if not killed:
+            return {}
+        self._alive_total -= killed
+        broken = self._broken_mv
+        touched = self._touched_mv
+        targets = self._index.targets
+        result: Dict[Edge, int] = {}
+        for i in range(1, touched[0] + 1):
+            tidx = touched[i]
+            result[targets[tidx]] = broken[tidx]
+            broken[tidx] = 0
+        return result
+
+    def _delete_scalar(self, edge_id: int, start: int, stop: int) -> Dict[Edge, int]:
+        """Element-wise kill walk for edges in few instances.
+
+        Identical bookkeeping to the vectorised path; for a handful of
+        memberships the fixed cost of the numpy gathers outweighs the loop,
+        and the greedy endgame (and CT's per-target deletions) is dominated
+        by exactly such small kills.
+        """
+        index = self._index
+        alive = self._alive_mv
+        gain = self._gain_mv
+        et_count = self._et_count_mv
+        alive_by_tidx = self._alive_by_tidx_mv
+        inst_ids = index._edge_inst_ids[start:stop].tolist()
+        inst_indptr = index._inst_indptr
+        broken_by_tidx: Dict[int, int] = {}
+        for instance_id in inst_ids:
+            if not alive[instance_id]:
+                continue
+            alive[instance_id] = 0
+            tidx = int(index._inst_target_idx[instance_id])
+            broken_by_tidx[tidx] = broken_by_tidx.get(tidx, 0) + 1
+            alive_by_tidx[tidx] -= 1
+            self._alive_total -= 1
+            lo = inst_indptr[instance_id]
+            hi = inst_indptr[instance_id + 1]
+            for sibling in index._inst_edge_ids[lo:hi].tolist():
+                gain[sibling] -= 1
+            for slot in index._inst_slot[lo:hi].tolist():
+                et_count[slot] -= 1
+        targets = index.targets
+        return {
+            targets[tidx]: count for tidx, count in sorted(broken_by_tidx.items())
+        }
+
+    def delete_edges(self, edges: Iterable[Edge]) -> Dict[Edge, int]:
+        """Delete several edges; return aggregated per-target broken counts."""
+        total: Dict[Edge, int] = {}
+        for edge in edges:
+            for target, count in self.delete_edge(edge).items():
+                total[target] = total.get(target, 0) + count
+        return total
+
+    def copy(self) -> "CoverageState":
+        """Return an independent copy of this state (same underlying index)."""
+        clone = CoverageState.__new__(CoverageState)
+        clone._index = self._index
+        clone._alive = self._alive.copy()
+        clone._alive_total = self._alive_total
+        clone._alive_by_tidx = self._alive_by_tidx.copy()
+        clone._gain = self._gain.copy()
+        clone._et_count = self._et_count.copy()
+        clone._deleted_edges = list(self._deleted_edges)
+        # stale entries are safe: gains only decrease, pops re-validate
+        clone._heap = list(self._heap) if self._heap is not None else None
+        clone._pair_heaps = {
+            tidx: list(heap) for tidx, heap in self._pair_heaps.items()
+        }
+        clone._pair_constant = self._pair_constant
+        clone._kernel = self._kernel
+        clone._init_runtime()
+        if clone._native is not None:
+            if self._nheap is not None:
+                clone._nheap = _copy_native_heap(self._nheap)
+            for tidx, (keys, ids) in self._npair_heaps.items():
+                keys = keys.copy()
+                ids = ids.copy()
+                clone._npair_heaps[tidx] = (keys, ids)
+                clone._npair_keys_tab[tidx] = keys.ctypes.data
+                clone._npair_ids_tab[tidx] = ids.ctypes.data
+                clone._npair_sizes[tidx] = self._npair_sizes[tidx]
+        return clone
+
+    # the process-local runtime (memoryviews, ctypes handle, cached buffer
+    # pointers, native heaps) does not pickle; __setstate__ rebuilds it.
+    # Native heaps are pure derived caches — the states on the other side
+    # lazily rebuild them to the same validated tops.
+    def __getstate__(self) -> Dict[str, object]:
+        state = self.__dict__.copy()
+        for attr in _RUNTIME_ATTRS:
+            state.pop(attr, None)
+        return state
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        self.__dict__.update(state)
+        # a native-backed state may land in a process without a compiler or
+        # prebuilt artifact; _init_runtime degrades it to the numpy kernel
+        self._init_runtime()
+
+
+def _copy_native_heap(heap: List[object]) -> List[object]:
+    """Deep-copy one native heap (fresh arrays, recomputed pointers)."""
+    keys = heap[0].copy()
+    ids = heap[1].copy()
+    return [keys, ids, keys.ctypes.data, ids.ctypes.data, heap[4]]
+
+
+class SetCoverageState:
+    """Hash-set reference implementation of the coverage state.
+
+    This is the original (pre-kernel) formulation: alive instances in a set,
+    gains recomputed by scanning the inverted index on every query.  It is
+    retained as the executable specification for differential tests and the
+    old-vs-new micro-benchmark (``benchmarks/bench_engine_kernel.py``); use
+    :meth:`TargetSubgraphIndex.new_state` for real workloads.
+    """
+
+    def __init__(self, index: "TargetSubgraphIndex") -> None:
+        self._index = index
+        self._alive: Set[InstanceId] = set(range(index.number_of_instances()))
+        self._alive_by_target: Dict[Edge, int] = {
+            target: index.initial_similarity(target) for target in index.targets
+        }
+        self._deleted_edges: List[Edge] = []
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def index(self) -> "TargetSubgraphIndex":
+        """The immutable index this state is layered on."""
+        return self._index
+
+    @property
+    def deleted_edges(self) -> Tuple[Edge, ...]:
+        """Edges deleted so far, in deletion order."""
+        return tuple(self._deleted_edges)
+
+    def total_similarity(self) -> int:
+        """Return the current ``s(P, T)`` (alive instances)."""
+        return len(self._alive)
+
+    def similarity_of(self, target: Edge) -> int:
+        """Return the current ``s(P, t)`` for ``target``."""
+        return self._alive_by_target[canonical_edge(*target)]
+
+    def similarity_by_target(self) -> Dict[Edge, int]:
+        """Return the current per-target similarities."""
+        return dict(self._alive_by_target)
+
+    def is_fully_protected(self) -> bool:
+        """Return whether every target subgraph has been broken."""
+        return not self._alive
+
+    def gain(self, edge: Edge) -> int:
+        """Return how many alive instances deleting ``edge`` would break."""
+        instances = self._index.instances_containing(edge)
+        if not instances:
+            return 0
+        return sum(1 for instance_id in instances if instance_id in self._alive)
+
+    def gain_by_target(self, edge: Edge) -> Dict[Edge, int]:
+        """Return per-target counts of alive instances ``edge`` would break.
+
+        Instance ids are visited in sorted order; because ids are contiguous
+        per target in target-input order, the resulting dict lists targets in
+        the same order as the array kernel and the recount engine — CT's
+        strict tie-breaking depends on that shared iteration order.
+        """
+        gains: Dict[Edge, int] = {}
+        for instance_id in sorted(self._index.instances_containing(edge)):
+            if instance_id in self._alive:
+                target = self._index.target_of_instance(instance_id)
+                gains[target] = gains.get(target, 0) + 1
+        return gains
+
+    def gain_for_target(self, edge: Edge, target: Edge) -> int:
+        """Return alive instances of ``target`` that deleting ``edge`` breaks."""
+        target = canonical_edge(*target)
+        count = 0
+        for instance_id in self._index.instances_containing(edge):
+            if instance_id in self._alive and self._index.target_of_instance(
+                instance_id
+            ) == target:
+                count += 1
+        return count
+
+    def candidate_edges(self) -> Set[Edge]:
+        """Return undeleted edges that still break at least one alive instance."""
+        candidates: Set[Edge] = set()
+        deleted = set(self._deleted_edges)
+        # reprolint: disable=R1-set-iteration(loop only accumulates into the candidates set; set construction is order-insensitive)
+        for edge in self._index.candidate_edges():
+            if edge not in deleted and self.gain(edge) > 0:
+                candidates.add(edge)
+        return candidates
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def delete_edge(self, edge: Edge) -> Dict[Edge, int]:
+        """Delete ``edge`` and return the per-target counts of broken instances."""
+        edge = canonical_edge(*edge)
+        broken: Dict[Edge, int] = {}
+        for instance_id in self._index.instances_containing(edge):
+            if instance_id in self._alive:
+                self._alive.discard(instance_id)
+                target = self._index.target_of_instance(instance_id)
+                broken[target] = broken.get(target, 0) + 1
+                self._alive_by_target[target] -= 1
+        self._deleted_edges.append(edge)
+        return broken
+
+    def delete_edges(self, edges: Iterable[Edge]) -> Dict[Edge, int]:
+        """Delete several edges; return aggregated per-target broken counts."""
+        total: Dict[Edge, int] = {}
+        for edge in edges:
+            for target, count in self.delete_edge(edge).items():
+                total[target] = total.get(target, 0) + count
+        return total
+
+    def copy(self) -> "SetCoverageState":
+        """Return an independent copy of this state (same underlying index)."""
+        clone = SetCoverageState(self._index)
+        clone._alive = set(self._alive)
+        clone._alive_by_target = dict(self._alive_by_target)
+        clone._deleted_edges = list(self._deleted_edges)
+        return clone

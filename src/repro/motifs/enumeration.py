@@ -67,15 +67,18 @@ Construction is built for speed on two axes:
 executable reference: the differential tests in
 ``tests/property/test_kernel_differential.py`` assert that the kernel, the set
 state and a from-scratch recount agree on every trace.
+
+The mutable states themselves live in :mod:`repro.motifs.coverage` (split
+out so the native-vs-numpy kernel dispatch is explicit); they are
+re-exported here for backwards compatibility.
 """
 
 from __future__ import annotations
 
-import heapq
 import multiprocessing
 from array import array
 from concurrent.futures import ProcessPoolExecutor
-from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple, Union
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple, Union
 
 import numpy as np
 
@@ -83,6 +86,13 @@ from repro.exceptions import MotifError
 from repro.graphs.graph import Edge, Graph, canonical_edge
 from repro.graphs.indexed import ASSEMBLY_MODES, NP_LONG, IndexedGraph
 from repro.motifs.base import MotifInstance, MotifPattern, coerce_motif
+from repro.motifs.coverage import (  # noqa: F401  (re-exported API)
+    _SCALAR_KILL_THRESHOLD,
+    CoverageState,
+    InstanceId,
+    SetCoverageState,
+    _flat_ranges,
+)
 
 __all__ = [
     "TargetSubgraphIndex",
@@ -91,9 +101,6 @@ __all__ = [
     "InstanceId",
     "INDEX_ARRAY_FIELDS",
 ]
-
-#: Opaque identifier of one enumerated target subgraph.
-InstanceId = int
 
 #: The flat arrays whose bytes define an index "bit-identically": the build
 #: benchmark and the equivalence tests both fingerprint exactly this list, so
@@ -246,30 +253,6 @@ def _enumerate_buffers_parallel(
             arity_buffer.frombytes(arity_bytes)
             counts.extend(chunk_counts)
     return edge_buffer, arity_buffer, counts
-
-
-#: Instance-row size below which the kill walk stays element-wise — a few
-#: memberships cost less to walk than the fixed setup of the numpy gathers.
-_SCALAR_KILL_THRESHOLD = 32
-
-
-def _flat_ranges(starts: np.ndarray, lengths: np.ndarray) -> np.ndarray:
-    """Return ``concatenate([arange(s, s + l) for s, l in zip(starts, lengths)])``
-    without a Python loop.
-
-    Every ``lengths[i]`` must be >= 1 (the cumsum trick writes one boundary
-    marker per range; zero-length ranges would collide on one position —
-    callers filter them out first).  Empty inputs return an empty array.
-    """
-    if not len(starts):
-        return np.empty(0, dtype=NP_LONG)
-    total = int(lengths.sum())
-    out = np.ones(total, dtype=NP_LONG)
-    out[0] = starts[0]
-    if len(starts) > 1:
-        ends = np.cumsum(lengths[:-1])
-        out[ends] = starts[1:] - (starts[:-1] + lengths[:-1]) + 1
-    return np.cumsum(out, out=out)
 
 
 class TargetSubgraphIndex:
@@ -736,9 +719,15 @@ class TargetSubgraphIndex:
             )
         }
 
-    def new_state(self) -> "CoverageState":
-        """Return a fresh mutable array-backed :class:`CoverageState`."""
-        return CoverageState(self)
+    def new_state(self, kernel: Optional[str] = None) -> "CoverageState":
+        """Return a fresh mutable array-backed :class:`CoverageState`.
+
+        ``kernel`` selects the hot-loop implementation (``"auto"`` /
+        ``"native"`` / ``"numpy"``; see
+        :class:`~repro.motifs.coverage.CoverageState`).  Both kernels
+        are observably bit-identical.
+        """
+        return CoverageState(self, kernel=kernel)
 
     def new_set_state(self) -> "SetCoverageState":
         """Return the hash-set reference implementation of the state.
@@ -758,577 +747,3 @@ class TargetSubgraphIndex:
             return position
         return self._target_index[canonical_edge(*target)]
 
-
-class CoverageState:
-    """Array-backed mutable view tracking which target subgraphs are alive.
-
-    Deleting an edge kills every alive instance containing it and eagerly
-    decrements the live-gain counter of each sibling edge, so marginal-gain
-    queries are O(1) counter reads and :meth:`top_gain_edge` pops an exact
-    maximum from a lazily-repaired heap (gains are monotone non-increasing,
-    which makes stale heap entries safe to re-validate on pop).
-    """
-
-    def __init__(self, index: TargetSubgraphIndex) -> None:
-        self._index = index
-        n_instances = index.number_of_instances()
-        self._alive = np.ones(n_instances, dtype=np.uint8)
-        self._alive_total = n_instances
-        self._alive_by_tidx = np.fromiter(
-            (end - start for start, end in index._target_ranges),
-            dtype=NP_LONG,
-            count=len(index._target_ranges),
-        )
-        # live-gain counters: gain[edge_id] == alive instances containing it
-        # (a pure memcpy of the index's precomputed pristine counters)
-        self._gain = index._initial_gain.copy()
-        # per-(edge, target) live counters: entry s of the index's counter
-        # matrix currently counts the alive instances of target _et_tidx[s]
-        # containing the row's edge
-        self._et_count = index._et_initial_count.copy()
-        # memoryviews over the live counters: scalar reads in the heap
-        # validation loops yield plain ints (no numpy boxing), while the
-        # vectorised kill walk mutates the same buffers in place
-        self._gain_mv = memoryview(self._gain)
-        self._et_count_mv = memoryview(self._et_count)
-        self._alive_mv = memoryview(self._alive)
-        self._alive_by_tidx_mv = memoryview(self._alive_by_tidx)
-        self._deleted_edges: List[Edge] = []
-        # lazy max-heap of (-gain, edge_id); built on first top-gain query
-        self._heap: Optional[List[Tuple[int, int]]] = None
-        # per-target lazy max-heaps of (-score key, edge_id) for
-        # best_scored_pair, built on first use and keyed to one constant C
-        self._pair_heaps: Dict[int, List[Tuple[int, int]]] = {}
-        self._pair_constant: Optional[int] = None
-
-    # ------------------------------------------------------------------
-    # queries
-    # ------------------------------------------------------------------
-    @property
-    def index(self) -> TargetSubgraphIndex:
-        """The immutable index this state is layered on."""
-        return self._index
-
-    @property
-    def deleted_edges(self) -> Tuple[Edge, ...]:
-        """Edges deleted so far, in deletion order."""
-        return tuple(self._deleted_edges)
-
-    def total_similarity(self) -> int:
-        """Return the current ``s(P, T)`` (alive instances)."""
-        return self._alive_total
-
-    def similarity_of(self, target: Edge) -> int:
-        """Return the current ``s(P, t)`` for ``target``."""
-        return int(self._alive_by_tidx[self._index._target_position(target)])
-
-    def similarity_by_target(self) -> Dict[Edge, int]:
-        """Return the current per-target similarities."""
-        by_tidx = self._alive_by_tidx.tolist()
-        return {
-            target: by_tidx[position]
-            for position, target in enumerate(self._index.targets)
-        }
-
-    def is_fully_protected(self) -> bool:
-        """Return whether every target subgraph has been broken."""
-        return self._alive_total == 0
-
-    def gain(self, edge: Edge) -> int:
-        """Return how many alive instances deleting ``edge`` would break.
-
-        O(1): reads the incrementally maintained live-gain counter.
-        """
-        edge_id = self._index._indexed.find_edge_id(*edge)
-        if edge_id is None:
-            return 0
-        return self._gain_mv[edge_id]
-
-    def gain_by_target(self, edge: Edge) -> Dict[Edge, int]:
-        """Return per-target counts of alive instances ``edge`` would break.
-
-        O(#targets touching the edge): one row of the per-(edge, target)
-        counter matrix, no instance rescan.  Targets are listed in target
-        index (problem) order, matching the other engines.
-        """
-        edge_id = self._index._indexed.find_edge_id(*edge)
-        if edge_id is None or self._gain[edge_id] == 0:
-            return {}
-        index = self._index
-        targets = index.targets
-        start, stop = index._et_indptr[edge_id], index._et_indptr[edge_id + 1]
-        row_tidx = index._et_tidx[start:stop].tolist()
-        row_count = self._et_count[start:stop].tolist()
-        return {
-            targets[tidx]: count
-            for tidx, count in zip(row_tidx, row_count)
-            if count > 0
-        }
-
-    def gain_for_target(self, edge: Edge, target: Edge) -> int:
-        """Return alive instances of ``target`` that deleting ``edge`` breaks.
-
-        O(#targets touching the edge): a counter-matrix row scan.
-        """
-        edge_id = self._index._indexed.find_edge_id(*edge)
-        if edge_id is None or self._gain[edge_id] == 0:
-            return 0
-        return self._own_gain(edge_id, self._index._target_position(target))
-
-    def _own_gain(self, edge_id: int, tidx: int) -> int:
-        """Return the live (edge, target) counter; rows are tidx-ascending."""
-        index = self._index
-        et_tidx = index._et_tidx_l
-        indptr = index._et_indptr_l
-        for slot in range(indptr[edge_id], indptr[edge_id + 1]):
-            entry = et_tidx[slot]
-            if entry == tidx:
-                return self._et_count_mv[slot]
-            if entry > tidx:
-                break
-        return 0
-
-    def candidate_edges(self) -> Set[Edge]:
-        """Return undeleted edges that still break at least one alive instance.
-
-        O(|candidate edges|): a deleted or dead edge has a zero counter, so no
-        per-edge instance rescan is needed.
-        """
-        edge_at = self._index._indexed.edge_at
-        return {edge_at(edge_id) for edge_id in self._live_candidate_ids()}
-
-    def candidate_edge_list(self) -> List[Edge]:
-        """Return the live candidates in deterministic ``edge_sort_key`` order."""
-        edge_at = self._index._indexed.edge_at
-        return [edge_at(edge_id) for edge_id in self._live_candidate_ids()]
-
-    def _live_candidate_ids(self) -> List[int]:
-        """Candidate edge ids with a positive live gain, ascending (one gather)."""
-        index = self._index
-        candidates = index._candidate_id_array
-        return candidates[self._gain[candidates] > 0].tolist()
-
-    def iter_positive_gains(self) -> Iterator[Tuple[Edge, int]]:
-        """Yield ``(edge, live gain)`` for every live candidate, in
-        deterministic ``edge_sort_key`` order.
-
-        Mirrors the generic engine sweep exactly: the candidate list is
-        snapshotted before the first yield, but each gain is read live and
-        candidates that died mid-iteration are skipped — so callers that
-        delete edges while iterating observe the same sequence on every
-        engine.
-        """
-        edge_at = self._index._indexed.edge_at
-        gain = self._gain_mv
-        snapshot = self._live_candidate_ids()
-        for edge_id in snapshot:
-            value = gain[edge_id]
-            if value > 0:
-                yield edge_at(edge_id), value
-
-    def gains_for_target(self, target: Edge) -> Dict[Edge, int]:
-        """Return ``{edge: alive instances of target it breaks}`` for every
-        edge with a positive own-gain for ``target``.
-
-        One pass over the target's alive instances — the within-target greedy
-        uses this instead of probing every graph edge.  Keys are emitted in
-        deterministic ``edge_sort_key`` order.
-        """
-        index = self._index
-        counts = self._own_gains_by_edge_id(index._target_position(target))
-        edge_at = index._indexed.edge_at
-        return {edge_at(edge_id): count for edge_id, count in sorted(counts.items())}
-
-    def _own_gains_by_edge_id(self, tidx: int) -> Dict[int, int]:
-        """One pass over a target's alive instances: ``{edge id: own gain}``
-        with keys ascending (the counting sort yields them sorted)."""
-        index = self._index
-        start, end = index._target_ranges[tidx]
-        live = np.flatnonzero(self._alive[start:end])
-        if not len(live):
-            return {}
-        live += start
-        starts = index._inst_indptr[live]
-        arities = index._inst_indptr[live + 1] - starts
-        positive = arities > 0  # zero-arity instances have no memberships
-        positions = _flat_ranges(starts[positive], arities[positive])
-        if not len(positions):
-            return {}
-        edge_ids, counts = np.unique(
-            index._inst_edge_ids[positions], return_counts=True
-        )
-        return dict(zip(edge_ids.tolist(), counts.tolist()))
-
-    def best_scored_pair(
-        self, targets: Sequence[Edge], constant: int
-    ) -> Optional[Tuple[int, Edge, Edge]]:
-        """Return ``(key, target, edge)`` maximising the MLBT score over the
-        given targets and the live candidate edges, or ``None`` if no pair
-        has a positive own-gain.
-
-        The integer key is ``own * (constant - 1) + total``; dividing by
-        ``constant`` gives the paper's ``Δ_t^p = own + (total - own) / C``,
-        so maximising the key maximises the score with exact integer
-        arithmetic.  Ties break toward the smallest edge id (== smallest
-        ``edge_sort_key``) and then toward the earliest target in
-        ``targets`` — identical to a deterministic edge-major sweep over
-        ``gain_by_target`` rows.
-
-        Amortised sublinear in the candidate count: each queried target
-        keeps a lazy max-heap of stale keys over its own-gain edges (sound
-        because own-gains and totals only ever decrease, so a stale key is
-        an upper bound), and a query validates heap tops only.
-        """
-        if constant != self._pair_constant:
-            self._pair_heaps = {}
-            self._pair_constant = constant
-        index = self._index
-        best: Optional[Tuple[int, int, Edge]] = None  # (key, edge_id, target)
-        for target in targets:
-            top = self._pair_heap_top(index._target_position(target), constant)
-            if top is None:
-                continue
-            key, edge_id = top
-            if best is None or key > best[0] or (key == best[0] and edge_id < best[1]):
-                best = (key, edge_id, target)
-        if best is None:
-            return None
-        return best[0], best[2], index._indexed.edge_at(best[1])
-
-    def _pair_heap_top(self, tidx: int, constant: int) -> Optional[Tuple[int, int]]:
-        """Return the validated ``(key, edge id)`` top of one target's heap."""
-        heap = self._pair_heaps.get(tidx)
-        weight = constant - 1
-        gain = self._gain
-        if heap is None:
-            own_gains = self._own_gains_by_edge_id(tidx)  # keys ascending
-            if own_gains:
-                edge_ids = np.fromiter(
-                    own_gains.keys(), dtype=NP_LONG, count=len(own_gains)
-                )
-                totals = gain[edge_ids].tolist()
-            else:
-                totals = []
-            heap = [
-                (-(own * weight + total), edge_id)
-                for (edge_id, own), total in zip(own_gains.items(), totals)
-            ]
-            heapq.heapify(heap)
-            self._pair_heaps[tidx] = heap
-        gain_mv = self._gain_mv
-        while heap:
-            negative, edge_id = heap[0]
-            own = self._own_gain(edge_id, tidx)
-            if own <= 0:
-                heapq.heappop(heap)
-                continue
-            key = own * weight + gain_mv[edge_id]
-            if -negative == key:
-                return key, edge_id
-            heapq.heapreplace(heap, (-key, edge_id))
-        return None
-
-    def top_gain_edge(self) -> Optional[Tuple[Edge, int]]:
-        """Return the ``(edge, gain)`` with maximal live gain, or ``None``.
-
-        Ties break toward the smallest ``edge_sort_key`` (identical to the
-        full-scan ``argmax_edge`` the plain greedy uses).  Amortised O(log m):
-        the max-heap is repaired lazily, which is sound because live gains
-        only ever decrease.
-        """
-        heap = self._heap
-        if heap is None:
-            candidates = self._index._candidate_id_array
-            gains = self._gain[candidates]
-            mask = gains > 0
-            heap = [
-                (-value, edge_id)
-                for value, edge_id in zip(
-                    gains[mask].tolist(), candidates[mask].tolist()
-                )
-            ]
-            heapq.heapify(heap)
-            self._heap = heap
-        gain = self._gain_mv
-        while heap:
-            negative, edge_id = heap[0]
-            current = gain[edge_id]
-            if current <= 0:
-                heapq.heappop(heap)
-            elif -negative != current:
-                heapq.heapreplace(heap, (-current, edge_id))
-            else:
-                return self._index._indexed.edge_at(edge_id), current
-        return None
-
-    def top_gain_edges(self, k: int) -> List[Tuple[Edge, int]]:
-        """Return up to ``k`` distinct edges with the highest live gains.
-
-        Ordered by descending gain, ties toward the smallest
-        ``edge_sort_key``.  Note the gains are *individual* live gains; they
-        overlap, so this is a candidate shortlist, not a batch selection.
-        """
-        if k <= 0:
-            return []
-        popped: List[Tuple[int, int]] = []
-        result: List[Tuple[Edge, int]] = []
-        # force heap construction via top_gain_edge, which also repairs the top
-        while len(result) < k and self.top_gain_edge() is not None:
-            entry = heapq.heappop(self._heap)  # validated by top_gain_edge
-            popped.append(entry)
-            result.append((self._index._indexed.edge_at(entry[1]), -entry[0]))
-        for entry in popped:
-            heapq.heappush(self._heap, entry)
-        return result
-
-    # ------------------------------------------------------------------
-    # mutation
-    # ------------------------------------------------------------------
-    def delete_edge(self, edge: Edge) -> Dict[Edge, int]:
-        """Delete ``edge`` and return the per-target counts of broken instances.
-
-        Deleting an edge that touches no alive instance is allowed and
-        returns an empty mapping (the greedy algorithms stop before doing
-        this, but baselines such as RD routinely delete useless edges).
-
-        Cost is proportional to the killed instances times their arity — the
-        sibling-edge counters are decremented here (one vectorised gather +
-        scatter-add over the membership positions of the killed instances) so
-        all later gain queries stay O(1).
-        """
-        edge = canonical_edge(*edge)
-        self._deleted_edges.append(edge)
-        index = self._index
-        edge_id = index._indexed.find_edge_id(*edge)
-        if edge_id is None or self._gain_mv[edge_id] == 0:
-            return {}
-        start = index._edge_indptr[edge_id]
-        stop = index._edge_indptr[edge_id + 1]
-        if stop - start <= _SCALAR_KILL_THRESHOLD:
-            return self._delete_scalar(edge_id, start, stop)
-        alive = self._alive
-        row = index._edge_inst_ids[start:stop]
-        killed = row[alive[row] != 0]
-        if not len(killed):
-            return {}
-        alive[killed] = 0
-        self._alive_total -= len(killed)
-        broken = np.bincount(
-            index._inst_target_idx[killed], minlength=len(index._targets)
-        )
-        self._alive_by_tidx -= broken
-        # decrement every sibling edge of every killed instance (including
-        # the deleted edge itself, whose counters reach exactly zero): both
-        # the per-edge total and the (edge, target) matrix entry
-        starts = index._inst_indptr[killed]
-        arities = index._inst_indptr[killed + 1] - starts
-        positions = _flat_ranges(starts, arities)
-        np.subtract.at(self._gain, index._inst_edge_ids[positions], 1)
-        np.subtract.at(self._et_count, index._inst_slot[positions], 1)
-        targets = index.targets
-        return {
-            targets[tidx]: int(broken[tidx])
-            for tidx in np.flatnonzero(broken).tolist()
-        }
-
-    def _delete_scalar(self, edge_id: int, start: int, stop: int) -> Dict[Edge, int]:
-        """Element-wise kill walk for edges in few instances.
-
-        Identical bookkeeping to the vectorised path; for a handful of
-        memberships the fixed cost of the numpy gathers outweighs the loop,
-        and the greedy endgame (and CT's per-target deletions) is dominated
-        by exactly such small kills.
-        """
-        index = self._index
-        alive = self._alive_mv
-        gain = self._gain_mv
-        et_count = self._et_count_mv
-        alive_by_tidx = self._alive_by_tidx_mv
-        inst_ids = index._edge_inst_ids[start:stop].tolist()
-        inst_indptr = index._inst_indptr
-        broken_by_tidx: Dict[int, int] = {}
-        for instance_id in inst_ids:
-            if not alive[instance_id]:
-                continue
-            alive[instance_id] = 0
-            tidx = int(index._inst_target_idx[instance_id])
-            broken_by_tidx[tidx] = broken_by_tidx.get(tidx, 0) + 1
-            alive_by_tidx[tidx] -= 1
-            self._alive_total -= 1
-            lo = inst_indptr[instance_id]
-            hi = inst_indptr[instance_id + 1]
-            for sibling in index._inst_edge_ids[lo:hi].tolist():
-                gain[sibling] -= 1
-            for slot in index._inst_slot[lo:hi].tolist():
-                et_count[slot] -= 1
-        targets = index.targets
-        return {
-            targets[tidx]: count for tidx, count in sorted(broken_by_tidx.items())
-        }
-
-    def delete_edges(self, edges: Iterable[Edge]) -> Dict[Edge, int]:
-        """Delete several edges; return aggregated per-target broken counts."""
-        total: Dict[Edge, int] = {}
-        for edge in edges:
-            for target, count in self.delete_edge(edge).items():
-                total[target] = total.get(target, 0) + count
-        return total
-
-    def copy(self) -> "CoverageState":
-        """Return an independent copy of this state (same underlying index)."""
-        clone = CoverageState.__new__(CoverageState)
-        clone._index = self._index
-        clone._alive = self._alive.copy()
-        clone._alive_total = self._alive_total
-        clone._alive_by_tidx = self._alive_by_tidx.copy()
-        clone._gain = self._gain.copy()
-        clone._et_count = self._et_count.copy()
-        clone._gain_mv = memoryview(clone._gain)
-        clone._et_count_mv = memoryview(clone._et_count)
-        clone._alive_mv = memoryview(clone._alive)
-        clone._alive_by_tidx_mv = memoryview(clone._alive_by_tidx)
-        clone._deleted_edges = list(self._deleted_edges)
-        # stale entries are safe: gains only decrease, pops re-validate
-        clone._heap = list(self._heap) if self._heap is not None else None
-        clone._pair_heaps = {
-            tidx: list(heap) for tidx, heap in self._pair_heaps.items()
-        }
-        clone._pair_constant = self._pair_constant
-        return clone
-
-    # memoryviews do not pickle; drop them and rebuild over the copied buffers
-    def __getstate__(self) -> Dict[str, object]:
-        state = self.__dict__.copy()
-        for view in ("_gain_mv", "_et_count_mv", "_alive_mv", "_alive_by_tidx_mv"):
-            del state[view]
-        return state
-
-    def __setstate__(self, state: Dict[str, object]) -> None:
-        self.__dict__.update(state)
-        self._gain_mv = memoryview(self._gain)
-        self._et_count_mv = memoryview(self._et_count)
-        self._alive_mv = memoryview(self._alive)
-        self._alive_by_tidx_mv = memoryview(self._alive_by_tidx)
-
-
-class SetCoverageState:
-    """Hash-set reference implementation of the coverage state.
-
-    This is the original (pre-kernel) formulation: alive instances in a set,
-    gains recomputed by scanning the inverted index on every query.  It is
-    retained as the executable specification for differential tests and the
-    old-vs-new micro-benchmark (``benchmarks/bench_engine_kernel.py``); use
-    :meth:`TargetSubgraphIndex.new_state` for real workloads.
-    """
-
-    def __init__(self, index: TargetSubgraphIndex) -> None:
-        self._index = index
-        self._alive: Set[InstanceId] = set(range(index.number_of_instances()))
-        self._alive_by_target: Dict[Edge, int] = {
-            target: index.initial_similarity(target) for target in index.targets
-        }
-        self._deleted_edges: List[Edge] = []
-
-    # ------------------------------------------------------------------
-    # queries
-    # ------------------------------------------------------------------
-    @property
-    def index(self) -> TargetSubgraphIndex:
-        """The immutable index this state is layered on."""
-        return self._index
-
-    @property
-    def deleted_edges(self) -> Tuple[Edge, ...]:
-        """Edges deleted so far, in deletion order."""
-        return tuple(self._deleted_edges)
-
-    def total_similarity(self) -> int:
-        """Return the current ``s(P, T)`` (alive instances)."""
-        return len(self._alive)
-
-    def similarity_of(self, target: Edge) -> int:
-        """Return the current ``s(P, t)`` for ``target``."""
-        return self._alive_by_target[canonical_edge(*target)]
-
-    def similarity_by_target(self) -> Dict[Edge, int]:
-        """Return the current per-target similarities."""
-        return dict(self._alive_by_target)
-
-    def is_fully_protected(self) -> bool:
-        """Return whether every target subgraph has been broken."""
-        return not self._alive
-
-    def gain(self, edge: Edge) -> int:
-        """Return how many alive instances deleting ``edge`` would break."""
-        instances = self._index.instances_containing(edge)
-        if not instances:
-            return 0
-        return sum(1 for instance_id in instances if instance_id in self._alive)
-
-    def gain_by_target(self, edge: Edge) -> Dict[Edge, int]:
-        """Return per-target counts of alive instances ``edge`` would break.
-
-        Instance ids are visited in sorted order; because ids are contiguous
-        per target in target-input order, the resulting dict lists targets in
-        the same order as the array kernel and the recount engine — CT's
-        strict tie-breaking depends on that shared iteration order.
-        """
-        gains: Dict[Edge, int] = {}
-        for instance_id in sorted(self._index.instances_containing(edge)):
-            if instance_id in self._alive:
-                target = self._index.target_of_instance(instance_id)
-                gains[target] = gains.get(target, 0) + 1
-        return gains
-
-    def gain_for_target(self, edge: Edge, target: Edge) -> int:
-        """Return alive instances of ``target`` that deleting ``edge`` breaks."""
-        target = canonical_edge(*target)
-        count = 0
-        for instance_id in self._index.instances_containing(edge):
-            if instance_id in self._alive and self._index.target_of_instance(
-                instance_id
-            ) == target:
-                count += 1
-        return count
-
-    def candidate_edges(self) -> Set[Edge]:
-        """Return undeleted edges that still break at least one alive instance."""
-        candidates: Set[Edge] = set()
-        deleted = set(self._deleted_edges)
-        # reprolint: disable=R1-set-iteration(loop only accumulates into the candidates set; set construction is order-insensitive)
-        for edge in self._index.candidate_edges():
-            if edge not in deleted and self.gain(edge) > 0:
-                candidates.add(edge)
-        return candidates
-
-    # ------------------------------------------------------------------
-    # mutation
-    # ------------------------------------------------------------------
-    def delete_edge(self, edge: Edge) -> Dict[Edge, int]:
-        """Delete ``edge`` and return the per-target counts of broken instances."""
-        edge = canonical_edge(*edge)
-        broken: Dict[Edge, int] = {}
-        for instance_id in self._index.instances_containing(edge):
-            if instance_id in self._alive:
-                self._alive.discard(instance_id)
-                target = self._index.target_of_instance(instance_id)
-                broken[target] = broken.get(target, 0) + 1
-                self._alive_by_target[target] -= 1
-        self._deleted_edges.append(edge)
-        return broken
-
-    def delete_edges(self, edges: Iterable[Edge]) -> Dict[Edge, int]:
-        """Delete several edges; return aggregated per-target broken counts."""
-        total: Dict[Edge, int] = {}
-        for edge in edges:
-            for target, count in self.delete_edge(edge).items():
-                total[target] = total.get(target, 0) + count
-        return total
-
-    def copy(self) -> "SetCoverageState":
-        """Return an independent copy of this state (same underlying index)."""
-        clone = SetCoverageState(self._index)
-        clone._alive = set(self._alive)
-        clone._alive_by_target = dict(self._alive_by_target)
-        clone._deleted_edges = list(self._deleted_edges)
-        return clone

@@ -177,6 +177,7 @@ def load_session(
     allow_pickle: bool = True,
     max_cached_subsets: Optional[int] = 32,
     build_workers: Optional[int] = None,
+    kernel: Optional[str] = None,
 ) -> "ProtectionService":
     """Restore a session bundle written by :func:`save_session`.
 
@@ -201,6 +202,10 @@ def load_session(
     build_workers:
         As in the :class:`~repro.service.ProtectionService` constructor;
         only later subset builds can trigger it.
+    kernel:
+        As in the :class:`~repro.service.ProtectionService` constructor
+        (bundles store arrays, not a kernel choice; the restored session
+        and every restored sub-session resolve their own).
 
     Raises
     ------
@@ -246,6 +251,7 @@ def load_session(
                 parent_problem,
                 max_cached_subsets=max_cached_subsets,
                 build_workers=build_workers,
+                kernel=kernel,
             )
             service._index_source = "snapshot"
             known = set(service.targets)
@@ -262,6 +268,7 @@ def load_session(
                     sub_problem,
                     max_cached_subsets=max_cached_subsets,
                     build_workers=build_workers,
+                    kernel=kernel,
                 )
                 subsession._index_source = "snapshot"
                 service._adopt_subsession(subsession)

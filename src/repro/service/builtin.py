@@ -1,6 +1,9 @@
 """Built-in protection methods: the seven curves of Figs. 3-6 / Tables III-V.
 
 * ``SGB-Greedy`` — single global budget greedy,
+* ``SGB-Greedy+BB`` — the same greedy with a branch-and-bound refinement of
+  the final ``depth`` picks (never worse, deterministic; see
+  :mod:`repro.core.refine`),
 * ``CT-Greedy:TBD`` / ``CT-Greedy:DBD`` — cross-target greedy under the two
   budget divisions,
 * ``WT-Greedy:TBD`` / ``WT-Greedy:DBD`` — within-target greedy under the two
@@ -27,6 +30,7 @@ from repro.core.baselines import random_deletion, random_target_subgraph_deletio
 from repro.core.ct import ct_greedy
 from repro.core.engines import CoverageEngine, EngineLike
 from repro.core.model import ProtectionResult, TPPProblem
+from repro.core.refine import sgb_greedy_bb
 from repro.core.sgb import sgb_greedy
 from repro.core.wt import wt_greedy
 from repro.motifs.enumeration import CoverageState, SetCoverageState
@@ -54,6 +58,24 @@ def _run_sgb(
     problem: TPPProblem, budget: int, engine: EngineLike, seed: int, **options: Any
 ) -> ProtectionResult:
     return sgb_greedy(problem, budget, engine=engine, lazy=options.get("lazy"))
+
+
+@register_method(
+    "SGB-Greedy+BB",
+    kind="greedy",
+    order=15,
+    description="SGB greedy with branch-and-bound refinement of the final picks",
+)
+def _run_sgb_bb(
+    problem: TPPProblem, budget: int, engine: EngineLike, seed: int, **options: Any
+) -> ProtectionResult:
+    return sgb_greedy_bb(
+        problem,
+        budget,
+        engine=engine,
+        depth=options.get("depth", 3),
+        shortlist=options.get("shortlist", 6),
+    )
 
 
 @register_method(

@@ -88,6 +88,14 @@ class ProtectionService:
         sub-session builds.  Worth it once enumeration dominates the build
         (many targets on a large graph); a small session pays pool spin-up
         for nothing.
+    kernel:
+        Coverage-state hot-loop implementation: ``"auto"`` (default, =
+        ``None``) runs the compiled C kernel when loadable and falls back
+        to numpy, ``"native"``/``"numpy"`` force one side (see
+        :class:`~repro.motifs.coverage.CoverageState`).  Observably
+        bit-identical either way; the resolved kernel is echoed as
+        ``kernel`` in every result's ``extra["service"]`` metadata.
+        Inherited by subset sub-sessions and delta swaps.
 
     Notes
     -----
@@ -106,6 +114,7 @@ class ProtectionService:
         constant: Optional[int] = None,
         max_cached_subsets: Optional[int] = 32,
         build_workers: Optional[int] = None,
+        kernel: Optional[str] = None,
     ) -> None:
         if max_cached_subsets is not None and max_cached_subsets < 1:
             raise ExperimentError(
@@ -122,11 +131,14 @@ class ProtectionService:
             problem = TPPProblem(graph_or_problem, targets, motif=motif, constant=constant)
         self._problem = problem  # reprolint: guarded-by(_lock)
         self._build_workers = build_workers
+        #: the *requested* kernel selector (may be "auto"); the resolved
+        #: choice lives on the prototype state and is surfaced by `kernel`
+        self._kernel_request = kernel
         # reprolint: guarded-by(_lock)
         self._index: TargetSubgraphIndex = problem.build_index(
             build_workers=build_workers
         )
-        self._prototype = self._index.new_state()  # reprolint: guarded-by(_lock)
+        self._prototype = self._index.new_state(kernel=kernel)  # reprolint: guarded-by(_lock)
         self._build_seconds = stopwatch.elapsed()  # reprolint: guarded-by(_lock)
         self._set_prototype: Optional[SetCoverageState] = None  # reprolint: guarded-by(_lock)
         # reprolint: guarded-by(_lock)
@@ -153,6 +165,7 @@ class ProtectionService:
         allow_pickle: bool = True,
         max_cached_subsets: Optional[int] = 32,
         build_workers: Optional[int] = None,
+        kernel: Optional[str] = None,
     ) -> "ProtectionService":
         """Cold-start a session from a snapshot file — no enumeration.
 
@@ -180,6 +193,9 @@ class ProtectionService:
         build_workers:
             As in the constructor; only subset sub-session builds can
             trigger it, the snapshot itself never re-enumerates.
+        kernel:
+            As in the constructor (the snapshot stores arrays, not a
+            kernel choice; the restored session resolves its own).
 
         Raises
         ------
@@ -192,6 +208,7 @@ class ProtectionService:
             problem,
             max_cached_subsets=max_cached_subsets,
             build_workers=build_workers,
+            kernel=kernel,
         )
         service._index_source = "snapshot"
         return service
@@ -203,6 +220,7 @@ class ProtectionService:
         allow_pickle: bool = True,
         max_cached_subsets: Optional[int] = 32,
         build_workers: Optional[int] = None,
+        kernel: Optional[str] = None,
     ) -> "ProtectionService":
         """Cold-start a session *bundle* written by :meth:`save_session`.
 
@@ -219,6 +237,7 @@ class ProtectionService:
             allow_pickle=allow_pickle,
             max_cached_subsets=max_cached_subsets,
             build_workers=build_workers,
+            kernel=kernel,
         )
 
     def save_session(self, path: Union[str, Path]) -> Path:
@@ -256,6 +275,17 @@ class ProtectionService:
     def build_workers(self) -> Optional[int]:
         """The pass-1 fan-out the session was configured with (None = serial)."""
         return self._build_workers
+
+    @property
+    def kernel(self) -> str:
+        """The resolved coverage-state kernel: ``"native"`` or ``"numpy"``.
+
+        Resolution happens when the pristine prototype is built (an
+        ``"auto"`` request becomes whichever side loaded); the value is
+        echoed as ``kernel`` in every result's ``extra["service"]``.
+        """
+        with self._lock:
+            return self._prototype.kernel
 
     @property
     def queries_served(self) -> int:
@@ -366,6 +396,11 @@ class ProtectionService:
             "build_seconds": round(build_seconds, 6),
             "solve_seconds": round(solve_seconds, 6),
             "deltas_applied": deltas_applied,
+            # the session's resolved hot-loop kernel; only "coverage"
+            # queries actually run on it (set/recount engines have their
+            # own loops), but the echo is per-session on purpose — it
+            # answers "what would this session serve the kernel path with"
+            "kernel": prototype.kernel,
         }
         if request.label is not None:
             metadata["label"] = request.label
@@ -415,7 +450,7 @@ class ProtectionService:
         with ProcessPoolExecutor(
             max_workers=workers,
             initializer=_process_worker_init,
-            initargs=(problem, index_source, deltas_applied),
+            initargs=(problem, index_source, deltas_applied, self._kernel_request),
         ) as executor:
             return list(executor.map(_process_worker_solve, requests))
 
@@ -463,7 +498,7 @@ class ProtectionService:
             new_problem, outcome = self._problem.apply_delta(
                 delta, constant=constant
             )
-            new_prototype = outcome.index.new_state()
+            new_prototype = outcome.index.new_state(kernel=self._kernel_request)
             changed = set(outcome.changed_targets)
             with self._lock:
                 self._problem = new_problem
@@ -589,6 +624,7 @@ class ProtectionService:
                     constant=self._problem.constant,
                     max_cached_subsets=self._max_cached_subsets,
                     build_workers=self._build_workers,
+                    kernel=self._kernel_request,
                 )
                 with self._lock:
                     self._subsessions[subset] = session
@@ -671,10 +707,13 @@ _WORKER_SERVICE: Optional[ProtectionService] = None
 
 
 def _process_worker_init(
-    problem: TPPProblem, index_source: str = "built", deltas_applied: int = 0
+    problem: TPPProblem,
+    index_source: str = "built",
+    deltas_applied: int = 0,
+    kernel: Optional[str] = None,
 ) -> None:
     global _WORKER_SERVICE
-    _WORKER_SERVICE = ProtectionService(problem)
+    _WORKER_SERVICE = ProtectionService(problem, kernel=kernel)
     # the worker session serves the parent's (pickled, already-built) index,
     # so results must echo the parent's provenance tags — a snapshot-restored
     # session stays "snapshot" (and a delta-updated one keeps its update

@@ -19,9 +19,11 @@ from repro.service import (
     unregister_method,
 )
 
-#: The paper's legend order, which the registration metadata must reproduce.
+#: The paper's legend order (plus the +BB extension, slotted after its base
+#: method), which the registration metadata must reproduce.
 LEGEND_ORDER = (
     "SGB-Greedy",
+    "SGB-Greedy+BB",
     "CT-Greedy:DBD",
     "WT-Greedy:DBD",
     "CT-Greedy:TBD",
@@ -43,7 +45,7 @@ class TestBuiltinRegistrations:
         assert method_names() == LEGEND_ORDER
 
     def test_greedy_baseline_split(self):
-        assert greedy_method_names() == LEGEND_ORDER[:5]
+        assert greedy_method_names() == LEGEND_ORDER[:6]
         assert baseline_method_names() == ("RD", "RDT")
         assert is_greedy_method("SGB-Greedy")
         assert not is_greedy_method("RD")

@@ -608,6 +608,145 @@ class TestBenchSchemaRule:
 
 
 # ----------------------------------------------------------------------
+# R7 — native-boundary
+# ----------------------------------------------------------------------
+class TestNativeBoundaryRule:
+    def test_ctypes_import_outside_native_flagged(self):
+        findings, _ = lint(
+            """
+            import ctypes
+
+            def f():
+                return ctypes.c_long(0)
+            """,
+            "R7",
+            relpath="src/repro/motifs/coverage.py",
+        )
+        assert codes(findings) == ["R7-ctypes-import"]
+        assert "repro._native" in findings[0].message
+
+    def test_ctypes_from_import_flagged(self):
+        findings, _ = lint(
+            "from ctypes import c_long\n",
+            "R7",
+            relpath="src/repro/service/session.py",
+        )
+        assert codes(findings) == ["R7-ctypes-import"]
+
+    def test_ctypes_inside_native_package_clean(self):
+        findings, _ = lint(
+            "import ctypes\n",
+            "R7",
+            relpath="src/repro/_native/build.py",
+        )
+        assert findings == []
+
+    def test_ctypes_outside_repro_package_clean(self):
+        findings, _ = lint(
+            "import ctypes\n",
+            "R7",
+            relpath="tools/somewhere.py",
+        )
+        assert findings == []
+
+    def test_undeclared_symbol_flagged(self):
+        findings, _ = lint(
+            """
+            import ctypes
+
+            def load(path):
+                lib = ctypes.CDLL(path)
+                kill = lib.repro_kill_instances
+                kill.argtypes = [ctypes.c_void_p]
+                return kill
+            """,
+            "R7",
+            relpath="src/repro/_native/build.py",
+        )
+        assert codes(findings) == ["R7-undeclared-symbol"]
+        assert "restype" in findings[0].message
+
+    def test_fully_declared_symbol_clean(self):
+        findings, _ = lint(
+            """
+            import ctypes
+
+            def load(path):
+                lib = ctypes.CDLL(path)
+                kill = lib.repro_kill_instances
+                kill.argtypes = [ctypes.c_void_p]
+                kill.restype = ctypes.c_long
+                return kill
+            """,
+            "R7",
+            relpath="src/repro/_native/build.py",
+        )
+        assert findings == []
+
+    def test_unguarded_native_call_flagged(self):
+        findings, _ = lint(
+            """
+            class State:
+                def delete_edge(self, edge_id):
+                    return self._native.kill_instances(self._ctx, edge_id)
+            """,
+            "R7",
+            relpath="src/repro/motifs/coverage.py",
+        )
+        assert codes(findings) == ["R7-unguarded-native-call"]
+
+    def test_aliased_unguarded_call_flagged(self):
+        findings, _ = lint(
+            """
+            class State:
+                def walk(self):
+                    native = self._native
+                    return native.heap_pop(self._keys, self._ids, 3)
+            """,
+            "R7",
+            relpath="src/repro/motifs/coverage.py",
+        )
+        assert codes(findings) == ["R7-unguarded-native-call"]
+
+    def test_guarded_call_clean(self):
+        findings, _ = lint(
+            """
+            class State:
+                def delete_edge(self, edge_id):
+                    if self._native is not None:
+                        return self._native.kill_instances(self._ctx, edge_id)
+                    return self._slow(edge_id)
+            """,
+            "R7",
+            relpath="src/repro/motifs/coverage.py",
+        )
+        assert findings == []
+
+    def test_dispatch_method_clean(self):
+        findings, _ = lint(
+            """
+            class State:
+                def _delete_edge_native(self, edge_id):
+                    return self._native.kill_instances(self._ctx, edge_id)
+            """,
+            "R7",
+            relpath="src/repro/motifs/coverage.py",
+        )
+        assert findings == []
+
+    def test_suppression_with_reason_absorbs(self):
+        findings, suppressed = lint(
+            """
+            import ctypes  # reprolint: disable=R7-ctypes-import(FFI demo script)
+            """,
+            "R7",
+            relpath="src/repro/motifs/demo.py",
+        )
+        assert findings == []
+        assert codes(suppressed) == ["R7-ctypes-import"]
+
+
+# ----------------------------------------------------------------------
 # Suppression engine
 # ----------------------------------------------------------------------
 class TestSuppressions:
@@ -691,9 +830,17 @@ class TestSuppressions:
 # Driver / CLI
 # ----------------------------------------------------------------------
 class TestDriver:
-    def test_all_six_families_registered(self):
-        assert sorted(RULES_BY_FAMILY) == ["R1", "R2", "R3", "R4", "R5", "R6"]
-        assert len(ALL_RULES) == 6
+    def test_all_seven_families_registered(self):
+        assert sorted(RULES_BY_FAMILY) == [
+            "R1",
+            "R2",
+            "R3",
+            "R4",
+            "R5",
+            "R6",
+            "R7",
+        ]
+        assert len(ALL_RULES) == 7
 
     def test_parser_accepts_select_and_format(self):
         args = build_parser().parse_args(

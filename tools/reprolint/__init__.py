@@ -1,6 +1,6 @@
 """reprolint: repo-specific static analysis for the TPP reproduction.
 
-Six rule families encode the invariants every PR so far proved
+Seven rule families encode the invariants every PR so far proved
 dynamically with differential tests, so future changes fail fast at lint
 time instead of breaking bit-identity at runtime:
 
@@ -13,6 +13,9 @@ time instead of breaking bit-identity at runtime:
   ``ValueError``.
 * **R6 bench-schema** — committed BENCH reports / emitting scripts carry
   every key the CI regression gate reads.
+* **R7 native-boundary** — ``ctypes`` only inside ``repro._native``,
+  every bound symbol declared (``argtypes`` + ``restype``), native calls
+  behind the kernel-dispatch guard.
 
 Run ``python -m tools.reprolint src/repro``; suppress a finding with
 ``# reprolint: disable=RULE(reason)`` — the reason is mandatory.

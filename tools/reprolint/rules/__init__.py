@@ -9,6 +9,7 @@ from tools.reprolint.rules.bench_schema import BenchSchemaRule
 from tools.reprolint.rules.determinism import DeterminismRule
 from tools.reprolint.rules.exception_taxonomy import ExceptionTaxonomyRule
 from tools.reprolint.rules.lock_discipline import LockDisciplineRule
+from tools.reprolint.rules.native_boundary import NativeBoundaryRule
 from tools.reprolint.rules.numpy_boundary import NumpyBoundaryRule
 from tools.reprolint.rules.pickle_safety import PickleSafetyRule
 
@@ -22,6 +23,7 @@ ALL_RULES: List[Rule] = [
     PickleSafetyRule(),
     ExceptionTaxonomyRule(),
     BenchSchemaRule(),
+    NativeBoundaryRule(),
 ]
 
 RULES_BY_FAMILY: Dict[str, Rule] = {rule.family: rule for rule in ALL_RULES}

@@ -1,0 +1,248 @@
+"""R7 — native-boundary: ctypes stays behind the ``_native`` loader.
+
+The native coverage kernel is deliberately quarantined: one C file, one
+loader module, one dispatch point.  Everything else in the package must
+be unable to tell whether the kernel is compiled C or numpy — that is
+what keeps the numpy path an executable reference and the forced-fallback
+CI leg meaningful.  Three codes enforce the quarantine statically:
+
+* ``R7-ctypes-import`` — ``import ctypes`` anywhere under ``src/repro/``
+  outside ``src/repro/_native/``.  Call sites never touch ctypes; they
+  receive pre-bound callables from :func:`repro._native.load_kernel`.
+* ``R7-undeclared-symbol`` — a symbol bound from a loaded library
+  (``name = lib.repro_...`` after ``lib = ctypes.CDLL(...)``) must get
+  **both** ``name.argtypes = ...`` and ``name.restype = ...`` in the same
+  scope.  An undeclared symbol defaults to int-sized args/results, which
+  silently truncates 64-bit pointers — the classic ctypes segfault.
+* ``R7-unguarded-native-call`` — outside ``_native``, a call through a
+  ``._native`` attribute (``self._native.kill_instances(...)``, or via a
+  local alias ``native = self._native``) must sit either inside a
+  function whose name ends with ``_native`` (the dispatch targets, only
+  entered after the caller's ``if self._native is not None`` check) or
+  lexically under an ``if``/``while`` whose test mentions ``_native``.
+  Anything else risks calling ``None`` on the fallback path.
+
+Codes: ``R7-ctypes-import``, ``R7-undeclared-symbol``,
+``R7-unguarded-native-call``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Set
+
+from tools.reprolint.context import ModuleContext
+from tools.reprolint.findings import Finding
+from tools.reprolint.rules.base import Rule
+
+#: path fragment that marks the one package allowed to touch ctypes.
+_NATIVE_PACKAGE_FRAGMENT = "repro/_native"
+
+
+def _in_native_package(ctx: ModuleContext) -> bool:
+    return _NATIVE_PACKAGE_FRAGMENT in ctx.relpath.replace("\\", "/")
+
+
+def _in_repro_package(ctx: ModuleContext) -> bool:
+    normalized = ctx.relpath.replace("\\", "/")
+    return "src/repro/" in normalized or normalized.startswith("repro/")
+
+
+class NativeBoundaryRule(Rule):
+    family = "R7"
+    name = "native-boundary"
+    description = (
+        "ctypes only inside repro._native; bound symbols fully declared; "
+        "native calls behind the kernel-dispatch guard"
+    )
+
+    def check_module(self, ctx: ModuleContext) -> List[Finding]:
+        findings: List[Finding] = []
+        if _in_native_package(ctx):
+            _check_symbol_declarations(ctx, findings)
+            return findings
+        if _in_repro_package(ctx):
+            _check_ctypes_imports(ctx, findings)
+        _check_native_call_guards(ctx, findings)
+        return findings
+
+
+def _check_ctypes_imports(ctx: ModuleContext, findings: List[Finding]) -> None:
+    for node in ast.walk(ctx.tree):
+        imported = None
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "ctypes" or alias.name.startswith("ctypes."):
+                    imported = alias.name
+        elif isinstance(node, ast.ImportFrom):
+            module = node.module or ""
+            if module == "ctypes" or module.startswith("ctypes."):
+                imported = module
+        if imported is not None:
+            findings.append(
+                Finding(
+                    "R7-ctypes-import",
+                    ctx.path,
+                    node.lineno,
+                    node.col_offset,
+                    f"import of {imported!r} outside repro._native; the "
+                    "loader module is the only sanctioned ctypes boundary — "
+                    "consume pre-bound kernels via repro._native.load_kernel()",
+                )
+            )
+
+
+def _cdll_result_names(scope: ast.AST) -> Set[str]:
+    """Names in ``scope`` assigned from a ``CDLL(...)``-shaped call."""
+    names: Set[str] = set()
+    for node in ast.walk(scope):
+        if not isinstance(node, ast.Assign) or not isinstance(node.value, ast.Call):
+            continue
+        function = node.value.func
+        head = function.attr if isinstance(function, ast.Attribute) else (
+            function.id if isinstance(function, ast.Name) else ""
+        )
+        if head in ("CDLL", "PyDLL", "WinDLL", "LoadLibrary"):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+    return names
+
+
+def _check_symbol_declarations(ctx: ModuleContext, findings: List[Finding]) -> None:
+    """Inside ``_native``: every ``name = lib.symbol`` needs argtypes+restype."""
+    for scope in ast.walk(ctx.tree):
+        if not isinstance(scope, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        lib_names = _cdll_result_names(scope)
+        if not lib_names:
+            continue
+        bound: Dict[str, ast.Assign] = {}
+        declared: Dict[str, Set[str]] = {}
+        for node in ast.walk(scope):
+            if not isinstance(node, ast.Assign):
+                continue
+            value = node.value
+            if (
+                isinstance(value, ast.Attribute)
+                and isinstance(value.value, ast.Name)
+                and value.value.id in lib_names
+            ):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        bound[target.id] = node
+            for target in node.targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.attr in ("argtypes", "restype")
+                ):
+                    declared.setdefault(target.value.id, set()).add(target.attr)
+        for name, node in sorted(bound.items(), key=lambda item: item[1].lineno):
+            missing = {"argtypes", "restype"} - declared.get(name, set())
+            if missing:
+                findings.append(
+                    Finding(
+                        "R7-undeclared-symbol",
+                        ctx.path,
+                        node.lineno,
+                        node.col_offset,
+                        f"bound symbol {name!r} is missing "
+                        f"{' and '.join(sorted(missing))}; ctypes defaults "
+                        "to int-sized conversions, which truncate 64-bit "
+                        "pointers",
+                    )
+                )
+
+
+def _test_mentions_native(test: ast.expr) -> bool:
+    for node in ast.walk(test):
+        if isinstance(node, ast.Attribute) and node.attr == "_native":
+            return True
+        if isinstance(node, ast.Name) and node.id in ("native", "_native"):
+            return True
+    return False
+
+
+def _is_native_access(node: ast.expr, aliases: Set[str]) -> bool:
+    """Whether ``node`` reads through a ``._native`` kernel handle."""
+    if isinstance(node, ast.Attribute):
+        if node.attr == "_native":
+            return True
+        return _is_native_access(node.value, aliases)
+    if isinstance(node, ast.Name):
+        return node.id in aliases
+    return False
+
+
+def _check_native_call_guards(ctx: ModuleContext, findings: List[Finding]) -> None:
+    for function in ast.walk(ctx.tree):
+        if not isinstance(function, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if function.name.endswith("_native"):
+            continue  # dispatch target: entered only behind the caller's guard
+        aliases: Set[str] = set()
+        for node in ast.walk(function):
+            if isinstance(node, ast.Assign) and isinstance(
+                node.value, ast.Attribute
+            ):
+                if node.value.attr == "_native":
+                    for target in node.targets:
+                        if isinstance(target, ast.Name):
+                            aliases.add(target.id)
+        _walk_guarded(function.body, aliases, False, ctx, findings)
+
+
+def _walk_guarded(
+    statements: List[ast.stmt],
+    aliases: Set[str],
+    guarded: bool,
+    ctx: ModuleContext,
+    findings: List[Finding],
+) -> None:
+    for statement in statements:
+        if isinstance(statement, (ast.If, ast.While)):
+            branch_guarded = guarded or _test_mentions_native(statement.test)
+            _flag_unguarded_calls(statement.test, aliases, True, ctx, findings)
+            _walk_guarded(statement.body, aliases, branch_guarded, ctx, findings)
+            _walk_guarded(statement.orelse, aliases, guarded, ctx, findings)
+            continue
+        if isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue  # nested functions get their own pass
+        for field_name in statement._fields:
+            value = getattr(statement, field_name)
+            bodies = value if isinstance(value, list) else [value]
+            for item in bodies:
+                if isinstance(item, ast.stmt):
+                    _walk_guarded([item], aliases, guarded, ctx, findings)
+                elif isinstance(item, ast.expr):
+                    _flag_unguarded_calls(item, aliases, guarded, ctx, findings)
+
+
+def _flag_unguarded_calls(
+    node: ast.expr,
+    aliases: Set[str],
+    guarded: bool,
+    ctx: ModuleContext,
+    findings: List[Finding],
+) -> None:
+    if guarded or node is None:
+        return
+    for call in ast.walk(node):
+        if not isinstance(call, ast.Call):
+            continue
+        if isinstance(call.func, ast.Attribute) and _is_native_access(
+            call.func.value, aliases
+        ):
+            findings.append(
+                Finding(
+                    "R7-unguarded-native-call",
+                    ctx.path,
+                    call.lineno,
+                    call.col_offset,
+                    f"call through the native kernel handle "
+                    f"({ast.unparse(call.func)}) outside a *_native dispatch "
+                    "method and outside an `if ..._native ...:` guard; on the "
+                    "numpy fallback this handle is None",
+                )
+            )
