@@ -21,8 +21,19 @@ freshly emitted JSON against the report checked into the repository::
     PYTHONPATH=src python benchmarks/bench_service_http.py --output fresh.json
     python benchmarks/check_bench_regression.py fresh.json BENCH_service_http.json
 
+    PYTHONPATH=src python benchmarks/bench_sharding.py --output fresh.json
+    python benchmarks/check_bench_regression.py fresh.json BENCH_sharding.json
+
 The report kind is read from the committed JSON (``"kind"``; missing means
-the engine-kernel report).  For the service-http report the check fails if
+the engine-kernel report).  For the sharding report the check fails if any
+of the three identity flags went false in the fresh run —
+``single_shard_identity`` (routed solves bit-identical to unsharded subset
+solves), ``merge_identity`` (scatter-gather merges reproduce the unsharded
+protectors and replayed trace), ``assignment_invariant`` (shard assignment
+unchanged under target permutation and endpoint flips) — if the
+``scatter_speedup`` dropped more than ``--max-regression`` below the
+committed value, or if the ``workers_beat_serial`` flag regressed (with the
+usual single-CPU skip).  For the service-http report the check fails if
 the HTTP-served traces stopped matching direct in-process solves, if the
 coalesced duplicate burst stopped returning byte-identical payloads, if the
 coalesce speedup dropped more than ``--max-regression`` below the committed
@@ -201,6 +212,37 @@ def compare_service(fresh: dict, committed: dict, max_regression: float) -> list
     return failures
 
 
+def compare_sharding(fresh: dict, committed: dict, max_regression: float) -> list:
+    """Return the failure list for a ``sharding`` report pair."""
+    failures = []
+    if not fresh.get("single_shard_identity", False):
+        failures.append(
+            "fresh run: single-shard routed solves are no longer "
+            "bit-identical to unsharded subset solves"
+        )
+    if not fresh.get("merge_identity", False):
+        failures.append(
+            "fresh run: scatter-gather merges no longer reproduce the "
+            "unsharded session's protectors and replayed trace"
+        )
+    if not fresh.get("assignment_invariant", False):
+        failures.append(
+            "fresh run: shard assignment is no longer invariant under "
+            "target permutation and endpoint flips"
+        )
+    committed_speedup = committed.get("scatter_speedup", 0.0)
+    fresh_speedup = fresh.get("scatter_speedup", 0.0)
+    floor = committed_speedup * (1.0 - max_regression)
+    if fresh_speedup < floor:
+        failures.append(
+            f"scatter_speedup {fresh_speedup:.2f}x fell more than "
+            f"{max_regression:.0%} below the committed {committed_speedup:.2f}x "
+            f"(floor {floor:.2f}x)"
+        )
+    failures.extend(_check_flags(fresh, committed, ("workers_beat_serial",)))
+    return failures
+
+
 def compare_service_http(fresh: dict, committed: dict, max_regression: float) -> list:
     """Return the failure list for a ``service_http`` report pair."""
     failures = []
@@ -237,6 +279,8 @@ def compare(fresh: dict, committed: dict, max_regression: float) -> list:
         return compare_service(fresh, committed, max_regression)
     if committed.get("kind") == "service_http":
         return compare_service_http(fresh, committed, max_regression)
+    if committed.get("kind") == "sharding":
+        return compare_sharding(fresh, committed, max_regression)
     if committed.get("kind") == "index_build":
         return compare_index_build(fresh, committed, max_regression)
     if committed.get("kind") == "snapshot":
@@ -375,6 +419,14 @@ def main(argv=None) -> int:
             f"{fresh.get('shared_vs_rebuild_speedup')}x; workers_speedup: "
             f"committed {committed.get('workers_speedup')}x, fresh "
             f"{fresh.get('workers_speedup')}x"
+        )
+    elif committed.get("kind") == "sharding":
+        print(
+            f"scatter_speedup: committed {committed.get('scatter_speedup')}x, "
+            f"fresh {fresh.get('scatter_speedup')}x; identities — single "
+            f"shard: {fresh.get('single_shard_identity')}, merge: "
+            f"{fresh.get('merge_identity')}, assignment: "
+            f"{fresh.get('assignment_invariant')}"
         )
     elif committed.get("kind") == "service_http":
         print(

@@ -85,7 +85,13 @@ from repro.experiments.utility_loss import UtilityLossTable
 from repro.graphs.io import write_edge_list
 from repro._native import KERNEL_NAMES
 from repro.motifs.base import available_motifs
-from repro.service import ProtectionRequest, ProtectionService, method_names
+from repro.service import (
+    ProtectionRequest,
+    ProtectionService,
+    ShardedProtectionService,
+    method_names,
+    shards_from_env,
+)
 from repro.utility.loss import compare_graphs
 
 __all__ = ["main", "build_parser"]
@@ -313,6 +319,14 @@ def build_parser() -> argparse.ArgumentParser:
         choices=KERNEL_NAMES,
         help="coverage-state hot-loop kernel for the served session "
         "('auto' / 'native' / 'numpy'; bit-identical results either way)",
+    )
+    serve.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="partition the targets across this many shard sub-sessions and "
+        "serve them scatter-gather (defaults to $REPRO_SHARDS, else 1); "
+        "sharded bundles (*.tppshards) always restore their own layout",
     )
     serve.add_argument("--host", default="127.0.0.1", help="bind address")
     serve.add_argument(
@@ -596,12 +610,38 @@ def _command_verify_index(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
-def _serve_session(args: argparse.Namespace) -> ProtectionService:
+def _bundle_is_sharded(path: str) -> bool:
+    """Whether a zip bundle's manifest declares a sharded session."""
+    import json
+    import zipfile
+
+    try:
+        with zipfile.ZipFile(path) as archive:
+            manifest = json.loads(archive.read("manifest.json").decode("utf-8"))
+    except (KeyError, ValueError, OSError):
+        return False
+    return isinstance(manifest, dict) and manifest.get("kind") == "sharded-session"
+
+
+def _serve_session(args: argparse.Namespace):
     """Open the session ``repro-tpp serve`` will put behind HTTP."""
     import zipfile
 
+    shards = args.shards if args.shards is not None else shards_from_env()
     if args.index_file:
         if zipfile.is_zipfile(args.index_file):
+            if _bundle_is_sharded(args.index_file):
+                sharded = ShardedProtectionService.from_session(
+                    args.index_file,
+                    build_workers=args.build_workers,
+                    kernel=args.kernel,
+                )
+                print(
+                    f"sharded session cold-started from bundle "
+                    f"{args.index_file} ({sharded.shard_count} shard(s), "
+                    f"{len(sharded.targets)} targets)"
+                )
+                return sharded
             service = ProtectionService.from_session(
                 args.index_file,
                 build_workers=args.build_workers,
@@ -619,8 +659,38 @@ def _serve_session(args: argparse.Namespace) -> ProtectionService:
                 kernel=args.kernel,
             )
             print(f"session cold-started from {args.index_file}")
+        if shards > 1:
+            # a plain snapshot holds one combined index; dealing its
+            # targets into shards re-enumerates each shard's sub-index
+            print(
+                f"re-sharding the restored session into {shards} shard(s) "
+                "(per-shard indexes are rebuilt; serve a *.tppshards "
+                "bundle to cold-start a sharded layout directly)"
+            )
+            sharded = ShardedProtectionService(
+                service.problem,
+                shards=shards,
+                build_workers=args.build_workers,
+                kernel=args.kernel,
+            )
+            return sharded
         return service
     graph, targets = _load_instance(args)
+    if shards > 1:
+        sharded = ShardedProtectionService(
+            graph,
+            targets,
+            motif=args.motif,
+            shards=shards,
+            build_workers=args.build_workers,
+            kernel=args.kernel,
+        )
+        print(
+            f"sharded session built: {graph.number_of_nodes()} nodes, "
+            f"{len(targets)} targets over {sharded.shard_count} shard(s), "
+            f"motif {args.motif} ({sharded.build_seconds:.3f}s)"
+        )
+        return sharded
     service = ProtectionService(
         graph,
         targets,

@@ -328,6 +328,42 @@ class TPPProblem:
         problem._constant = constant
         return problem, outcome
 
+    def with_constant(self, constant: int) -> "TPPProblem":
+        """Return this problem with the dissimilarity constant rebased.
+
+        The graph, targets, motif and (already built) index are shared with
+        this problem — nothing is re-enumerated; only ``C`` changes.  This
+        is what keeps a sharded session's shards on one common ``C``:
+        after a delta raises some shard's initial similarity, every shard
+        is rebased to the new combined constant so per-shard dissimilarity
+        traces still sum to the whole session's (see
+        :mod:`repro.service.sharding`).
+
+        Raises
+        ------
+        ConstantError
+            If ``constant`` is below this problem's initial similarity
+            (``f(∅, T)`` would go negative).
+        """
+        from repro.exceptions import ConstantError
+
+        initial = self.initial_similarity()
+        if constant < initial:
+            raise ConstantError(
+                f"constant C={constant} must be >= the initial similarity "
+                f"{initial}"
+            )
+        if constant == self._constant:
+            return self
+        problem = type(self).__new__(type(self))
+        problem._graph = self._graph
+        problem._motif = self._motif
+        problem._targets = self._targets
+        problem._phase1_graph = self._phase1_graph
+        problem._index = self._index
+        problem._constant = constant
+        return problem
+
     @property
     def has_cached_index(self) -> bool:
         """Whether the target-subgraph index has already been built.

@@ -7,7 +7,7 @@ swallowing programming errors such as ``TypeError``.
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import Iterable, Optional
 
 
 class ReproError(Exception):
@@ -170,6 +170,25 @@ class ServerProtocolError(ServerError, ValueError):
     """
 
 
+class PayloadTooLargeError(ServerProtocolError):
+    """A request body exceeds the server's byte limit.
+
+    A well-formed request that is simply too big is distinguishable from a
+    malformed one, so the server answers ``413 Payload Too Large`` instead
+    of ``400`` — a client seeing 413 should shrink the request, not fix
+    its syntax.  Carries the declared ``content_length`` and the ``limit``
+    it exceeded.
+    """
+
+    def __init__(self, content_length: int, limit: int) -> None:
+        super().__init__(
+            f"request body of {content_length} bytes exceeds the "
+            f"{limit}-byte limit"
+        )
+        self.content_length = content_length
+        self.limit = limit
+
+
 class ServerOverloadedError(ServerError):
     """The serving front refused a request under backpressure.
 
@@ -198,3 +217,19 @@ class ArtifactNotFoundError(ServerError, KeyError):
 
 class ExperimentError(ReproError):
     """Base class for experiment-harness errors."""
+
+
+class ShardError(ExperimentError):
+    """A sharded session could not be configured or answer atomically.
+
+    Raised by :class:`~repro.service.sharding.ShardedProtectionService`
+    when the shard layout is invalid (``shards < 1``, duplicate targets,
+    inconsistent restored shards) or when any shard fails mid
+    scatter-gather — the whole request fails with this error and no
+    partial merge is ever returned.  ``shard`` names the failing shard
+    index when one is known (``None`` for layout errors).
+    """
+
+    def __init__(self, message: str, shard: Optional[int] = None) -> None:
+        super().__init__(message)
+        self.shard = shard

@@ -177,11 +177,24 @@ class DeltaSnapshot:
         return self.delta
 
 
+def _state_hash(state: Union[TargetSubgraphIndex, str]) -> str:
+    """A content hash from either a built index or a pre-computed hash.
+
+    Sharded sessions identify their state by a *combined* hash chained
+    over every shard (:func:`repro.persistence.combined_content_hash`);
+    passing that string through here lets one delta file target either
+    kind of session.
+    """
+    if isinstance(state, str):
+        return state
+    return index_content_hash(state)
+
+
 def save_delta_snapshot(
     path: Union[str, Path],
     delta: EdgeDelta,
-    parent_index: TargetSubgraphIndex,
-    result_index: TargetSubgraphIndex,
+    parent_index: Union[TargetSubgraphIndex, str],
+    result_index: Union[TargetSubgraphIndex, str],
 ) -> Path:
     """Write ``delta`` as a delta snapshot bridging two index states.
 
@@ -194,11 +207,14 @@ def save_delta_snapshot(
         The ordered edge updates.
     parent_index:
         The built index the delta applies to (its content hash names the
-        required base state).
+        required base state), or that state's content hash directly — a
+        sharded session's parent state is its *combined* hash, which has
+        no single index to hand over.
     result_index:
         The index after application — normally
         ``parent_index.apply_delta(delta).index`` — whose content hash lets
-        loaders re-verify the replay landed where the writer did.
+        loaders re-verify the replay landed where the writer did.  Accepts
+        a pre-computed hash string like ``parent_index``.
 
     Returns
     -------
@@ -222,8 +238,8 @@ def save_delta_snapshot(
             "inserts": len(delta.inserted),
             "deletes": len(delta.deleted),
         },
-        "parent_content_hash": index_content_hash(parent_index),
-        "result_content_hash": index_content_hash(result_index),
+        "parent_content_hash": _state_hash(parent_index),
+        "result_content_hash": _state_hash(result_index),
         "payload_hash": hashlib.sha256(payload_bytes).hexdigest(),
         "sections": table,
     }

@@ -41,6 +41,7 @@ same result payload.
 from __future__ import annotations
 
 import asyncio
+import json
 import threading
 import time
 import zipfile
@@ -53,6 +54,7 @@ from repro.core.model import ProtectionResult
 
 from repro.exceptions import (
     ArtifactNotFoundError,
+    PayloadTooLargeError,
     ReproError,
     ServerError,
     ServerProtocolError,
@@ -66,9 +68,47 @@ from repro.server.protocol import (
     read_request,
     response_bytes,
 )
-from repro.service import ProtectionRequest, ProtectionService
+from repro.service import (
+    ProtectionRequest,
+    ProtectionService,
+    ShardedProtectionService,
+)
 
 __all__ = ["ProtectionServer", "ServerHandle", "serve_in_background"]
+
+#: Anything the server can put behind the HTTP front: the sharded session
+#: serves the same solve/stats/reload surface as the plain one.
+ServiceLike = Union[ProtectionService, ShardedProtectionService]
+
+
+def _service_content_hash(service: ServiceLike) -> str:
+    """A session's content hash, however the session computes it.
+
+    The sharded service hashes its whole shard layout (and caches the
+    result itself); the plain service's hash comes off its single index.
+    """
+    if isinstance(service, ShardedProtectionService):
+        return service.content_hash()
+    return index_content_hash(service.index)
+
+
+def _service_instances(service: ServiceLike) -> int:
+    """Total enumerated motif instances behind a session."""
+    if isinstance(service, ShardedProtectionService):
+        return service.number_of_instances()
+    return service.index.number_of_instances()
+
+
+def _bundle_kind(path: Path) -> str:
+    """Peek a zip bundle's manifest ``kind`` (defaults to ``"session"``)."""
+    try:
+        with zipfile.ZipFile(path) as archive:
+            manifest = json.loads(archive.read("manifest.json").decode("utf-8"))
+        kind = manifest.get("kind") if isinstance(manifest, dict) else None
+    except (KeyError, ValueError, OSError):
+        return "session"
+    return kind if isinstance(kind, str) else "session"
+
 
 #: How long a graceful stop waits for queued solves before cancelling.
 DRAIN_SECONDS = 10.0
@@ -102,7 +142,7 @@ class ProtectionServer:
 
     def __init__(
         self,
-        service: ProtectionService,
+        service: ServiceLike,
         store: Optional[ArtifactStore] = None,
         max_pending: int = 64,
         solver_threads: int = 4,
@@ -142,22 +182,28 @@ class ProtectionServer:
     # ------------------------------------------------------------------
     # the live session
     # ------------------------------------------------------------------
-    def current_service(self) -> ProtectionService:
+    def current_service(self) -> ServiceLike:
         """The session queries are being admitted to right now."""
         with self._lock:
             return self._service
 
     def content_hash(self) -> str:
-        """The live session's content hash (cached per index identity)."""
+        """The live session's content hash (cached per index identity).
+
+        A sharded session has no single index to key the cache on — it
+        caches its combined hash itself (invalidated by its own
+        ``apply_delta``), so the server just asks it every time.
+        """
         with self._lock:
             service = self._service
-            if self._hashed_index is service.index:
+            index = getattr(service, "index", None)
+            if index is not None and self._hashed_index is index:
                 return self._content_hash
         # hash outside the lock (touches the index arrays), then publish
-        fresh = index_content_hash(service.index)
+        fresh = _service_content_hash(service)
         with self._lock:
-            if self._service.index is service.index:
-                self._hashed_index = service.index
+            if index is not None and getattr(self._service, "index", None) is index:
+                self._hashed_index = index
                 self._content_hash = fresh
         return fresh
 
@@ -191,10 +237,19 @@ class ProtectionServer:
         if head == b"REPROTPPDLTA":
             snapshot = load_delta_snapshot(path)
             service = self.current_service()
-            service.apply_delta(snapshot)
-            return self._reloaded("delta-applied")
+            outcome = service.apply_delta(snapshot)
+            payload = self._reloaded("delta-applied")
+            touched = getattr(outcome, "touched_shards", None)
+            if touched is not None:
+                # shard-aware reload: name the shards whose instance sets
+                # the delta actually changed (the others only spliced edges)
+                payload["touched_shards"] = list(touched)
+            return payload
         if zipfile.is_zipfile(path):
-            fresh: ProtectionService = ProtectionService.from_session(path)
+            if _bundle_kind(path) == "sharded-session":
+                fresh: ServiceLike = ShardedProtectionService.from_session(path)
+            else:
+                fresh = ProtectionService.from_session(path)
         else:
             fresh = ProtectionService.from_snapshot(path)
         return self._install(fresh)
@@ -257,7 +312,7 @@ class ProtectionServer:
             )
         return self.store
 
-    def _install(self, fresh: ProtectionService) -> Dict[str, object]:
+    def _install(self, fresh: ServiceLike) -> Dict[str, object]:
         with self._lock:
             self._service = fresh
             self._hashed_index = None
@@ -272,7 +327,7 @@ class ProtectionServer:
                 self._content_hash = ""
                 self._reloads += 1
         service = self.current_service()
-        return {
+        payload: Dict[str, object] = {
             "status": "reloaded",
             "action": action,
             "content_hash": self.content_hash(),
@@ -280,6 +335,9 @@ class ProtectionServer:
             "deltas_applied": service.deltas_applied,
             "targets": len(service.targets),
         }
+        if isinstance(service, ShardedProtectionService):
+            payload["shards"] = service.shard_count
+        return payload
 
     # ------------------------------------------------------------------
     # stats
@@ -298,19 +356,22 @@ class ProtectionServer:
                 "poll_errors": self._poll_errors,
                 "draining": self._draining,
             }
-        return {
+        payload: Dict[str, object] = {
             "status": "draining" if counters["draining"] else "serving",
             "queries_served": service.queries_served,
             "index_source": service.index_source,
             "deltas_applied": service.deltas_applied,
             "content_hash": self.content_hash(),
             "targets": len(service.targets),
-            "instances": service.index.number_of_instances(),
+            "instances": _service_instances(service),
             "pending": self._pending,
             "max_pending": self._max_pending,
             "uptime_seconds": round(time.monotonic() - self._started_monotonic, 3),
             **counters,
         }
+        if isinstance(service, ShardedProtectionService):
+            payload["shards"] = service.shard_count
+        return payload
 
     # ------------------------------------------------------------------
     # asyncio plumbing
@@ -385,6 +446,12 @@ class ProtectionServer:
             while True:
                 try:
                     request = await read_request(reader)
+                except PayloadTooLargeError as error:
+                    writer.write(
+                        json_response(413, {"error": str(error)}, keep_alive=False)
+                    )
+                    await writer.drain()
+                    break
                 except ServerProtocolError as error:
                     writer.write(
                         json_response(400, {"error": str(error)}, keep_alive=False)

@@ -18,7 +18,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Mapping, Optional, Tuple
 from urllib.parse import parse_qsl, urlsplit
 
-from repro.exceptions import ServerProtocolError
+from repro.exceptions import PayloadTooLargeError, ServerProtocolError
 
 __all__ = [
     "HttpRequest",
@@ -158,10 +158,10 @@ async def read_request(
     if content_length < 0:
         raise ServerProtocolError(f"bad Content-Length {length_header!r}")
     if content_length > max_body_bytes:
-        raise ServerProtocolError(
-            f"request body of {content_length} bytes exceeds the "
-            f"{max_body_bytes}-byte limit"
-        )
+        # a typed subclass: the request is well-formed, just too big, so
+        # the server answers 413 (shrink the request) instead of 400 (fix
+        # its syntax) — and the body is never read into memory
+        raise PayloadTooLargeError(content_length, max_body_bytes)
     body = b""
     if content_length:
         try:

@@ -248,6 +248,68 @@ class ProtectionService:
 
         return save_session(path, self)
 
+    @classmethod
+    def for_filtered_targets(
+        cls,
+        graph: Graph,
+        all_targets: Sequence[Edge],
+        kept: Sequence[Edge],
+        motif: Union[str, MotifPattern] = "triangle",
+        constant: Optional[int] = None,
+        index: Optional[TargetSubgraphIndex] = None,
+        max_cached_subsets: Optional[int] = 32,
+        build_workers: Optional[int] = None,
+        kernel: Optional[str] = None,
+    ) -> "ProtectionService":
+        """Open a session on ``kept`` ⊆ ``all_targets`` with phase-1 semantics.
+
+        This is the one place target filtering happens, and it happens
+        *before* enumeration: the non-kept targets are removed from the
+        graph first, so the session's phase-1 graph equals the phase-1
+        graph of the full target set (all of ``T`` stays hidden — the
+        paper removes every sensitive link in phase 1) and the session
+        never enumerates a non-kept target.  Both target-filtering paths —
+        subset sub-sessions (:meth:`solve` with ``request.targets``) and
+        the shards of
+        :class:`~repro.service.sharding.ShardedProtectionService` — build
+        through here, which is what makes them trace-identical on the same
+        target set (pinned by the sharding differential suite).
+
+        ``kept`` is put in the library-wide
+        :func:`~repro.graphs.graph.edge_sort_key` order (duplicates raise
+        :class:`~repro.exceptions.ExperimentError`).  ``constant`` and a
+        pre-built ``index`` (already enumerated for exactly the sorted
+        kept targets) are forwarded to the
+        :class:`~repro.core.model.TPPProblem`; an adopted index means the
+        construction does no enumeration at all.
+        """
+        kept_targets = tuple(
+            sorted((canonical_edge(*target) for target in kept), key=edge_sort_key)
+        )
+        kept_set = set(kept_targets)
+        if len(kept_set) != len(kept_targets):
+            raise ExperimentError(
+                f"kept targets contain duplicate links: {kept_targets!r}"
+            )
+        rest = [
+            edge
+            for edge in (canonical_edge(*target) for target in all_targets)
+            if edge not in kept_set
+        ]
+        problem = TPPProblem(
+            graph.without_edges(rest),
+            kept_targets,
+            motif=motif,
+            constant=constant,
+            index=index,
+        )
+        return cls(
+            problem,
+            max_cached_subsets=max_cached_subsets,
+            build_workers=build_workers,
+            kernel=kernel,
+        )
+
     # ------------------------------------------------------------------
     # accessors
     # ------------------------------------------------------------------
@@ -454,6 +516,43 @@ class ProtectionService:
         ) as executor:
             return list(executor.map(_process_worker_solve, requests))
 
+    def evaluate_trace(
+        self,
+        protectors: Sequence[Edge],
+        targets: Optional[Sequence[Edge]] = None,
+    ) -> Tuple[int, ...]:
+        """Replay a protector sequence; return its exact similarity trace.
+
+        Element ``i`` is ``s(P_i, T)`` — the similarity after deleting the
+        first ``i`` protectors — so the tuple is one longer than
+        ``protectors`` and element 0 is the initial similarity.  The replay
+        runs on a copy of the pristine coverage state: protectors that
+        break no instance of these targets (e.g. another shard's picks in
+        a scatter-gather merge, or a baseline's useless deletions) are
+        legal and leave the running similarity unchanged.
+
+        ``targets`` restricts the trace to a target subset exactly as
+        :meth:`solve` does — the replay then runs on that subset's
+        sub-session (built through :meth:`for_filtered_targets`, cached in
+        the LRU).  This is the gather half of the sharded merge: every
+        shard replays the *full* merged protector sequence on its own
+        piece, and the element-wise sum of the per-shard traces is the
+        whole request's trace.
+        """
+        if targets is not None:
+            canonical = tuple(canonical_edge(*target) for target in targets)
+            if set(canonical) != set(self._problem.targets):
+                session, _ = self._subset_session(canonical)
+                return session.evaluate_trace(protectors)
+        with self._lock:
+            prototype = self._prototype
+        state = prototype.copy()
+        trace = [state.total_similarity()]
+        for protector in protectors:
+            state.delete_edge(canonical_edge(*protector))
+            trace.append(state.total_similarity())
+        return tuple(trace)
+
     # ------------------------------------------------------------------
     # live updates
     # ------------------------------------------------------------------
@@ -498,25 +597,42 @@ class ProtectionService:
             new_problem, outcome = self._problem.apply_delta(
                 delta, constant=constant
             )
-            new_prototype = outcome.index.new_state(kernel=self._kernel_request)
-            changed = set(outcome.changed_targets)
-            with self._lock:
-                self._problem = new_problem
-                self._index = outcome.index
-                self._prototype = new_prototype
-                self._set_prototype = None
-                self._build_seconds = stopwatch.elapsed()
-                self._index_source = "delta"
-                self._deltas_applied += 1
-                if changed:
-                    stale = [
-                        subset
-                        for subset in self._subsessions
-                        if changed.intersection(subset)
-                    ]
-                    for subset in stale:
-                        del self._subsessions[subset]
+            self._install_delta_result(new_problem, outcome, stopwatch.elapsed())
         return outcome
+
+    def _install_delta_result(
+        self,
+        new_problem: TPPProblem,
+        outcome: "DeltaOutcome",
+        build_seconds: float,
+    ) -> None:
+        """Swap an already-computed delta result into the live session.
+
+        The copy-on-write half of :meth:`apply_delta`, split out so a
+        sharded session can fan the (fallible) incremental maintenance out
+        over all shards *first* and only then install every shard's result
+        — making a multi-shard delta atomic: either every shard swaps or
+        none does.  Subset sub-sessions whose targets' instance sets
+        changed are evicted, the rest survive.
+        """
+        new_prototype = outcome.index.new_state(kernel=self._kernel_request)
+        changed = set(outcome.changed_targets)
+        with self._lock:
+            self._problem = new_problem
+            self._index = outcome.index
+            self._prototype = new_prototype
+            self._set_prototype = None
+            self._build_seconds = build_seconds
+            self._index_source = "delta"
+            self._deltas_applied += 1
+            if changed:
+                stale = [
+                    subset
+                    for subset in self._subsessions
+                    if changed.intersection(subset)
+                ]
+                for subset in stale:
+                    del self._subsessions[subset]
 
     @property
     def deltas_applied(self) -> int:
@@ -612,13 +728,9 @@ class ProtectionService:
                 session = self._cached_subsession(subset)
                 if session is not None:
                     return session, True
-                rest = [
-                    target
-                    for target in self._problem.targets
-                    if target not in subset_set
-                ]
-                session = ProtectionService(
-                    self._problem.graph.without_edges(rest),
+                session = ProtectionService.for_filtered_targets(
+                    self._problem.graph,
+                    self._problem.targets,
                     subset,
                     motif=self._problem.motif,
                     constant=self._problem.constant,

@@ -1,0 +1,249 @@
+"""Property suite: sharded serving is a refactoring, not an approximation.
+
+The sharding theorem under test: phase 1 hides *every* sensitive link, and
+each target's motif instances are enumerated independently on that shared
+phase-1 graph — so partitioning the targets over K shard sub-sessions
+changes where the work happens but not a single answer.  These tests drive
+random instances through K ∈ {1, 2, 3, 5} and pin, by bytes:
+
+* every single-shard route (including K = 1 entirely) answers bit-identical
+  protectors *and* traces to the unsharded session;
+* every cross-shard merged trace equals the unsharded session's independent
+  replay of the merged protector sequence (``evaluate_trace`` ground truth);
+* the shard assignment is a pure function of the target *set* — invariant
+  under permutation and insertion order;
+* applying an edge delta shard-by-shard converges to a fresh sharded build
+  on the updated graph, per-shard index arrays compared by bytes;
+* no released graph ever leaks a sensitive link, even under concurrent
+  scatter-gather load.
+"""
+
+import random
+from concurrent.futures import ThreadPoolExecutor
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.graph import Graph, canonical_edge, edge_sort_key
+from repro.motifs.enumeration import INDEX_ARRAY_FIELDS
+from repro.motifs.updates import EdgeDelta
+from repro.service import (
+    ProtectionRequest,
+    ProtectionService,
+    ShardedProtectionService,
+    shard_assignment,
+)
+
+SHARD_COUNTS = (1, 2, 3, 5)
+
+METHODS = ("SGB-Greedy", "CT-Greedy:TBD", "WT-Greedy:TBD")
+
+
+def fingerprint(index):
+    arrays = tuple(getattr(index, name).tobytes() for name in INDEX_ARRAY_FIELDS)
+    return arrays + (index._target_ranges, index._candidate_ids)
+
+
+def trace(result):
+    return (result.protectors, result.similarity_trace)
+
+
+def random_instance(seed, max_nodes=16):
+    """Return ``(graph, targets)`` with the targets still present as edges.
+
+    Targets come back in canonical (``edge_sort_key``) order: the sharded
+    constructor canonicalises its target order by design (that is what
+    makes the layout permutation-invariant), so the bit-identity claim is
+    against an unsharded session over the same canonical order — methods
+    that iterate targets (the :TBD divisions) break similarity ties by
+    position.
+    """
+    rng = random.Random(seed)
+    n = rng.randint(6, max_nodes)
+    graph = Graph(nodes=range(n))
+    for u in range(n):
+        for v in range(u + 1, n):
+            if rng.random() < rng.uniform(0.25, 0.5):
+                graph.add_edge(u, v)
+    edges = sorted(graph.edges())
+    if len(edges) < 6:
+        return None, None
+    targets = rng.sample(edges, rng.randint(2, min(5, len(edges) - 2)))
+    return graph, sorted(
+        (canonical_edge(*target) for target in targets), key=edge_sort_key
+    )
+
+
+@given(st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=25, deadline=None)
+def test_sharded_answers_match_unsharded_ground_truth(seed):
+    """For every K: K=1 is bit-identical, and every merged cross-shard
+    answer replays to the identical trace on the *unsharded* session."""
+    graph, targets = random_instance(seed)
+    if graph is None:
+        return
+    unsharded = ProtectionService(graph, targets, motif="triangle")
+    if unsharded.pristine_similarity() == 0:
+        return
+    budget = max(1, unsharded.pristine_similarity() // 2)
+    method = METHODS[seed % len(METHODS)]
+    request = ProtectionRequest(method, budget)
+    reference = unsharded.solve(request)
+    for shards in SHARD_COUNTS:
+        sharded = ShardedProtectionService(
+            graph, targets, motif="triangle", shards=shards
+        )
+        assert sharded.constant == unsharded.problem.constant
+        assert sharded.pristine_similarity() == unsharded.pristine_similarity()
+        result = sharded.solve(request)
+        assert result.initial_similarity == reference.initial_similarity
+        if sharded.shard_count == 1:
+            # one shard is literally the unsharded session: bit-identity
+            assert trace(result) == trace(reference), (seed, shards, method)
+            continue
+        # the merged trace must be the truth, not an approximation: the
+        # unsharded session independently replays the merged protector
+        # sequence and must land on the same numbers step by step
+        assert result.similarity_trace == unsharded.evaluate_trace(
+            result.protectors
+        ), (seed, shards, method)
+        # idempotent dedup: no protector appears twice in the merge
+        assert len(set(result.protectors)) == len(result.protectors)
+
+
+@given(st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=25, deadline=None)
+def test_single_shard_routes_are_bit_identical_subset_solves(seed):
+    """A request owned by one shard answers exactly like the unsharded
+    session's subset sub-session over the same targets — for every shard
+    of every layout, method and engine untouched."""
+    graph, targets = random_instance(seed)
+    if graph is None:
+        return
+    unsharded = ProtectionService(graph, targets, motif="triangle")
+    if unsharded.pristine_similarity() == 0:
+        return
+    budget = max(1, unsharded.pristine_similarity() // 3)
+    method = METHODS[(seed // 7) % len(METHODS)]
+    for shards in SHARD_COUNTS[1:]:
+        sharded = ShardedProtectionService(
+            graph, targets, motif="triangle", shards=shards
+        )
+        for piece in sharded.assignment:
+            request = ProtectionRequest(method, budget, targets=piece)
+            assert trace(sharded.solve(request)) == trace(
+                unsharded.solve(request)
+            ), (seed, shards, piece)
+
+
+@given(
+    st.integers(min_value=0, max_value=10_000),
+    st.integers(min_value=0, max_value=10_000),
+)
+@settings(max_examples=40, deadline=None)
+def test_shard_assignment_is_permutation_invariant(seed, shuffle_seed):
+    graph, targets = random_instance(seed)
+    if graph is None:
+        return
+    shuffled = list(targets)
+    random.Random(shuffle_seed).shuffle(shuffled)
+    # flipping endpoint order must not matter either: assignment works on
+    # canonical edges
+    flipped = [(v, u) if shuffle_seed % 2 else (u, v) for u, v in shuffled]
+    for shards in SHARD_COUNTS:
+        assert shard_assignment(flipped, shards) == shard_assignment(
+            targets, shards
+        ), (seed, shuffle_seed, shards)
+
+
+@given(st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=20, deadline=None)
+def test_sharded_delta_converges_to_fresh_sharded_build(seed):
+    """``apply_delta`` on a sharded session lands, shard by shard and by
+    bytes, on the layout a fresh build over the updated graph produces."""
+    graph, targets = random_instance(seed)
+    if graph is None:
+        return
+    target_set = {canonical_edge(*target) for target in targets}
+    phase1_edges = [
+        canonical_edge(*edge)
+        for edge in sorted(graph.without_edges(targets).edges())
+        if canonical_edge(*edge) not in target_set
+    ]
+    rng = random.Random(seed + 1)
+    deletions = rng.sample(phase1_edges, min(3, len(phase1_edges)))
+    nodes = sorted(graph.nodes())
+    insertions = []
+    live = set(phase1_edges)
+    for _ in range(4):
+        u, v = rng.sample(nodes, 2)
+        edge = canonical_edge(u, v)
+        if edge not in live and edge not in target_set and edge not in deletions:
+            live.add(edge)
+            insertions.append(edge)
+    delta = EdgeDelta.from_edges(insert=insertions, delete=deletions)
+    if not delta.operations:
+        return
+    shards = SHARD_COUNTS[seed % len(SHARD_COUNTS)]
+    sharded = ShardedProtectionService(
+        graph, targets, motif="triangle", shards=shards
+    )
+    outcome = sharded.apply_delta(delta)
+    updated = graph.copy()
+    for edge in deletions:
+        updated.remove_edge(*edge)
+    updated.add_edges_from(insertions)
+    fresh = ShardedProtectionService(
+        updated,
+        targets,
+        motif="triangle",
+        constant=outcome.constant,
+        shards=shards,
+    )
+    assert sharded.constant == fresh.constant
+    assert sharded.pristine_similarity() == fresh.pristine_similarity()
+    assert sharded.content_hash() == fresh.content_hash()
+    for position, (spliced, rebuilt) in enumerate(
+        zip(sharded.shards, fresh.shards)
+    ):
+        assert spliced.targets == rebuilt.targets, (seed, shards, position)
+        assert fingerprint(spliced.index) == fingerprint(rebuilt.index), (
+            seed,
+            shards,
+            position,
+        )
+    # untouched shards really were untouched: their delta outcome recorded
+    # no changed targets
+    for position, shard_outcome in enumerate(outcome.outcomes):
+        if position not in outcome.touched_shards:
+            assert shard_outcome.changed_targets == ()
+
+
+@given(st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=10, deadline=None)
+def test_concurrent_scatter_gather_never_leaks_a_sensitive_link(seed):
+    """Released graphs from concurrent cross-shard solves never contain any
+    session target — shard-local or not — and never invent edges."""
+    graph, targets = random_instance(seed)
+    if graph is None:
+        return
+    sharded = ShardedProtectionService(graph, targets, motif="triangle", shards=3)
+    if sharded.pristine_similarity() == 0:
+        return
+    requests = [
+        ProtectionRequest(METHODS[i % len(METHODS)], budget)
+        for i, budget in enumerate((1, 2, 3, 4))
+    ]
+    original_edges = {canonical_edge(*edge) for edge in graph.edges()}
+    with ThreadPoolExecutor(max_workers=4) as pool:
+        results = list(pool.map(sharded.solve, requests))
+    for result in results:
+        released = sharded.released_graph(result.protectors)
+        for target in sharded.targets:
+            assert not released.has_edge(*target), (seed, target)
+        for protector in result.protectors:
+            assert not released.has_edge(*protector)
+        for edge in released.edges():
+            assert canonical_edge(*edge) in original_edges
+    # concurrency never corrupted the shared session
+    assert sharded.queries_served == len(requests)

@@ -1,0 +1,283 @@
+"""The HTTP front over a sharded session, plus protocol edge cases.
+
+A ``ShardedProtectionService`` drops into ``ProtectionServer`` unchanged:
+solves route/scatter-gather behind ``POST /solve``, ``GET /stats`` reports
+the shard count and combined instances, and hot reload understands
+``.tppshards`` bundles and combined-hash delta files (reporting which
+shards a delta actually touched).  This file also pins the protocol edge
+cases deferred from the serving-front PR: an oversized request body
+answers ``413``, an unknown route ``404``, and request coalescing across
+a shard-aware reload boundary keeps the admitted-session semantics.
+
+The shard count comes from ``REPRO_SHARDS`` (default 3) so the CI
+``tests-sharded`` matrix leg genuinely reshapes these sessions.
+"""
+
+import socket
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.core.model import TPPProblem
+from repro.core.sgb import sgb_greedy
+from repro.datasets.targets import sample_random_targets
+from repro.exceptions import ServerError
+from repro.graphs.generators import powerlaw_cluster_graph
+from repro.graphs.graph import canonical_edge
+from repro.motifs.updates import EdgeDelta
+from repro.persistence import save_delta_snapshot
+from repro.server import (
+    ProtectionServer,
+    ServingClient,
+    serve_in_background,
+)
+from repro.server.protocol import parse_response_head
+from repro.service import (
+    ProtectionRequest,
+    ProtectionService,
+    ShardedProtectionService,
+    register_method,
+    shards_from_env,
+    unregister_method,
+)
+
+SHARDS = shards_from_env(default=3)
+
+
+@pytest.fixture(scope="module")
+def problem():
+    graph = powerlaw_cluster_graph(160, 3, 0.5, seed=13)
+    targets = sample_random_targets(graph, 6, seed=3)
+    built = TPPProblem(graph, targets, motif="triangle")
+    built.build_index()
+    return built
+
+
+@pytest.fixture(scope="module")
+def reference(problem):
+    return ShardedProtectionService(problem, shards=SHARDS)
+
+
+@pytest.fixture
+def served(problem):
+    server = ProtectionServer(
+        ShardedProtectionService(problem, shards=SHARDS), solver_threads=3
+    )
+    handle = serve_in_background(server)
+    try:
+        yield server, ServingClient(handle.url, timeout=120.0)
+    finally:
+        handle.stop()
+
+
+def trace(result):
+    return (result.protectors, result.similarity_trace)
+
+
+def raw_request(url, payload):
+    """Write raw bytes to the server and return (status, headers, body)."""
+    host, _, port = url.rsplit("/", 1)[-1].partition(":")
+    with socket.create_connection((host, int(port)), timeout=30.0) as sock:
+        sock.sendall(payload)
+        chunks = []
+        while True:
+            chunk = sock.recv(65536)
+            if not chunk:
+                break
+            chunks.append(chunk)
+    blob = b"".join(chunks)
+    head, _, body = blob.partition(b"\r\n\r\n")
+    status, headers = parse_response_head(head)
+    return status, headers, body
+
+
+class TestShardedSolve:
+    def test_parity_with_direct_sharded_session(self, served, reference):
+        _, client = served
+        request = ProtectionRequest("SGB-Greedy", 6)
+        assert trace(client.solve(request)) == trace(reference.solve(request))
+
+    def test_metadata_reports_routing(self, served, reference):
+        _, client = served
+        payload = client.solve_payload(ProtectionRequest("SGB-Greedy", 6))
+        meta = payload["extra"]["service"]["shards"]
+        assert meta["count"] == reference.shard_count
+        assert meta["mode"] in ("single", "scatter-gather")
+        assert payload["extra"]["server"]["content_hash"] == (
+            reference.content_hash()
+        )
+
+    def test_single_shard_subset_over_http(self, served, reference):
+        _, client = served
+        piece = reference.assignment[0]
+        request = ProtectionRequest("SGB-Greedy", 3, targets=piece)
+        payload = client.solve_payload(request)
+        assert payload["extra"]["service"]["shards"]["mode"] == "single"
+        assert tuple(
+            canonical_edge(*p) for p in payload["protectors"]
+        ) == reference.solve(request).protectors
+
+    def test_stats_reports_shards_and_combined_instances(
+        self, served, reference
+    ):
+        _, client = served
+        stats = client.stats()
+        assert stats["shards"] == reference.shard_count
+        assert stats["instances"] == reference.number_of_instances()
+        assert stats["targets"] == len(reference.targets)
+        assert stats["content_hash"] == reference.content_hash()
+
+    def test_health_reports_combined_hash(self, served, reference):
+        _, client = served
+        assert client.health()["content_hash"] == reference.content_hash()
+
+
+class TestProtocolEdgeCases:
+    def test_oversized_body_is_413(self, served):
+        server, client = served
+        status, _, body = raw_request(
+            client.base_url,
+            b"POST /solve HTTP/1.1\r\nHost: t\r\n"
+            b"Content-Length: 999999999999\r\n\r\n",
+        )
+        assert status == 413
+        assert b"exceeds" in body
+        # the connection was refused before any body was read; the server
+        # keeps serving
+        assert client.health()["status"] == "ok"
+
+    def test_unknown_route_is_404(self, served):
+        _, client = served
+        status, _, body = client._request("GET", "/definitely-not-a-route")
+        assert status == 404
+        assert b"unknown path" in body
+
+    def test_unknown_route_post_is_404_too(self, served):
+        _, client = served
+        status, _, _ = client._request("POST", "/shards", body=b"{}")
+        assert status == 404
+
+
+class TestShardedReload:
+    def test_bundle_swap_reports_shards(self, served, reference, tmp_path):
+        server, client = served
+        bundle = reference.save_session(tmp_path / "session.tppshards")
+        outcome = client.reload(snapshot=bundle)
+        assert outcome["action"] == "swapped"
+        assert outcome["shards"] == reference.shard_count
+        assert outcome["content_hash"] == reference.content_hash()
+        stats = client.stats()
+        assert stats["index_source"] == "snapshot"
+        assert stats["shards"] == reference.shard_count
+
+    def test_delta_reload_reports_touched_shards(
+        self, served, problem, tmp_path
+    ):
+        server, client = served
+        live = server.current_service()
+        target_set = set(live.targets)
+        deletions = [
+            canonical_edge(*edge)
+            for edge in sorted(problem.phase1_graph.edges())
+            if canonical_edge(*edge) not in target_set
+        ][:2]
+        delta = EdgeDelta.from_edges(delete=deletions)
+        scratch = ShardedProtectionService(problem, shards=SHARDS)
+        parent_hash = scratch.content_hash()
+        expected = scratch.apply_delta(delta)
+        delta_file = save_delta_snapshot(
+            tmp_path / "step.tppdelta", delta, parent_hash,
+            scratch.content_hash(),
+        )
+        outcome = client.reload(delta=delta_file)
+        assert outcome["action"] == "delta-applied"
+        assert outcome["touched_shards"] == list(expected.touched_shards)
+        assert outcome["content_hash"] == scratch.content_hash()
+        stats = client.stats()
+        assert stats["index_source"] == "delta"
+        assert stats["deltas_applied"] == 1
+        # replay: parent hash no longer matches the live combined hash
+        with pytest.raises(ServerError, match="409"):
+            client.reload(delta=delta_file)
+
+    def test_coalescing_across_a_reload_boundary(
+        self, served, problem, reference, tmp_path
+    ):
+        """A joiner that coalesces onto a solve admitted before the reload
+        gets the admitted session's answer; fresh requests after the
+        in-flight solve completes answer from the new session."""
+        server, client = served
+        bundle = reference.save_session(tmp_path / "session.tppshards")
+        started = threading.Event()
+        release = threading.Event()
+
+        @register_method("Gated-Sharded", kind="greedy", order=992)
+        def _run(problem_arg, budget, engine, seed, **options):
+            started.set()
+            assert release.wait(timeout=60.0)
+            return sgb_greedy(problem_arg, budget, engine=engine)
+
+        try:
+            request = ProtectionRequest("Gated-Sharded", 4)
+            with ThreadPoolExecutor(max_workers=2) as pool:
+                first = pool.submit(client.solve_payload, request)
+                assert started.wait(timeout=30.0)
+                # the reload lands while the gated solve is mid-flight
+                outcome = client.reload(snapshot=bundle)
+                assert outcome["action"] == "swapped"
+                second = pool.submit(client.solve_payload, request)
+                deadline = threading.Event()
+                for _ in range(200):
+                    if server.stats()["coalesced_hits"] >= 1:
+                        break
+                    deadline.wait(0.02)
+                assert server.stats()["coalesced_hits"] >= 1
+                release.set()
+                payloads = [
+                    first.result(timeout=60.0),
+                    second.result(timeout=60.0),
+                ]
+        finally:
+            release.set()
+            unregister_method("Gated-Sharded")
+
+        flags = sorted(
+            payload["extra"]["server"].pop("coalesced")
+            for payload in payloads
+        )
+        assert flags == [False, True]
+        # both riders share one solve on the session admitted pre-reload
+        assert payloads[0] == payloads[1]
+        assert server.stats()["reloads"] == 1
+        # the next identical request starts fresh on the reloaded session
+        fresh = client.solve_payload(ProtectionRequest("SGB-Greedy", 4))
+        assert fresh["extra"]["server"]["coalesced"] is False
+        expected = ShardedProtectionService(problem, shards=SHARDS).solve(
+            ProtectionRequest("SGB-Greedy", 4)
+        )
+        assert tuple(
+            canonical_edge(*p) for p in fresh["protectors"]
+        ) == expected.protectors
+
+
+class TestMixedReload:
+    def test_plain_to_sharded_and_back(self, problem, reference, tmp_path):
+        """One server hops between unsharded and sharded sessions; stats
+        always describe whichever session is live."""
+        server = ProtectionServer(ProtectionService(problem), solver_threads=2)
+        with serve_in_background(server) as handle:
+            client = ServingClient(handle.url, timeout=120.0)
+            assert "shards" not in client.stats()
+            bundle = reference.save_session(tmp_path / "session.tppshards")
+            outcome = client.reload(snapshot=bundle)
+            assert outcome["shards"] == reference.shard_count
+            assert client.stats()["shards"] == reference.shard_count
+            request = ProtectionRequest("SGB-Greedy", 5)
+            assert trace(client.solve(request)) == trace(
+                reference.solve(request)
+            )
+            snapshot = problem.save_index(tmp_path / "plain.tppsnap")
+            outcome = client.reload(snapshot=snapshot)
+            assert "shards" not in outcome
+            assert "shards" not in client.stats()

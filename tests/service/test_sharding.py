@@ -1,0 +1,490 @@
+"""Unit and fault-injection tests for the sharded protection service.
+
+The property suite (``tests/property/test_sharding_differential.py``)
+carries the bit-identity theorems; this file pins the machinery around
+them: assignment/env-var parsing, routing metadata, the deterministic
+budget split, atomic failure of a mid-scatter-gather shard, batch fan-out
+byte-identity, bundle round trips (whole session and single shard) and
+the sharded delta path.
+"""
+
+import zipfile
+
+import pytest
+
+from repro.exceptions import (
+    BudgetError,
+    ConstantError,
+    DeltaError,
+    ExperimentError,
+    ShardError,
+    SnapshotFormatError,
+    SnapshotMismatchError,
+)
+from repro.graphs.generators import powerlaw_cluster_graph
+from repro.graphs.graph import canonical_edge, edge_sort_key
+from repro.datasets.targets import sample_random_targets
+from repro.motifs.updates import EdgeDelta
+from repro.persistence import load_sharded_session, save_delta_snapshot
+from repro.service import (
+    ProtectionRequest,
+    ProtectionService,
+    ShardedProtectionService,
+    shard_assignment,
+    shards_from_env,
+)
+
+
+@pytest.fixture(scope="module")
+def instance():
+    graph = powerlaw_cluster_graph(120, 3, 0.5, seed=5)
+    targets = tuple(
+        sorted(sample_random_targets(graph, 6, seed=2), key=edge_sort_key)
+    )
+    return graph, targets
+
+
+@pytest.fixture(scope="module")
+def unsharded(instance):
+    graph, targets = instance
+    return ProtectionService(graph, targets, motif="triangle")
+
+
+@pytest.fixture(scope="module")
+def sharded(instance):
+    graph, targets = instance
+    return ShardedProtectionService(graph, targets, motif="triangle", shards=3)
+
+
+def fresh_sharded(instance, shards=3):
+    graph, targets = instance
+    return ShardedProtectionService(
+        graph, targets, motif="triangle", shards=shards
+    )
+
+
+def trace(result):
+    return (result.protectors, result.similarity_trace)
+
+
+class TestShardsFromEnv:
+    def test_unset_returns_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SHARDS", raising=False)
+        assert shards_from_env() == 1
+        assert shards_from_env(default=4) == 4
+
+    def test_empty_returns_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SHARDS", "  ")
+        assert shards_from_env(default=2) == 2
+
+    def test_integer_parses(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SHARDS", "3")
+        assert shards_from_env() == 3
+
+    @pytest.mark.parametrize("raw", ["three", "2.5", "0", "-1"])
+    def test_bad_values_raise(self, monkeypatch, raw):
+        monkeypatch.setenv("REPRO_SHARDS", raw)
+        with pytest.raises(ShardError):
+            shards_from_env()
+
+    def test_constructor_reads_env(self, instance, monkeypatch):
+        graph, targets = instance
+        monkeypatch.setenv("REPRO_SHARDS", "2")
+        service = ShardedProtectionService(graph, targets, motif="triangle")
+        assert service.shard_count == 2
+
+
+class TestAssignment:
+    def test_round_robin_over_sorted_targets(self):
+        targets = [(9, 10), (1, 2), (5, 6), (3, 4), (7, 8)]
+        pieces = shard_assignment(targets, 2)
+        ordered = sorted(
+            (canonical_edge(*t) for t in targets), key=edge_sort_key
+        )
+        assert pieces == (tuple(ordered[0::2]), tuple(ordered[1::2]))
+
+    def test_clamped_to_target_count(self):
+        pieces = shard_assignment([(1, 2), (3, 4)], 5)
+        assert len(pieces) == 2
+        assert all(len(piece) == 1 for piece in pieces)
+
+    def test_duplicates_refused(self):
+        with pytest.raises(ShardError, match="duplicate"):
+            shard_assignment([(1, 2), (2, 1)], 2)
+
+    def test_empty_refused(self):
+        with pytest.raises(ShardError, match="empty"):
+            shard_assignment([], 2)
+
+    def test_nonpositive_refused(self):
+        with pytest.raises(ShardError):
+            shard_assignment([(1, 2)], 0)
+
+    def test_session_exposes_assignment(self, sharded, instance):
+        _, targets = instance
+        assert sharded.shard_count == 3
+        flattened = sorted(
+            (t for piece in sharded.assignment for t in piece),
+            key=edge_sort_key,
+        )
+        assert tuple(flattened) == sharded.targets == tuple(targets)
+        for piece in sharded.assignment:
+            for target in piece:
+                assert sharded.shard_of(target) == sharded.assignment.index(
+                    piece
+                )
+
+    def test_shard_of_unknown_target_raises(self, sharded):
+        with pytest.raises(ShardError, match="not a target"):
+            sharded.shard_of((999, 1000))
+
+
+class TestRouting:
+    def test_single_shard_route_metadata(self, sharded):
+        piece = sharded.assignment[1]
+        result = sharded.solve(
+            ProtectionRequest("SGB-Greedy", 3, targets=piece)
+        )
+        meta = result.extra["service"]["shards"]
+        assert meta == {"count": 3, "mode": "single", "routed": [1]}
+        assert result.extra["service"]["request"]["budget"] == 3
+
+    def test_scatter_gather_metadata(self, sharded):
+        result = sharded.solve(ProtectionRequest("SGB-Greedy", 6))
+        meta = result.extra["service"]["shards"]
+        assert meta["count"] == 3
+        assert meta["mode"] == "scatter-gather"
+        assert meta["routed"] == [0, 1, 2]
+        assert sum(meta["budgets"].values()) <= 6
+        assert meta["deduplicated_protectors"] >= 0
+        assert result.extra["service"]["kernel"] == sharded.kernel
+
+    def test_duplicate_request_targets_refused(self, sharded):
+        target = sharded.targets[0]
+        with pytest.raises(ExperimentError, match="duplicate"):
+            sharded.solve(
+                ProtectionRequest("SGB-Greedy", 2, targets=(target, target))
+            )
+
+    def test_unknown_request_targets_refused(self, sharded):
+        with pytest.raises(ExperimentError, match="not targets"):
+            sharded.solve(
+                ProtectionRequest("SGB-Greedy", 2, targets=((999, 1000),))
+            )
+
+    def test_zero_budget_answers_empty(self, sharded):
+        result = sharded.solve(ProtectionRequest("SGB-Greedy", 0))
+        assert result.protectors == ()
+        assert result.similarity_trace == (sharded.pristine_similarity(),)
+
+
+class TestBudgetSplit:
+    def test_explicit_division_is_authoritative(self, sharded):
+        piece_a = sharded.assignment[0]
+        piece_b = sharded.assignment[1]
+        division = {piece_a[0]: 2, piece_b[0]: 1}
+        result = sharded.solve(
+            ProtectionRequest(
+                "CT-Greedy:DBD",
+                5,
+                targets=(piece_a[0], piece_b[0]),
+                budget_division=division,
+            )
+        )
+        meta = result.extra["service"]["shards"]
+        assert meta["budgets"] == {"0": 2, "1": 1}
+        assert result.budget_division == {
+            target: division[target]
+            for target in sorted(division, key=edge_sort_key)
+        }
+
+    def test_division_naming_outside_targets_refused(self, sharded):
+        piece_a = sharded.assignment[0]
+        piece_b = sharded.assignment[1]
+        with pytest.raises(BudgetError, match="outside"):
+            sharded.solve(
+                ProtectionRequest(
+                    "CT-Greedy:DBD",
+                    4,
+                    targets=(piece_a[0], piece_b[0]),
+                    budget_division={piece_a[0]: 1, piece_b[1]: 1},
+                )
+            )
+
+    def test_division_exceeding_budget_refused(self, sharded):
+        piece_a = sharded.assignment[0]
+        piece_b = sharded.assignment[1]
+        with pytest.raises(BudgetError, match="allocates"):
+            sharded.solve(
+                ProtectionRequest(
+                    "CT-Greedy:DBD",
+                    2,
+                    targets=(piece_a[0], piece_b[0]),
+                    budget_division={piece_a[0]: 2, piece_b[0]: 2},
+                )
+            )
+
+    def test_proportional_split_is_deterministic(self, sharded):
+        request = ProtectionRequest("SGB-Greedy", 5)
+        first = sharded.solve(request)
+        second = sharded.solve(request)
+        assert trace(first) == trace(second)
+        assert (
+            first.extra["service"]["shards"]["budgets"]
+            == second.extra["service"]["shards"]["budgets"]
+        )
+
+
+class TestFaultInjection:
+    def test_mid_scatter_gather_failure_is_atomic(
+        self, instance, monkeypatch
+    ):
+        """One shard raising fails the whole request with a typed
+        ShardError, no partial merge escapes, accounting is untouched and
+        the session keeps serving."""
+        service = fresh_sharded(instance)
+        request = ProtectionRequest("SGB-Greedy", 6)
+        healthy = service.solve(request)
+        served_before = service.queries_served
+
+        class Boom(RuntimeError):
+            pass
+
+        original = ProtectionService.solve
+
+        def exploding(shard_self, shard_request):
+            if shard_self is service.shards[1]:
+                raise Boom("shard 1 lost its state")
+            return original(shard_self, shard_request)
+
+        monkeypatch.setattr(ProtectionService, "solve", exploding)
+        with pytest.raises(ShardError, match="shard 1 failed") as excinfo:
+            service.solve(request)
+        assert excinfo.value.shard == 1
+        assert isinstance(excinfo.value.__cause__, Boom)
+        # a failed request is never counted and never partially merged
+        assert service.queries_served == served_before
+        monkeypatch.setattr(ProtectionService, "solve", original)
+        assert trace(service.solve(request)) == trace(healthy)
+
+    def test_single_shard_route_failure_propagates_uncounted(
+        self, instance, monkeypatch
+    ):
+        service = fresh_sharded(instance)
+        piece = service.assignment[0]
+        served_before = service.queries_served
+
+        def exploding(shard_self, shard_request):
+            raise RuntimeError("boom")
+
+        monkeypatch.setattr(ProtectionService, "solve", exploding)
+        with pytest.raises(RuntimeError):
+            service.solve(ProtectionRequest("SGB-Greedy", 2, targets=piece))
+        assert service.queries_served == served_before
+
+
+class TestDifferentialSubsetSessions:
+    def test_shard_equals_unsharded_subset_session(self, sharded, unsharded):
+        """Satellite differential: the unsharded session's subset
+        sub-session over a shard's exact targets answers identically to
+        that shard — same construction, same arrays, same traces."""
+        for piece in sharded.assignment:
+            for method in ("SGB-Greedy", "WT-Greedy:TBD", "RD"):
+                request = ProtectionRequest(method, 3, targets=piece, seed=7)
+                assert trace(sharded.solve(request)) == trace(
+                    unsharded.solve(request)
+                ), (piece, method)
+
+    def test_partial_piece_within_one_shard(self, sharded, unsharded):
+        piece = sharded.assignment[2]
+        subset = piece[:1]
+        request = ProtectionRequest("SGB-Greedy", 2, targets=subset)
+        assert trace(sharded.solve(request)) == trace(unsharded.solve(request))
+
+
+class TestSolveMany:
+    def test_modes_are_byte_identical(self, sharded):
+        requests = [
+            ProtectionRequest("SGB-Greedy", 2),
+            ProtectionRequest("SGB-Greedy", 4),
+            ProtectionRequest(
+                "CT-Greedy:TBD", 3, targets=sharded.assignment[0]
+            ),
+            ProtectionRequest("RD", 3, seed=11),
+        ]
+        serial = [sharded.solve(request) for request in requests]
+        threaded = sharded.solve_many(requests, workers=3, mode="thread")
+        assert [trace(r) for r in threaded] == [trace(r) for r in serial]
+        processed = sharded.solve_many(requests, workers=2, mode="process")
+        assert [trace(r) for r in processed] == [trace(r) for r in serial]
+
+    def test_unknown_mode_refused(self, sharded):
+        with pytest.raises(ExperimentError, match="mode"):
+            sharded.solve_many(
+                [ProtectionRequest("SGB-Greedy", 2)], workers=2, mode="rocket"
+            )
+
+
+class TestBundleRoundTrip:
+    def test_whole_session_round_trips(self, sharded, tmp_path):
+        bundle = sharded.save_session(tmp_path / "session.tppshards")
+        restored = ShardedProtectionService.from_session(bundle)
+        assert restored.index_source == "snapshot"
+        assert restored.shard_count == sharded.shard_count
+        assert restored.assignment == sharded.assignment
+        assert restored.content_hash() == sharded.content_hash()
+        for request in (
+            ProtectionRequest("SGB-Greedy", 5),
+            ProtectionRequest("WT-Greedy:TBD", 4),
+        ):
+            assert trace(restored.solve(request)) == trace(
+                sharded.solve(request)
+            )
+
+    def test_single_shard_cold_start(self, sharded, tmp_path):
+        bundle = sharded.save_session(tmp_path / "session.tppshards")
+        shard = load_sharded_session(bundle, shard=1)
+        assert isinstance(shard, ProtectionService)
+        assert shard.index_source == "snapshot"
+        assert shard.targets == sharded.assignment[1]
+        request = ProtectionRequest("SGB-Greedy", 3)
+        routed = sharded.solve(
+            request.with_overrides(targets=sharded.assignment[1])
+        )
+        assert trace(shard.solve(request)) == trace(routed)
+
+    def test_out_of_range_shard_refused(self, sharded, tmp_path):
+        bundle = sharded.save_session(tmp_path / "session.tppshards")
+        with pytest.raises(ShardError, match="holds shards"):
+            load_sharded_session(bundle, shard=7)
+
+    def test_not_a_zip_refused(self, tmp_path):
+        path = tmp_path / "garbage.tppshards"
+        path.write_bytes(b"definitely not a bundle")
+        with pytest.raises(SnapshotFormatError):
+            load_sharded_session(path)
+
+    def test_tampered_member_refused(self, sharded, tmp_path):
+        bundle = sharded.save_session(tmp_path / "session.tppshards")
+        swapped = tmp_path / "tampered.tppshards"
+        with zipfile.ZipFile(bundle) as source, zipfile.ZipFile(
+            swapped, "w"
+        ) as out:
+            for name in source.namelist():
+                data = source.read(name)
+                if name == "shard-0001.tppsnap":
+                    data = source.read("shard-0002.tppsnap")
+                out.writestr(name, data)
+        with pytest.raises((SnapshotMismatchError, SnapshotFormatError)):
+            load_sharded_session(swapped)
+
+    def test_byte_stable_rewrites(self, sharded, tmp_path):
+        first = sharded.save_session(tmp_path / "a.tppshards")
+        second = sharded.save_session(tmp_path / "b.tppshards")
+        assert first.read_bytes() == second.read_bytes()
+
+
+class TestConstruction:
+    def test_targets_required_with_graph(self, instance):
+        graph, _ = instance
+        with pytest.raises(ExperimentError, match="target links"):
+            ShardedProtectionService(graph, shards=2)
+
+    def test_constant_below_combined_initial_refused(self, instance):
+        graph, targets = instance
+        with pytest.raises(ConstantError):
+            ShardedProtectionService(
+                graph, targets, motif="triangle", constant=0, shards=2
+            )
+
+    def test_from_problem_adopts_everything(self, unsharded, instance):
+        _, targets = instance
+        service = ShardedProtectionService(unsharded.problem, shards=2)
+        assert service.shard_count == 2
+        assert service.targets == tuple(targets)
+        assert service.constant == unsharded.problem.constant
+        assert service.motif.name == "triangle"
+
+    def test_number_of_instances_sums_shards(self, sharded, unsharded):
+        assert sharded.number_of_instances() == sum(
+            shard.index.number_of_instances() for shard in sharded.shards
+        )
+        assert (
+            sharded.number_of_instances()
+            == unsharded.index.number_of_instances()
+        )
+
+
+class TestShardedDelta:
+    def make_delta(self, service, count=2):
+        target_set = set(service.targets)
+        phase1 = service.shards[0].problem.phase1_graph
+        deletions = [
+            canonical_edge(*edge)
+            for edge in sorted(phase1.edges())
+            if canonical_edge(*edge) not in target_set
+        ][:count]
+        return EdgeDelta.from_edges(delete=deletions)
+
+    def test_outcome_shape_and_counters(self, instance):
+        service = fresh_sharded(instance)
+        delta = self.make_delta(service)
+        before_hash = service.content_hash()
+        outcome = service.apply_delta(delta)
+        assert len(outcome.outcomes) == service.shard_count
+        assert outcome.constant == service.constant
+        assert set(outcome.touched_shards) == {
+            position
+            for position, shard_outcome in enumerate(outcome.outcomes)
+            if shard_outcome.changed_targets
+        }
+        assert service.deltas_applied == 1
+        assert service.index_source == "delta"
+        assert service.content_hash() != before_hash
+
+    def test_snapshot_with_combined_parent_hash_applies(
+        self, instance, tmp_path
+    ):
+        service = fresh_sharded(instance)
+        delta = self.make_delta(service)
+        parent_hash = service.content_hash()
+        # compute the child hash on a scratch copy so the delta file can
+        # name both states (the sharded parent is a combined hash)
+        scratch = fresh_sharded(instance)
+        scratch.apply_delta(delta)
+        delta_file = save_delta_snapshot(
+            tmp_path / "step.tppdelta", delta, parent_hash,
+            scratch.content_hash(),
+        )
+        from repro.persistence import load_delta_snapshot
+
+        outcome = service.apply_delta(load_delta_snapshot(delta_file))
+        assert service.content_hash() == scratch.content_hash()
+        assert outcome.constant == service.constant
+        # replaying is refused: the parent hash moved on
+        with pytest.raises(SnapshotMismatchError):
+            service.apply_delta(load_delta_snapshot(delta_file))
+
+    def test_explicit_constant_below_combined_refused(self, instance):
+        service = fresh_sharded(instance)
+        delta = self.make_delta(service)
+        with pytest.raises(DeltaError):
+            service.apply_delta(delta, constant=0)
+        # the refused delta left every shard serving its old state
+        assert service.deltas_applied == 0
+        assert service.index_source == "built"
+
+    def test_unsupported_payload_refused(self, instance):
+        service = fresh_sharded(instance)
+        with pytest.raises(ExperimentError, match="EdgeDelta"):
+            service.apply_delta("not a delta")
+
+    def test_delta_matches_unsharded_constant(self, instance, unsharded):
+        service = fresh_sharded(instance)
+        delta = self.make_delta(service)
+        sharded_outcome = service.apply_delta(delta)
+        _, unsharded_outcome = unsharded.problem.apply_delta(delta)
+        del unsharded_outcome
+        mutated, _ = unsharded.problem.apply_delta(delta)
+        assert sharded_outcome.constant == mutated.constant
+        assert service.pristine_similarity() == mutated.initial_similarity()

@@ -747,6 +747,124 @@ class TestNativeBoundaryRule:
 
 
 # ----------------------------------------------------------------------
+# R8 — shard boundary
+# ----------------------------------------------------------------------
+class TestShardBoundaryRule:
+    def test_direct_construction_in_service_flagged(self):
+        findings, _ = lint(
+            """
+            from repro.motifs.enumeration import TargetSubgraphIndex
+
+            def open_session(graph, targets, motif):
+                return TargetSubgraphIndex(graph, targets, motif)
+            """,
+            "R8",
+            relpath="src/repro/service/service.py",
+        )
+        assert codes(findings) == ["R8-direct-index"]
+        assert "for_filtered_targets" in findings[0].message
+
+    def test_attribute_construction_flagged(self):
+        findings, _ = lint(
+            """
+            import repro.motifs.enumeration as enumeration
+
+            class Session:
+                def build(self, graph, targets):
+                    self._index = enumeration.TargetSubgraphIndex(
+                        graph, targets, "triangle"
+                    )
+            """,
+            "R8",
+            relpath="src/repro/service/sharding.py",
+        )
+        assert codes(findings) == ["R8-direct-index"]
+        assert "'build'" in findings[0].message
+
+    def test_module_level_construction_flagged(self):
+        findings, _ = lint(
+            """
+            from repro.motifs.enumeration import TargetSubgraphIndex
+
+            INDEX = TargetSubgraphIndex(None, (), "triangle")
+            """,
+            "R8",
+            relpath="src/repro/service/registry.py",
+        )
+        assert codes(findings) == ["R8-direct-index"]
+        assert "<module>" in findings[0].message
+
+    def test_sanctioned_factory_clean(self):
+        findings, _ = lint(
+            """
+            from repro.motifs.enumeration import TargetSubgraphIndex
+
+            def _build_shard_index(phase1_graph, shard_targets, motif, workers):
+                return TargetSubgraphIndex(
+                    phase1_graph, shard_targets, motif, build_workers=workers
+                )
+            """,
+            "R8",
+            relpath="src/repro/service/sharding.py",
+        )
+        assert findings == []
+
+    def test_nested_function_inside_factory_still_flagged(self):
+        findings, _ = lint(
+            """
+            from repro.motifs.enumeration import TargetSubgraphIndex
+
+            def _build_shard_index(graph, targets, motif):
+                def sneaky():
+                    return TargetSubgraphIndex(graph, targets, motif)
+                return sneaky()
+            """,
+            "R8",
+            relpath="src/repro/service/sharding.py",
+        )
+        assert codes(findings) == ["R8-direct-index"]
+
+    def test_outside_service_package_clean(self):
+        findings, _ = lint(
+            """
+            from repro.motifs.enumeration import TargetSubgraphIndex
+
+            def build_index(graph, targets, motif):
+                return TargetSubgraphIndex(graph, targets, motif)
+            """,
+            "R8",
+            relpath="src/repro/core/model.py",
+        )
+        assert findings == []
+
+    def test_other_calls_in_service_clean(self):
+        findings, _ = lint(
+            """
+            def open_session(problem, factory):
+                index = problem.build_index()
+                return factory.for_filtered_targets(problem.graph, index)
+            """,
+            "R8",
+            relpath="src/repro/service/service.py",
+        )
+        assert findings == []
+
+    def test_suppression_with_reason_absorbs(self):
+        findings, suppressed = lint(
+            """
+            from repro.motifs.enumeration import TargetSubgraphIndex
+
+            def probe(graph, targets):
+                return TargetSubgraphIndex(graph, targets, "triangle")  # reprolint: disable=R8-direct-index(diagnostic probe)
+            """,
+            "R8",
+            relpath="src/repro/service/probe.py",
+        )
+        assert findings == []
+        assert codes(suppressed) == ["R8-direct-index"]
+
+
+# ----------------------------------------------------------------------
 # Suppression engine
 # ----------------------------------------------------------------------
 class TestSuppressions:
@@ -830,7 +948,7 @@ class TestSuppressions:
 # Driver / CLI
 # ----------------------------------------------------------------------
 class TestDriver:
-    def test_all_seven_families_registered(self):
+    def test_all_eight_families_registered(self):
         assert sorted(RULES_BY_FAMILY) == [
             "R1",
             "R2",
@@ -839,8 +957,9 @@ class TestDriver:
             "R5",
             "R6",
             "R7",
+            "R8",
         ]
-        assert len(ALL_RULES) == 7
+        assert len(ALL_RULES) == 8
 
     def test_parser_accepts_select_and_format(self):
         args = build_parser().parse_args(
